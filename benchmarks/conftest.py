@@ -1,0 +1,70 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+experiment index) and writes its reproduced rows/series to
+``benchmarks/results/<experiment>.txt`` in addition to timing the
+underlying operation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.studies import run_noise_study, run_paradyn_study, run_purple_study
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Bench scales: large enough to show the paper's shape, small enough for
+#: the whole harness to run in minutes.
+PURPLE_PROCESS_COUNTS = (2, 4, 8, 16, 32, 64)
+UV_EXECUTIONS = 3
+BGL_EXECUTIONS = 4
+PARADYN_EXECUTIONS = 2
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(results_dir):
+    def _write(name: str, text: str) -> None:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            if not text.endswith("\n"):
+                fh.write("\n")
+        print(f"\n--- {name} ---\n{text}")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def purple_report():
+    return run_purple_study(process_counts=PURPLE_PROCESS_COUNTS, runs_per_count=1)
+
+
+@pytest.fixture(scope="session")
+def noise_reports():
+    return run_noise_study(
+        uv_executions=UV_EXECUTIONS,
+        bgl_executions=BGL_EXECUTIONS,
+        uv_processes=(8, 16, 32),
+        mpip_callsites=25,
+    )
+
+
+@pytest.fixture(scope="session")
+def paradyn_report():
+    return run_paradyn_study(
+        executions=PARADYN_EXECUTIONS,
+        processes=4,
+        modules=40,
+        functions_per_module=12,
+        histograms=25,
+        bins=500,
+    )

@@ -1,0 +1,95 @@
+"""Ablation A4 — scalar-per-bin vs vector results for Paradyn histograms.
+
+Paper Section 6: "We plan to explore complex performance results in
+PerfTrack ... to avoid creating a new performance result for each bin in
+a Paradyn histogram file."  This bench quantifies that proposal: the same
+export loaded in both modes, comparing ingest time and row counts.
+"""
+
+import tempfile
+
+import pytest
+
+from repro.core import PTDataStore
+from repro.ptdf.ptdfgen import IndexEntry
+from repro.ptdf.writer import PTdfWriter
+from repro.synth.paradyn_gen import ParadynSpec, generate_paradyn_export
+from repro.tools.paradyn import ParadynConverter
+
+
+@pytest.fixture(scope="module")
+def export():
+    d = tempfile.mkdtemp(prefix="ablation-vector-")
+    spec = ParadynSpec(
+        "abl-vec", processes=4, modules=20, functions_per_module=8,
+        histograms=12, bins=400,
+    )
+    exp = generate_paradyn_export(spec, d)
+    entry = IndexEntry("abl-vec", "IRS", "MPI", 4, 1, "t0", "t1")
+    return exp, entry
+
+
+def _records_for(export, entry, mode):
+    conv = ParadynConverter(bins_as=mode)
+    w = PTdfWriter()
+    w.add_application("IRS")
+    w.add_execution(entry.execution, "IRS")
+    conv.convert_resources_file(export.resources_path, entry, w)
+    conv.convert_index(export.index_path, entry, w)
+    return w.records
+
+
+class TestA4VectorResults:
+    @pytest.fixture(scope="class")
+    def record_sets(self, export):
+        exp, entry = export
+        return {
+            mode: _records_for(exp, entry, mode) for mode in ("results", "series")
+        }
+
+    @pytest.mark.parametrize("mode", ["results", "series"])
+    def test_ingest(self, benchmark, record_sets, mode):
+        records = record_sets[mode]
+
+        def load():
+            store = PTDataStore()
+            return store.load_records(records)
+
+        stats = benchmark.pedantic(load, rounds=3, iterations=1)
+        assert stats.results > 0
+
+    def test_row_economics(self, benchmark, record_sets, write_report):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        stats = {}
+        for mode, records in record_sets.items():
+            store = PTDataStore()
+            store.load_records(records)
+            stats[mode] = store.db_stats()
+        lines = [
+            f"{'table':<32}{'per-bin':>10}{'vector':>10}",
+        ]
+        for table in (
+            "performance_result",
+            "performance_result_vector",
+            "performance_result_has_focus",
+            "focus",
+            "focus_has_resource",
+            "resource_item",
+        ):
+            lines.append(
+                f"{table:<32}{stats['results'][table]:>10}{stats['series'][table]:>10}"
+            )
+        write_report("ablation_a4_vector_results", "\n".join(lines))
+        # The proposal's payoff: orders of magnitude fewer result rows...
+        assert stats["series"]["performance_result"] == 12
+        assert stats["results"]["performance_result"] > 1000
+        # ...and far fewer resources (no per-bin time intervals).
+        assert (
+            stats["series"]["resource_item"]
+            < stats["results"]["resource_item"] / 2
+        )
+        # Bin values are preserved one-for-one in the vector table.
+        assert (
+            stats["series"]["performance_result_vector"]
+            == stats["results"]["performance_result"]
+        )

@@ -1,0 +1,170 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+A1 — closure tables vs parent-chain traversal: the paper added
+     ``resource_has_ancestor``/``resource_has_descendant`` "to avoid
+     needing to traverse the resource hierarchy"; this bench measures the
+     claim on a deep machine tree.
+A2 — minidb vs sqlite backend on the same load + query mix (the paper's
+     Oracle-vs-PostgreSQL portability, measured).
+A3 — indexed vs unindexed pr-filter evaluation.
+"""
+
+import pytest
+
+from repro.collect.machine import machine_to_ptdf
+from repro.core import ByName, Expansion, PTDataStore, PrFilter
+from repro.core.query import QueryEngine
+from repro.ptdf.writer import PTdfWriter
+from repro.synth.machines import UV
+
+
+def _machine_store(use_closure: bool, backend_kind: str = "minidb",
+                   with_indexes: bool = True) -> PTDataStore:
+    store = PTDataStore(
+        backend_kind=backend_kind,
+        use_closure_tables=use_closure,
+        with_indexes=with_indexes,
+    )
+    w = PTdfWriter()
+    machine_to_ptdf(UV, w, max_nodes_per_partition=32)  # 32 nodes x 8 procs
+    store.load_records(w.records)
+    return store
+
+
+class TestA1ClosureTables:
+    @pytest.fixture(scope="class")
+    def stores(self):
+        return _machine_store(True), _machine_store(False)
+
+    def test_results_identical(self, benchmark, stores):
+        closure, walk = stores
+        rid_c = closure.resource_id("/LLNL/UV")
+        rid_w = walk.resource_id("/LLNL/UV")
+        names_c = {closure.resource_by_id(i).name for i in benchmark(closure.descendants_of, rid_c)}
+        names_w = {walk.resource_by_id(i).name for i in walk.descendants_of(rid_w)}
+        assert names_c == names_w
+        assert len(names_c) == 1 + 32 + 32 * 8  # partition + nodes + procs
+
+    def test_closure_expansion(self, benchmark, stores, write_report):
+        closure, _ = stores
+        rid = closure.resource_id("/LLNL/UV")
+        result = benchmark(closure.descendants_of, rid)
+        write_report(
+            "ablation_a1_closure",
+            f"descendant expansion of /LLNL/UV ({len(result)} resources): "
+            "see pytest-benchmark table rows "
+            "test_closure_expansion (closure tables) vs "
+            "test_walk_expansion (parent-chain walk)",
+        )
+        assert len(result) == 289
+
+    def test_walk_expansion(self, benchmark, stores):
+        _, walk = stores
+        rid = walk.resource_id("/LLNL/UV")
+        result = benchmark(walk.descendants_of, rid)
+        assert len(result) == 289
+
+
+class TestA2BackendComparison:
+    @pytest.fixture(scope="class")
+    def ptdf_text(self, purple_report):
+        import os
+
+        path = sorted(
+            os.path.join(purple_report.ptdf_dir, f)
+            for f in os.listdir(purple_report.ptdf_dir)
+            if f.endswith(".ptdf")
+        )[0]
+        return open(path).read()
+
+    @pytest.mark.parametrize("kind", ["minidb", "sqlite"])
+    def test_load_one_execution(self, benchmark, ptdf_text, kind):
+        def load():
+            store = PTDataStore(backend_kind=kind)
+            return store.load_string(ptdf_text)
+
+        stats = benchmark.pedantic(load, rounds=3, iterations=1)
+        assert stats.results > 1000
+
+    @pytest.mark.parametrize("kind", ["minidb", "sqlite"])
+    def test_query_mix(self, benchmark, ptdf_text, kind):
+        store = PTDataStore(backend_kind=kind)
+        store.load_string(ptdf_text)
+        engine = QueryEngine(store)
+        execution = store.executions()[0]
+
+        def queries():
+            fam = store.resolve_filter(ByName(f"/{execution}", Expansion.DESCENDANTS))
+            n1 = engine.count_for_family(fam)
+            results = engine.fetch(
+                PrFilter([ByName("/IRS/src/matsolve", Expansion.NONE)])
+            )
+            return n1, len(results)
+
+        n1, n2 = benchmark(queries)
+        assert n1 > 1000 and n2 > 10
+
+    def test_backends_agree(self, benchmark, ptdf_text, write_report):
+        counts = {}
+        benchmark(lambda: None)  # agreement check; timing is in the load/query benches
+        for kind in ("minidb", "sqlite"):
+            store = PTDataStore(backend_kind=kind)
+            store.load_string(ptdf_text)
+            engine = QueryEngine(store)
+            counts[kind] = {
+                "results": store.count_rows("performance_result"),
+                "resources": store.count_rows("resource_item"),
+                "matsolve": len(
+                    engine.fetch(PrFilter([ByName("/IRS/src/matsolve", Expansion.NONE)]))
+                ),
+            }
+        write_report(
+            "ablation_a2_backends",
+            "\n".join(f"{k}: {v}" for k, v in counts.items()),
+        )
+        assert counts["minidb"] == counts["sqlite"]
+
+
+class TestA3IndexAblation:
+    @pytest.fixture(scope="class")
+    def loaded(self, purple_report):
+        import os
+
+        path = sorted(
+            os.path.join(purple_report.ptdf_dir, f)
+            for f in os.listdir(purple_report.ptdf_dir)
+            if f.endswith(".ptdf")
+        )
+        texts = [open(p).read() for p in path[:3]]
+
+        def build(with_indexes: bool) -> PTDataStore:
+            store = PTDataStore(backend_kind="minidb", with_indexes=with_indexes)
+            for t in texts:
+                store.load_string(t)
+            return store
+
+        return build(True), build(False)
+
+    def _query(self, store):
+        engine = QueryEngine(store)
+        prf = PrFilter([ByName("/IRS/src/matsolve", Expansion.NONE)])
+        return len(engine.fetch(prf))
+
+    def test_indexed_query(self, benchmark, loaded, write_report):
+        indexed, _ = loaded
+        n = benchmark(self._query, indexed)
+        write_report(
+            "ablation_a3_indexes",
+            f"pr-filter fetch over 3 executions, {n} results: see "
+            "pytest-benchmark rows test_indexed_query vs test_unindexed_query",
+        )
+        assert n > 30
+
+    def test_unindexed_query(self, benchmark, loaded):
+        _, unindexed = loaded
+        n = benchmark(self._query, unindexed)
+        assert n > 30
+
+    def test_same_answers(self, benchmark, loaded):
+        indexed, unindexed = loaded
+        assert benchmark(self._query, indexed) == self._query(unindexed)

@@ -1,0 +1,77 @@
+"""Figures 10 and 11 + Section 4.3 — Paradyn hierarchies and their
+integration into the PerfTrack type system.
+
+Artifacts: the Paradyn-side hierarchy (Fig. 10) as generated, and the
+post-mapping PerfTrack type census (Fig. 11).  The bench times the full
+per-execution conversion (resources + all histograms), the step the paper
+flags as "an area of focus for performance optimization".
+"""
+
+from repro.core import PTDataStore
+
+
+class TestFig10ParadynHierarchy:
+    def test_exported_hierarchy(self, benchmark, paradyn_report, write_report):
+        store = paradyn_report.store
+        benchmark(store.resources_of_type, "time/interval")
+        lines = ["Paradyn resources mapped into PerfTrack:"]
+        for type_path in (
+            "build",
+            "build/module",
+            "build/module/function",
+            "environment/module/function",
+            "execution/process",
+            "execution/process/thread",
+            "syncObject/syncClass",
+            "syncObject/syncClass/syncInstance",
+            "time",
+            "time/interval",
+        ):
+            n = len(store.resources_of_type(type_path))
+            lines.append(f"  {type_path:<38} {n:>8}")
+        write_report("fig10_11_paradyn_mapping", "\n".join(lines))
+        assert len(store.resources_of_type("syncObject/syncClass/syncInstance")) > 0
+        assert len(store.resources_of_type("time/interval")) > 100
+
+
+class TestSection43Scale:
+    def test_per_execution_stats(self, benchmark, paradyn_report, write_report):
+        store = paradyn_report.store
+        benchmark(store.execution_details, paradyn_report.executions[0])
+        lines = [
+            "paper: ~17,000 resources, 8 metrics, ~25,000 results per execution",
+            "measured (bench scale):",
+        ]
+        counts = []
+        for execution in paradyn_report.executions:
+            d = store.execution_details(execution)
+            counts.append(d["results"])
+            lines.append(
+                f"  {execution}: results={d['results']} metrics={len(d['metrics'])}"
+            )
+        lines.append(
+            f"  resources/exec (PTdf) = {paradyn_report.table1.resources_per_exec:.0f}"
+        )
+        write_report("section43_paradyn_scale", "\n".join(lines))
+        # 8 metrics, exactly as the paper states.
+        d = store.execution_details(paradyn_report.executions[0])
+        assert len(d["metrics"]) == 8
+        # Result counts vary between executions (dynamic instrumentation).
+        assert len(set(counts)) > 1
+
+    def test_ingest_performance(self, benchmark, paradyn_report):
+        """Load one Paradyn execution's PTdf from scratch (the slow path)."""
+        import os
+
+        path = sorted(
+            os.path.join(paradyn_report.ptdf_dir, f)
+            for f in os.listdir(paradyn_report.ptdf_dir)
+            if f.endswith(".ptdf")
+        )[0]
+
+        def ingest():
+            store = PTDataStore()
+            return store.load_file(path)
+
+        stats = benchmark.pedantic(ingest, rounds=3, iterations=1)
+        assert stats.results > 1000

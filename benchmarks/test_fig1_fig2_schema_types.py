@@ -1,0 +1,48 @@
+"""Figures 1 and 2 — the database schema and the base resource types.
+
+Fig. 1's artifact is the schema itself: the bench creates it on both
+backends and emits the table/column listing.  Fig. 2's artifact is the
+base-type tree loaded through the type-extension interface.
+"""
+
+from repro.core import PTDataStore
+from repro.core.schema import TABLE_NAMES, create_schema, describe_schema
+from repro.dbapi import open_backend
+
+
+class TestFig1Schema:
+    def test_create_schema_minidb(self, benchmark, write_report):
+        def create():
+            b = open_backend("minidb")
+            create_schema(b)
+            return b
+
+        backend = benchmark(create)
+        assert all(backend.has_table(t) for t in TABLE_NAMES)
+        write_report("fig1_schema", "\n".join(describe_schema()))
+
+    def test_create_schema_sqlite(self, benchmark):
+        def create():
+            b = open_backend("sqlite")
+            create_schema(b)
+            return b
+
+        backend = benchmark(create)
+        assert all(backend.has_table(t) for t in TABLE_NAMES)
+
+
+class TestFig2BaseTypes:
+    def test_base_type_initialisation(self, benchmark, write_report):
+        store = benchmark(PTDataStore)
+        lines = []
+        for top in store.top_level_types():
+            lines.append(top.base)
+            stack = [(top, 1)]
+            while stack:
+                node, depth = stack.pop()
+                for child in store.child_types(node.id):
+                    lines.append("  " * depth + child.base)
+                    stack.append((child, depth + 1))
+        write_report("fig2_base_types", "\n".join(lines))
+        # Five hierarchies + eight single-level types = 13 top-level nodes.
+        assert len(store.top_level_types()) == 13

@@ -1,0 +1,90 @@
+"""Figures 3 and 4 — the selection dialog and the main-window table.
+
+Fig. 3: building a pr-filter shows, per family, how many results it
+matches alone and how many the whole filter matches — benched as the
+count-update operation the GUI performs on every click.
+
+Fig. 4: retrieval plus the two-step Add Columns over free resources.
+"""
+
+from repro.core import Expansion
+from repro.core.query import QueryEngine
+from repro.gui.mainwindow import MainWindow
+from repro.gui.selection import SelectionDialog
+
+
+class TestFig3SelectionCounts:
+    def test_count_updates(self, benchmark, purple_report, write_report):
+        store = purple_report.store
+
+        def build_filter():
+            dialog = SelectionDialog(store)
+            p1 = dialog.add_name("/LLNL/MCR", Expansion.DESCENDANTS)
+            p2 = dialog.add_name("/IRS/src/matsolve", Expansion.NONE)
+            return dialog, p1, p2, dialog.total_count()
+
+        dialog, p1, p2, total = benchmark(build_filter)
+        lines = [
+            "Selected Parameters            Relatives  matches-alone",
+            f"  name=/LLNL/MCR                 D        {p1.count}",
+            f"  name=/IRS/src/matsolve         N        {p2.count}",
+            f"whole pr-filter match count: {total}",
+        ]
+        write_report("fig3_selection_counts", "\n".join(lines))
+        assert 0 < total <= min(p1.count, p2.count)
+
+    def test_relatives_flag_changes_counts(self, benchmark, purple_report):
+        dialog = SelectionDialog(purple_report.store)
+        dialog.add_name("/LLNL/MCR", Expansion.NONE)
+        none_count = dialog.selected[0].count
+        updated = benchmark(dialog.set_relatives, 0, Expansion.DESCENDANTS)
+        assert none_count > 0  # machine-level contexts exist on IRS results
+        assert updated.count >= none_count  # D adds descendants' matches
+
+    def test_lazy_menus(self, benchmark, purple_report):
+        store = purple_report.store
+
+        def browse():
+            dialog = SelectionDialog(store)
+            dialog.choose_type("grid/machine")
+            names = dialog.resource_names()
+            kids = dialog.children_of_name("/LLNL/MCR")
+            return names, kids
+
+        names, kids = benchmark(browse)
+        assert "MCR" in names and "/LLNL/MCR/batch" in kids
+
+
+class TestFig4ResultTable:
+    def test_retrieve_and_add_columns(self, benchmark, purple_report, write_report):
+        store = purple_report.store
+        engine = QueryEngine(store)
+
+        def retrieve_and_decorate():
+            dialog = SelectionDialog(store)
+            dialog.add_name("/IRS/src/matsolve", Expansion.NONE)
+            results = dialog.retrieve()
+            window = MainWindow(engine)
+            window.show_results(results)
+            window.add_column("execution")
+            window.sort("value", descending=True)
+            return window
+
+        window = benchmark(retrieve_and_decorate)
+        top = window.as_table()[:10]
+        header = "  ".join(window.columns)
+        body = "\n".join("  ".join(str(c) for c in row) for row in top)
+        write_report("fig4_result_table", header + "\n" + body)
+        values = [r.cell("value") for r in window.rows]
+        assert values == sorted(values, reverse=True)
+        assert "execution" in window.columns
+
+    def test_free_resources_offered(self, benchmark, purple_report):
+        engine = QueryEngine(purple_report.store)
+        dialog = SelectionDialog(purple_report.store)
+        dialog.add_name("/IRS/src/matsolve", Expansion.NONE)
+        window = MainWindow(engine)
+        window.show_results(dialog.retrieve())
+        addable = benchmark(window.addable_columns)
+        # Executions vary across the retrieved rows -> offered as a column.
+        assert "execution" in addable

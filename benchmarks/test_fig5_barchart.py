@@ -1,0 +1,73 @@
+"""Figure 5 — min/max running time of a function across processors for
+different process counts ("a rough indication of load balance").
+
+The bench times the query + distillation that feeds the chart; the
+artifact is the two series and the rendered chart.  Shape assertion: the
+min/max spread widens as the process count grows, which is what makes
+the paper's chart interesting.
+"""
+
+from repro.core import ByName, Expansion, PrFilter
+from repro.core.query import QueryEngine
+from repro.gui.barchart import min_max_chart
+
+FUNCTION = "/IRS/src/matsolve"
+
+
+def _series(store, executions):
+    engine = QueryEngine(store)
+    categories, minima, maxima = [], [], []
+    for execution in executions:
+        prf = PrFilter(
+            [
+                ByName(f"/{execution}", Expansion.DESCENDANTS),
+                ByName(FUNCTION, Expansion.NONE),
+            ]
+        )
+        by_metric = {
+            r.metric: r.value
+            for r in engine.fetch(prf)
+            if r.metric in ("CPU time (min)", "CPU time (max)")
+        }
+        if len(by_metric) == 2:
+            nproc = execution.split("-p")[1].split("-")[0].lstrip("0")
+            categories.append(nproc)
+            minima.append(by_metric["CPU time (min)"])
+            maxima.append(by_metric["CPU time (max)"])
+    return categories, minima, maxima
+
+
+class TestFig5BarChart:
+    def test_min_max_series(self, benchmark, purple_report, write_report):
+        store = purple_report.store
+        mcr = [e for e in purple_report.executions if "mcr" in e]
+        categories, minima, maxima = benchmark(_series, store, mcr)
+        chart = min_max_chart(
+            f"{FUNCTION} min/max across processors (MCR)",
+            categories,
+            minima,
+            maxima,
+        )
+        write_report(
+            "fig5_barchart", chart.render_ascii(width=46) + "\n" + chart.to_csv()
+        )
+        # A dropped min or max cell ("doesn't apply") may lose a category.
+        assert len(categories) >= len(mcr) - 2
+        # Shape: relative spread (max-min)/min grows with process count.
+        rel = [(hi - lo) / lo for lo, hi in zip(minima, maxima)]
+        assert rel[-1] > rel[0]
+
+    def test_multiple_series_on_one_chart(self, benchmark, purple_report):
+        """Fig. 5 shows multiple series on the same chart."""
+        store = purple_report.store
+        mcr = [e for e in purple_report.executions if "mcr" in e]
+        frost = [e for e in purple_report.executions if "frost" in e]
+        c1, lo1, hi1 = _series(store, mcr)
+        c2, lo2, hi2 = benchmark(_series, store, frost)
+        chart = min_max_chart("MCR", c1, lo1, hi1)
+        frost_chart = min_max_chart("Frost", c2, lo2, hi2)
+        for s in frost_chart.series:
+            s.name = f"frost-{s.name}"
+            chart.add_series(s)
+        assert len(chart.series) == 4
+        assert chart.to_csv().splitlines()[0] == "category,min,max,frost-min,frost-max"

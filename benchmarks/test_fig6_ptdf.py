@@ -1,0 +1,51 @@
+"""Figure 6 — the PTdataFormat interface.
+
+The artifact is a sample PTdf document exercising all seven record kinds;
+the bench measures parse and render throughput at Purple-study volume.
+"""
+
+import os
+
+from repro.ptdf.parser import parse_file, parse_string
+from repro.ptdf.writer import write_string
+
+SAMPLE = """\
+Application IRS
+ResourceType grid/machine/partition/node/processor
+Execution irs-001 IRS
+Resource /MCR/mcr/batch/n1/p0 grid/machine/partition/node/processor
+Resource /irs-001 execution irs-001
+ResourceAttribute /MCR/mcr/batch/n1/p0 "clock MHz" 2400 string
+PerfResult irs-001 /irs-001,/MCR/mcr/batch/n1/p0(primary) IRS "CPU time" 12.5 seconds
+ResourceConstraint /irs-001 /MCR/mcr/batch/n1/p0
+"""
+
+
+class TestFig6PTdf:
+    def test_roundtrip_identity(self, benchmark, write_report):
+        records = benchmark(parse_string, SAMPLE)
+        rendered = write_string(records)
+        assert parse_string(rendered) == records
+        write_report("fig6_ptdf_sample", rendered)
+
+    def test_parse_throughput(self, benchmark, purple_report):
+        """Parse one real generated PTdf file (~1.6k lines)."""
+        path = sorted(
+            os.path.join(purple_report.ptdf_dir, f)
+            for f in os.listdir(purple_report.ptdf_dir)
+            if f.endswith(".ptdf")
+        )[0]
+        records = benchmark(parse_file, path)
+        assert len(records) > 1000
+        # every record kind survives re-rendering
+        assert parse_string(write_string(records)) == records
+
+    def test_render_throughput(self, benchmark, purple_report):
+        path = sorted(
+            os.path.join(purple_report.ptdf_dir, f)
+            for f in os.listdir(purple_report.ptdf_dir)
+            if f.endswith(".ptdf")
+        )[0]
+        records = parse_file(path)
+        text = benchmark(write_string, records)
+        assert text.count("\n") == len(records)

@@ -1,0 +1,84 @@
+"""Figures 7, 8 and 9 — the raw SMG/PMAPI output, the mpiP report, and
+the PTdf generated from them.
+
+The artifacts are excerpts of the generated files in the same layout the
+paper screenshots; the benches time the converters over them.
+"""
+
+import tempfile
+
+from repro.ptdf.ptdfgen import IndexEntry
+from repro.ptdf.writer import PTdfWriter
+from repro.synth.machines import UV
+from repro.synth.mpip_gen import MpiPSpec, generate_mpip_report
+from repro.synth.smg_gen import SMGRunSpec, generate_smg_run
+from repro.tools.mpip import MpiPConverter
+from repro.tools.smg2000 import SMGConverter
+
+
+def _entry(execution, nproc):
+    return IndexEntry(execution, "SMG2000", "MPI", nproc, 1, "t0", "t1")
+
+
+def _head(path, n):
+    with open(path) as fh:
+        return "".join(line for _i, line in zip(range(n), fh))
+
+
+class TestFig7SMGOutput:
+    def test_generate_and_convert(self, benchmark, write_report):
+        d = tempfile.mkdtemp(prefix="fig7-")
+        path = generate_smg_run(SMGRunSpec("smg-fig7", UV, 16, with_pmapi=True), d)
+        write_report("fig7_smg_output", _head(path, 30))
+        conv = SMGConverter()
+        entry = _entry("smg-fig7", 16)
+
+        def convert():
+            w = PTdfWriter()
+            w.add_application("SMG2000")
+            w.add_execution(entry.execution, "SMG2000")
+            return conv.convert(path, entry, w)
+
+        n = benchmark(convert)
+        assert n == 8 + 16 * 6  # native values + PMAPI block
+
+
+class TestFig8MpiPOutput:
+    def test_generate_and_convert(self, benchmark, write_report):
+        d = tempfile.mkdtemp(prefix="fig8-")
+        path = generate_mpip_report(MpiPSpec("smg-fig8", 16, callsites=25), d)
+        write_report("fig8_mpip_output", _head(path, 40))
+        conv = MpiPConverter()
+        entry = _entry("smg-fig8", 16)
+
+        def convert():
+            w = PTdfWriter()
+            w.add_application("SMG2000")
+            w.add_execution(entry.execution, "SMG2000")
+            return conv.convert(path, entry, w)
+
+        n = benchmark(convert)
+        # tasks (16+1)x2 + aggregates 20 + stats 25x17x4
+        assert n == 34 + 20 + 25 * 17 * 4
+
+
+class TestFig9GeneratedPTdf:
+    def test_ptdf_for_smg_run(self, benchmark, write_report):
+        d = tempfile.mkdtemp(prefix="fig9-")
+        smg_path = generate_smg_run(SMGRunSpec("smg-fig9", UV, 8, with_pmapi=True), d)
+        mpip_path = generate_mpip_report(MpiPSpec("smg-fig9", 8, callsites=10), d)
+        entry = _entry("smg-fig9", 8)
+
+        def build_ptdf():
+            w = PTdfWriter()
+            w.add_application("SMG2000")
+            w.add_execution(entry.execution, "SMG2000")
+            SMGConverter().convert(smg_path, entry, w)
+            MpiPConverter().convert(mpip_path, entry, w)
+            return w.render()
+
+        text = benchmark(build_ptdf)
+        # Artifact: the first 40 lines of the generated PTdf (paper Fig. 9).
+        write_report("fig9_smg_ptdf", "\n".join(text.splitlines()[:40]))
+        assert "PerfResult smg-fig9" in text
+        assert "(parent)" in text  # the caller/callee two-set extension

@@ -1,0 +1,99 @@
+"""Scalability of the data store (paper Section 1).
+
+The paper motivates DBMS storage with scalability: "it is anticipated
+that a production use data store will be quite large".  This bench loads
+a growing number of IRS executions into one store and reports load time
+and per-filter query time as functions of store size — the artifact shows
+whether cost stays near-linear in data volume (load) and near-constant in
+store size for indexed family probes (query).
+"""
+
+import tempfile
+
+import pytest
+
+from repro.core import ByName, Expansion, PTDataStore, PrFilter
+from repro.core.query import QueryEngine
+from repro.ptdf.parser import parse_file
+from repro.ptdf.ptdfgen import IndexEntry, PTdfGen
+from repro.synth.irs_gen import IRSRunSpec, generate_irs_run
+from repro.synth.machines import MCR
+from repro.tools import ALL_CONVERTERS
+
+SIZES = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def ptdf_records():
+    """Pre-parsed PTdf for 8 executions (generation excluded from timing)."""
+    d = tempfile.mkdtemp(prefix="scal-")
+    entries = []
+    for i in range(max(SIZES)):
+        name = f"irs-scal-p{2 ** (i % 4 + 1):04d}-r{i}"
+        generate_irs_run(IRSRunSpec(name, MCR, 2 ** (i % 4 + 1)), d + "/raw")
+        entries.append(IndexEntry(name, "IRS", "MPI", 2 ** (i % 4 + 1), 1, "t", "t"))
+    with open(d + "/i.index", "w") as fh:
+        for e in entries:
+            fh.write(" ".join(e.fields()) + "\n")
+    gen = PTdfGen(ALL_CONVERTERS)
+    reports = gen.generate(d + "/raw", d + "/i.index", out_dir=d + "/ptdf")
+    return [parse_file(r.output_path) for r in reports]
+
+
+def _load_n(records_list, n):
+    store = PTDataStore()
+    total = 0
+    for records in records_list[:n]:
+        total += store.load_records(records).results
+    return store, total
+
+
+class TestLoadScaling:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_load_n_executions(self, benchmark, ptdf_records, n):
+        store, total = benchmark.pedantic(
+            _load_n, args=(ptdf_records, n), rounds=2, iterations=1
+        )
+        assert total > n * 1000
+
+    def test_load_cost_roughly_linear(self, benchmark, ptdf_records, write_report):
+        import time
+
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+        lines = [f"{'executions':>12}{'results':>10}{'load (s)':>10}{'s/exec':>8}"]
+        times = {}
+        for n in SIZES:
+            t0 = time.perf_counter()
+            _store, total = _load_n(ptdf_records, n)
+            dt = time.perf_counter() - t0
+            times[n] = dt
+            lines.append(f"{n:>12}{total:>10}{dt:>10.3f}{dt / n:>8.3f}")
+        write_report("scalability_load", "\n".join(lines))
+        # Near-linear: per-execution cost at 8x data within 3x of at 1x.
+        assert times[8] / 8 < times[1] * 3
+
+
+class TestQueryScaling:
+    @pytest.fixture(scope="class")
+    def stores(self, ptdf_records):
+        return {n: _load_n(ptdf_records, n)[0] for n in SIZES}
+
+    def _query(self, store):
+        engine = QueryEngine(store)
+        prf = PrFilter([ByName("/IRS/src/matsolve", Expansion.NONE)])
+        return engine.count_for_filter(store.resolve_prfilter(prf))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_family_probe_at_size(self, benchmark, stores, n):
+        count = benchmark(self._query, stores[n])
+        assert count > 0
+
+    def test_results_grow_with_store(self, benchmark, stores, write_report):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        counts = {n: self._query(stores[n]) for n in SIZES}
+        write_report(
+            "scalability_query",
+            "\n".join(f"{n} executions -> {c} matsolve results" for n, c in counts.items()),
+        )
+        assert counts[8] > counts[1]

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Comparison-based diagnosis across executions (paper Sections 5-6).
+
+The paper's Section 6 lists "comparison operators to automate the
+comparison of different executions" as in-progress work; this example
+exercises our implementation of that layer on a Purple-style sweep:
+
+* align two executions and report regressions/improvements,
+* scan a whole execution history for metric regressions,
+* rank bottleneck functions, and
+* run a scaling study (speedup/efficiency) off execution attributes.
+
+Run:  python examples/comparison_diagnosis.py
+"""
+
+from repro.core.comparison import compare_executions
+from repro.core.diagnosis import (
+    load_balance,
+    rank_bottlenecks,
+    scaling_study,
+    scan_history,
+)
+from repro.studies import run_purple_study
+
+PROCESS_COUNTS = (2, 4, 8, 16, 32)
+
+
+def main() -> None:
+    report = run_purple_study(process_counts=PROCESS_COUNTS, runs_per_count=1)
+    store = report.store
+    mcr_execs = [e for e in report.executions if "mcr" in e]
+    frost_execs = [e for e in report.executions if "frost" in e]
+
+    # 1. Cross-platform comparison at the same process count — the
+    #    Linux-vs-AIX question of case study 1.
+    left, right = mcr_execs[2], frost_execs[2]
+    cmp = compare_executions(store, left, right, metric="CPU time (aggregate)")
+    print(f"align {left} vs {right}: {len(cmp.common)} common contexts, "
+          f"{len(cmp.only_left)} only-left, {len(cmp.only_right)} only-right")
+    worst = sorted(
+        cmp.common, key=lambda p: (p.ratio or 0), reverse=True
+    )[:5]
+    print("largest MCR->Frost ratios:")
+    for pair in worst:
+        code = next((s for s in pair.signature if s.startswith("/IRS")), "?")
+        print(f"  {code:<34} {pair.left:>10.3f} -> {pair.right:>10.3f} "
+              f"(x{pair.ratio:.2f})")
+    print()
+
+    # 2. History scan over the MCR sweep (as if each run were a new code
+    #    version) — Karavanic & Miller's historical-data diagnosis.
+    regs = scan_history(store, mcr_execs, metric="Wall time", threshold=1.05)
+    print(f"history scan over {len(mcr_execs)} MCR runs: "
+          f"{len(regs)} regression(s) at threshold 1.05x")
+    print()
+
+    # 3. Bottleneck ranking for the largest run.
+    ranked = rank_bottlenecks(
+        store, mcr_execs[-1], "CPU time (aggregate)", top=5
+    )
+    print(f"top functions by CPU time in {mcr_execs[-1]}:")
+    for b in ranked:
+        print(f"  {b.label:<34} {b.value:>12.2f}s  ({b.share:6.1%})")
+    print()
+
+    # 4. Scaling across the sweep, plus per-function load balance: IRS
+    #    reports per-function max and avg across processes, so max/avg of
+    #    one function is the Figure-5 imbalance indicator.
+    print(f"{'nproc':>6} {'wall(s)':>10} {'speedup':>8} {'eff':>6} {'max/avg':>8}")
+    points = scaling_study(store, mcr_execs, "Wall time")
+    base = points[0]
+    for pt in points:
+        mx = load_balance(store, pt.execution, "CPU time (max)",
+                          function="/IRS/src/matsolve").stats.mean
+        avg = load_balance(store, pt.execution, "CPU time (avg)",
+                           function="/IRS/src/matsolve").stats.mean
+        print(
+            f"{pt.processes:>6} {pt.value:>10.2f} {pt.speedup(base):>8.2f} "
+            f"{pt.efficiency(base):>6.2f} {mx / avg:>8.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

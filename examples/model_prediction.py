@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Performance predictions in the data store (paper Section 6).
+
+"We plan to explore the incorporation of performance predictions and
+models into PerfTrack for direct comparison to actual program runs."
+
+This example fits an Amdahl+communication scaling model to a measured IRS
+sweep, validates it leave-one-out, stores the model's extrapolations as
+first-class performance results, and compares them to a "new" run —
+entirely through PerfTrack queries.
+
+Run:  python examples/model_prediction.py
+"""
+
+from repro.core.predictions import (
+    compare_predictions,
+    cross_validate,
+    fit_model_to_history,
+    store_predictions,
+)
+from repro.gui.barchart import BarChart, Series
+from repro.gui.svg import barchart_to_svg, save_svg
+from repro.studies import run_purple_study
+
+TRAIN_COUNTS = (2, 4, 8, 16, 32)
+HOLDOUT = 64
+
+
+def main() -> None:
+    report = run_purple_study(
+        process_counts=TRAIN_COUNTS + (HOLDOUT,), runs_per_count=1
+    )
+    store = report.store
+    mcr = [e for e in report.executions if "mcr" in e]
+    train = [e for e in mcr if f"p{HOLDOUT:04d}" not in e]
+    held_out = [e for e in mcr if f"p{HOLDOUT:04d}" in e][0]
+
+    # 1. Fit the scaling model to the measured history.
+    model, points = fit_model_to_history(store, train, "Wall time")
+    print("fitted model:", model.describe())
+    print()
+
+    # 2. Leave-one-out validation over the training sweep.
+    print(f"{'execution':<22}{'nproc':>6}{'actual':>10}{'predicted':>11}{'rel err':>9}")
+    for row in cross_validate(store, train, "Wall time"):
+        print(
+            f"{row.execution:<22}{row.processes:>6}{row.actual:>10.2f}"
+            f"{row.predicted:>11.2f}{row.relative_error:>9.1%}"
+        )
+    print()
+
+    # 3. Extrapolate to the held-out scale and store the prediction as
+    #    PerfTrack data.
+    created = store_predictions(store, model, "IRS", "Wall time", (HOLDOUT, 128, 256))
+    print(f"stored prediction executions: {', '.join(created)}")
+
+    # 4. Direct comparison to the actual run at the held-out scale.
+    rows = compare_predictions(store, model, [held_out], "Wall time")
+    row = rows[0]
+    print(
+        f"\nheld-out p={HOLDOUT}: actual {row.actual:.2f}s, "
+        f"predicted {row.predicted:.2f}s ({row.relative_error:.1%} off)"
+    )
+
+    # 5. Chart actual vs predicted across the sweep (SVG artifact).
+    chart = BarChart("IRS wall time: measured vs model", "seconds")
+    actual = Series("measured")
+    predicted = Series("model")
+    for pt in points + [
+        type(points[0])(held_out, HOLDOUT, row.actual)
+    ]:
+        actual.add(str(pt.processes), pt.value)
+        predicted.add(str(pt.processes), model.predict(pt.processes))
+    chart.add_series(actual)
+    chart.add_series(predicted)
+    save_svg(barchart_to_svg(chart), "prediction_vs_actual.svg")
+    print("\nwrote prediction_vs_actual.svg")
+    print(chart.to_csv())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Case study 2: the noise-analysis study (paper Section 4.2).
+
+SMG2000 on UV (benchmark output + mpiP + PMAPI) and BG/L (benchmark
+output only).  Prints the two Table-1 rows, then demonstrates the
+cross-tool payoff: one query joins mpiP timings with PMAPI counters for
+the same execution, something no single tool's files could answer.
+
+Run:  python examples/noise_analysis_study.py
+"""
+
+from repro.core import ByName, Expansion, PrFilter
+from repro.core.query import QueryEngine
+from repro.core.reports import execution_report
+from repro.studies import run_noise_study
+
+
+def main() -> None:
+    uv, bgl = run_noise_study(
+        uv_executions=4,
+        bgl_executions=6,
+        uv_processes=(8, 16, 32, 64),
+        mpip_callsites=25,
+    )
+    store = uv.store
+    print("Table 1 rows (reproduced):")
+    print("  " + uv.table1.render())
+    print("  " + bgl.table1.render())
+    print()
+
+    execution = uv.executions[0]
+    print(execution_report(store, execution))
+    print()
+
+    # Cross-tool navigation: per-process MPI time (mpiP) next to
+    # per-process cycle counts (PMAPI) from the same run.
+    engine = QueryEngine(store)
+    prf = PrFilter([ByName(f"/{execution}", Expansion.DESCENDANTS)])
+    results = engine.fetch(prf)
+    per_process: dict[str, dict[str, float]] = {}
+    for r in results:
+        if r.metric not in ("MPI time", "PM_CYC"):
+            continue
+        for rid in r.resource_ids:
+            res = store.resource_by_id(rid)
+            if res is not None and res.type_name == "execution/process":
+                per_process.setdefault(res.base, {})[r.metric] = r.value
+    print(f"{'rank':<6}{'MPI time (s, mpiP)':>20}{'cycles (PMAPI)':>20}")
+    for rank in sorted(per_process, key=lambda s: int(s[1:])):
+        row = per_process[rank]
+        print(
+            f"{rank:<6}{row.get('MPI time', float('nan')):>20.4g}"
+            f"{row.get('PM_CYC', float('nan')):>20.4g}"
+        )
+
+
+if __name__ == "__main__":
+    main()

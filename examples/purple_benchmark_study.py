@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Case study 1: the ASC Purple benchmark study (paper Section 4.1).
+
+Builds IRS with PTbuild, generates a process-count sweep on MCR (Linux)
+and Frost (AIX), converts everything with PTdfGen, loads it, prints the
+Table-1 row, and finishes with the Figure-5 bar chart: min/max running
+time of one function across processors at each process count — "a rough
+indication of load balance".
+
+Run:  python examples/purple_benchmark_study.py
+"""
+
+from repro.core import ByName, Expansion, PrFilter
+from repro.core.query import QueryEngine
+from repro.gui.barchart import min_max_chart
+from repro.studies import run_purple_study
+
+PROCESS_COUNTS = (2, 4, 8, 16, 32, 64)
+FUNCTION = "/IRS/src/matsolve"
+
+
+def main() -> None:
+    report = run_purple_study(process_counts=PROCESS_COUNTS, runs_per_count=1)
+    store = report.store
+    print("Table 1 row (reproduced):")
+    print("  " + report.table1.render())
+    print()
+
+    # The Figure-5 chart: for each MCR execution of the sweep, distill the
+    # per-process spread of one function's CPU time.
+    engine = QueryEngine(store)
+    categories, minima, maxima = [], [], []
+    for p in PROCESS_COUNTS:
+        execution = f"irs-mcr-p{p:04d}-r0"
+        prf = PrFilter(
+            [
+                ByName(f"/{execution}", Expansion.DESCENDANTS),
+                ByName(FUNCTION, Expansion.NONE),
+            ]
+        )
+        values = [
+            r.value
+            for r in engine.fetch(prf)
+            if r.metric in ("CPU time (min)", "CPU time (max)") and r.value is not None
+        ]
+        by_metric = {
+            r.metric: r.value
+            for r in engine.fetch(prf)
+            if r.metric in ("CPU time (min)", "CPU time (max)")
+        }
+        if "CPU time (min)" in by_metric and "CPU time (max)" in by_metric:
+            categories.append(str(p))
+            minima.append(by_metric["CPU time (min)"])
+            maxima.append(by_metric["CPU time (max)"])
+
+    chart = min_max_chart(
+        f"{FUNCTION} running time across processors (MCR)",
+        categories,
+        minima,
+        maxima,
+        value_label="seconds",
+    )
+    print(chart.render_ascii(width=46))
+    print("CSV for spreadsheet import (the paper's OpenOffice step):")
+    print(chart.to_csv())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: create a PerfTrack store, load PTdf, and query it.
+
+Walks the core loop of the paper: define resources and performance
+results in PTdf (Figure 6), load them into the DBMS-backed store
+(Figure 1 schema), then find results with a pr-filter (Section 2.2) and
+inspect free resources — exactly what the GUI of Figures 3-4 does.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ByName, Expansion, PTDataStore, PrFilter, QueryEngine
+from repro.core.reports import store_summary
+
+PTDF = """\
+# A miniature performance study: one app, one machine, two runs.
+Application Linpack
+Execution lin-2p Linpack
+Execution lin-4p Linpack
+
+# Machine description (grid hierarchy).
+Resource /SingleMachineFrost/Frost/batch/frost121/p0 grid/machine/partition/node/processor
+Resource /SingleMachineFrost/Frost/batch/frost121/p1 grid/machine/partition/node/processor
+ResourceAttribute /SingleMachineFrost/Frost/batch/frost121/p0 vendor IBM
+ResourceAttribute /SingleMachineFrost/Frost/batch/frost121/p0 "processor type" Power3
+ResourceAttribute /SingleMachineFrost/Frost/batch/frost121/p0 "clock MHz" 375
+
+# Code resources (build hierarchy).
+Resource /Linpack/src/dgefa build/module/function
+Resource /Linpack/src/dgesl build/module/function
+
+# Executions and processes.
+Resource /lin-2p execution lin-2p
+Resource /lin-2p/rank0 execution/process lin-2p
+Resource /lin-2p/rank1 execution/process lin-2p
+Resource /lin-4p execution lin-4p
+
+# Performance results: (metric, value, units) within a context.
+PerfResult lin-2p /lin-2p/rank0,/Linpack/src/dgefa(primary) papi "FP ops" 1.2e9 count
+PerfResult lin-2p /lin-2p/rank1,/Linpack/src/dgefa(primary) papi "FP ops" 1.3e9 count
+PerfResult lin-2p /lin-2p/rank0,/Linpack/src/dgesl(primary) papi "FP ops" 2.0e8 count
+PerfResult lin-2p /lin-2p(primary) timer "Wall time" 84.2 seconds
+PerfResult lin-4p /lin-4p(primary) timer "Wall time" 47.9 seconds
+"""
+
+
+def main() -> None:
+    # 1. An in-memory store on the minidb backend; pass
+    #    backend_kind="sqlite" for the other DBMS, as the paper supported
+    #    both Oracle and PostgreSQL.
+    store = PTDataStore()
+    stats = store.load_string(PTDF)
+    print(f"loaded: {stats}\n")
+
+    # 2. Query: all results for function dgefa (a pr-filter with one
+    #    resource family).
+    engine = QueryEngine(store)
+    prf = PrFilter([ByName("/Linpack/src/dgefa", Expansion.NONE)])
+    for result in engine.fetch(prf):
+        print(f"  {result.execution}  {result.metric} = {result.value:g} {result.units}")
+
+    # 3. Conjunction: results for dgefa *and* execution lin-2p's rank0.
+    prf.add(ByName("/lin-2p/rank0", Expansion.NONE))
+    print(f"\nwith rank0 too -> {len(engine.fetch(prf))} result(s)")
+
+    # 4. Free resources: what could become table columns (Figure 4's
+    #    two-step Add Columns flow).
+    results = engine.fetch(PrFilter([ByName("/lin-2p", Expansion.DESCENDANTS)]))
+    print("\nfree resources of the lin-2p results:")
+    for type_name, names in sorted(engine.free_resources(results).items()):
+        print(f"  {type_name}: {', '.join(names)}")
+
+    print()
+    print(store_summary(store))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""PerfTrack reproduction — performance experiment management over a DBMS.
+
+Reproduces Karavanic et al., "Integrating Database Technology with
+Comparison-based Parallel Performance Diagnosis: The PerfTrack Performance
+Experiment Management Tool" (SC 2005).
+
+Layers (bottom-up):
+
+* :mod:`repro.minidb` — an embedded relational DBMS written from scratch
+  (the Oracle/PostgreSQL stand-in), DB-API 2.0.
+* :mod:`repro.dbapi` — backend abstraction (minidb or stdlib sqlite3).
+* :mod:`repro.ptdf` — the PTdf data format: records, parser, writer, base
+  resource types, PTdfGen.
+* :mod:`repro.core` — the resource/result model, Figure-1 schema, the
+  PTDataStore load/lookup/query API, pr-filters, comparison & diagnosis.
+* :mod:`repro.collect` — PTbuild/PTrun capture and machine descriptions.
+* :mod:`repro.tools` — converters for IRS, SMG2000, mpiP, PMAPI, Paradyn.
+* :mod:`repro.synth` — synthetic machines, workloads and tool output.
+* :mod:`repro.gui` — headless view-models of the PerfTrack GUI.
+* :mod:`repro.studies` — the paper's three case studies end to end.
+
+Quickstart::
+
+    from repro import PTDataStore, PrFilter, ByName
+    from repro.core.query import QueryEngine
+
+    store = PTDataStore()            # in-memory minidb backend
+    store.load_file("run.ptdf")
+    engine = QueryEngine(store)
+    results = engine.fetch(PrFilter([ByName("/Frost/batch")]))
+"""
+
+from .core import (
+    AttributeClause,
+    ByAttributes,
+    ByName,
+    ByType,
+    Expansion,
+    LoadStats,
+    PerformanceResult,
+    PrFilter,
+    PTDataStore,
+    Resource,
+    ResourceFamily,
+    ResourceType,
+)
+from .core.query import QueryEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PTDataStore",
+    "QueryEngine",
+    "LoadStats",
+    "PrFilter",
+    "ResourceFamily",
+    "ByType",
+    "ByName",
+    "ByAttributes",
+    "AttributeClause",
+    "Expansion",
+    "Resource",
+    "ResourceType",
+    "PerformanceResult",
+    "__version__",
+]

@@ -1,0 +1,409 @@
+"""``ptrack`` — PerfTrack's script interface as a command-line tool.
+
+The paper's script-based interface (Section 3.3) offered data collection,
+loading and querying from Python; this CLI packages the same operations:
+
+* ``ptrack init``      create a data store (minidb or sqlite file)
+* ``ptrack load``      load PTdf files
+* ``ptrack gen``       run PTdfGen over a directory of raw tool output
+* ``ptrack ls``        list applications / executions / metrics / tools /
+                       resource types / resources of a type
+* ``ptrack report``    the simple reports (summary, application, execution)
+* ``ptrack query``     evaluate a pr-filter and print/export the results
+* ``ptrack attrs``     show a resource's attributes (the GUI's viewer)
+* ``ptrack compare``   align two executions and report regressions
+
+Exit code 0 on success, 2 on usage errors, 1 on operational failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import (
+    AttributeClause,
+    ByAttributes,
+    ByName,
+    ByType,
+    Expansion,
+    PrFilter,
+    PTDataStore,
+)
+from .core.comparison import compare_executions
+from .core.query import QueryEngine
+from .core.reports import application_report, execution_report, store_summary
+from .gui.mainwindow import MainWindow
+from .minidb.errors import Error as DbError
+from .ptdf.ptdfgen import PTdfGen
+from .tools import ALL_CONVERTERS
+
+
+def _open_store(args, initialize: bool = False) -> PTDataStore:
+    return PTDataStore(
+        backend_kind=args.backend,
+        database=args.db,
+        initialize=initialize or args.db == ":memory:",
+    )
+
+
+def _add_db_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--db", default=":memory:", help="database file (default in-memory)")
+    p.add_argument(
+        "--backend",
+        default="minidb",
+        choices=("minidb", "sqlite"),
+        help="DBMS backend (default minidb)",
+    )
+
+
+def cmd_init(args) -> int:
+    store = PTDataStore(backend_kind=args.backend, database=args.db, initialize=True)
+    store.commit()
+    store.close()
+    print(f"initialised {args.backend} data store at {args.db}")
+    return 0
+
+
+def cmd_load(args) -> int:
+    store = _open_store(args, initialize=True)
+    for path in args.files:
+        stats = store.load_file(path)
+        print(
+            f"{path}: {stats.results} results, {stats.resources} resources, "
+            f"{stats.executions} executions"
+        )
+    store.commit()
+    store.close()
+    return 0
+
+
+def cmd_gen(args) -> int:
+    gen = PTdfGen(ALL_CONVERTERS)
+    reports = gen.generate(args.directory, args.index, out_dir=args.out)
+    for rep in reports:
+        print(
+            f"{rep.execution}: {len(rep.files)} files -> {rep.records} records "
+            f"({rep.results} results) -> {rep.output_path}"
+        )
+        for skipped in rep.skipped:
+            print(f"  skipped (no converter): {skipped}")
+    return 0
+
+
+def cmd_ls(args) -> int:
+    store = _open_store(args)
+    kind = args.what
+    if kind == "applications":
+        rows = store.applications()
+    elif kind == "executions":
+        rows = store.executions(args.application)
+    elif kind == "metrics":
+        rows = store.metrics()
+    elif kind == "tools":
+        rows = store.tools()
+    elif kind == "types":
+        rows = [t.name for t in store.resource_types()]
+    elif kind == "resources":
+        if not args.type:
+            print("ls resources requires --type", file=sys.stderr)
+            return 2
+        rows = [r.name for r in store.resources_of_type(args.type)]
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    for row in rows:
+        print(row)
+    store.close()
+    return 0
+
+
+def cmd_report(args) -> int:
+    store = _open_store(args)
+    if args.kind == "summary":
+        print(store_summary(store))
+    elif args.kind == "application":
+        if not args.name:
+            print("report application requires NAME", file=sys.stderr)
+            return 2
+        print(application_report(store, args.name))
+    else:
+        if not args.name:
+            print("report execution requires NAME", file=sys.stderr)
+            return 2
+        print(execution_report(store, args.name))
+    store.close()
+    return 0
+
+
+def _parse_attr_clause(text: str) -> AttributeClause:
+    for op in ("<=", ">=", "!=", "=", "<", ">", "~"):
+        if op in text:
+            name, _, value = text.partition(op)
+            comparator = "contains" if op == "~" else op
+            return AttributeClause(name.strip(), comparator, value.strip())
+    raise ValueError(f"cannot parse attribute clause {text!r}")
+
+
+def cmd_query(args) -> int:
+    store = _open_store(args)
+    engine = QueryEngine(store)
+    prf = PrFilter()
+    expansion = Expansion(args.relatives)
+    for name in args.name or ():
+        prf.add(ByName(name, expansion))
+    for type_path in args.type or ():
+        prf.add(ByType(type_path, Expansion.NONE))
+    for clause_text in args.attr or ():
+        clause = _parse_attr_clause(clause_text)
+        prf.add(ByAttributes((clause,), expansion=Expansion.NONE))
+    families = store.resolve_prfilter(prf)
+    for f, fam in zip(prf.filters, families):
+        print(f"# family {f.describe()}: {engine.count_for_family(fam)} match alone")
+    ids = engine.result_ids(families)
+    print(f"# whole filter: {len(ids)} results")
+    if args.count_only:
+        store.close()
+        return 0
+    results = engine.fetch_results(ids)
+    window = MainWindow(engine)
+    window.show_results(results)
+    for column in args.column or ():
+        window.add_column(column)
+    if args.sort:
+        window.sort(args.sort, descending=args.desc)
+    if args.limit:
+        window.rows = window.rows[: args.limit]
+    if args.csv:
+        window.save_csv(args.csv)
+        print(f"# wrote {len(window.rows)} rows to {args.csv}")
+    else:
+        print("\t".join(window.columns))
+        for row in window.as_table():
+            print("\t".join(str(c) for c in row))
+    store.close()
+    return 0
+
+
+def cmd_attrs(args) -> int:
+    store = _open_store(args)
+    res = store.resource_by_name(args.resource)
+    if res is None:
+        print(f"no such resource: {args.resource}", file=sys.stderr)
+        return 1
+    print(f"{res.name}  (type {res.type_name})")
+    for a in store.attributes_of(res.id):
+        print(f"  {a.name} = {a.value}")
+    for c in store.constraints_of(res.id):
+        print(f"  -> constraint: {c.name}")
+    store.close()
+    return 0
+
+
+def cmd_compare(args) -> int:
+    store = _open_store(args)
+    cmp = compare_executions(store, args.left, args.right, metric=args.metric)
+    print(
+        f"{args.left} vs {args.right}: {len(cmp.common)} common, "
+        f"{len(cmp.only_left)} only-left, {len(cmp.only_right)} only-right"
+    )
+    for pair in cmp.regressions(args.threshold):
+        sig = next(iter(pair.signature), "")
+        print(f"  REGRESSION {pair.metric} {sig}: "
+              f"{pair.left:.6g} -> {pair.right:.6g} (x{pair.ratio:.2f})")
+    store.close()
+    return 0
+
+
+def cmd_chart(args) -> int:
+    """The Figure-5 chart from the command line: min/max of one metric
+    family across executions, as ASCII, CSV or SVG."""
+    from .gui.barchart import min_max_chart
+    from .gui.svg import barchart_to_svg, save_svg
+
+    store = _open_store(args)
+    engine = QueryEngine(store)
+    executions = args.executions or store.executions(args.application)
+    categories, minima, maxima = [], [], []
+    for execution in executions:
+        prf = PrFilter([ByName(f"/{execution}", Expansion.DESCENDANTS)])
+        if args.name:
+            prf.add(ByName(args.name, Expansion.NONE))
+        by_metric = {
+            r.metric: r.value
+            for r in engine.fetch(prf)
+            if r.metric in (f"{args.metric} (min)", f"{args.metric} (max)")
+        }
+        lo = by_metric.get(f"{args.metric} (min)")
+        hi = by_metric.get(f"{args.metric} (max)")
+        if lo is not None and hi is not None:
+            categories.append(execution)
+            minima.append(lo)
+            maxima.append(hi)
+    if not categories:
+        print("no min/max data matched", file=sys.stderr)
+        store.close()
+        return 1
+    title = f"{args.name or args.metric} min/max"
+    chart = min_max_chart(title, categories, minima, maxima, value_label=args.metric)
+    if args.svg:
+        save_svg(barchart_to_svg(chart), args.svg)
+        print(f"wrote {args.svg}")
+    elif args.csv:
+        chart.save_csv(args.csv)
+        print(f"wrote {args.csv}")
+    else:
+        print(chart.render_ascii())
+    store.close()
+    return 0
+
+
+def cmd_predict(args) -> int:
+    """Fit a scaling model to measured executions, report predicted vs
+    actual, and optionally store extrapolations (Section-6 extension)."""
+    from .core.predictions import (
+        compare_predictions,
+        fit_model_to_history,
+        store_predictions,
+    )
+
+    store = _open_store(args)
+    executions = args.executions or store.executions(args.application)
+    try:
+        model, points = fit_model_to_history(store, executions, args.metric)
+    except ValueError as exc:
+        print(f"cannot fit model: {exc}", file=sys.stderr)
+        store.close()
+        return 1
+    print(model.describe())
+    print(f"{'execution':<28}{'nproc':>6}{'actual':>12}{'predicted':>12}{'rel err':>9}")
+    for row in compare_predictions(store, model, executions, args.metric):
+        print(
+            f"{row.execution:<28}{row.processes:>6}{row.actual:>12.4g}"
+            f"{row.predicted:>12.4g}{row.relative_error:>9.1%}"
+        )
+    if args.extrapolate:
+        created = store_predictions(
+            store, model, args.application or "unknown", args.metric,
+            args.extrapolate,
+        )
+        for execution, p in zip(created, args.extrapolate):
+            print(f"stored {execution}: predicted {model.predict(p):.4g}")
+    store.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ptrack", description="PerfTrack experiment management CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create a data store")
+    _add_db_options(p)
+    p.set_defaults(fn=cmd_init)
+
+    p = sub.add_parser("load", help="load PTdf files")
+    _add_db_options(p)
+    p.add_argument("files", nargs="+", help="PTdf files")
+    p.set_defaults(fn=cmd_load)
+
+    p = sub.add_parser("gen", help="PTdfGen: raw tool output -> PTdf")
+    p.add_argument("directory", help="directory of raw tool output")
+    p.add_argument("index", help="index file (one execution per line)")
+    p.add_argument("--out", required=True, help="output directory for .ptdf files")
+    p.set_defaults(fn=cmd_gen)
+
+    p = sub.add_parser("ls", help="list store contents")
+    _add_db_options(p)
+    p.add_argument(
+        "what",
+        choices=("applications", "executions", "metrics", "tools", "types", "resources"),
+    )
+    p.add_argument("--application", help="restrict executions to one application")
+    p.add_argument("--type", help="resource type for 'ls resources'")
+    p.set_defaults(fn=cmd_ls)
+
+    p = sub.add_parser("report", help="simple text reports")
+    _add_db_options(p)
+    p.add_argument("kind", choices=("summary", "application", "execution"))
+    p.add_argument("name", nargs="?", help="application or execution name")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("query", help="evaluate a pr-filter")
+    _add_db_options(p)
+    p.add_argument("--name", action="append", help="resource family by name (repeatable)")
+    p.add_argument("--type", action="append", help="resource family by type (repeatable)")
+    p.add_argument(
+        "--attr",
+        action="append",
+        help="attribute clause, e.g. 'clock MHz>1000' or 'vendor~IBM' (contains)",
+    )
+    p.add_argument(
+        "--relatives",
+        default="D",
+        choices=("N", "A", "D", "B"),
+        help="A/D/B/N expansion for --name families (default D)",
+    )
+    p.add_argument("--column", action="append", help="free-resource type to add as a column")
+    p.add_argument("--sort", help="column to sort by")
+    p.add_argument("--desc", action="store_true", help="sort descending")
+    p.add_argument("--limit", type=int, help="show at most N rows")
+    p.add_argument("--csv", help="write the table to a CSV file")
+    p.add_argument("--count-only", action="store_true", help="print counts and stop")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("attrs", help="show a resource's attributes")
+    _add_db_options(p)
+    p.add_argument("resource", help="full resource name")
+    p.set_defaults(fn=cmd_attrs)
+
+    p = sub.add_parser("chart", help="min/max bar chart across executions (Fig. 5)")
+    _add_db_options(p)
+    p.add_argument("--metric", required=True, help="metric family, e.g. 'CPU time'")
+    p.add_argument("--name", help="restrict to one resource (e.g. a function)")
+    p.add_argument("--application", help="chart all executions of an application")
+    p.add_argument("executions", nargs="*", help="executions to chart")
+    p.add_argument("--svg", help="write an SVG file instead of ASCII")
+    p.add_argument("--csv", help="write a CSV file instead of ASCII")
+    p.set_defaults(fn=cmd_chart)
+
+    p = sub.add_parser("predict", help="fit + compare a scaling model (Section 6)")
+    _add_db_options(p)
+    p.add_argument("--metric", required=True)
+    p.add_argument("--application", help="fit over all executions of an application")
+    p.add_argument("executions", nargs="*", help="executions to fit over")
+    p.add_argument(
+        "--extrapolate", type=int, nargs="+", metavar="NPROC",
+        help="store predictions at these process counts",
+    )
+    p.set_defaults(fn=cmd_predict)
+
+    p = sub.add_parser("compare", help="align two executions")
+    _add_db_options(p)
+    p.add_argument("left")
+    p.add_argument("right")
+    p.add_argument("--metric", help="restrict to one metric")
+    p.add_argument("--threshold", type=float, default=1.10, help="regression ratio")
+    p.set_defaults(fn=cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        return 0  # e.g. `ptrack ls | head`
+    except DbError as exc:
+        print(f"database error: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Automatic collection of build- and runtime-descriptive data.
+
+Paper Section 3.3: PerfTrack "includes scripts for automatic capture of
+build- and runtime-related information" — a make wrapper (PTbuild) that
+records the build environment, compilers (unwrapping MPI compiler
+wrappers), flags and linked libraries; and a run wrapper (PTrun) that
+records environment variables, process counts, runtime libraries, and the
+input deck.  Machine descriptions populate the grid hierarchy.
+"""
+
+from .build_info import (
+    BuildInfo,
+    CompilerInvocation,
+    PTBuild,
+    build_to_ptdf,
+    capture_build_environment,
+    parse_make_output,
+    unwrap_mpi_wrapper,
+)
+from .run_info import (
+    LibraryInfo,
+    PTRun,
+    RunInfo,
+    capture_run_environment,
+    run_to_ptdf,
+)
+from .machine import MachineDescription, Partition, ProcessorSpec, machine_to_ptdf
+
+__all__ = [
+    "BuildInfo",
+    "CompilerInvocation",
+    "PTBuild",
+    "parse_make_output",
+    "unwrap_mpi_wrapper",
+    "capture_build_environment",
+    "build_to_ptdf",
+    "RunInfo",
+    "LibraryInfo",
+    "PTRun",
+    "capture_run_environment",
+    "run_to_ptdf",
+    "MachineDescription",
+    "Partition",
+    "ProcessorSpec",
+    "machine_to_ptdf",
+]

@@ -1,0 +1,315 @@
+"""PTbuild — automatic capture of build information.
+
+Two categories (paper Section 3.3):
+
+* **build environment** — operating system name/version/revision, build
+  machine/node, the environment settings in the build user's shell;
+* **compilation** — compilers and versions, compilation flags, static
+  libraries linked, and, when the compiler is an MPI wrapper script, the
+  wrapped compiler plus the wrapper's own flags and libraries.
+
+`PTBuild.run` wraps a real ``make`` invocation; `parse_make_output` does
+the extraction and is equally happy with captured or synthetic output, so
+the whole pipeline is testable offline.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import re
+import shlex
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..ptdf.writer import PTdfWriter
+
+#: Compiler executables we recognise in make output.
+KNOWN_COMPILERS = (
+    "mpicc",
+    "mpicxx",
+    "mpic++",
+    "mpif77",
+    "mpif90",
+    "mpxlc",
+    "mpxlf",
+    "gcc",
+    "g++",
+    "cc",
+    "c++",
+    "icc",
+    "icpc",
+    "xlc",
+    "xlC",
+    "xlf",
+    "pgcc",
+    "clang",
+    "clang++",
+    "gfortran",
+    "f77",
+    "f90",
+)
+
+#: Wrappers whose underlying compiler we try to discover.
+MPI_WRAPPERS = ("mpicc", "mpicxx", "mpic++", "mpif77", "mpif90", "mpxlc", "mpxlf")
+
+
+@dataclass
+class CompilerInvocation:
+    """One compiler command line found in the build output."""
+
+    compiler: str
+    flags: list[str] = field(default_factory=list)
+    sources: list[str] = field(default_factory=list)
+    libraries: list[str] = field(default_factory=list)  # -lfoo and *.a
+    output: Optional[str] = None
+    wrapped_compiler: Optional[str] = None  # for MPI wrapper scripts
+    wrapper_flags: list[str] = field(default_factory=list)
+    wrapper_libraries: list[str] = field(default_factory=list)
+
+    @property
+    def is_mpi_wrapper(self) -> bool:
+        return os.path.basename(self.compiler) in MPI_WRAPPERS
+
+
+@dataclass
+class BuildInfo:
+    """Everything PTbuild captures for one build."""
+
+    os_name: str
+    os_version: str
+    os_revision: str
+    machine: str
+    node: str
+    environment: dict[str, str] = field(default_factory=dict)
+    invocations: list[CompilerInvocation] = field(default_factory=list)
+    makefile: Optional[str] = None
+    make_arguments: list[str] = field(default_factory=list)
+    timestamp: str = ""
+    compiler_versions: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def compilers(self) -> list[str]:
+        seen: list[str] = []
+        for inv in self.invocations:
+            base = os.path.basename(inv.compiler)
+            if base not in seen:
+                seen.append(base)
+        return seen
+
+    @property
+    def all_flags(self) -> list[str]:
+        seen: list[str] = []
+        for inv in self.invocations:
+            for f in inv.flags:
+                if f not in seen:
+                    seen.append(f)
+        return seen
+
+    @property
+    def static_libraries(self) -> list[str]:
+        seen: list[str] = []
+        for inv in self.invocations:
+            for lib in inv.libraries:
+                if lib not in seen:
+                    seen.append(lib)
+        return seen
+
+
+_SOURCE_RE = re.compile(r".*\.(c|cc|cpp|cxx|f|f77|f90|F|C)$")
+
+
+def parse_command_line(line: str) -> Optional[CompilerInvocation]:
+    """Parse one shell line if it is a compiler invocation."""
+    try:
+        tokens = shlex.split(line)
+    except ValueError:
+        return None
+    if not tokens:
+        return None
+    base = os.path.basename(tokens[0])
+    if base not in KNOWN_COMPILERS:
+        return None
+    inv = CompilerInvocation(compiler=tokens[0])
+    i = 1
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok == "-o" and i + 1 < len(tokens):
+            inv.output = tokens[i + 1]
+            i += 2
+            continue
+        if tok.startswith("-l") or tok.endswith(".a"):
+            inv.libraries.append(tok)
+        elif tok.startswith("-"):
+            inv.flags.append(tok)
+        elif _SOURCE_RE.match(tok):
+            inv.sources.append(tok)
+        i += 1
+    return inv
+
+
+def parse_make_output(text: str) -> list[CompilerInvocation]:
+    """Extract all compiler invocations from captured make output."""
+    out: list[CompilerInvocation] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("make[", "make:", "#")):
+            continue
+        inv = parse_command_line(line)
+        if inv is not None:
+            out.append(inv)
+    return out
+
+
+def unwrap_mpi_wrapper(
+    invocation: CompilerInvocation, show_output: Optional[str] = None
+) -> CompilerInvocation:
+    """Discover the compiler behind an MPI wrapper script.
+
+    Real wrappers answer ``mpicc -show`` (MPICH) / ``mpicc -showme``
+    (OpenMPI) with the underlying command line; *show_output* lets tests
+    and synthetic builds supply that answer.  When not supplied we try to
+    run the wrapper; failures leave the invocation unchanged.
+    """
+    if not invocation.is_mpi_wrapper:
+        return invocation
+    text = show_output
+    if text is None:
+        for flag in ("-show", "-showme"):
+            try:
+                proc = subprocess.run(
+                    [invocation.compiler, flag],
+                    capture_output=True,
+                    text=True,
+                    timeout=10,
+                )
+            except (OSError, subprocess.SubprocessError):
+                continue
+            if proc.returncode == 0 and proc.stdout.strip():
+                text = proc.stdout.strip().splitlines()[0]
+                break
+    if not text:
+        return invocation
+    inner = parse_command_line(text)
+    if inner is None:
+        tokens = text.split()
+        if tokens:
+            invocation.wrapped_compiler = tokens[0]
+        return invocation
+    invocation.wrapped_compiler = inner.compiler
+    invocation.wrapper_flags = inner.flags
+    invocation.wrapper_libraries = inner.libraries
+    return invocation
+
+
+def capture_build_environment(env: Optional[dict[str, str]] = None) -> BuildInfo:
+    """Snapshot the local OS/machine/shell for a build record."""
+    uname = platform.uname()
+    environ = dict(env if env is not None else os.environ)
+    return BuildInfo(
+        os_name=uname.system,
+        os_version=uname.release,
+        os_revision=uname.version,
+        machine=uname.machine,
+        node=uname.node,
+        environment=environ,
+        timestamp=time.strftime("%Y-%m-%dT%H:%M:%S"),
+    )
+
+
+class PTBuild:
+    """The make-wrapper entry point.
+
+    ``PTBuild().run("make", ["-j4"], cwd=...)`` executes the build,
+    captures stdout, and returns a populated :class:`BuildInfo`.
+    ``from_output`` performs the same extraction on pre-captured text.
+    """
+
+    def __init__(self, env: Optional[dict[str, str]] = None) -> None:
+        self.env = env
+
+    def from_output(
+        self,
+        make_output: str,
+        makefile: Optional[str] = None,
+        arguments: Iterable[str] = (),
+        wrapper_show: Optional[dict[str, str]] = None,
+    ) -> BuildInfo:
+        info = capture_build_environment(self.env)
+        info.makefile = makefile
+        info.make_arguments = list(arguments)
+        info.invocations = parse_make_output(make_output)
+        for inv in info.invocations:
+            show = None
+            if wrapper_show is not None:
+                show = wrapper_show.get(os.path.basename(inv.compiler))
+            if inv.is_mpi_wrapper:
+                unwrap_mpi_wrapper(inv, show_output=show)
+        return info
+
+    def run(
+        self,
+        make_command: str = "make",
+        arguments: Iterable[str] = (),
+        cwd: Optional[str] = None,
+        makefile: Optional[str] = None,
+    ) -> BuildInfo:
+        args = [make_command, *arguments]
+        if makefile:
+            args += ["-f", makefile]
+        proc = subprocess.run(args, capture_output=True, text=True, cwd=cwd)
+        return self.from_output(
+            proc.stdout + "\n" + proc.stderr, makefile=makefile, arguments=arguments
+        )
+
+
+def build_to_ptdf(
+    info: BuildInfo,
+    writer: PTdfWriter,
+    build_name: str,
+    interesting_env: Iterable[str] = ("PATH", "LD_LIBRARY_PATH", "CC", "CFLAGS", "HOME"),
+) -> str:
+    """Emit PTdf for a build: a ``build`` resource plus compiler/OS resources.
+
+    Returns the full name of the build resource.
+    """
+    res = f"/{build_name}"
+    writer.add_resource(res, "build")
+    writer.add_resource_attribute(res, "build machine", info.machine)
+    writer.add_resource_attribute(res, "build node", info.node)
+    if info.makefile:
+        writer.add_resource_attribute(res, "makefile", info.makefile)
+    if info.make_arguments:
+        writer.add_resource_attribute(res, "make arguments", " ".join(info.make_arguments))
+    writer.add_resource_attribute(res, "build timestamp", info.timestamp)
+    os_res = f"/{info.os_name}-{info.os_version}"
+    writer.add_resource(os_res, "operatingSystem")
+    writer.add_resource_attribute(os_res, "name", info.os_name)
+    writer.add_resource_attribute(os_res, "version", info.os_version)
+    writer.add_resource_attribute(os_res, "revision", info.os_revision)
+    writer.add_resource_attribute(res, "operating system", os_res, attr_type="resource")
+    for key in interesting_env:
+        if key in info.environment:
+            writer.add_resource_attribute(res, f"env {key}", info.environment[key])
+    for compiler in info.compilers:
+        comp_res = f"/{compiler}"
+        writer.add_resource(comp_res, "compiler")
+        if compiler in info.compiler_versions:
+            writer.add_resource_attribute(comp_res, "version", info.compiler_versions[compiler])
+        writer.add_resource_attribute(res, "compiler", comp_res, attr_type="resource")
+    if info.all_flags:
+        writer.add_resource_attribute(res, "compilation flags", " ".join(info.all_flags))
+    if info.static_libraries:
+        writer.add_resource_attribute(
+            res, "static libraries", " ".join(info.static_libraries)
+        )
+    for inv in info.invocations:
+        if inv.wrapped_compiler:
+            writer.add_resource_attribute(
+                res,
+                f"wrapped compiler ({os.path.basename(inv.compiler)})",
+                inv.wrapped_compiler,
+            )
+    return res

@@ -1,0 +1,127 @@
+"""Machine descriptions: declarative specs -> grid-hierarchy PTdf.
+
+Paper Section 4.1: "a full set of descriptive machine data was already in
+our PerfTrack system, from previous studies, so no further collection or
+entry of machine description was required."  A
+:class:`MachineDescription` is that descriptive data; emitting it once per
+machine mirrors the paper's workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ptdf.writer import PTdfWriter
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """Per-processor attributes (paper Section 2.1's example)."""
+
+    vendor: str
+    processor_type: str
+    clock_mhz: int
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One machine partition: a set of nodes with identical processors."""
+
+    name: str
+    nodes: int
+    processors_per_node: int
+    processor: ProcessorSpec
+    node_prefix: str = "node"
+
+    @property
+    def total_processors(self) -> int:
+        return self.nodes * self.processors_per_node
+
+
+@dataclass
+class MachineDescription:
+    """A machine within a grid: partitions of nodes of processors."""
+
+    grid: str  # top-level grid resource base name
+    name: str
+    partitions: list[Partition] = field(default_factory=list)
+    operating_system: Optional[str] = None
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(p.nodes for p in self.partitions)
+
+    @property
+    def total_processors(self) -> int:
+        return sum(p.total_processors for p in self.partitions)
+
+    def node_name(self, partition: Partition, index: int) -> str:
+        return (
+            f"/{self.grid}/{self.name}/{partition.name}/"
+            f"{partition.node_prefix}{index}"
+        )
+
+    def processor_name(self, partition: Partition, node_index: int, proc: int) -> str:
+        return self.node_name(partition, node_index) + f"/p{proc}"
+
+
+def machine_to_ptdf(
+    machine: MachineDescription,
+    writer: PTdfWriter,
+    max_nodes_per_partition: Optional[int] = None,
+) -> int:
+    """Emit grid-hierarchy resources for *machine*; returns resources emitted.
+
+    ``max_nodes_per_partition`` truncates enormous machines (a 16k-node
+    BG/L partition) when a study only touched a subset; attributes still
+    record the true totals so the description stays accurate.
+    """
+    count = 0
+
+    def res(name: str, type_path: str) -> None:
+        nonlocal count
+        writer.add_resource(name, type_path)
+        count += 1
+
+    grid_res = f"/{machine.grid}"
+    res(grid_res, "grid")
+    mach_res = f"{grid_res}/{machine.name}"
+    res(mach_res, "grid/machine")
+    writer.add_resource_attribute(mach_res, "total nodes", str(machine.total_nodes))
+    writer.add_resource_attribute(
+        mach_res, "total processors", str(machine.total_processors)
+    )
+    if machine.operating_system:
+        os_res = f"/{machine.operating_system}"
+        writer.add_resource(os_res, "operatingSystem")
+        writer.add_resource_attribute(
+            mach_res, "operating system", os_res, attr_type="resource"
+        )
+    for key, value in machine.attributes.items():
+        writer.add_resource_attribute(mach_res, key, value)
+    for part in machine.partitions:
+        part_res = f"{mach_res}/{part.name}"
+        res(part_res, "grid/machine/partition")
+        writer.add_resource_attribute(part_res, "nodes", str(part.nodes))
+        writer.add_resource_attribute(
+            part_res, "processors per node", str(part.processors_per_node)
+        )
+        emit_nodes = part.nodes
+        if max_nodes_per_partition is not None:
+            emit_nodes = min(emit_nodes, max_nodes_per_partition)
+        for n in range(emit_nodes):
+            node_res = machine.node_name(part, n)
+            res(node_res, "grid/machine/partition/node")
+            for p in range(part.processors_per_node):
+                proc_res = machine.processor_name(part, n, p)
+                res(proc_res, "grid/machine/partition/node/processor")
+                writer.add_resource_attribute(proc_res, "vendor", part.processor.vendor)
+                writer.add_resource_attribute(
+                    proc_res, "processor type", part.processor.processor_type
+                )
+                writer.add_resource_attribute(
+                    proc_res, "clock MHz", str(part.processor.clock_mhz)
+                )
+    return count

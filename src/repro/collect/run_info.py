@@ -1,0 +1,146 @@
+"""PTrun — automatic capture of runtime-environment information.
+
+Paper Section 3.3: "The output of this script is a file containing a
+variety of data about the execution and its environment, including:
+environment variables, number of processes, runtime libraries used, and
+the input deck name and timestamp."  Library attributes recorded include
+"the version, size, type (e.g., MPI or thread library), and timestamp".
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..ptdf.writer import PTdfWriter
+
+
+@dataclass(frozen=True)
+class LibraryInfo:
+    """One runtime (dynamic) library used by the execution."""
+
+    name: str
+    version: str = ""
+    size: int = 0
+    kind: str = ""  # e.g. "MPI", "thread", "math"
+    timestamp: str = ""
+
+
+@dataclass
+class RunInfo:
+    """Everything PTrun captures for one run."""
+
+    execution: str
+    machine: str
+    node: str
+    num_processes: int = 1
+    num_threads: int = 1
+    environment: dict[str, str] = field(default_factory=dict)
+    libraries: list[LibraryInfo] = field(default_factory=list)
+    input_deck: Optional[str] = None
+    input_deck_timestamp: Optional[str] = None
+    submission: Optional[str] = None  # batch job id / queue
+    timestamp: str = ""
+
+
+def capture_run_environment(
+    execution: str,
+    num_processes: int = 1,
+    num_threads: int = 1,
+    env: Optional[dict[str, str]] = None,
+    library_paths: Iterable[str] = (),
+) -> RunInfo:
+    """Snapshot the local runtime environment for *execution*.
+
+    ``library_paths`` point at shared objects to record; their size and
+    mtime become library attributes (version detection is name-based:
+    ``libfoo.so.1.2`` -> ``1.2``).
+    """
+    uname = platform.uname()
+    info = RunInfo(
+        execution=execution,
+        machine=uname.machine,
+        node=uname.node,
+        num_processes=num_processes,
+        num_threads=num_threads,
+        environment=dict(env if env is not None else os.environ),
+        timestamp=time.strftime("%Y-%m-%dT%H:%M:%S"),
+    )
+    for path in library_paths:
+        name = os.path.basename(path)
+        version = ""
+        if ".so." in name:
+            version = name.split(".so.", 1)[1]
+        size = 0
+        ts = ""
+        try:
+            st = os.stat(path)
+            size = st.st_size
+            ts = time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(st.st_mtime))
+        except OSError:
+            pass
+        kind = ""
+        low = name.lower()
+        if "mpi" in low:
+            kind = "MPI"
+        elif "pthread" in low or "thread" in low:
+            kind = "thread"
+        info.libraries.append(LibraryInfo(name, version, size, kind, ts))
+    return info
+
+
+class PTRun:
+    """The run-wrapper entry point (synthetic-friendly like PTBuild)."""
+
+    def capture(self, execution: str, **kwargs) -> RunInfo:
+        return capture_run_environment(execution, **kwargs)
+
+
+def run_to_ptdf(
+    info: RunInfo,
+    writer: PTdfWriter,
+    interesting_env: Iterable[str] = ("PATH", "LD_LIBRARY_PATH", "OMP_NUM_THREADS"),
+) -> str:
+    """Emit PTdf for a run's environment; returns the environment resource name.
+
+    The collected information lands in resource hierarchies of base type
+    ``environment`` and ``execution`` plus ``inputDeck``/``submission``
+    resources, as the paper describes.
+    """
+    env_res = f"/{info.execution}-env"
+    writer.add_resource(env_res, "environment")
+    writer.add_resource_attribute(env_res, "machine", info.machine)
+    writer.add_resource_attribute(env_res, "node", info.node)
+    writer.add_resource_attribute(env_res, "run timestamp", info.timestamp)
+    for key in interesting_env:
+        if key in info.environment:
+            writer.add_resource_attribute(env_res, f"env {key}", info.environment[key])
+    exec_res = f"/{info.execution}"
+    writer.add_resource(exec_res, "execution", info.execution)
+    writer.add_resource_attribute(exec_res, "number of processes", str(info.num_processes))
+    writer.add_resource_attribute(exec_res, "number of threads", str(info.num_threads))
+    for lib in info.libraries:
+        lib_res = f"/{info.execution}-env/{lib.name}"
+        writer.add_resource(lib_res, "environment/module")
+        if lib.version:
+            writer.add_resource_attribute(lib_res, "version", lib.version)
+        if lib.size:
+            writer.add_resource_attribute(lib_res, "size", str(lib.size))
+        if lib.kind:
+            writer.add_resource_attribute(lib_res, "type", lib.kind)
+        if lib.timestamp:
+            writer.add_resource_attribute(lib_res, "timestamp", lib.timestamp)
+    if info.input_deck:
+        deck_res = f"/{info.input_deck}"
+        writer.add_resource(deck_res, "inputDeck")
+        if info.input_deck_timestamp:
+            writer.add_resource_attribute(deck_res, "timestamp", info.input_deck_timestamp)
+        writer.add_resource_attribute(exec_res, "input deck", deck_res, attr_type="resource")
+    if info.submission:
+        sub_res = f"/{info.submission}"
+        writer.add_resource(sub_res, "submission")
+        writer.add_resource_attribute(exec_res, "submission", sub_res, attr_type="resource")
+    return env_res

@@ -1,0 +1,200 @@
+"""Comparison operators over executions (paper Section 6 / PPerfDB lineage).
+
+The paper lists "the addition of a set of comparison operators to automate
+the comparison of different executions and performance results in the data
+store" as work in progress; the operators here follow the experiment-
+management line of Karavanic & Miller (SC'97/SC'99) that PerfTrack builds
+on:
+
+* **align** — pair up results from two executions by (metric, context
+  signature), where the signature abstracts execution-specific resources
+  (process ids, time bins) to their base names so cross-execution
+  comparison is meaningful.
+* **difference / ratio** — numeric comparison of aligned pairs.
+* **distill** — collapse a set of results to summary statistics (min /
+  max / mean / total), e.g. across processors — the Figure 5 series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from .datastore import PTDataStore
+from .query import QueryEngine
+from .results import PerformanceResult
+
+
+def context_signature(store: PTDataStore, result: PerformanceResult) -> tuple[str, ...]:
+    """Execution-invariant signature of a result's context.
+
+    Resources from the ``execution`` and ``time`` hierarchies vary from run
+    to run (process names, histogram bins); they are reduced to their type
+    path.  Code and machine resources keep their base names.
+    """
+    parts: list[str] = []
+    for rid in sorted(result.resource_ids):
+        res = store.resource_by_id(rid)
+        if res is None:
+            continue
+        root = res.type_name.split("/", 1)[0]
+        if root in ("execution", "time"):
+            parts.append(f"<{res.type_name}>")
+        else:
+            parts.append(res.name)
+    return tuple(sorted(parts))
+
+
+@dataclass(frozen=True)
+class AlignedPair:
+    """One metric/context matched across two executions."""
+
+    metric: str
+    signature: tuple[str, ...]
+    left: Optional[float]
+    right: Optional[float]
+
+    @property
+    def difference(self) -> Optional[float]:
+        if self.left is None or self.right is None:
+            return None
+        return self.right - self.left
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.left is None or self.right is None or self.left == 0:
+            return None
+        return self.right / self.left
+
+
+def _results_for_execution(store: PTDataStore, execution: str) -> list[PerformanceResult]:
+    eid = store.execution_id(execution)
+    if eid is None:
+        raise ValueError(f"unknown execution {execution!r}")
+    rows = store.backend.query(
+        "SELECT id FROM performance_result WHERE execution_id = ?", (eid,)
+    )
+    return QueryEngine(store).fetch_results([r[0] for r in rows])
+
+
+def align_executions(
+    store: PTDataStore,
+    left_exec: str,
+    right_exec: str,
+    metric: Optional[str] = None,
+    combine: Callable[[Sequence[float]], float] = lambda vs: sum(vs) / len(vs),
+) -> list[AlignedPair]:
+    """Pair up results of two executions by (metric, context signature).
+
+    When several results share a signature (e.g. one per process), they
+    are combined with *combine* (mean by default) before pairing.
+    """
+    def bucket(execution: str) -> dict[tuple, list[float]]:
+        out: dict[tuple, list[float]] = {}
+        for pr in _results_for_execution(store, execution):
+            if metric is not None and pr.metric != metric:
+                continue
+            if pr.value is None:
+                continue
+            key = (pr.metric, context_signature(store, pr))
+            out.setdefault(key, []).append(pr.value)
+        return out
+
+    lefts = bucket(left_exec)
+    rights = bucket(right_exec)
+    pairs: list[AlignedPair] = []
+    for key in sorted(set(lefts) | set(rights)):
+        m, sig = key
+        lv = combine(lefts[key]) if key in lefts else None
+        rv = combine(rights[key]) if key in rights else None
+        pairs.append(AlignedPair(m, sig, lv, rv))
+    return pairs
+
+
+@dataclass(frozen=True)
+class Distilled:
+    """Summary statistics of a result set (the paper's min/max bar chart)."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    total: float
+    stddev: float
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean — a rough load-balance indicator (paper Figure 5)."""
+        if self.mean == 0:
+            return math.inf if self.maximum > 0 else 1.0
+        return self.maximum / self.mean
+
+
+def distill(values: Iterable[float]) -> Distilled:
+    vs = [v for v in values if v is not None]
+    if not vs:
+        raise ValueError("cannot distill an empty result set")
+    n = len(vs)
+    total = sum(vs)
+    mean = total / n
+    var = sum((v - mean) ** 2 for v in vs) / n
+    return Distilled(
+        count=n,
+        minimum=min(vs),
+        maximum=max(vs),
+        mean=mean,
+        total=total,
+        stddev=math.sqrt(var),
+    )
+
+
+def distill_results(results: Iterable[PerformanceResult]) -> Distilled:
+    return distill(pr.value for pr in results if pr.value is not None)
+
+
+@dataclass(frozen=True)
+class ExecutionComparison:
+    """Roll-up of aligning two executions."""
+
+    left: str
+    right: str
+    pairs: tuple[AlignedPair, ...]
+
+    @property
+    def common(self) -> list[AlignedPair]:
+        return [p for p in self.pairs if p.left is not None and p.right is not None]
+
+    @property
+    def only_left(self) -> list[AlignedPair]:
+        return [p for p in self.pairs if p.right is None]
+
+    @property
+    def only_right(self) -> list[AlignedPair]:
+        return [p for p in self.pairs if p.left is None]
+
+    def regressions(self, threshold: float = 1.10) -> list[AlignedPair]:
+        """Aligned pairs whose right value grew beyond *threshold*×."""
+        return [
+            p
+            for p in self.common
+            if p.ratio is not None and p.ratio >= threshold
+        ]
+
+    def improvements(self, threshold: float = 0.90) -> list[AlignedPair]:
+        return [
+            p
+            for p in self.common
+            if p.ratio is not None and p.ratio <= threshold
+        ]
+
+
+def compare_executions(
+    store: PTDataStore,
+    left_exec: str,
+    right_exec: str,
+    metric: Optional[str] = None,
+) -> ExecutionComparison:
+    """Full comparison of two executions (align + classify)."""
+    pairs = align_executions(store, left_exec, right_exec, metric)
+    return ExecutionComparison(left_exec, right_exec, tuple(pairs))

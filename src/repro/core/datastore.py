@@ -1,0 +1,787 @@
+"""PTDataStore — PerfTrack's database-backed data store (paper Section 3).
+
+The class exposes the Figure-6 load API (`add_application`,
+`add_resource`, `add_perf_result`, ...), the lookup methods the script
+interface offers ("requesting information about resources and their
+attributes, details of individual executions, and performance results"),
+and resolution of resource filters into resource families.
+
+Two behaviours match the paper's performance notes:
+
+* the ``resource_has_ancestor`` / ``resource_has_descendant`` closure
+  tables are maintained on insert so hierarchy expansion never walks
+  ``parent_id`` chains (toggle with ``use_closure_tables=False`` for the
+  ablation benchmark), and
+* foci (contexts) are deduplicated through a canonical hash, because "a
+  single context can apply to multiple performance results".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from ..dbapi.backends import Backend, open_backend
+from ..minidb.errors import ProgrammingError
+from ..ptdf import basetypes
+from ..ptdf.format import (
+    ApplicationRec,
+    ExecutionRec,
+    PerfResultRec,
+    PerfResultSeriesRec,
+    Record,
+    ResourceAttributeRec,
+    ResourceConstraintRec,
+    ResourceRec,
+    ResourceSet,
+    ResourceTypeRec,
+    split_name,
+)
+from ..ptdf.parser import parse_file, parse_string
+from . import schema as schema_mod
+from .filters import (
+    ByAttributes,
+    ByConstraint,
+    ByName,
+    ByType,
+    PrFilter,
+    ResourceFamily,
+    ResourceFilter,
+)
+from .resources import Resource, ResourceAttribute, ResourceType
+
+
+@dataclass
+class LoadStats:
+    """Counts of objects created by one load (Table 1 bookkeeping)."""
+
+    applications: int = 0
+    resource_types: int = 0
+    executions: int = 0
+    resources: int = 0
+    attributes: int = 0
+    constraints: int = 0
+    results: int = 0
+    foci: int = 0
+
+    def __iadd__(self, other: "LoadStats") -> "LoadStats":
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+        return self
+
+
+class PTDataStore:
+    """An open PerfTrack data store."""
+
+    def __init__(
+        self,
+        backend: Optional[Backend] = None,
+        backend_kind: str = "minidb",
+        database: str = ":memory:",
+        initialize: bool = True,
+        load_base_types: bool = True,
+        use_closure_tables: bool = True,
+        with_indexes: bool = True,
+    ) -> None:
+        self.backend = backend if backend is not None else open_backend(backend_kind, database)
+        self.use_closure_tables = use_closure_tables
+        if initialize and not schema_mod.schema_is_present(self.backend):
+            schema_mod.create_schema(self.backend, with_indexes=with_indexes)
+        # Name -> id caches (loaded lazily; critical for Paradyn-scale loads).
+        self._type_ids: dict[str, int] = {}
+        self._resource_ids: dict[str, int] = {}
+        self._app_ids: dict[str, int] = {}
+        self._exec_ids: dict[str, int] = {}
+        self._metric_ids: dict[str, int] = {}
+        self._tool_ids: dict[str, int] = {}
+        self._focus_ids: dict[str, int] = {}
+        # Materialised Resource objects are immutable once created, so the
+        # id -> Resource cache never needs invalidation.
+        self._resource_obj_cache: dict[int, Resource] = {}
+        self._warm_caches()
+        if initialize and load_base_types and not self._type_ids:
+            self.initialize_base_types()
+
+    # ------------------------------------------------------------------ setup
+
+    def _warm_caches(self) -> None:
+        b = self.backend
+        if not schema_mod.schema_is_present(b):
+            return
+        self._type_ids = {n: i for i, n in b.query("SELECT id, name FROM focus_framework")}
+        self._app_ids = {n: i for i, n in b.query("SELECT id, name FROM application")}
+        self._exec_ids = {n: i for i, n in b.query("SELECT id, name FROM execution")}
+        self._metric_ids = {n: i for i, n in b.query("SELECT id, name FROM metric")}
+        self._tool_ids = {n: i for i, n in b.query("SELECT id, name FROM performance_tool")}
+        self._resource_ids = {n: i for i, n in b.query("SELECT id, name FROM resource_item")}
+        self._focus_ids = {h: i for i, h in b.query("SELECT id, resource_hash FROM focus")}
+
+    def initialize_base_types(self) -> None:
+        """Load the Figure-2 base types through the type-extension interface."""
+        self.load_records(basetypes.base_type_records())
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def commit(self) -> None:
+        self.backend.commit()
+
+    def __enter__(self) -> "PTDataStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.backend.commit()
+        else:
+            self.backend.rollback()
+        self.close()
+
+    # --------------------------------------------------------------- type system
+
+    def add_resource_type(self, type_path: str) -> int:
+        """Declare a type path; every prefix becomes a type node.
+
+        Returns the id of the deepest node.  Used both for base types and
+        for user extensions ("users may add new hierarchies or new types
+        within the base hierarchies").
+        """
+        segments = [s for s in type_path.split("/") if s]
+        if not segments:
+            raise ValueError(f"empty resource type path {type_path!r}")
+        parent_id: Optional[int] = None
+        tid = -1
+        for depth in range(1, len(segments) + 1):
+            path = "/".join(segments[:depth])
+            tid = self._type_ids.get(path, -1)
+            if tid < 0:
+                tid = self.backend.insert(
+                    "INSERT INTO focus_framework (name, base_name, parent_id) VALUES (?, ?, ?)",
+                    (path, segments[depth - 1], parent_id),
+                )
+                self._type_ids[path] = tid
+            parent_id = tid
+        return tid
+
+    def resource_type(self, type_path: str) -> Optional[ResourceType]:
+        row = self.backend.query_one(
+            "SELECT id, name, parent_id FROM focus_framework WHERE name = ?",
+            (type_path,),
+        )
+        return ResourceType(*row) if row else None
+
+    def resource_types(self) -> list[ResourceType]:
+        rows = self.backend.query(
+            "SELECT id, name, parent_id FROM focus_framework ORDER BY name"
+        )
+        return [ResourceType(*r) for r in rows]
+
+    def top_level_types(self) -> list[ResourceType]:
+        rows = self.backend.query(
+            "SELECT id, name, parent_id FROM focus_framework WHERE parent_id IS NULL ORDER BY name"
+        )
+        return [ResourceType(*r) for r in rows]
+
+    def child_types(self, type_id: int) -> list[ResourceType]:
+        rows = self.backend.query(
+            "SELECT id, name, parent_id FROM focus_framework WHERE parent_id = ? ORDER BY name",
+            (type_id,),
+        )
+        return [ResourceType(*r) for r in rows]
+
+    def type_id(self, type_path: str) -> int:
+        tid = self._type_ids.get(type_path)
+        if tid is None:
+            raise ProgrammingError(f"unknown resource type {type_path!r}")
+        return tid
+
+    # ------------------------------------------------------------ dimension tables
+
+    def add_application(self, name: str) -> int:
+        aid = self._app_ids.get(name)
+        if aid is None:
+            aid = self.backend.insert("INSERT INTO application (name) VALUES (?)", (name,))
+            self._app_ids[name] = aid
+        return aid
+
+    def add_execution(self, name: str, application: str) -> int:
+        eid = self._exec_ids.get(name)
+        if eid is None:
+            aid = self.add_application(application)
+            eid = self.backend.insert(
+                "INSERT INTO execution (name, application_id) VALUES (?, ?)", (name, aid)
+            )
+            self._exec_ids[name] = eid
+        return eid
+
+    def add_metric(self, name: str) -> int:
+        mid = self._metric_ids.get(name)
+        if mid is None:
+            mid = self.backend.insert("INSERT INTO metric (name) VALUES (?)", (name,))
+            self._metric_ids[name] = mid
+        return mid
+
+    def add_tool(self, name: str) -> int:
+        tid = self._tool_ids.get(name)
+        if tid is None:
+            tid = self.backend.insert(
+                "INSERT INTO performance_tool (name) VALUES (?)", (name,)
+            )
+            self._tool_ids[name] = tid
+        return tid
+
+    # ----------------------------------------------------------------- resources
+
+    def add_resource(
+        self, name: str, type_path: str, execution: Optional[str] = None
+    ) -> int:
+        """Insert a resource (and any missing ancestors) by full name.
+
+        The depth of *name* must match the depth of *type_path*; ancestors
+        take the corresponding type-path prefixes, so loading
+        ``/Frost/batch/n1/p0`` of type ``machine-less`` hierarchies stays
+        consistent with Section 2.1's naming scheme.
+        """
+        rid = self._resource_ids.get(name)
+        if rid is not None:
+            return rid
+        segments = split_name(name)
+        type_segments = [s for s in type_path.split("/") if s]
+        if len(segments) != len(type_segments):
+            raise ValueError(
+                f"resource {name!r} has depth {len(segments)} but type "
+                f"{type_path!r} has depth {len(type_segments)}"
+            )
+        self.add_resource_type(type_path)
+        exec_id = self._exec_ids.get(execution) if execution else None
+        if execution and exec_id is None:
+            raise ProgrammingError(f"unknown execution {execution!r}")
+        parent_id: Optional[int] = None
+        ancestor_ids: list[int] = []
+        for depth in range(1, len(segments) + 1):
+            partial = "/" + "/".join(segments[:depth])
+            rid = self._resource_ids.get(partial)
+            if rid is None:
+                tpath = "/".join(type_segments[:depth])
+                rid = self.backend.insert(
+                    "INSERT INTO resource_item "
+                    "(name, base_name, parent_id, focus_framework_id, execution_id) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (partial, segments[depth - 1], parent_id, self._type_ids[tpath], exec_id),
+                )
+                self._resource_ids[partial] = rid
+                if self.use_closure_tables and ancestor_ids:
+                    self.backend.executemany(
+                        "INSERT INTO resource_has_ancestor (resource_id, ancestor_id) VALUES (?, ?)",
+                        [(rid, a) for a in ancestor_ids],
+                    )
+                    self.backend.executemany(
+                        "INSERT INTO resource_has_descendant (resource_id, descendant_id) VALUES (?, ?)",
+                        [(a, rid) for a in ancestor_ids],
+                    )
+            parent_id = rid
+            ancestor_ids.append(rid)
+        return rid
+
+    def add_resource_attribute(
+        self, resource: str, attribute: str, value: str, attr_type: str = "string"
+    ) -> int:
+        rid = self.resource_id(resource)
+        if attr_type == "resource":
+            # Resource-valued attribute: equivalent to a ResourceConstraint.
+            self.add_resource_constraint(resource, value)
+        return self.backend.insert(
+            "INSERT INTO resource_attribute (resource_id, name, value, attr_type) "
+            "VALUES (?, ?, ?, ?)",
+            (rid, attribute, str(value), attr_type),
+        )
+
+    def add_resource_constraint(self, resource1: str, resource2: str) -> int:
+        r1 = self.resource_id(resource1)
+        r2 = self.resource_id(resource2)
+        return self.backend.insert(
+            "INSERT INTO resource_constraint (resource_id_1, resource_id_2) VALUES (?, ?)",
+            (r1, r2),
+        )
+
+    def resource_id(self, name: str) -> int:
+        rid = self._resource_ids.get(name)
+        if rid is None:
+            raise ProgrammingError(f"unknown resource {name!r}")
+        return rid
+
+    def has_resource(self, name: str) -> bool:
+        return name in self._resource_ids
+
+    def unique_resource_name(self, prefix: str) -> str:
+        """Generate a full resource name not yet present (script interface)."""
+        if prefix not in self._resource_ids:
+            return prefix
+        for i in itertools.count(1):
+            candidate = f"{prefix}_{i}"
+            if candidate not in self._resource_ids:
+                return candidate
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------ results
+
+    def _focus_for(self, resource_ids: Sequence[int]) -> int:
+        """Find or create the focus holding exactly *resource_ids*."""
+        canonical = ",".join(map(str, sorted(set(resource_ids))))
+        fid = self._focus_ids.get(canonical)
+        if fid is not None:
+            return fid
+        fid = self.backend.insert(
+            "INSERT INTO focus (resource_hash) VALUES (?)", (canonical,)
+        )
+        self.backend.executemany(
+            "INSERT INTO focus_has_resource (focus_id, resource_id) VALUES (?, ?)",
+            [(fid, rid) for rid in sorted(set(resource_ids))],
+        )
+        self._focus_ids[canonical] = fid
+        return fid
+
+    def add_perf_result(
+        self,
+        execution: str,
+        resource_sets: Union[ResourceSet, Sequence[ResourceSet]],
+        tool: str,
+        metric: str,
+        value: Optional[float],
+        units: str = "",
+        start_time: Optional[str] = None,
+        end_time: Optional[str] = None,
+    ) -> int:
+        """Store one performance result with one or more contexts."""
+        if isinstance(resource_sets, ResourceSet):
+            resource_sets = (resource_sets,)
+        eid = self._exec_ids.get(execution)
+        if eid is None:
+            raise ProgrammingError(f"unknown execution {execution!r}")
+        mid = self.add_metric(metric)
+        tid = self.add_tool(tool)
+        pr_id = self.backend.insert(
+            "INSERT INTO performance_result "
+            "(execution_id, metric_id, performance_tool_id, value, units, start_time, end_time) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (eid, mid, tid, value, units, start_time, end_time),
+        )
+        self._associate_foci(pr_id, resource_sets)
+        return pr_id
+
+    def _associate_foci(self, pr_id: int, resource_sets) -> None:
+        assoc = []
+        for rs in resource_sets:
+            ids = [self.resource_id(n) for n in rs.names]
+            fid = self._focus_for(ids)
+            assoc.append((pr_id, fid, rs.set_type))
+        self.backend.executemany(
+            "INSERT INTO performance_result_has_focus "
+            "(performance_result_id, focus_id, focus_type) VALUES (?, ?, ?)",
+            assoc,
+        )
+
+    def add_vector_result(
+        self,
+        execution: str,
+        resource_sets: Union[ResourceSet, Sequence[ResourceSet]],
+        tool: str,
+        metric: str,
+        values: Sequence[Optional[float]],
+        units: str = "",
+        start_time: float = 0.0,
+        bin_width: float = 1.0,
+    ) -> int:
+        """Store one array-valued performance result (Section-6 extension).
+
+        The whole array is one ``performance_result`` row with
+        ``value_type='vector'`` (its scalar ``value`` is the mean of the
+        defined bins, so scalar-only consumers still see something
+        sensible); per-bin values land in ``performance_result_vector``
+        with their time bounds.  ``None`` entries (Paradyn's ``nan`` bins)
+        are not stored, matching the scalar loader's behaviour.
+        """
+        if isinstance(resource_sets, ResourceSet):
+            resource_sets = (resource_sets,)
+        eid = self._exec_ids.get(execution)
+        if eid is None:
+            raise ProgrammingError(f"unknown execution {execution!r}")
+        mid = self.add_metric(metric)
+        tid = self.add_tool(tool)
+        defined = [v for v in values if v is not None]
+        mean = sum(defined) / len(defined) if defined else None
+        end_time = start_time + bin_width * len(values)
+        pr_id = self.backend.insert(
+            "INSERT INTO performance_result "
+            "(execution_id, metric_id, performance_tool_id, value, units, "
+            "start_time, end_time, value_type) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (eid, mid, tid, mean, units, repr(start_time), repr(end_time), "vector"),
+        )
+        rows = []
+        for i, v in enumerate(values):
+            if v is None:
+                continue
+            rows.append(
+                (pr_id, i, start_time + i * bin_width, start_time + (i + 1) * bin_width, v)
+            )
+        self.backend.executemany(
+            "INSERT INTO performance_result_vector "
+            "(performance_result_id, bin_index, bin_start, bin_end, value) "
+            "VALUES (?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._associate_foci(pr_id, resource_sets)
+        return pr_id
+
+    def vector_of(self, result_id: int) -> list[tuple[int, float, float, float]]:
+        """(bin_index, bin_start, bin_end, value) rows of a vector result."""
+        return [
+            tuple(r)
+            for r in self.backend.query(
+                "SELECT bin_index, bin_start, bin_end, value "
+                "FROM performance_result_vector "
+                "WHERE performance_result_id = ? ORDER BY bin_index",
+                (result_id,),
+            )
+        ]
+
+    # ------------------------------------------------------------------- loading
+
+    def load_records(self, records: Iterable[Record]) -> LoadStats:
+        """Load PTdf records (the PTdataStore load interface of Figure 6)."""
+        stats = LoadStats()
+        pre_foci = len(self._focus_ids)
+        for rec in records:
+            if isinstance(rec, ApplicationRec):
+                before = len(self._app_ids)
+                self.add_application(rec.name)
+                stats.applications += len(self._app_ids) - before
+            elif isinstance(rec, ResourceTypeRec):
+                before = len(self._type_ids)
+                self.add_resource_type(rec.name)
+                stats.resource_types += len(self._type_ids) - before
+            elif isinstance(rec, ExecutionRec):
+                before = len(self._exec_ids)
+                self.add_execution(rec.name, rec.application)
+                stats.executions += len(self._exec_ids) - before
+            elif isinstance(rec, ResourceRec):
+                before = len(self._resource_ids)
+                self.add_resource(rec.name, rec.type, rec.execution)
+                stats.resources += len(self._resource_ids) - before
+            elif isinstance(rec, ResourceAttributeRec):
+                self.add_resource_attribute(
+                    rec.resource, rec.attribute, rec.value, rec.attr_type
+                )
+                stats.attributes += 1
+            elif isinstance(rec, ResourceConstraintRec):
+                self.add_resource_constraint(rec.resource1, rec.resource2)
+                stats.constraints += 1
+            elif isinstance(rec, PerfResultRec):
+                self.add_perf_result(
+                    rec.execution,
+                    rec.resource_sets,
+                    rec.tool,
+                    rec.metric,
+                    rec.value,
+                    rec.units,
+                )
+                stats.results += 1
+            elif isinstance(rec, PerfResultSeriesRec):
+                self.add_vector_result(
+                    rec.execution,
+                    rec.resource_sets,
+                    rec.tool,
+                    rec.metric,
+                    rec.values,
+                    rec.units,
+                    rec.start_time,
+                    rec.bin_width,
+                )
+                stats.results += 1
+            else:
+                raise ProgrammingError(f"unknown PTdf record {type(rec).__name__}")
+        stats.foci = len(self._focus_ids) - pre_foci
+        self.backend.commit()
+        return stats
+
+    def load_string(self, text: str) -> LoadStats:
+        return self.load_records(parse_string(text))
+
+    def load_file(self, path: str) -> LoadStats:
+        return self.load_records(parse_file(path))
+
+    # ------------------------------------------------------------------- lookups
+
+    _RES_COLS = (
+        "r.id, r.name, f.name, r.focus_framework_id, r.parent_id, r.execution_id"
+    )
+    _RES_FROM = "resource_item r JOIN focus_framework f ON f.id = r.focus_framework_id"
+
+    def resource_by_name(self, name: str) -> Optional[Resource]:
+        row = self.backend.query_one(
+            f"SELECT {self._RES_COLS} FROM {self._RES_FROM} WHERE r.name = ?", (name,)
+        )
+        return Resource(*row) if row else None
+
+    def resource_by_id(self, resource_id: int) -> Optional[Resource]:
+        cached = self._resource_obj_cache.get(resource_id)
+        if cached is not None:
+            return cached
+        row = self.backend.query_one(
+            f"SELECT {self._RES_COLS} FROM {self._RES_FROM} WHERE r.id = ?", (resource_id,)
+        )
+        if row is None:
+            return None
+        res = Resource(*row)
+        self._resource_obj_cache[resource_id] = res
+        return res
+
+    def resources_by_ids(self, ids: Iterable[int]) -> list[Resource]:
+        out = []
+        for rid in ids:
+            r = self.resource_by_id(rid)
+            if r is not None:
+                out.append(r)
+        return out
+
+    def resources_of_type(self, type_path: str) -> list[Resource]:
+        rows = self.backend.query(
+            f"SELECT {self._RES_COLS} FROM {self._RES_FROM} WHERE f.name = ? ORDER BY r.name",
+            (type_path,),
+        )
+        return [Resource(*r) for r in rows]
+
+    def resources_with_base_name(self, base: str) -> list[Resource]:
+        rows = self.backend.query(
+            f"SELECT {self._RES_COLS} FROM {self._RES_FROM} WHERE r.base_name = ? ORDER BY r.name",
+            (base,),
+        )
+        return [Resource(*r) for r in rows]
+
+    def children_of(self, resource_id: int) -> list[Resource]:
+        rows = self.backend.query(
+            f"SELECT {self._RES_COLS} FROM {self._RES_FROM} WHERE r.parent_id = ? ORDER BY r.name",
+            (resource_id,),
+        )
+        return [Resource(*r) for r in rows]
+
+    def top_level_resources(self) -> list[Resource]:
+        rows = self.backend.query(
+            f"SELECT {self._RES_COLS} FROM {self._RES_FROM} WHERE r.parent_id IS NULL ORDER BY r.name"
+        )
+        return [Resource(*r) for r in rows]
+
+    def attributes_of(self, resource_id: int) -> list[ResourceAttribute]:
+        rows = self.backend.query(
+            "SELECT resource_id, name, value, attr_type FROM resource_attribute "
+            "WHERE resource_id = ? ORDER BY name",
+            (resource_id,),
+        )
+        return [ResourceAttribute(*r) for r in rows]
+
+    def attribute_value(self, resource_id: int, name: str) -> Optional[str]:
+        return self.backend.scalar(
+            "SELECT value FROM resource_attribute WHERE resource_id = ? AND name = ?",
+            (resource_id, name),
+        )
+
+    def constraints_of(self, resource_id: int) -> list[Resource]:
+        rows = self.backend.query(
+            "SELECT resource_id_2 FROM resource_constraint WHERE resource_id_1 = ?",
+            (resource_id,),
+        )
+        return self.resources_by_ids([r[0] for r in rows])
+
+    # -- hierarchy expansion (closure tables vs parent-chain walk) ---------------
+
+    def ancestors_of(self, resource_id: int) -> set[int]:
+        if self.use_closure_tables:
+            rows = self.backend.query(
+                "SELECT ancestor_id FROM resource_has_ancestor WHERE resource_id = ?",
+                (resource_id,),
+            )
+            return {r[0] for r in rows}
+        out: set[int] = set()
+        current = resource_id
+        while True:
+            parent = self.backend.scalar(
+                "SELECT parent_id FROM resource_item WHERE id = ?", (current,)
+            )
+            if parent is None:
+                return out
+            out.add(parent)
+            current = parent
+
+    def descendants_of(self, resource_id: int) -> set[int]:
+        if self.use_closure_tables:
+            rows = self.backend.query(
+                "SELECT descendant_id FROM resource_has_descendant WHERE resource_id = ?",
+                (resource_id,),
+            )
+            return {r[0] for r in rows}
+        out: set[int] = set()
+        frontier = [resource_id]
+        while frontier:
+            rows = []
+            for rid in frontier:
+                rows.extend(
+                    r[0]
+                    for r in self.backend.query(
+                        "SELECT id FROM resource_item WHERE parent_id = ?", (rid,)
+                    )
+                )
+            frontier = [r for r in rows if r not in out]
+            out.update(rows)
+        return out
+
+    # -- dimensions -----------------------------------------------------------------
+
+    def applications(self) -> list[str]:
+        return [r[0] for r in self.backend.query("SELECT name FROM application ORDER BY name")]
+
+    def executions(self, application: Optional[str] = None) -> list[str]:
+        if application is None:
+            rows = self.backend.query("SELECT name FROM execution ORDER BY name")
+        else:
+            rows = self.backend.query(
+                "SELECT e.name FROM execution e JOIN application a "
+                "ON a.id = e.application_id WHERE a.name = ? ORDER BY e.name",
+                (application,),
+            )
+        return [r[0] for r in rows]
+
+    def metrics(self) -> list[str]:
+        return [r[0] for r in self.backend.query("SELECT name FROM metric ORDER BY name")]
+
+    def tools(self) -> list[str]:
+        return [
+            r[0] for r in self.backend.query("SELECT name FROM performance_tool ORDER BY name")
+        ]
+
+    def execution_id(self, name: str) -> Optional[int]:
+        return self._exec_ids.get(name)
+
+    def execution_details(self, name: str) -> dict:
+        """Details of one execution: application, resources, result count."""
+        eid = self._exec_ids.get(name)
+        if eid is None:
+            raise ProgrammingError(f"unknown execution {name!r}")
+        app = self.backend.scalar(
+            "SELECT a.name FROM application a JOIN execution e "
+            "ON e.application_id = a.id WHERE e.id = ?",
+            (eid,),
+        )
+        n_resources = self.backend.scalar(
+            "SELECT COUNT(*) FROM resource_item WHERE execution_id = ?", (eid,)
+        )
+        n_results = self.backend.scalar(
+            "SELECT COUNT(*) FROM performance_result WHERE execution_id = ?", (eid,)
+        )
+        metrics = [
+            r[0]
+            for r in self.backend.query(
+                "SELECT DISTINCT m.name FROM performance_result p "
+                "JOIN metric m ON m.id = p.metric_id WHERE p.execution_id = ? "
+                "ORDER BY m.name",
+                (eid,),
+            )
+        ]
+        return {
+            "execution": name,
+            "application": app,
+            "resources": n_resources,
+            "results": n_results,
+            "metrics": metrics,
+        }
+
+    def count_rows(self, table: str) -> int:
+        return int(self.backend.scalar(f"SELECT COUNT(*) FROM {table}") or 0)
+
+    def db_stats(self) -> dict[str, int]:
+        return {t: self.count_rows(t) for t in schema_mod.TABLE_NAMES}
+
+    # ------------------------------------------------------------- filter resolution
+
+    def resolve_filter(self, f: ResourceFilter) -> ResourceFamily:
+        """Apply one resource filter, including A/D/B/N expansion."""
+        if isinstance(f, ByType):
+            ids = {
+                r[0]
+                for r in self.backend.query(
+                    "SELECT r.id FROM resource_item r JOIN focus_framework t "
+                    "ON t.id = r.focus_framework_id WHERE t.name = ?",
+                    (f.type_path,),
+                )
+            }
+        elif isinstance(f, ByName):
+            if f.is_full_name:
+                rid = self._resource_ids.get(f.name)
+                ids = {rid} if rid is not None else set()
+            else:
+                ids = {
+                    r[0]
+                    for r in self.backend.query(
+                        "SELECT id FROM resource_item WHERE base_name = ?", (f.name,)
+                    )
+                }
+        elif isinstance(f, ByAttributes):
+            ids = self._resolve_attributes(f)
+        elif isinstance(f, ByConstraint):
+            target = self._resource_ids.get(f.target)
+            if target is None:
+                ids = set()
+            elif f.direction == "to":
+                ids = {
+                    r[0]
+                    for r in self.backend.query(
+                        "SELECT resource_id_1 FROM resource_constraint "
+                        "WHERE resource_id_2 = ?",
+                        (target,),
+                    )
+                }
+            else:
+                ids = {
+                    r[0]
+                    for r in self.backend.query(
+                        "SELECT resource_id_2 FROM resource_constraint "
+                        "WHERE resource_id_1 = ?",
+                        (target,),
+                    )
+                }
+        else:
+            raise ProgrammingError(f"unknown resource filter {type(f).__name__}")
+        expanded = set(ids)
+        if f.expansion.include_ancestors:
+            for rid in ids:
+                expanded |= self.ancestors_of(rid)
+        if f.expansion.include_descendants:
+            for rid in ids:
+                expanded |= self.descendants_of(rid)
+        return ResourceFamily(label=f.describe(), resource_ids=frozenset(expanded))
+
+    def _resolve_attributes(self, f: ByAttributes) -> set[int]:
+        result: Optional[set[int]] = None
+        for clause in f.clauses:
+            rows = self.backend.query(
+                "SELECT resource_id, value FROM resource_attribute WHERE name = ?",
+                (clause.name,),
+            )
+            hit = {rid for rid, value in rows if clause.test(value)}
+            result = hit if result is None else (result & hit)
+            if not result:
+                return set()
+        assert result is not None
+        if f.type_path is not None:
+            type_ids = {
+                r[0]
+                for r in self.backend.query(
+                    "SELECT r.id FROM resource_item r JOIN focus_framework t "
+                    "ON t.id = r.focus_framework_id WHERE t.name = ?",
+                    (f.type_path,),
+                )
+            }
+            result &= type_ids
+        return result
+
+    def resolve_prfilter(self, prf: PrFilter) -> list[ResourceFamily]:
+        return [self.resolve_filter(f) for f in prf.filters]

@@ -1,0 +1,186 @@
+"""Comparison-based performance diagnosis helpers.
+
+Builds the analyses PerfTrack's case studies perform on top of the data
+store: per-function load balance across processors (Figure 5), scalability
+across process counts (the parameter-study use case), historical
+regression scanning across application versions, and simple bottleneck
+ranking — all expressed through pr-filter queries so they exercise the
+same paths as interactive use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .comparison import Distilled, distill
+from .datastore import PTDataStore
+from .filters import ByName, ByType, Expansion, PrFilter
+from .query import QueryEngine
+from .results import PerformanceResult
+
+
+@dataclass(frozen=True)
+class LoadBalanceReport:
+    """Per-context spread of one metric within one execution."""
+
+    execution: str
+    metric: str
+    function: Optional[str]
+    stats: Distilled
+
+    @property
+    def spread(self) -> float:
+        """max - min: the bar-height difference plotted in Figure 5."""
+        return self.stats.maximum - self.stats.minimum
+
+
+def _exec_results(
+    store: PTDataStore, execution: str, metric: str, function: Optional[str] = None
+) -> list[PerformanceResult]:
+    prf = PrFilter([ByName(f"/{execution}", Expansion.DESCENDANTS)])
+    if function is not None:
+        prf.add(ByName(function, Expansion.NONE))
+    qe = QueryEngine(store)
+    return [r for r in qe.fetch(prf) if r.metric == metric and r.value is not None]
+
+
+def load_balance(
+    store: PTDataStore, execution: str, metric: str, function: Optional[str] = None
+) -> LoadBalanceReport:
+    """Distill one metric across a run's per-process/per-processor results."""
+    results = _exec_results(store, execution, metric, function)
+    if not results:
+        raise ValueError(
+            f"no results for execution={execution!r} metric={metric!r} function={function!r}"
+        )
+    return LoadBalanceReport(execution, metric, function, distill(r.value for r in results))
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One execution of a scaling study."""
+
+    execution: str
+    processes: int
+    value: float
+
+    def speedup(self, base: "ScalingPoint") -> float:
+        if self.value == 0:
+            return float("inf")
+        return base.value / self.value
+
+    def efficiency(self, base: "ScalingPoint") -> float:
+        if self.processes == 0:
+            return 0.0
+        return self.speedup(base) * base.processes / self.processes
+
+
+def scaling_study(
+    store: PTDataStore,
+    executions: Sequence[str],
+    metric: str,
+    nproc_attribute: str = "number of processes",
+) -> list[ScalingPoint]:
+    """Collect (nproc, aggregate value) across a set of executions.
+
+    The process count is read from the execution resource's attribute (the
+    PTdfGen index data), so the study works regardless of which tool
+    produced the measurements.
+    """
+    points: list[ScalingPoint] = []
+    for execution in executions:
+        results = _exec_results(store, execution, metric)
+        if not results:
+            continue
+        rid = store._resource_ids.get(f"/{execution}")
+        nproc = None
+        if rid is not None:
+            raw = store.attribute_value(rid, nproc_attribute)
+            if raw is not None:
+                nproc = int(float(raw))
+        if nproc is None:
+            nproc = len(results)
+        points.append(
+            ScalingPoint(execution, nproc, max(r.value for r in results))
+        )
+    points.sort(key=lambda p: p.processes)
+    return points
+
+
+@dataclass(frozen=True)
+class Bottleneck:
+    """One heavy context in the bottleneck ranking."""
+
+    label: str
+    value: float
+    share: float  # fraction of the total
+
+
+def rank_bottlenecks(
+    store: PTDataStore,
+    execution: str,
+    metric: str,
+    type_path: str = "build/module/function",
+    top: int = 10,
+) -> list[Bottleneck]:
+    """Rank code resources of *type_path* by their share of *metric*.
+
+    This is the simple "where does the time go" diagnosis the PerfTrack
+    GUI supports by sorting the result table on the value column.
+    """
+    qe = QueryEngine(store)
+    prf = PrFilter(
+        [ByName(f"/{execution}", Expansion.DESCENDANTS), ByType(type_path)]
+    )
+    results = [r for r in qe.fetch(prf) if r.metric == metric and r.value is not None]
+    per_label: dict[str, float] = {}
+    for pr in results:
+        for rid in pr.resource_ids:
+            res = store.resource_by_id(rid)
+            if res is not None and res.type_name == type_path:
+                per_label[res.name] = per_label.get(res.name, 0.0) + pr.value
+    total = sum(per_label.values())
+    ranked = sorted(per_label.items(), key=lambda kv: kv[1], reverse=True)[:top]
+    return [
+        Bottleneck(label, value, (value / total) if total else 0.0)
+        for label, value in ranked
+    ]
+
+
+@dataclass(frozen=True)
+class Regression:
+    """A metric that grew between two executions of the same application."""
+
+    metric: str
+    signature: tuple[str, ...]
+    before: float
+    after: float
+
+    @property
+    def factor(self) -> float:
+        return self.after / self.before if self.before else float("inf")
+
+
+def scan_history(
+    store: PTDataStore,
+    executions: Sequence[str],
+    metric: Optional[str] = None,
+    threshold: float = 1.25,
+) -> list[Regression]:
+    """Scan an ordered execution history for metric regressions.
+
+    Uses :func:`repro.core.comparison.compare_executions` pairwise over
+    consecutive runs — the "use of historical performance data in the
+    diagnosis of parallel applications" (Karavanic & Miller, SC'99) that
+    PerfTrack's store makes routine.
+    """
+    from .comparison import compare_executions
+
+    out: list[Regression] = []
+    for before, after in zip(executions, executions[1:]):
+        cmp = compare_executions(store, before, after, metric)
+        for pair in cmp.regressions(threshold):
+            assert pair.left is not None and pair.right is not None
+            out.append(Regression(pair.metric, pair.signature, pair.left, pair.right))
+    return out

@@ -1,0 +1,179 @@
+"""Performance predictions and models (paper Section 6).
+
+"Finally, we plan to explore the incorporation of performance predictions
+and models into PerfTrack for direct comparison to actual program runs."
+
+This module implements that: analytic scaling models (Amdahl-plus-
+communication, the same family the synthetic workload uses), least-squares
+fitting of a model to measured executions, storing a model's predictions
+*as performance results* (tool ``prediction:<model>``) so every PerfTrack
+facility — pr-filters, the GUI table, comparison operators — applies to
+them unchanged, and a direct predicted-vs-actual comparison report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..ptdf.format import ResourceSet
+from .datastore import PTDataStore
+from .diagnosis import ScalingPoint, scaling_study
+
+
+@dataclass(frozen=True)
+class AmdahlCommModel:
+    """t(p) = serial + parallel/p + comm * log2(p)."""
+
+    serial: float
+    parallel: float
+    comm: float
+    name: str = "amdahl-comm"
+
+    def predict(self, processes: int) -> float:
+        p = max(1, processes)
+        return self.serial + self.parallel / p + self.comm * math.log2(p)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: t(p) = {self.serial:.4g} + {self.parallel:.4g}/p "
+            f"+ {self.comm:.4g}*log2(p)"
+        )
+
+
+def fit_amdahl_comm(points: Sequence[tuple[int, float]]) -> AmdahlCommModel:
+    """Least-squares fit of the Amdahl+communication model.
+
+    *points* are (processes, time) pairs; at least three distinct process
+    counts are required (three basis functions).  Coefficients are clamped
+    at zero — a negative serial fraction is noise, not physics.
+    """
+    if len({p for p, _t in points}) < 3:
+        raise ValueError("need measurements at >= 3 distinct process counts")
+    a = np.array(
+        [[1.0, 1.0 / max(1, p), math.log2(max(1, p))] for p, _t in points]
+    )
+    b = np.array([t for _p, t in points])
+    coef, *_ = np.linalg.lstsq(a, b, rcond=None)
+    serial, parallel, comm = (max(0.0, float(c)) for c in coef)
+    return AmdahlCommModel(serial, parallel, comm)
+
+
+@dataclass(frozen=True)
+class PredictionRow:
+    """One predicted-vs-actual comparison point."""
+
+    execution: str
+    processes: int
+    actual: float
+    predicted: float
+
+    @property
+    def error(self) -> float:
+        return self.predicted - self.actual
+
+    @property
+    def relative_error(self) -> float:
+        if self.actual == 0:
+            return math.inf
+        return abs(self.error) / self.actual
+
+
+def store_predictions(
+    store: PTDataStore,
+    model: AmdahlCommModel,
+    application: str,
+    metric: str,
+    process_counts: Sequence[int],
+    units: str = "seconds",
+) -> list[str]:
+    """Store model predictions as performance results.
+
+    Creates one prediction execution per process count (named
+    ``pred-<model>-p<NNNN>``) under *application*, with the model
+    parameters recorded as execution attributes and the predicted value
+    as an ordinary performance result from tool ``prediction:<model>`` —
+    so predictions are first-class, queryable PerfTrack data.
+    """
+    tool = f"prediction:{model.name}"
+    created = []
+    for p in process_counts:
+        execution = f"pred-{model.name}-p{p:04d}"
+        execution = store.unique_resource_name(f"/{execution}")[1:]
+        store.add_execution(execution, application)
+        exec_res = f"/{execution}"
+        store.add_resource(exec_res, "execution", execution)
+        store.add_resource_attribute(exec_res, "number of processes", str(p))
+        store.add_resource_attribute(exec_res, "model", model.describe())
+        store.add_perf_result(
+            execution,
+            ResourceSet((exec_res,)),
+            tool,
+            metric,
+            model.predict(p),
+            units,
+        )
+        created.append(execution)
+    store.commit()
+    return created
+
+
+def fit_model_to_history(
+    store: PTDataStore,
+    executions: Sequence[str],
+    metric: str,
+    nproc_attribute: str = "number of processes",
+) -> tuple[AmdahlCommModel, list[ScalingPoint]]:
+    """Fit a scaling model to the measured executions' metric."""
+    points = scaling_study(store, executions, metric, nproc_attribute)
+    if len(points) < 3:
+        raise ValueError("need >= 3 executions with measurements to fit")
+    model = fit_amdahl_comm([(pt.processes, pt.value) for pt in points])
+    return model, points
+
+
+def compare_predictions(
+    store: PTDataStore,
+    model: AmdahlCommModel,
+    executions: Sequence[str],
+    metric: str,
+    nproc_attribute: str = "number of processes",
+) -> list[PredictionRow]:
+    """Predicted-vs-actual for each execution (the Section-6 comparison)."""
+    points = scaling_study(store, executions, metric, nproc_attribute)
+    return [
+        PredictionRow(pt.execution, pt.processes, pt.value, model.predict(pt.processes))
+        for pt in points
+    ]
+
+
+def cross_validate(
+    store: PTDataStore,
+    executions: Sequence[str],
+    metric: str,
+    nproc_attribute: str = "number of processes",
+) -> list[PredictionRow]:
+    """Leave-one-out validation: predict each run from the others.
+
+    The honest measure of whether the stored history predicts new runs —
+    the use the paper's experiment-management lineage is after.
+    """
+    points = scaling_study(store, executions, metric, nproc_attribute)
+    if len(points) < 4:
+        raise ValueError("need >= 4 executions for leave-one-out validation")
+    rows = []
+    for i, held_out in enumerate(points):
+        train = [(pt.processes, pt.value) for j, pt in enumerate(points) if j != i]
+        model = fit_amdahl_comm(train)
+        rows.append(
+            PredictionRow(
+                held_out.execution,
+                held_out.processes,
+                held_out.value,
+                model.predict(held_out.processes),
+            )
+        )
+    return rows

@@ -1,0 +1,266 @@
+"""Query evaluation: pr-filters over stored performance results.
+
+Semantics (paper Section 2.2): a pr-filter matches a context ``C`` iff
+every resource family intersects ``C``.  A performance result is selected
+when **some** context of that result matches the whole filter.  The
+implementation works focus-first:
+
+1. per family, find the focus ids that contain at least one family member
+   (an indexed probe on ``focus_has_resource``),
+2. intersect the focus-id sets across families, and
+3. map surviving foci to performance-result ids.
+
+This is exactly the ∃-context ∀-family semantics, and it is also the shape
+that makes the GUI's live match counts cheap (Figure 3: per-family count
+and whole-filter count as the query is built).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .datastore import PTDataStore
+from .filters import PrFilter, ResourceFamily
+from .results import Context, PerformanceResult
+
+_CHUNK = 400  # stay under sqlite's default 999-parameter limit
+
+
+def _chunks(values: Sequence, size: int = _CHUNK):
+    for i in range(0, len(values), size):
+        yield values[i : i + size]
+
+
+class QueryEngine:
+    """Evaluates pr-filters and materialises result objects."""
+
+    def __init__(self, store: PTDataStore) -> None:
+        self.store = store
+
+    # -- family / filter matching -------------------------------------------------
+
+    def matching_focus_ids(self, family: ResourceFamily) -> set[int]:
+        """Focus ids whose resource set intersects *family*."""
+        ids = sorted(family.resource_ids)
+        out: set[int] = set()
+        for chunk in _chunks(ids):
+            marks = ",".join("?" * len(chunk))
+            rows = self.store.backend.query(
+                f"SELECT DISTINCT focus_id FROM focus_has_resource "
+                f"WHERE resource_id IN ({marks})",
+                chunk,
+            )
+            out.update(r[0] for r in rows)
+        return out
+
+    def _result_ids_for_focus_ids(
+        self, focus_ids: Iterable[int], focus_type: Optional[str] = None
+    ) -> set[int]:
+        ids = sorted(focus_ids)
+        out: set[int] = set()
+        for chunk in _chunks(ids):
+            marks = ",".join("?" * len(chunk))
+            sql = (
+                f"SELECT DISTINCT performance_result_id "
+                f"FROM performance_result_has_focus "
+                f"WHERE focus_id IN ({marks})"
+            )
+            params = list(chunk)
+            if focus_type is not None:
+                sql += " AND focus_type = ?"
+                params.append(focus_type)
+            rows = self.store.backend.query(sql, params)
+            out.update(r[0] for r in rows)
+        return out
+
+    def result_ids(
+        self,
+        families: Sequence[ResourceFamily],
+        focus_type: Optional[str] = None,
+    ) -> set[int]:
+        """Performance-result ids matching the whole pr-filter.
+
+        An empty filter matches everything (vacuous ∀) — the GUI uses that
+        as the starting count.  ``focus_type`` restricts matching to
+        contexts of one kind (e.g. ``"sender"`` to find message-transit
+        results by their sending side).
+        """
+        if not families:
+            if focus_type is None:
+                rows = self.store.backend.query("SELECT id FROM performance_result")
+                return {r[0] for r in rows}
+            rows = self.store.backend.query(
+                "SELECT DISTINCT performance_result_id "
+                "FROM performance_result_has_focus WHERE focus_type = ?",
+                (focus_type,),
+            )
+            return {r[0] for r in rows}
+        focus_sets = [self.matching_focus_ids(fam) for fam in families]
+        surviving = set.intersection(*focus_sets) if focus_sets else set()
+        if not surviving:
+            return set()
+        return self._result_ids_for_focus_ids(surviving, focus_type)
+
+    def count_for_family(self, family: ResourceFamily) -> int:
+        """How many results match this family alone (Figure 3's per-row count)."""
+        return len(self._result_ids_for_focus_ids(self.matching_focus_ids(family)))
+
+    def count_for_filter(self, families: Sequence[ResourceFamily]) -> int:
+        """How many results match the whole filter (Figure 3's total count)."""
+        return len(self.result_ids(families))
+
+    def evaluate(self, prf: PrFilter) -> set[int]:
+        return self.result_ids(self.store.resolve_prfilter(prf))
+
+    # -- materialisation -------------------------------------------------------------
+
+    def fetch_results(self, result_ids: Iterable[int]) -> list[PerformanceResult]:
+        """Materialise PerformanceResult objects (with contexts) by id."""
+        ids = sorted(set(result_ids))
+        if not ids:
+            return []
+        base: dict[int, tuple] = {}
+        for chunk in _chunks(ids):
+            marks = ",".join("?" * len(chunk))
+            rows = self.store.backend.query(
+                f"SELECT p.id, e.name, m.name, t.name, p.value, p.units, "
+                f"p.start_time, p.end_time, p.value_type "
+                f"FROM performance_result p "
+                f"JOIN execution e ON e.id = p.execution_id "
+                f"JOIN metric m ON m.id = p.metric_id "
+                f"JOIN performance_tool t ON t.id = p.performance_tool_id "
+                f"WHERE p.id IN ({marks})",
+                chunk,
+            )
+            for r in rows:
+                base[r[0]] = r
+        # Contexts: result -> [(focus_id, focus_type)], focus -> resource ids.
+        assoc: dict[int, list[tuple[int, str]]] = {rid: [] for rid in ids}
+        focus_ids: set[int] = set()
+        for chunk in _chunks(ids):
+            marks = ",".join("?" * len(chunk))
+            rows = self.store.backend.query(
+                f"SELECT performance_result_id, focus_id, focus_type "
+                f"FROM performance_result_has_focus "
+                f"WHERE performance_result_id IN ({marks})",
+                chunk,
+            )
+            for pr_id, fid, ftype in rows:
+                assoc[pr_id].append((fid, ftype))
+                focus_ids.add(fid)
+        # Vector payloads for array-valued results (Section-6 extension).
+        vector_ids = [rid for rid, row in base.items() if row[8] == "vector"]
+        vectors: dict[int, list[tuple[int, float, float, float]]] = {
+            rid: [] for rid in vector_ids
+        }
+        for chunk in _chunks(sorted(vector_ids)):
+            marks = ",".join("?" * len(chunk))
+            rows = self.store.backend.query(
+                f"SELECT performance_result_id, bin_index, bin_start, bin_end, value "
+                f"FROM performance_result_vector "
+                f"WHERE performance_result_id IN ({marks})",
+                chunk,
+            )
+            for pr_id, bi, bs, be, v in rows:
+                vectors[pr_id].append((bi, bs, be, v))
+        for rows_ in vectors.values():
+            rows_.sort()
+        focus_resources: dict[int, set[int]] = {fid: set() for fid in focus_ids}
+        for chunk in _chunks(sorted(focus_ids)):
+            marks = ",".join("?" * len(chunk))
+            rows = self.store.backend.query(
+                f"SELECT focus_id, resource_id FROM focus_has_resource "
+                f"WHERE focus_id IN ({marks})",
+                chunk,
+            )
+            for fid, rid in rows:
+                focus_resources[fid].add(rid)
+        out: list[PerformanceResult] = []
+        for rid in ids:
+            row = base.get(rid)
+            if row is None:
+                continue
+            contexts = tuple(
+                Context(fid, frozenset(focus_resources.get(fid, ())), ftype)
+                for fid, ftype in assoc.get(rid, ())
+            )
+            out.append(
+                PerformanceResult(
+                    id=row[0],
+                    execution=row[1],
+                    metric=row[2],
+                    tool=row[3],
+                    value=row[4],
+                    units=row[5] or "",
+                    contexts=contexts,
+                    start_time=row[6],
+                    end_time=row[7],
+                    value_type=row[8],
+                    series=tuple(vectors.get(rid, ())),
+                )
+            )
+        return out
+
+    def fetch(self, prf: PrFilter) -> list[PerformanceResult]:
+        """One-shot: resolve, evaluate and materialise a pr-filter."""
+        return self.fetch_results(self.evaluate(prf))
+
+    # -- free resources (Figure 4's two-step Add Columns) -----------------------------
+
+    def free_resources(
+        self,
+        results: Sequence[PerformanceResult],
+        specified_ids: Optional[set[int]] = None,
+    ) -> dict[str, list[str]]:
+        """Free resources of *results*, grouped by type.
+
+        Free resources are context resources the user's pr-filter did not
+        specify; types whose resource names are identical across all
+        results are dropped ("if all the selected results came from ...
+        Linux, the resource type 'operating system' would not be shown").
+        Returns ``{type path: sorted resource names}`` for offering as
+        addable columns.
+        """
+        specified = specified_ids or set()
+        per_type_names: dict[str, set[str]] = {}
+        per_type_per_result: dict[str, list[set[str]]] = {}
+        resource_cache: dict[int, tuple[str, str]] = {}  # id -> (name, type)
+        for pr in results:
+            seen_types: dict[str, set[str]] = {}
+            for rid in pr.resource_ids:
+                if rid in specified:
+                    continue
+                info = resource_cache.get(rid)
+                if info is None:
+                    res = self.store.resource_by_id(rid)
+                    if res is None:
+                        continue
+                    info = (res.name, res.type_name)
+                    resource_cache[rid] = info
+                name, type_name = info
+                seen_types.setdefault(type_name, set()).add(name)
+                per_type_names.setdefault(type_name, set()).add(name)
+            for t, names in seen_types.items():
+                per_type_per_result.setdefault(t, []).append(names)
+        out: dict[str, list[str]] = {}
+        for type_name, names in per_type_names.items():
+            appearances = per_type_per_result.get(type_name, [])
+            # Identical for all results (and present in all) -> not interesting.
+            if (
+                len(appearances) == len(results)
+                and len(names) == 1
+            ):
+                continue
+            out[type_name] = sorted(names)
+        return out
+
+    def resource_names_of_type_for_result(
+        self, result: PerformanceResult, type_name: str
+    ) -> list[str]:
+        """Names of a result's context resources having *type_name* (cell value)."""
+        names = []
+        for rid in sorted(result.resource_ids):
+            res = self.store.resource_by_id(rid)
+            if res is not None and res.type_name == type_name:
+                names.append(res.name)
+        return names

@@ -1,0 +1,101 @@
+"""Simple text reports over a data store (paper Section 3.3).
+
+"The user may request one of several simple reports" — these render the
+store's contents as fixed-width text tables: a store summary, a per-
+application report, a per-execution report and the Table-1-style load
+statistics block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .datastore import LoadStats, PTDataStore
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    def fmt(row):
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def store_summary(store: PTDataStore) -> str:
+    """Row counts for every schema table plus dimension listings."""
+    stats = store.db_stats()
+    lines = ["PerfTrack data store summary", "============================", ""]
+    lines.append(_table(["table", "rows"], sorted(stats.items())))
+    lines.append("")
+    lines.append(f"applications: {', '.join(store.applications()) or '(none)'}")
+    lines.append(f"performance tools: {', '.join(store.tools()) or '(none)'}")
+    lines.append(f"metrics: {len(store.metrics())}")
+    lines.append(f"executions: {len(store.executions())}")
+    return "\n".join(lines)
+
+
+def application_report(store: PTDataStore, application: str) -> str:
+    """Executions of one application with result counts."""
+    rows = []
+    for name in store.executions(application):
+        d = store.execution_details(name)
+        rows.append((name, d["resources"], d["results"], len(d["metrics"])))
+    header = f"Application: {application}"
+    return "\n".join(
+        [header, "=" * len(header), "", _table(
+            ["execution", "resources", "results", "metrics"], rows
+        )]
+    )
+
+
+def execution_report(store: PTDataStore, execution: str) -> str:
+    """One execution: metadata, metrics, attribute listing."""
+    d = store.execution_details(execution)
+    lines = [
+        f"Execution: {execution}",
+        "=" * (11 + len(execution)),
+        "",
+        f"application:      {d['application']}",
+        f"bound resources:  {d['resources']}",
+        f"results:          {d['results']}",
+        f"metrics:          {', '.join(d['metrics'])}",
+    ]
+    rid = store._resource_ids.get(f"/{execution}")
+    if rid is not None:
+        attrs = store.attributes_of(rid)
+        if attrs:
+            lines.append("")
+            lines.append(
+                _table(["attribute", "value"], [(a.name, a.value) for a in attrs])
+            )
+    return "\n".join(lines)
+
+
+def load_report(
+    name: str,
+    stats: LoadStats,
+    ptdf_files: Optional[int] = None,
+    ptdf_lines: Optional[int] = None,
+    db_growth_bytes: Optional[int] = None,
+) -> str:
+    """A Table-1-style row for one loaded study."""
+    rows = [
+        ("executions loaded", stats.executions),
+        ("resources", stats.resources),
+        ("resource attributes", stats.attributes),
+        ("performance results", stats.results),
+        ("distinct foci", stats.foci),
+    ]
+    if ptdf_files is not None:
+        rows.append(("PTdf files", ptdf_files))
+    if ptdf_lines is not None:
+        rows.append(("PTdf lines", ptdf_lines))
+    if db_growth_bytes is not None:
+        rows.append(("DB growth (bytes)", db_growth_bytes))
+    header = f"Load report: {name}"
+    return "\n".join([header, "=" * len(header), "", _table(["quantity", "count"], rows)])

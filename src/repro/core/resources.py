@@ -1,0 +1,95 @@
+"""In-memory views of resources and resource types.
+
+These light objects are what the data store hands back from lookups; they
+carry database ids so follow-up queries (children, attributes, ancestors)
+stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ptdf.format import base_name as _base_name
+from ..ptdf.format import parent_name as _parent_name
+from ..ptdf.format import split_name as _split_name
+
+
+@dataclass(frozen=True)
+class ResourceType:
+    """One node in the resource type system (``focus_framework`` row)."""
+
+    id: int
+    name: str  # full path, e.g. "grid/machine/partition"
+    parent_id: Optional[int] = None
+
+    @property
+    def base(self) -> str:
+        """Last segment of the type path (``partition``)."""
+        return self.name.rsplit("/", 1)[-1]
+
+    @property
+    def depth(self) -> int:
+        return self.name.count("/") + 1
+
+    @property
+    def is_hierarchical(self) -> bool:
+        return self.depth > 1 or self.parent_id is not None
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One resource (``resource_item`` row)."""
+
+    id: int
+    name: str  # full path-style unique name
+    type_name: str  # full type path
+    type_id: int
+    parent_id: Optional[int] = None
+    execution_id: Optional[int] = None
+
+    @property
+    def base(self) -> str:
+        """The base name (paper Section 2.1), e.g. ``batch``."""
+        return _base_name(self.name)
+
+    @property
+    def parent_name(self) -> Optional[str]:
+        return _parent_name(self.name)
+
+    @property
+    def segments(self) -> list[str]:
+        return _split_name(self.name)
+
+    @property
+    def depth(self) -> int:
+        return len(self.segments)
+
+
+@dataclass(frozen=True)
+class ResourceAttribute:
+    """One attribute of a resource."""
+
+    resource_id: int
+    name: str
+    value: str
+    attr_type: str = "string"
+
+
+@dataclass
+class ResourceTree:
+    """A materialised subtree of the resource hierarchy (for display)."""
+
+    resource: Resource
+    children: list["ResourceTree"] = field(default_factory=list)
+
+    def walk(self):
+        yield self.resource
+        for child in self.children:
+            yield from child.walk()
+
+    def render(self, indent: int = 0) -> str:
+        lines = [" " * indent + self.resource.base]
+        for child in self.children:
+            lines.append(child.render(indent + 2))
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Performance results and contexts as returned from queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Context:
+    """One focus: a set of resource ids, with its focus type."""
+
+    focus_id: int
+    resource_ids: frozenset[int]
+    focus_type: str = "primary"
+
+
+@dataclass(frozen=True)
+class PerformanceResult:
+    """One measured or calculated value plus descriptive metadata.
+
+    The paper's prototype stored scalars only (Section 3); the Section-6
+    extension implemented here also supports vector results
+    (``value_type == "vector"``), where ``value`` is the mean of the bins
+    and ``series`` carries the per-bin data.
+    """
+
+    id: int
+    execution: str
+    metric: str
+    tool: str
+    value: Optional[float]
+    units: str
+    contexts: tuple[Context, ...] = ()
+    start_time: Optional[str] = None
+    end_time: Optional[str] = None
+    value_type: str = "scalar"
+    #: For vector results: (bin_index, bin_start, bin_end, value) rows.
+    series: tuple[tuple[int, float, float, float], ...] = ()
+
+    @property
+    def is_vector(self) -> bool:
+        return self.value_type == "vector"
+
+    def series_values(self) -> list[float]:
+        """Just the per-bin values of a vector result."""
+        return [v for _i, _s, _e, v in self.series]
+
+    @property
+    def resource_ids(self) -> frozenset[int]:
+        """Union of all context resource ids."""
+        out: set[int] = set()
+        for ctx in self.contexts:
+            out |= ctx.resource_ids
+        return frozenset(out)
+
+
+@dataclass
+class ResultRow:
+    """One row of the GUI-style result table (see repro.gui.mainwindow)."""
+
+    result: PerformanceResult
+    extra_columns: dict[str, str] = field(default_factory=dict)
+
+    def cell(self, column: str) -> object:
+        fixed = {
+            "execution": self.result.execution,
+            "metric": self.result.metric,
+            "tool": self.result.tool,
+            "value": self.result.value,
+            "units": self.result.units,
+        }
+        if column in fixed:
+            return fixed[column]
+        return self.extra_columns.get(column)

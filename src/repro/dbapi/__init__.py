@@ -1,0 +1,11 @@
+"""Backend abstraction over DB-API 2.0 drivers.
+
+PerfTrack supported Oracle (via cx_Oracle) and PostgreSQL (via pyGreSQL)
+behind one PTdataStore interface.  This package plays the same trick with
+two genuinely different engines: :mod:`repro.minidb` (our from-scratch
+embedded DBMS) and the standard library's ``sqlite3``.
+"""
+
+from .backends import Backend, MinidbBackend, SqliteBackend, open_backend
+
+__all__ = ["Backend", "MinidbBackend", "SqliteBackend", "open_backend"]

@@ -1,0 +1,33 @@
+"""Headless view-models of the PerfTrack GUI (paper Section 3.2).
+
+The paper's GUI is Qt; every behaviour it describes is a query/data
+behaviour, so this package exposes them as programmatic view-models:
+
+* :class:`~repro.gui.selection.SelectionDialog` — the Figure-3 dialog:
+  resource-type menu, lazily expanded resource lists, attribute viewing,
+  pr-filter construction with live per-family and whole-filter counts,
+  and the A/D/B/N "Relatives" flag.
+* :class:`~repro.gui.mainwindow.MainWindow` — the Figure-4 table:
+  retrieve results, two-step Add Columns over free resources, sorting,
+  filtering, CSV export and reload.
+* :class:`~repro.gui.barchart.BarChart` — the Figure-5 chart: multi-series
+  bar data with an ASCII renderer and CSV export.
+"""
+
+from .selection import SelectionDialog, SelectedParameter
+from .mainwindow import MainWindow
+from .barchart import BarChart, Series
+from .session import Session
+from .svg import barchart_to_svg, save_svg, series_to_svg
+
+__all__ = [
+    "SelectionDialog",
+    "SelectedParameter",
+    "MainWindow",
+    "BarChart",
+    "Series",
+    "Session",
+    "barchart_to_svg",
+    "series_to_svg",
+    "save_svg",
+]

@@ -1,0 +1,116 @@
+"""Bar-chart view-model and ASCII renderer (paper Figure 5).
+
+"Users can plot selected data from the main window in a bar chart.
+Multiple series of values can appear on the same chart" — Figure 5 shows
+min and max running time of a function across all processors for
+different process counts, a rough load-balance indicator.  The paper's
+widget was hand-written for another tool; ours renders to text and CSV so
+tests and benchmarks can assert on it.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass
+class Series:
+    """One named series of (category, value) bars."""
+
+    name: str
+    points: list[tuple[str, float]] = field(default_factory=list)
+
+    def add(self, category: str, value: float) -> None:
+        self.points.append((category, float(value)))
+
+    def value_for(self, category: str) -> Optional[float]:
+        for c, v in self.points:
+            if c == category:
+                return v
+        return None
+
+
+class BarChart:
+    """Multi-series bar chart with deterministic text rendering."""
+
+    def __init__(self, title: str = "", value_label: str = "") -> None:
+        self.title = title
+        self.value_label = value_label
+        self.series: list[Series] = []
+
+    def add_series(self, series: Series) -> None:
+        self.series.append(series)
+
+    @property
+    def categories(self) -> list[str]:
+        seen: list[str] = []
+        for s in self.series:
+            for c, _v in s.points:
+                if c not in seen:
+                    seen.append(c)
+        return seen
+
+    def max_value(self) -> float:
+        values = [v for s in self.series for _c, v in s.points]
+        return max(values) if values else 0.0
+
+    # -- renderers ----------------------------------------------------------------
+
+    def render_ascii(self, width: int = 50) -> str:
+        """Horizontal bars, one block per category, one row per series."""
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+            out.write("=" * len(self.title) + "\n")
+        peak = self.max_value()
+        label_w = max((len(s.name) for s in self.series), default=0)
+        cat_w = max((len(c) for c in self.categories), default=0)
+        for cat in self.categories:
+            out.write(f"{cat:<{cat_w}}\n")
+            for s in self.series:
+                v = s.value_for(cat)
+                if v is None:
+                    continue
+                bar = "#" * (int(round(width * v / peak)) if peak > 0 else 0)
+                out.write(f"  {s.name:<{label_w}} |{bar} {v:.4g}\n")
+        if self.value_label:
+            out.write(f"({self.value_label})\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Spreadsheet-importable form (the paper's OpenOffice path)."""
+        out = io.StringIO()
+        names = [s.name for s in self.series]
+        out.write(",".join(["category"] + names) + "\n")
+        for cat in self.categories:
+            cells = [cat]
+            for s in self.series:
+                v = s.value_for(cat)
+                cells.append("" if v is None else repr(v))
+            out.write(",".join(cells) + "\n")
+        return out.getvalue()
+
+    def save_csv(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_csv())
+
+
+def min_max_chart(
+    title: str,
+    categories: Sequence[str],
+    minima: Sequence[float],
+    maxima: Sequence[float],
+    value_label: str = "seconds",
+) -> BarChart:
+    """Convenience constructor for the Figure-5 min/max load-balance chart."""
+    chart = BarChart(title, value_label)
+    mn = Series("min")
+    mx = Series("max")
+    for cat, lo, hi in zip(categories, minima, maxima):
+        mn.add(cat, lo)
+        mx.add(cat, hi)
+    chart.add_series(mn)
+    chart.add_series(mx)
+    return chart

@@ -1,0 +1,143 @@
+"""The main-window view-model (paper Figure 4).
+
+Holds retrieved results in a table with fixed columns (execution, metric,
+tool, value, units) plus user-added *free resource* columns — the paper's
+deliberate two-step flow: first retrieve, then choose from the free
+resources the retrieval exposed ("by delaying the selection of resource
+types until after it retrieves the data, the GUI can help guide the user
+toward the most useful information").
+
+Supports sorting by any column, value/text filtering, CSV export/import,
+and handing series to :class:`repro.gui.barchart.BarChart`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Callable, Optional, Sequence
+
+from ..core.query import QueryEngine
+from ..core.results import PerformanceResult, ResultRow
+
+FIXED_COLUMNS = ("execution", "metric", "tool", "value", "units")
+
+
+class MainWindow:
+    """Result table + Add Columns dialog, headless."""
+
+    def __init__(self, engine: QueryEngine, specified_ids: Optional[set[int]] = None) -> None:
+        self.engine = engine
+        self.specified_ids = specified_ids or set()
+        self.rows: list[ResultRow] = []
+        self.columns: list[str] = list(FIXED_COLUMNS)
+
+    # -- population -------------------------------------------------------------
+
+    def show_results(self, results: Sequence[PerformanceResult]) -> None:
+        self.rows = [ResultRow(pr) for pr in results]
+        self.columns = list(FIXED_COLUMNS)
+
+    # -- the Add Columns dialog ----------------------------------------------------
+
+    def addable_columns(self) -> dict[str, list[str]]:
+        """Free resources by type — the Add Columns dialog's list."""
+        return self.engine.free_resources(
+            [r.result for r in self.rows], self.specified_ids
+        )
+
+    def add_column(self, type_name: str) -> None:
+        """Add one free-resource type as a table column and fill its cells."""
+        if type_name in self.columns:
+            return
+        self.columns.append(type_name)
+        for row in self.rows:
+            names = self.engine.resource_names_of_type_for_result(row.result, type_name)
+            row.extra_columns[type_name] = ",".join(names)
+
+    def add_attribute_column(self, type_name: str, attribute: str) -> None:
+        """Add a column with an *attribute* of each row's resource of a type."""
+        column = f"{type_name}:{attribute}"
+        if column in self.columns:
+            return
+        self.columns.append(column)
+        for row in self.rows:
+            values = []
+            for rid in sorted(row.result.resource_ids):
+                res = self.engine.store.resource_by_id(rid)
+                if res is not None and res.type_name == type_name:
+                    v = self.engine.store.attribute_value(rid, attribute)
+                    if v is not None:
+                        values.append(v)
+            row.extra_columns[column] = ",".join(values)
+
+    # -- table operations ---------------------------------------------------------------
+
+    def sort(self, column: str, descending: bool = False) -> None:
+        """Sort rows by any column (numeric when possible)."""
+        def key(row: ResultRow):
+            v = row.cell(column)
+            if v is None:
+                return (0, 0.0, "")
+            try:
+                return (1, float(v), "")
+            except (TypeError, ValueError):
+                return (2, 0.0, str(v))
+
+        self.rows.sort(key=key, reverse=descending)
+
+    def filter(self, predicate: Callable[[ResultRow], bool]) -> int:
+        """Hide rows failing *predicate*; returns how many remain."""
+        self.rows = [r for r in self.rows if predicate(r)]
+        return len(self.rows)
+
+    def filter_column(self, column: str, substring: str) -> int:
+        needle = substring.lower()
+        return self.filter(lambda r: needle in str(r.cell(column) or "").lower())
+
+    def cell(self, row: int, column: str):
+        return self.rows[row].cell(column)
+
+    def as_table(self) -> list[list[object]]:
+        return [[r.cell(c) for c in self.columns] for r in self.rows]
+
+    # -- export / import ("store the data to files, read it back in") -----------------
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow([row.cell(c) for c in self.columns])
+        return buf.getvalue()
+
+    def save_csv(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            fh.write(self.to_csv())
+
+    @staticmethod
+    def load_csv(path: str) -> tuple[list[str], list[list[str]]]:
+        """Read back an exported table (column names, rows of strings)."""
+        with open(path, "r", encoding="utf-8", newline="") as fh:
+            reader = csv.reader(fh)
+            rows = list(reader)
+        if not rows:
+            return [], []
+        return rows[0], rows[1:]
+
+    # -- plotting handoff -------------------------------------------------------------------
+
+    def series_for(
+        self, label_column: str, value_column: str = "value"
+    ) -> list[tuple[str, float]]:
+        """(label, value) pairs for the bar chart from visible rows."""
+        out: list[tuple[str, float]] = []
+        for row in self.rows:
+            v = row.cell(value_column)
+            if v is None:
+                continue
+            try:
+                out.append((str(row.cell(label_column)), float(v)))
+            except (TypeError, ValueError):
+                continue
+        return out

@@ -1,0 +1,195 @@
+"""The selection dialog view-model (paper Figure 3).
+
+Workflow mirrored from Section 3.2:
+
+* The user picks a resource *type* from a menu; the dialog fetches the
+  resource names and attribute names of that type **lazily** ("the GUI
+  does not get the resource names or attribute types until the user
+  selects a resource type").
+* Clicking a resource name reveals its children; a child selected under a
+  parent means "resources whose full names end with <parent>/<child>",
+  while the same base name picked from the top level means "any resource
+  with that base name".
+* Selected names/attributes/types append to the pr-filter as resource
+  families; each carries the Relatives flag (D by default for names).
+* After every change the dialog reports how many results each family
+  matches alone and how many the whole filter matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.datastore import PTDataStore
+from ..core.filters import (
+    AttributeClause,
+    ByAttributes,
+    ByName,
+    ByType,
+    Expansion,
+    PrFilter,
+    ResourceFamily,
+    ResourceFilter,
+)
+from ..core.query import QueryEngine
+
+
+@dataclass
+class SelectedParameter:
+    """One row of the dialog's "Selected Parameters" list."""
+
+    filter: ResourceFilter
+    family: ResourceFamily
+    count: int  # results matching this family alone
+
+
+class SelectionDialog:
+    """Builds a pr-filter against a data store with live counts."""
+
+    def __init__(self, store: PTDataStore) -> None:
+        self.store = store
+        self.engine = QueryEngine(store)
+        self.selected: list[SelectedParameter] = []
+        self._current_type: Optional[str] = None
+
+    # -- type menu -------------------------------------------------------------
+
+    def resource_type_menu(self) -> list[str]:
+        """All type paths, for the popup menu."""
+        return [t.name for t in self.store.resource_types()]
+
+    def choose_type(self, type_path: str) -> None:
+        """Select a type; resource/attribute lists are fetched on demand."""
+        if self.store.resource_type(type_path) is None:
+            raise ValueError(f"unknown resource type {type_path!r}")
+        self._current_type = type_path
+
+    @property
+    def current_type(self) -> Optional[str]:
+        return self._current_type
+
+    # -- left-hand lists -----------------------------------------------------------
+
+    def resource_names(self) -> list[str]:
+        """Top-level list: distinct base names of the current type."""
+        if self._current_type is None:
+            return []
+        seen: list[str] = []
+        for res in self.store.resources_of_type(self._current_type):
+            if res.base not in seen:
+                seen.append(res.base)
+        return seen
+
+    def attribute_names(self) -> list[str]:
+        """Attribute names appearing on resources of the current type."""
+        if self._current_type is None:
+            return []
+        rows = self.store.backend.query(
+            "SELECT DISTINCT a.name FROM resource_attribute a "
+            "JOIN resource_item r ON r.id = a.resource_id "
+            "JOIN focus_framework t ON t.id = r.focus_framework_id "
+            "WHERE t.name = ? ORDER BY a.name",
+            (self._current_type,),
+        )
+        return [r[0] for r in rows]
+
+    def attribute_values(self, attribute: str) -> list[str]:
+        if self._current_type is None:
+            return []
+        rows = self.store.backend.query(
+            "SELECT DISTINCT a.value FROM resource_attribute a "
+            "JOIN resource_item r ON r.id = a.resource_id "
+            "JOIN focus_framework t ON t.id = r.focus_framework_id "
+            "WHERE t.name = ? AND a.name = ? ORDER BY a.value",
+            (self._current_type, attribute),
+        )
+        return [r[0] for r in rows]
+
+    def children_of_name(self, full_name: str) -> list[str]:
+        """Expand one resource entry to its children (lazy tree)."""
+        res = self.store.resource_by_name(full_name)
+        if res is None:
+            return []
+        return [c.name for c in self.store.children_of(res.id)]
+
+    def view_attributes(self, full_name: str) -> dict[str, str]:
+        """The separate attribute-viewer window for one resource."""
+        res = self.store.resource_by_name(full_name)
+        if res is None:
+            raise ValueError(f"unknown resource {full_name!r}")
+        return {a.name: a.value for a in self.store.attributes_of(res.id)}
+
+    # -- building the pr-filter --------------------------------------------------------
+
+    def add_name(
+        self, name: str, expansion: Expansion = Expansion.DESCENDANTS
+    ) -> SelectedParameter:
+        """Add a resource-name family (full path or top-level base name)."""
+        return self._append(ByName(name, expansion))
+
+    def add_type(
+        self, type_path: Optional[str] = None, expansion: Expansion = Expansion.NONE
+    ) -> SelectedParameter:
+        """Add a whole-type family ("only machine-level measurements")."""
+        tp = type_path or self._current_type
+        if tp is None:
+            raise ValueError("no resource type selected")
+        return self._append(ByType(tp, expansion))
+
+    def add_attribute(
+        self,
+        attribute: str,
+        comparator: str,
+        value: str,
+        expansion: Expansion = Expansion.NONE,
+    ) -> SelectedParameter:
+        """Add an attribute-clause family scoped to the current type."""
+        clause = AttributeClause(attribute, comparator, value)
+        return self._append(
+            ByAttributes((clause,), type_path=self._current_type, expansion=expansion)
+        )
+
+    def _append(self, f: ResourceFilter) -> SelectedParameter:
+        family = self.store.resolve_filter(f)
+        param = SelectedParameter(
+            filter=f, family=family, count=self.engine.count_for_family(family)
+        )
+        self.selected.append(param)
+        return param
+
+    def set_relatives(self, index: int, expansion: Expansion) -> SelectedParameter:
+        """Change a row's A/D/B/N flag and re-resolve it."""
+        old = self.selected[index].filter
+        if isinstance(old, ByName):
+            new: ResourceFilter = ByName(old.name, expansion)
+        elif isinstance(old, ByType):
+            new = ByType(old.type_path, expansion)
+        else:
+            new = ByAttributes(old.clauses, old.type_path, expansion)
+        family = self.store.resolve_filter(new)
+        param = SelectedParameter(
+            filter=new, family=family, count=self.engine.count_for_family(family)
+        )
+        self.selected[index] = param
+        return param
+
+    def remove(self, index: int) -> None:
+        del self.selected[index]
+
+    # -- counts & retrieval -------------------------------------------------------------
+
+    @property
+    def families(self) -> list[ResourceFamily]:
+        return [p.family for p in self.selected]
+
+    def total_count(self) -> int:
+        """The whole-filter match count shown in the dialog's count box."""
+        return self.engine.count_for_filter(self.families)
+
+    def pr_filter(self) -> PrFilter:
+        return PrFilter([p.filter for p in self.selected])
+
+    def retrieve(self):
+        """The "get data" button: materialise matching results."""
+        return self.engine.fetch_results(self.engine.result_ids(self.families))

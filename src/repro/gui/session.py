@@ -1,0 +1,139 @@
+"""Analysis-session persistence.
+
+The paper's GUI lets users "store the data to files, read it back in, and
+initiate new queries"; this module rounds that out by making the *query
+state* itself durable: a :class:`Session` records the pr-filter under
+construction, chosen columns and sort order, and serialises to JSON so an
+analysis can be resumed (or shared with the colleague next door — the
+collaboration story of the paper's introduction).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.datastore import PTDataStore
+from ..core.filters import (
+    AttributeClause,
+    ByAttributes,
+    ByConstraint,
+    ByName,
+    ByType,
+    Expansion,
+    PrFilter,
+    ResourceFilter,
+)
+from ..core.query import QueryEngine
+from .mainwindow import MainWindow
+
+_FORMAT_VERSION = 1
+
+
+def filter_to_dict(f: ResourceFilter) -> dict:
+    """JSON-able representation of one resource filter."""
+    if isinstance(f, ByName):
+        return {"kind": "name", "name": f.name, "expansion": f.expansion.value}
+    if isinstance(f, ByType):
+        return {"kind": "type", "type": f.type_path, "expansion": f.expansion.value}
+    if isinstance(f, ByAttributes):
+        return {
+            "kind": "attributes",
+            "clauses": [
+                {"name": c.name, "comparator": c.comparator, "value": c.value}
+                for c in f.clauses
+            ],
+            "type": f.type_path,
+            "expansion": f.expansion.value,
+        }
+    if isinstance(f, ByConstraint):
+        return {
+            "kind": "constraint",
+            "target": f.target,
+            "direction": f.direction,
+            "expansion": f.expansion.value,
+        }
+    raise TypeError(f"cannot serialise filter {type(f).__name__}")
+
+
+def filter_from_dict(d: dict) -> ResourceFilter:
+    kind = d.get("kind")
+    expansion = Expansion(d.get("expansion", "N"))
+    if kind == "name":
+        return ByName(d["name"], expansion)
+    if kind == "type":
+        return ByType(d["type"], expansion)
+    if kind == "attributes":
+        clauses = tuple(
+            AttributeClause(c["name"], c["comparator"], c["value"])
+            for c in d["clauses"]
+        )
+        return ByAttributes(clauses, d.get("type"), expansion)
+    if kind == "constraint":
+        return ByConstraint(d["target"], d.get("direction", "to"), expansion)
+    raise ValueError(f"unknown filter kind {kind!r}")
+
+
+@dataclass
+class Session:
+    """One analysis session: the query and presentation state."""
+
+    name: str = "session"
+    pr_filter: PrFilter = field(default_factory=PrFilter)
+    columns: list[str] = field(default_factory=list)  # added free-resource columns
+    sort_column: Optional[str] = None
+    sort_descending: bool = False
+    notes: str = ""
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": _FORMAT_VERSION,
+            "name": self.name,
+            "filters": [filter_to_dict(f) for f in self.pr_filter.filters],
+            "columns": self.columns,
+            "sort_column": self.sort_column,
+            "sort_descending": self.sort_descending,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Session":
+        if d.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported session version {d.get('version')!r}")
+        return cls(
+            name=d.get("name", "session"),
+            pr_filter=PrFilter([filter_from_dict(fd) for fd in d.get("filters", [])]),
+            columns=list(d.get("columns", [])),
+            sort_column=d.get("sort_column"),
+            sort_descending=bool(d.get("sort_descending", False)),
+            notes=d.get("notes", ""),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+
+    @classmethod
+    def load(cls, path: str) -> "Session":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, store: PTDataStore) -> MainWindow:
+        """Re-run the saved query against a store and rebuild the table."""
+        engine = QueryEngine(store)
+        families = store.resolve_prfilter(self.pr_filter)
+        specified = set()
+        for fam in families:
+            specified |= fam.resource_ids
+        window = MainWindow(engine, specified_ids=specified)
+        window.show_results(engine.fetch_results(engine.result_ids(families)))
+        for column in self.columns:
+            window.add_column(column)
+        if self.sort_column:
+            window.sort(self.sort_column, self.sort_descending)
+        return window

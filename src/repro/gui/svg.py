@@ -1,0 +1,174 @@
+"""SVG rendering for charts (paper Section 6: "a richer visualization
+interface").
+
+Deterministic, dependency-free SVG output for :class:`BarChart` (grouped
+vertical bars with axis, labels and legend) and a simple line chart for
+vector performance results (Paradyn histograms over time).  The paper's
+GUI hand-rolled its bar chart widget; this is the modern equivalent with
+a testable text artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .barchart import BarChart
+
+_PALETTE = ("#4878a8", "#e49444", "#5aa469", "#d1605e", "#857aab", "#937860")
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def barchart_to_svg(
+    chart: BarChart,
+    width: int = 640,
+    height: int = 360,
+) -> str:
+    """Render a grouped bar chart as a standalone SVG document."""
+    margin_l, margin_r, margin_t, margin_b = 56, 16, 36, 48
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    categories = chart.categories
+    n_cat = max(1, len(categories))
+    n_ser = max(1, len(chart.series))
+    peak = chart.max_value() or 1.0
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if chart.title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="20" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14">{_esc(chart.title)}</text>'
+        )
+    # Axes.
+    x0, y0 = margin_l, margin_t + plot_h
+    parts.append(
+        f'<line x1="{x0}" y1="{margin_t}" x2="{x0}" y2="{y0}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x0 + plot_w}" y2="{y0}" stroke="black"/>'
+    )
+    # Y ticks (4 divisions).
+    for i in range(5):
+        v = peak * i / 4
+        y = y0 - plot_h * i / 4
+        parts.append(
+            f'<line x1="{x0 - 4}" y1="{y:.1f}" x2="{x0}" y2="{y:.1f}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{x0 - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{v:.3g}</text>'
+        )
+    # Bars.
+    group_w = plot_w / n_cat
+    bar_w = max(2.0, group_w * 0.8 / n_ser)
+    for ci, cat in enumerate(categories):
+        gx = x0 + group_w * ci + group_w * 0.1
+        for si, series in enumerate(chart.series):
+            v = series.value_for(cat)
+            if v is None:
+                continue
+            h = plot_h * v / peak
+            x = gx + si * bar_w
+            y = y0 - h
+            color = _PALETTE[si % len(_PALETTE)]
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{color}">'
+                f"<title>{_esc(series.name)} {_esc(cat)}: {v:.6g}</title></rect>"
+            )
+        parts.append(
+            f'<text x="{gx + group_w * 0.4:.1f}" y="{y0 + 14}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="10">'
+            f"{_esc(cat)}</text>"
+        )
+    # Legend.
+    lx = x0
+    ly = height - 14
+    for si, series in enumerate(chart.series):
+        color = _PALETTE[si % len(_PALETTE)]
+        parts.append(f'<rect x="{lx}" y="{ly - 9}" width="10" height="10" fill="{color}"/>')
+        parts.append(
+            f'<text x="{lx + 14}" y="{ly}" font-family="sans-serif" '
+            f'font-size="11">{_esc(series.name)}</text>'
+        )
+        lx += 14 + 8 * max(4, len(series.name))
+    if chart.value_label:
+        parts.append(
+            f'<text x="14" y="{margin_t + plot_h / 2:.1f}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="11" '
+            f'transform="rotate(-90 14 {margin_t + plot_h / 2:.1f})">'
+            f"{_esc(chart.value_label)}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def series_to_svg(
+    points: Sequence[tuple[float, float]],
+    title: str = "",
+    value_label: str = "",
+    width: int = 640,
+    height: int = 240,
+) -> str:
+    """Render (x, y) points as an SVG polyline (histograms over time)."""
+    margin_l, margin_r, margin_t, margin_b = 56, 16, 30, 30
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="18" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="13">{_esc(title)}</text>'
+        )
+    x0, y0 = margin_l, margin_t + plot_h
+    parts.append(f'<line x1="{x0}" y1="{margin_t}" x2="{x0}" y2="{y0}" stroke="black"/>')
+    parts.append(f'<line x1="{x0}" y1="{y0}" x2="{x0 + plot_w}" y2="{y0}" stroke="black"/>')
+    if points:
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        x_min, x_max = min(xs), max(xs)
+        y_max = max(ys) or 1.0
+        span = (x_max - x_min) or 1.0
+        coords = " ".join(
+            f"{x0 + plot_w * (x - x_min) / span:.1f},"
+            f"{y0 - plot_h * y / y_max:.1f}"
+            for x, y in points
+        )
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{_PALETTE[0]}" '
+            f'stroke-width="1.5"/>'
+        )
+        parts.append(
+            f'<text x="{x0 - 8}" y="{margin_t + 4}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{y_max:.3g}</text>'
+        )
+    if value_label:
+        parts.append(
+            f'<text x="14" y="{margin_t + plot_h / 2:.1f}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="11" '
+            f'transform="rotate(-90 14 {margin_t + plot_h / 2:.1f})">'
+            f"{_esc(value_label)}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg_text: str, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg_text)

@@ -1,0 +1,263 @@
+"""Abstract syntax tree node definitions for the minidb SQL dialect.
+
+Nodes are plain frozen-ish dataclasses; the parser builds them and the
+planner/executor consume them.  Expression nodes share the ``Expr`` base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Expr:
+    """Base class for expression AST nodes."""
+
+
+@dataclass
+class Literal(Expr):
+    value: Any
+
+
+@dataclass
+class Parameter(Expr):
+    index: int  # 0-based position in the parameter sequence
+
+
+@dataclass
+class ColumnRef(Expr):
+    table: Optional[str]  # qualifier as written (alias or table name), or None
+    name: str
+
+
+@dataclass
+class Star(Expr):
+    table: Optional[str] = None  # for ``t.*``
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # '-', '+', 'NOT'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # '+', '-', '*', '/', '%', '||', '=', '<>', '<', '<=', '>', '>=', 'AND', 'OR'
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+    escape: Optional[Expr] = None
+
+
+@dataclass
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass
+class InList(Expr):
+    operand: Expr
+    items: list[Expr]
+    negated: bool = False
+
+
+@dataclass
+class InSelect(Expr):
+    operand: Expr
+    select: "Select"
+    negated: bool = False
+
+
+@dataclass
+class Exists(Expr):
+    select: "Select"
+    negated: bool = False
+
+
+@dataclass
+class ScalarSelect(Expr):
+    select: "Select"
+
+
+@dataclass
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass
+class Case(Expr):
+    operand: Optional[Expr]  # CASE x WHEN ... vs CASE WHEN ...
+    whens: list[tuple[Expr, Expr]]
+    default: Optional[Expr]
+
+
+@dataclass
+class Cast(Expr):
+    operand: Expr
+    type_name: str
+
+
+@dataclass
+class FuncCall(Expr):
+    name: str  # uppercased
+    args: list[Expr]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+# ---------------------------------------------------------------------------
+# Table references
+
+
+@dataclass
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class SubqueryRef:
+    select: "Select"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+
+@dataclass
+class Join:
+    kind: str  # 'INNER', 'LEFT', 'CROSS'
+    left: Any  # TableRef | SubqueryRef | Join
+    right: Any
+    condition: Optional[Expr]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class Select:
+    items: list[SelectItem]
+    source: Any = None  # TableRef | SubqueryRef | Join | None
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None
+    distinct: bool = False
+    # UNION chain: list of (op, Select) where op in {'UNION', 'UNION ALL'}
+    compounds: list[tuple[str, "Select"]] = field(default_factory=list)
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str
+    primary_key: bool = False
+    autoincrement: bool = False
+    not_null: bool = False
+    unique: bool = False
+    default: Optional[Expr] = None
+    references: Optional[tuple[str, Optional[str]]] = None  # (table, column)
+
+
+@dataclass
+class CreateTable:
+    name: str
+    columns: list[ColumnDef]
+    primary_key: list[str] = field(default_factory=list)  # composite PK
+    uniques: list[list[str]] = field(default_factory=list)
+    foreign_keys: list[tuple[list[str], str, list[str]]] = field(default_factory=list)
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropTable:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class CreateIndex:
+    name: str
+    table: str
+    columns: list[str]
+    unique: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropIndex:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class Insert:
+    table: str
+    columns: list[str]  # empty = all columns in order
+    rows: list[list[Expr]] = field(default_factory=list)
+    select: Optional[Select] = None
+
+
+@dataclass
+class Update:
+    table: str
+    assignments: list[tuple[str, Expr]] = field(default_factory=list)
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Delete:
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Begin:
+    pass
+
+
+@dataclass
+class Commit:
+    pass
+
+
+@dataclass
+class Rollback:
+    pass
+
+
+@dataclass
+class Explain:
+    statement: Any

@@ -1,0 +1,276 @@
+"""DB-API 2.0 Connection and Cursor for minidb.
+
+This mirrors the interface PerfTrack used through cx_Oracle and pyGreSQL:
+``connect() -> Connection``, ``Connection.cursor() -> Cursor``,
+``Cursor.execute(sql, params)`` with ``?`` (qmark) or ``%s`` (format)
+placeholders, ``fetchone/fetchmany/fetchall``, ``description``,
+``rowcount`` and ``lastrowid``.
+
+Transaction semantics follow PEP 249: an implicit transaction opens on the
+first data-modifying statement and is closed by ``commit()``/``rollback()``.
+DDL statements commit implicitly (before and after), like Oracle.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from . import ast_nodes as ast
+from .errors import InterfaceError
+from .executor import Executor, Result
+from .parser import parse
+from .storage import Database
+from .wal import Journal, load_snapshot
+
+_DDL_NODES = (
+    ast.CreateTable,
+    ast.DropTable,
+    ast.CreateIndex,
+    ast.DropIndex,
+)
+_DML_NODES = (ast.Insert, ast.Update, ast.Delete)
+
+
+class Connection:
+    """An open minidb database handle."""
+
+    def __init__(self, database: str = ":memory:") -> None:
+        self.db = Database()
+        self.path: Optional[str] = None
+        self._closed = False
+        self._statement_cache: dict[str, Any] = {}
+        if database != ":memory:":
+            self.path = os.fspath(database)
+            if os.path.exists(self.path):
+                load_snapshot(self.db, self.path)
+            journal = Journal(self.db, self.path)
+            journal.replay()
+            self.db.journal = journal
+
+    # -- PEP 249 interface ---------------------------------------------------------
+
+    def cursor(self) -> "Cursor":
+        self._check_open()
+        return Cursor(self)
+
+    def commit(self) -> None:
+        self._check_open()
+        self.db.commit()
+
+    def rollback(self) -> None:
+        self._check_open()
+        self.db.rollback()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.db.rollback()
+        if self.db.journal is not None:
+            self.db.journal.checkpoint()
+        self._closed = True
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        self.close()
+
+    # -- convenience ----------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
+        cur = self.cursor()
+        cur.execute(sql, params)
+        return cur
+
+    def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
+        cur = self.cursor()
+        cur.executemany(sql, seq_of_params)
+        return cur
+
+    def executescript(self, script: str) -> None:
+        """Run multiple ``;``-separated statements (no parameters)."""
+        for stmt_sql in _split_statements(script):
+            self.execute(stmt_sql)
+
+    def checkpoint(self) -> None:
+        """Fold the WAL into the snapshot (no-op for :memory: databases)."""
+        self._check_open()
+        if self.db.journal is not None:
+            self.db.commit()
+            self.db.journal.checkpoint()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _parse_cached(self, sql: str):
+        stmt = self._statement_cache.get(sql)
+        if stmt is None:
+            stmt = parse(sql)
+            if len(self._statement_cache) > 512:
+                self._statement_cache.clear()
+            self._statement_cache[sql] = stmt
+        return stmt
+
+    def _execute(self, sql: str, params: Sequence[Any]) -> Result:
+        self._check_open()
+        stmt = self._parse_cached(sql)
+        if isinstance(stmt, _DDL_NODES):
+            # DDL commits the open transaction and runs in its own.
+            self.db.commit()
+            self.db.begin()
+            result = Executor(self.db, params).execute(stmt)
+            if self.db.journal is not None:
+                self.db.journal.log_ddl(sql)
+            self.db.commit()
+            return result
+        if isinstance(stmt, _DML_NODES):
+            self.db.begin()  # no-op when already in a transaction
+            return Executor(self.db, params).execute(stmt)
+        return Executor(self.db, params).execute(stmt)
+
+
+class Cursor:
+    """A PEP 249 cursor over one connection."""
+
+    arraysize = 1
+
+    def __init__(self, connection: Connection) -> None:
+        self.connection = connection
+        self._closed = False
+        self.description: Optional[list[tuple]] = None
+        self.rowcount: int = -1
+        self.lastrowid: Optional[int] = None
+        self._rows: list[tuple] = []
+        self._pos = 0
+
+    # -- execution ---------------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] | dict = ()) -> "Cursor":
+        self._check_open()
+        if isinstance(params, dict):
+            raise InterfaceError("minidb supports positional parameters only")
+        result = self.connection._execute(sql, tuple(params))
+        self.description = result.description
+        self.rowcount = result.rowcount
+        self.lastrowid = result.lastrowid
+        self._rows = result.rows
+        self._pos = 0
+        return self
+
+    def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
+        self._check_open()
+        total = 0
+        last = None
+        for params in seq_of_params:
+            result = self.connection._execute(sql, tuple(params))
+            if result.rowcount > 0:
+                total += result.rowcount
+            last = result
+        self.description = last.description if last else None
+        self.rowcount = total
+        self.lastrowid = last.lastrowid if last else None
+        self._rows = []
+        self._pos = 0
+        return self
+
+    # -- fetch --------------------------------------------------------------------------
+
+    def fetchone(self) -> Optional[tuple]:
+        self._check_open()
+        if self._pos >= len(self._rows):
+            return None
+        row = self._rows[self._pos]
+        self._pos += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> list[tuple]:
+        self._check_open()
+        n = size if size is not None else self.arraysize
+        out = self._rows[self._pos : self._pos + n]
+        self._pos += len(out)
+        return out
+
+    def fetchall(self) -> list[tuple]:
+        self._check_open()
+        out = self._rows[self._pos :]
+        self._pos = len(self._rows)
+        return out
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- misc ----------------------------------------------------------------------------
+
+    def setinputsizes(self, sizes) -> None:  # pragma: no cover - PEP 249 no-op
+        pass
+
+    def setoutputsize(self, size, column=None) -> None:  # pragma: no cover - no-op
+        pass
+
+    def close(self) -> None:
+        self._closed = True
+        self._rows = []
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self.connection._check_open()
+
+
+def connect(database: str = ":memory:") -> Connection:
+    """Open a minidb database (``":memory:"`` or a file path)."""
+    return Connection(database)
+
+
+def _split_statements(script: str) -> list[str]:
+    """Split on ``;`` outside string literals/comments."""
+    out: list[str] = []
+    buf: list[str] = []
+    i = 0
+    n = len(script)
+    while i < n:
+        ch = script[i]
+        if ch == "'":
+            j = i + 1
+            while j < n:
+                if script[j] == "'":
+                    if j + 1 < n and script[j + 1] == "'":
+                        j += 2
+                        continue
+                    break
+                j += 1
+            buf.append(script[i : j + 1])
+            i = j + 1
+            continue
+        if ch == "-" and script.startswith("--", i):
+            j = script.find("\n", i)
+            if j < 0:
+                break
+            i = j + 1
+            buf.append("\n")
+            continue
+        if ch == ";":
+            text = "".join(buf).strip()
+            if text:
+                out.append(text)
+            buf = []
+            i += 1
+            continue
+        buf.append(ch)
+        i += 1
+    text = "".join(buf).strip()
+    if text:
+        out.append(text)
+    return out

@@ -1,0 +1,61 @@
+"""DB-API 2.0 exception hierarchy for minidb.
+
+The hierarchy mirrors PEP 249 so that code written against minidb keeps
+working when pointed at another DB-API driver (and vice versa) — the same
+property PerfTrack relied on to support both Oracle and PostgreSQL.
+"""
+
+from __future__ import annotations
+
+
+class Warning(Exception):  # noqa: A001 - PEP 249 mandates the name
+    """Important warnings such as data truncation on insert."""
+
+
+class Error(Exception):
+    """Base class of all minidb errors."""
+
+
+class InterfaceError(Error):
+    """Errors related to the database interface rather than the database."""
+
+
+class DatabaseError(Error):
+    """Errors related to the database."""
+
+
+class DataError(DatabaseError):
+    """Errors due to problems with the processed data (bad values, ranges)."""
+
+
+class OperationalError(DatabaseError):
+    """Errors related to the database's operation (I/O, missing file, ...)."""
+
+
+class IntegrityError(DatabaseError):
+    """Relational integrity violations (duplicate key, FK violation, ...)."""
+
+
+class InternalError(DatabaseError):
+    """The database encountered an internal inconsistency."""
+
+
+class ProgrammingError(DatabaseError):
+    """SQL syntax errors, wrong parameter counts, missing tables, ..."""
+
+
+class NotSupportedError(DatabaseError):
+    """A method or SQL feature that minidb does not implement."""
+
+
+class SqlSyntaxError(ProgrammingError):
+    """Raised by the lexer/parser with position information."""
+
+    def __init__(self, message: str, sql: str = "", pos: int = 0) -> None:
+        self.sql = sql
+        self.pos = pos
+        if sql:
+            line = sql.count("\n", 0, pos) + 1
+            col = pos - (sql.rfind("\n", 0, pos) + 1) + 1
+            message = f"{message} (line {line}, column {col})"
+        super().__init__(message)

@@ -1,0 +1,778 @@
+"""Statement execution for minidb.
+
+The executor interprets parsed statements against a
+:class:`~repro.minidb.storage.Database`.  SELECT uses a pull pipeline:
+source iteration (with planner-chosen access paths), WHERE filtering,
+grouping/aggregation, projection, DISTINCT, UNION, ORDER BY, LIMIT.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence
+
+from . import ast_nodes as ast
+from .errors import ProgrammingError
+from .expressions import (
+    AggregateAccumulator,
+    Evaluator,
+    Scope,
+    collect_aggregates,
+)
+from .planner import (
+    FullScan,
+    IndexEquality,
+    IndexRange,
+    InProbe,
+    choose_access_path,
+    split_conjuncts,
+)
+from .sqltypes import sort_key
+from .storage import Database
+
+
+class Result:
+    """Outcome of one executed statement."""
+
+    __slots__ = ("description", "rows", "rowcount", "lastrowid")
+
+    def __init__(
+        self,
+        description: Optional[list[tuple]] = None,
+        rows: Optional[list[tuple]] = None,
+        rowcount: int = -1,
+        lastrowid: Optional[int] = None,
+    ) -> None:
+        self.description = description
+        self.rows = rows or []
+        self.rowcount = rowcount
+        self.lastrowid = lastrowid
+
+
+class Executor:
+    """Executes one statement; cheap to construct per call."""
+
+    def __init__(self, db: Database, params: Sequence[Any] = ()) -> None:
+        self.db = db
+        self.evaluator = Evaluator(params, subquery_runner=self._run_subquery)
+        # Access paths for join probes are chosen once per (table-node,
+        # bound bindings) pair, not once per outer row.
+        self._path_cache: dict[tuple, object] = {}
+
+    # -- dispatch --------------------------------------------------------------
+
+    def execute(self, stmt) -> Result:
+        name = type(stmt).__name__
+        handler = getattr(self, f"_exec_{name}", None)
+        if handler is None:
+            raise ProgrammingError(f"cannot execute {name}")
+        return handler(stmt)
+
+    # -- DDL --------------------------------------------------------------------
+
+    def _exec_CreateTable(self, stmt: ast.CreateTable) -> Result:
+        if stmt.if_not_exists and self.db.catalog.has_table(stmt.name):
+            return Result(rowcount=0)
+        self.db.create_table(stmt)
+        return Result(rowcount=0)
+
+    def _exec_DropTable(self, stmt: ast.DropTable) -> Result:
+        if stmt.if_exists and not self.db.catalog.has_table(stmt.name):
+            return Result(rowcount=0)
+        self.db.drop_table(stmt.name)
+        return Result(rowcount=0)
+
+    def _exec_CreateIndex(self, stmt: ast.CreateIndex) -> Result:
+        if stmt.if_not_exists and self.db.catalog.has_index(stmt.name):
+            return Result(rowcount=0)
+        self.db.create_index(stmt)
+        return Result(rowcount=0)
+
+    def _exec_DropIndex(self, stmt: ast.DropIndex) -> Result:
+        if stmt.if_exists and not self.db.catalog.has_index(stmt.name):
+            return Result(rowcount=0)
+        self.db.drop_index(stmt.name)
+        return Result(rowcount=0)
+
+    # -- DML ----------------------------------------------------------------------
+
+    def _exec_Insert(self, stmt: ast.Insert) -> Result:
+        table = self.db.table(stmt.table)
+        meta = table.meta
+        if stmt.columns:
+            positions = [meta.column_index(c) for c in stmt.columns]
+        else:
+            positions = list(range(len(meta.columns)))
+        source_rows: list[list[Any]]
+        if stmt.select is not None:
+            _, sel_rows = self._run_select(stmt.select, Scope())
+            source_rows = [list(r) for r in sel_rows]
+        else:
+            scope = Scope()
+            source_rows = [
+                [self.evaluator.evaluate(e, scope) for e in row] for row in stmt.rows
+            ]
+        lastrowid = None
+        count = 0
+        for values in source_rows:
+            if len(values) != len(positions):
+                raise ProgrammingError(
+                    f"table {meta.name} expects {len(positions)} values, got {len(values)}"
+                )
+            full: list[Any] = []
+            for i, col in enumerate(meta.columns):
+                if i in positions:
+                    full.append(values[positions.index(i)])
+                elif col.has_default:
+                    full.append(col.default)
+                else:
+                    full.append(None)
+            full = self.db.coerce_row(meta, full)
+            lastrowid = self.db.insert_row(table, full)
+            count += 1
+        return Result(rowcount=count, lastrowid=lastrowid)
+
+    def _exec_Update(self, stmt: ast.Update) -> Result:
+        table = self.db.table(stmt.table)
+        meta = table.meta
+        assignments = [(meta.column_index(c), e) for c, e in stmt.assignments]
+        targets: list[tuple[int, tuple]] = []
+        for rowid, row, _scope in self._scan_with_where(stmt.table, stmt.where):
+            targets.append((rowid, row))
+        count = 0
+        for rowid, row in targets:
+            scope = Scope()
+            scope.bind(meta.name, meta.column_names, row)
+            new_row = list(row)
+            for pos, expr in assignments:
+                new_row[pos] = self.evaluator.evaluate(expr, scope)
+            new_row = self.db.coerce_row(meta, new_row)
+            self.db.update_row(table, rowid, tuple(new_row))
+            count += 1
+        return Result(rowcount=count)
+
+    def _exec_Delete(self, stmt: ast.Delete) -> Result:
+        table = self.db.table(stmt.table)
+        targets = [rowid for rowid, _row, _s in self._scan_with_where(stmt.table, stmt.where)]
+        for rowid in targets:
+            self.db.delete_row(table, rowid)
+        return Result(rowcount=len(targets))
+
+    def _scan_with_where(
+        self, table_name: str, where: Optional[ast.Expr]
+    ) -> Iterator[tuple[int, tuple, Scope]]:
+        """Yield (rowid, row, scope) for rows of *table_name* matching *where*."""
+        table = self.db.table(table_name)
+        meta = table.meta
+        conjuncts = split_conjuncts(where)
+        path = choose_access_path(
+            self.db.indexes_on(meta.name),
+            meta,
+            meta.name,
+            conjuncts,
+            known_binding=lambda t, c: False,
+        )
+        for rowid in self._rowids_for_path(path, table, Scope()):
+            row = table.rows.get(rowid)
+            if row is None:
+                continue
+            scope = Scope()
+            scope.bind(meta.name, meta.column_names, row)
+            if where is None or self.evaluator.is_true(where, scope):
+                yield rowid, row, scope
+
+    def _rowids_for_path(self, path, table, outer_scope: Scope) -> Iterator[int]:
+        if isinstance(path, FullScan):
+            # list() so callers may mutate during iteration of DML targets
+            yield from list(table.rows.keys())
+            return
+        if isinstance(path, IndexEquality):
+            key = tuple(
+                self.evaluator.evaluate(e, outer_scope) for e in path.key_exprs
+            )
+            yield from path.index.lookup(key)
+            return
+        if isinstance(path, InProbe):
+            seen: set[int] = set()
+            for item in path.items:
+                key = (self.evaluator.evaluate(item, outer_scope),)
+                for rowid in path.index.lookup(key):
+                    if rowid not in seen:
+                        seen.add(rowid)
+                        yield rowid
+            return
+        if isinstance(path, IndexRange):
+            prefix = tuple(
+                self.evaluator.evaluate(e, outer_scope) for e in path.prefix_exprs
+            )
+            if prefix:
+                yield from path.index.range_scan(low=prefix, high=prefix)
+                return
+            low = high = None
+            low_inc = high_inc = True
+            if path.low is not None:
+                op, expr = path.low
+                low = (self.evaluator.evaluate(expr, outer_scope),)
+                low_inc = op == ">="
+            if path.high is not None:
+                op, expr = path.high
+                high = (self.evaluator.evaluate(expr, outer_scope),)
+                high_inc = op == "<="
+            yield from path.index.range_scan(low, high, low_inc, high_inc)
+            return
+        raise ProgrammingError(f"unknown access path {path!r}")  # pragma: no cover
+
+    # -- transactions ------------------------------------------------------------------
+
+    def _exec_Begin(self, stmt: ast.Begin) -> Result:
+        self.db.begin()
+        return Result(rowcount=0)
+
+    def _exec_Commit(self, stmt: ast.Commit) -> Result:
+        self.db.commit()
+        return Result(rowcount=0)
+
+    def _exec_Rollback(self, stmt: ast.Rollback) -> Result:
+        self.db.rollback()
+        return Result(rowcount=0)
+
+    # -- EXPLAIN ----------------------------------------------------------------------
+
+    def _exec_Explain(self, stmt: ast.Explain) -> Result:
+        lines = self._explain(stmt.statement)
+        return Result(
+            description=[("plan", None, None, None, None, None, None)],
+            rows=[(line,) for line in lines],
+            rowcount=len(lines),
+        )
+
+    def _explain(self, stmt) -> list[str]:
+        if isinstance(stmt, ast.Select):
+            lines: list[str] = []
+            self._explain_source(stmt.source, split_conjuncts(stmt.where), lines)
+            if stmt.group_by or self._has_aggregates(stmt):
+                lines.append("AGGREGATE")
+            if stmt.order_by:
+                lines.append("ORDER BY")
+            for _op, sub in stmt.compounds:
+                lines.append("UNION")
+                self._explain_source(sub.source, split_conjuncts(sub.where), lines)
+            return lines
+        if isinstance(stmt, (ast.Update, ast.Delete)):
+            meta = self.db.catalog.table(stmt.table)
+            path = choose_access_path(
+                self.db.indexes_on(meta.name),
+                meta,
+                meta.name,
+                split_conjuncts(stmt.where),
+                known_binding=lambda t, c: False,
+            )
+            return [path.describe()]
+        return [type(stmt).__name__.upper()]
+
+    def _explain_source(self, source, where_conjuncts, lines: list[str], bound=()) -> None:
+        if source is None:
+            lines.append("CONSTANT ROW")
+            return
+        if isinstance(source, ast.TableRef):
+            meta = self.db.catalog.table(source.name)
+            path = choose_access_path(
+                self.db.indexes_on(meta.name),
+                meta,
+                source.binding,
+                where_conjuncts,
+                known_binding=self._known_binding_fn(set(bound), meta, source.binding),
+            )
+            lines.append(path.describe())
+            return
+        if isinstance(source, ast.SubqueryRef):
+            lines.append(f"SUBQUERY AS {source.alias}")
+            return
+        if isinstance(source, ast.Join):
+            self._explain_source(source.left, where_conjuncts, lines, bound)
+            left_bindings = tuple(bound) + tuple(self._bindings_of(source.left))
+            push = list(split_conjuncts(source.condition))
+            if source.kind == "INNER":
+                push += where_conjuncts
+            self._explain_source(source.right, push, lines, left_bindings)
+            return
+        raise ProgrammingError(f"cannot explain source {source!r}")
+
+    # -- SELECT -----------------------------------------------------------------------
+
+    def _run_subquery(self, select: ast.Select, outer: Scope, limit_one: bool = False):
+        _desc, rows = self._run_select(select, outer, limit_one=limit_one)
+        return rows
+
+    def _exec_Select(self, stmt: ast.Select) -> Result:
+        description, rows = self._run_select(stmt, Scope())
+        return Result(description=description, rows=rows, rowcount=len(rows))
+
+    def _run_select(
+        self, stmt: ast.Select, outer: Scope, limit_one: bool = False
+    ) -> tuple[list[tuple], list[tuple]]:
+        names, rows, contexts = self._select_core(stmt, outer, limit_one=limit_one)
+        for op, sub in stmt.compounds:
+            sub_names, sub_rows, _ = self._select_core(sub, outer)
+            if len(sub_names) != len(names):
+                raise ProgrammingError("UNION selects must have the same number of columns")
+            rows = rows + sub_rows
+            contexts = None
+            if op == "UNION":
+                rows = _dedup(rows)
+        if stmt.order_by:
+            rows = self._apply_order(stmt, names, rows, contexts)
+        rows = self._apply_limit(stmt, rows, outer)
+        description = [(n, None, None, None, None, None, None) for n in names]
+        return description, rows
+
+    def _apply_limit(self, stmt: ast.Select, rows: list[tuple], outer: Scope) -> list[tuple]:
+        if stmt.limit is None and stmt.offset is None:
+            return rows
+        offset = 0
+        if stmt.offset is not None:
+            offset = int(self.evaluator.evaluate(stmt.offset, outer) or 0)
+        if stmt.limit is not None:
+            limit = self.evaluator.evaluate(stmt.limit, outer)
+            if limit is None or int(limit) < 0:
+                return rows[offset:]
+            return rows[offset : offset + int(limit)]
+        return rows[offset:]
+
+    def _has_aggregates(self, stmt: ast.Select) -> bool:
+        calls: list[ast.FuncCall] = []
+        for item in stmt.items:
+            if not isinstance(item.expr, ast.Star):
+                collect_aggregates(item.expr, calls)
+        collect_aggregates(stmt.having, calls)
+        for oi in stmt.order_by:
+            collect_aggregates(oi.expr, calls)
+        return bool(calls)
+
+    def _select_core(
+        self, stmt: ast.Select, outer: Scope, limit_one: bool = False
+    ) -> tuple[list[str], list[tuple], Optional[list]]:
+        """Returns (column names, rows, per-row order contexts or None)."""
+        where_conjuncts = split_conjuncts(stmt.where)
+        scopes = self._iter_source(stmt.source, outer, where_conjuncts)
+
+        grouped = bool(stmt.group_by) or self._has_aggregates(stmt)
+        names = self._output_names(stmt)
+
+        if grouped:
+            rows, contexts = self._grouped_rows(stmt, scopes, outer)
+        else:
+            rows = []
+            contexts = []
+            for scope in scopes:
+                if stmt.where is not None and not self.evaluator.is_true(stmt.where, scope):
+                    continue
+                rows.append(self._project(stmt, scope))
+                contexts.append((scope, None))
+                if (
+                    limit_one
+                    and not stmt.distinct
+                    and not stmt.order_by
+                    and stmt.limit is None
+                    and not stmt.compounds
+                ):
+                    break
+        if stmt.distinct:
+            rows, contexts = _dedup_with_contexts(rows, contexts)
+        return names, rows, contexts
+
+    # -- source iteration -----------------------------------------------------------
+
+    def _bindings_of(self, source) -> list[str]:
+        if source is None:
+            return []
+        if isinstance(source, (ast.TableRef, ast.SubqueryRef)):
+            return [source.binding]
+        if isinstance(source, ast.Join):
+            return self._bindings_of(source.left) + self._bindings_of(source.right)
+        raise ProgrammingError(f"unknown source {source!r}")
+
+    def _known_binding_fn(self, bound: set, meta, binding: str):
+        bound_lower = {b.lower() for b in bound}
+
+        def known(table: Optional[str], column: str) -> bool:
+            if table is not None:
+                return table.lower() != binding.lower() and table.lower() in bound_lower
+            # Unqualified: only known when it is NOT a column of the probed
+            # table (otherwise it refers to the row being scanned).
+            return not meta.has_column(column)
+
+        return known
+
+    def _iter_source(
+        self, source, outer: Scope, where_conjuncts: list[ast.Expr]
+    ) -> Iterator[Scope]:
+        if source is None:
+            scope = outer.child()
+            yield scope
+            return
+        yield from self._iter_node(source, outer, where_conjuncts, bound=[])
+
+    def _iter_node(
+        self, node, outer: Scope, where_conjuncts: list[ast.Expr], bound: list[str]
+    ) -> Iterator[Scope]:
+        if isinstance(node, ast.TableRef):
+            yield from self._iter_table(node, outer, where_conjuncts, bound, parent=None)
+            return
+        if isinstance(node, ast.SubqueryRef):
+            yield from self._iter_subquery(node, outer, parent=None)
+            return
+        if isinstance(node, ast.Join):
+            yield from self._iter_join(node, outer, where_conjuncts, bound)
+            return
+        raise ProgrammingError(f"unknown source node {node!r}")
+
+    def _iter_table(
+        self,
+        ref: ast.TableRef,
+        outer: Scope,
+        push_conjuncts: list[ast.Expr],
+        bound: list[str],
+        parent: Optional[Scope],
+    ) -> Iterator[Scope]:
+        table = self.db.table(ref.name)
+        meta = table.meta
+        cache_key = (id(ref), tuple(id(c) for c in push_conjuncts), tuple(bound))
+        path = self._path_cache.get(cache_key)
+        if path is None:
+            path = choose_access_path(
+                self.db.indexes_on(meta.name),
+                meta,
+                ref.binding,
+                push_conjuncts,
+                known_binding=self._known_binding_fn(set(bound), meta, ref.binding),
+            )
+            self._path_cache[cache_key] = path
+        eval_scope = parent if parent is not None else outer
+        for rowid in self._rowids_for_path(path, table, eval_scope):
+            row = table.rows.get(rowid)
+            if row is None:
+                continue
+            scope = (parent or outer).child()
+            scope.bind(ref.binding, meta.column_names, row)
+            yield scope
+
+    def _iter_subquery(
+        self, ref: ast.SubqueryRef, outer: Scope, parent: Optional[Scope]
+    ) -> Iterator[Scope]:
+        names = self._output_names(ref.select)
+        _desc, rows = self._run_select(ref.select, Scope())
+        for row in rows:
+            scope = (parent or outer).child()
+            scope.bind(ref.alias, names, row)
+            yield scope
+
+    def _iter_join(
+        self, node: ast.Join, outer: Scope, where_conjuncts: list[ast.Expr], bound: list[str]
+    ) -> Iterator[Scope]:
+        left_bindings = self._bindings_of(node.left)
+        for left_scope in self._iter_node(node.left, outer, where_conjuncts, bound):
+            matched = False
+            push = list(split_conjuncts(node.condition))
+            if node.kind == "INNER":
+                push = push + where_conjuncts
+            for right_scope in self._iter_right(
+                node.right, outer, push, bound + left_bindings, left_scope
+            ):
+                if node.condition is None or self.evaluator.is_true(
+                    node.condition, right_scope
+                ):
+                    matched = True
+                    yield right_scope
+            if node.kind == "LEFT" and not matched:
+                scope = left_scope.child()
+                for binding, columns in self._null_bindings(node.right):
+                    scope.bind(binding, columns, tuple([None] * len(columns)))
+                yield scope
+
+    def _iter_right(
+        self,
+        node,
+        outer: Scope,
+        push_conjuncts: list[ast.Expr],
+        bound: list[str],
+        parent: Scope,
+    ) -> Iterator[Scope]:
+        if isinstance(node, ast.TableRef):
+            yield from self._iter_table(node, outer, push_conjuncts, bound, parent=parent)
+            return
+        if isinstance(node, ast.SubqueryRef):
+            yield from self._iter_subquery(node, outer, parent=parent)
+            return
+        if isinstance(node, ast.Join):
+            # Nested join on the right: evaluate it with parent as context.
+            for scope in self._iter_join_with_parent(node, outer, push_conjuncts, bound, parent):
+                yield scope
+            return
+        raise ProgrammingError(f"unknown join operand {node!r}")
+
+    def _iter_join_with_parent(
+        self, node: ast.Join, outer: Scope, where_conjuncts, bound, parent: Scope
+    ) -> Iterator[Scope]:
+        left_bindings = self._bindings_of(node.left)
+        for left_scope in self._iter_right(node.left, outer, where_conjuncts, bound, parent):
+            matched = False
+            push = list(split_conjuncts(node.condition))
+            if node.kind == "INNER":
+                push = push + where_conjuncts
+            for right_scope in self._iter_right(
+                node.right, outer, push, bound + left_bindings, left_scope
+            ):
+                if node.condition is None or self.evaluator.is_true(
+                    node.condition, right_scope
+                ):
+                    matched = True
+                    yield right_scope
+            if node.kind == "LEFT" and not matched:
+                scope = left_scope.child()
+                for binding, columns in self._null_bindings(node.right):
+                    scope.bind(binding, columns, tuple([None] * len(columns)))
+                yield scope
+
+    def _null_bindings(self, node) -> list[tuple[str, list[str]]]:
+        if isinstance(node, ast.TableRef):
+            meta = self.db.catalog.table(node.name)
+            return [(node.binding, meta.column_names)]
+        if isinstance(node, ast.SubqueryRef):
+            return [(node.alias, self._output_names(node.select))]
+        if isinstance(node, ast.Join):
+            return self._null_bindings(node.left) + self._null_bindings(node.right)
+        raise ProgrammingError(f"unknown source node {node!r}")
+
+    # -- projection --------------------------------------------------------------------
+
+    def _output_names(self, stmt: ast.Select) -> list[str]:
+        names: list[str] = []
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                names.extend(self._star_names(stmt.source, item.expr.table))
+            elif item.alias:
+                names.append(item.alias)
+            elif isinstance(item.expr, ast.ColumnRef):
+                names.append(item.expr.name)
+            else:
+                names.append(_render(item.expr))
+        return names
+
+    def _star_names(self, source, table: Optional[str]) -> list[str]:
+        names: list[str] = []
+        for binding, columns in self._binding_columns(source):
+            if table is None or binding.lower() == table.lower():
+                names.extend(columns)
+        if not names:
+            target = table or "*"
+            raise ProgrammingError(f"no columns for {target}")
+        return names
+
+    def _binding_columns(self, source) -> list[tuple[str, list[str]]]:
+        if source is None:
+            return []
+        if isinstance(source, ast.TableRef):
+            meta = self.db.catalog.table(source.name)
+            return [(source.binding, meta.column_names)]
+        if isinstance(source, ast.SubqueryRef):
+            return [(source.alias, self._output_names(source.select))]
+        if isinstance(source, ast.Join):
+            return self._binding_columns(source.left) + self._binding_columns(source.right)
+        raise ProgrammingError(f"unknown source {source!r}")
+
+    def _project(self, stmt: ast.Select, scope: Scope, aggregates=None) -> tuple:
+        ev = self.evaluator
+        old_agg = ev.aggregates
+        if aggregates is not None:
+            ev.aggregates = aggregates
+        try:
+            out: list[Any] = []
+            for item in stmt.items:
+                if isinstance(item.expr, ast.Star):
+                    for binding, columns in self._binding_columns(stmt.source):
+                        if item.expr.table is None or binding.lower() == item.expr.table.lower():
+                            for col in columns:
+                                out.append(scope.resolve(binding, col))
+                else:
+                    out.append(ev.evaluate(item.expr, scope))
+            return tuple(out)
+        finally:
+            ev.aggregates = old_agg
+
+    # -- grouping ---------------------------------------------------------------------
+
+    def _grouped_rows(
+        self, stmt: ast.Select, scopes: Iterator[Scope], outer: Scope
+    ) -> tuple[list[tuple], list]:
+        calls: list[ast.FuncCall] = []
+        for item in stmt.items:
+            if not isinstance(item.expr, ast.Star):
+                collect_aggregates(item.expr, calls)
+        collect_aggregates(stmt.having, calls)
+        for oi in stmt.order_by:
+            collect_aggregates(oi.expr, calls)
+
+        groups: dict[tuple, dict] = {}
+        order: list[tuple] = []
+        for scope in scopes:
+            if stmt.where is not None and not self.evaluator.is_true(stmt.where, scope):
+                continue
+            if stmt.group_by:
+                key = tuple(
+                    sort_key(self.evaluator.evaluate(e, scope)) for e in stmt.group_by
+                )
+            else:
+                key = ()
+            g = groups.get(key)
+            if g is None:
+                g = {
+                    "scope": scope,
+                    "accs": {id(c): AggregateAccumulator(c) for c in calls},
+                }
+                groups[key] = g
+                order.append(key)
+            for call in calls:
+                acc = g["accs"][id(call)]
+                if call.star:
+                    acc.add(None)
+                else:
+                    if len(call.args) != 1:
+                        raise ProgrammingError(
+                            f"aggregate {call.name}() takes exactly one argument"
+                        )
+                    acc.add(self.evaluator.evaluate(call.args[0], scope))
+        if not groups and not stmt.group_by:
+            # Aggregate over an empty input still yields one row.
+            empty_scope = outer.child()
+            for binding, columns in self._binding_columns(stmt.source):
+                empty_scope.bind(binding, columns, tuple([None] * len(columns)))
+            groups[()] = {
+                "scope": empty_scope,
+                "accs": {id(c): AggregateAccumulator(c) for c in calls},
+            }
+            order.append(())
+        rows: list[tuple] = []
+        contexts: list = []
+        for key in order:
+            g = groups[key]
+            agg_values = {i: acc.result() for i, acc in g["accs"].items()}
+            if stmt.having is not None:
+                ev = self.evaluator
+                old = ev.aggregates
+                ev.aggregates = agg_values
+                try:
+                    ok = ev.is_true(stmt.having, g["scope"])
+                finally:
+                    ev.aggregates = old
+                if not ok:
+                    continue
+            rows.append(self._project(stmt, g["scope"], aggregates=agg_values))
+            contexts.append((g["scope"], agg_values))
+        return rows, contexts
+
+    # -- ordering -------------------------------------------------------------------------
+
+    def _apply_order(
+        self,
+        stmt: ast.Select,
+        names: list[str],
+        rows: list[tuple],
+        contexts: Optional[list],
+    ) -> list[tuple]:
+        lowered = [n.lower() for n in names]
+
+        def key_for(i: int) -> tuple:
+            row = rows[i]
+            parts = []
+            for oi in stmt.order_by:
+                value = self._order_value(oi.expr, row, lowered, contexts[i] if contexts else None)
+                k = sort_key(value)
+                parts.append(_Reversed(k) if oi.descending else k)
+            return tuple(parts)
+
+        indices = sorted(range(len(rows)), key=key_for)
+        return [rows[i] for i in indices]
+
+    def _order_value(self, expr: ast.Expr, row: tuple, names: list[str], context) -> Any:
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int) and not isinstance(
+            expr.value, bool
+        ):
+            pos = expr.value - 1
+            if pos < 0 or pos >= len(row):
+                raise ProgrammingError(f"ORDER BY position {expr.value} out of range")
+            return row[pos]
+        if isinstance(expr, ast.ColumnRef) and expr.table is None and expr.name.lower() in names:
+            return row[names.index(expr.name.lower())]
+        if context is None:
+            raise ProgrammingError(
+                "ORDER BY in compound SELECT must use output column names or positions"
+            )
+        scope, aggregates = context
+        ev = self.evaluator
+        old = ev.aggregates
+        if aggregates is not None:
+            ev.aggregates = aggregates
+        try:
+            return ev.evaluate(expr, scope)
+        finally:
+            ev.aggregates = old
+
+
+class _Reversed:
+    """Inverts comparison order for DESC sort keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.key == self.key
+
+
+def _dedup(rows: list[tuple]) -> list[tuple]:
+    seen: set = set()
+    out: list[tuple] = []
+    for row in rows:
+        key = tuple(sort_key(v) for v in row)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(row)
+    return out
+
+
+def _dedup_with_contexts(rows: list[tuple], contexts: Optional[list]):
+    seen: set = set()
+    out_rows: list[tuple] = []
+    out_ctx: Optional[list] = [] if contexts is not None else None
+    for i, row in enumerate(rows):
+        key = tuple(sort_key(v) for v in row)
+        if key in seen:
+            continue
+        seen.add(key)
+        out_rows.append(row)
+        if out_ctx is not None and contexts is not None:
+            out_ctx.append(contexts[i])
+    return out_rows, out_ctx
+
+
+def _render(expr: ast.Expr) -> str:
+    """Readable name for an unaliased select expression."""
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, ast.FuncCall):
+        inner = "*" if expr.star else ", ".join(_render(a) for a in expr.args)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.name}({inner})"
+    if isinstance(expr, ast.Binary):
+        return f"{_render(expr.left)} {expr.op} {_render(expr.right)}"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op} {_render(expr.operand)}"
+    return type(expr).__name__.lower()

@@ -1,0 +1,144 @@
+"""In-memory index structures for minidb.
+
+An :class:`Index` maps a tuple of column values (the *key*) to the set of
+row ids carrying that key.  It maintains both a hash map (O(1) equality
+probes — the access path pr-filter evaluation leans on) and a lazily
+rebuilt sorted key list for range scans and ordered iteration.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterable, Iterator
+
+from .errors import IntegrityError
+from .sqltypes import sort_key
+
+
+def _ordered(key: tuple) -> tuple:
+    return tuple(sort_key(v) for v in key)
+
+
+class Index:
+    """A composite-key secondary index over one table."""
+
+    def __init__(self, name: str, table: str, columns: list[str], unique: bool = False) -> None:
+        self.name = name
+        self.table = table
+        self.columns = list(columns)
+        self.unique = unique
+        self._map: dict[tuple, list[int]] = {}
+        # Sorted list of (ordered_key, key) pairs for range scans.
+        self._sorted: list[tuple[tuple, tuple]] = []
+        self._sorted_valid = True
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._map.values())
+
+    # -- maintenance ------------------------------------------------------------
+
+    def insert(self, key: tuple, rowid: int) -> None:
+        """Add *rowid* under *key*; enforces uniqueness for non-NULL keys."""
+        bucket = self._map.get(key)
+        if bucket is None:
+            self._map[key] = [rowid]
+            if self._sorted_valid:
+                insort(self._sorted, (_ordered(key), key))
+            return
+        if self.unique and not any(v is None for v in key):
+            raise IntegrityError(
+                f"UNIQUE constraint failed: index {self.name} "
+                f"({', '.join(self.columns)}) key {key!r}"
+            )
+        bucket.append(rowid)
+
+    def check_insert(self, key: tuple) -> None:
+        """Raise if inserting *key* would violate uniqueness (no mutation)."""
+        if not self.unique or any(v is None for v in key):
+            return
+        if self._map.get(key):
+            raise IntegrityError(
+                f"UNIQUE constraint failed: index {self.name} "
+                f"({', '.join(self.columns)}) key {key!r}"
+            )
+
+    def delete(self, key: tuple, rowid: int) -> None:
+        bucket = self._map.get(key)
+        if not bucket:
+            return
+        try:
+            bucket.remove(rowid)
+        except ValueError:
+            return
+        if not bucket:
+            del self._map[key]
+            self._sorted_valid = False  # lazy removal
+
+    def clear(self) -> None:
+        self._map.clear()
+        self._sorted.clear()
+        self._sorted_valid = True
+
+    def rebuild(self, rows: Iterable[tuple[int, tuple]], key_of) -> None:
+        """Recreate from scratch given an iterable of (rowid, row)."""
+        self.clear()
+        for rowid, row in rows:
+            self.insert(key_of(row), rowid)
+
+    # -- lookups ------------------------------------------------------------------
+
+    def lookup(self, key: tuple) -> list[int]:
+        """Row ids with exactly *key* (empty list when absent)."""
+        return list(self._map.get(key, ()))
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted_valid:
+            self._sorted = sorted((_ordered(k), k) for k in self._map)
+            self._sorted_valid = True
+
+    def range_scan(
+        self,
+        low: tuple | None = None,
+        high: tuple | None = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[int]:
+        """Yield row ids whose keys fall within [low, high] in key order.
+
+        Bounds may be prefixes of the full composite key; ``None`` means
+        unbounded on that side.  NULL keys sort lowest and are *excluded*
+        from bounded scans (SQL comparisons with NULL are unknown).
+        """
+        self._ensure_sorted()
+        arr = self._sorted
+        lo_i = 0
+        hi_i = len(arr)
+        if low is not None:
+            probe = _ordered(low)
+            if low_inclusive:
+                lo_i = bisect_left(arr, (probe,))
+            else:
+                # advance past all keys whose prefix equals `low`
+                lo_i = bisect_right(arr, ((probe + ((9, "￿"),)),))
+        if high is not None:
+            probe = _ordered(high)
+            if high_inclusive:
+                hi_i = bisect_right(arr, ((probe + ((9, "￿"),)),))
+            else:
+                hi_i = bisect_left(arr, (probe,))
+        for _okey, key in arr[lo_i:hi_i]:
+            if any(v is None for v in key[: len(low or high or ())]):
+                continue
+            yield from self._map.get(key, ())
+
+    def iter_ordered(self, descending: bool = False) -> Iterator[int]:
+        """Yield all row ids in key order."""
+        self._ensure_sorted()
+        seq = reversed(self._sorted) if descending else iter(self._sorted)
+        for _okey, key in seq:
+            yield from self._map.get(key, ())
+
+    def distinct_keys(self) -> Iterator[tuple]:
+        self._ensure_sorted()
+        for _okey, key in self._sorted:
+            yield key

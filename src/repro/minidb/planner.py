@@ -1,0 +1,260 @@
+"""Access-path selection for minidb.
+
+The planner is intentionally simple: it recognises *sargable* conjuncts of
+the form ``column = <known expr>`` (and range comparisons) and matches them
+against available indexes.  Plans are small dataclasses the executor
+interprets; ``EXPLAIN <stmt>`` renders them as text.
+
+PerfTrack's hot queries — focus/resource lookups by id or name, pr-filter
+family probes — are all equality probes, so index-equality is the path
+that matters; everything else falls back to a full scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from . import ast_nodes as ast
+from .catalog import TableMeta
+from .index import Index
+
+
+def split_conjuncts(expr: Optional[ast.Expr]) -> list[ast.Expr]:
+    """Flatten a WHERE tree into AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Binary) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def expr_is_known(expr: ast.Expr, known_binding: Callable[[Optional[str], str], bool]) -> bool:
+    """True when *expr* can be evaluated without scanning the target table.
+
+    ``known_binding(table, column)`` reports whether a column reference is
+    resolvable from an already-bound (outer) row; literals and parameters
+    are always known.  Subqueries are conservatively treated as unknown.
+    """
+    if isinstance(expr, (ast.Literal, ast.Parameter)):
+        return True
+    if isinstance(expr, ast.ColumnRef):
+        return known_binding(expr.table, expr.name)
+    if isinstance(expr, ast.Unary):
+        return expr_is_known(expr.operand, known_binding)
+    if isinstance(expr, ast.Binary):
+        return expr_is_known(expr.left, known_binding) and expr_is_known(
+            expr.right, known_binding
+        )
+    if isinstance(expr, ast.Cast):
+        return expr_is_known(expr.operand, known_binding)
+    if isinstance(expr, ast.FuncCall):
+        return all(expr_is_known(a, known_binding) for a in expr.args) and not expr.star
+    if isinstance(expr, ast.Case):
+        parts = [expr.operand] if expr.operand else []
+        for c, r in expr.whens:
+            parts.extend([c, r])
+        if expr.default:
+            parts.append(expr.default)
+        return all(expr_is_known(p, known_binding) for p in parts)
+    return False
+
+
+@dataclass
+class Sargable:
+    """One usable predicate: ``column <op> value_expr``."""
+
+    column: str
+    op: str  # '=', '<', '<=', '>', '>='
+    value: ast.Expr
+    conjunct: ast.Expr  # original node (for residual elimination)
+
+
+def extract_sargables(
+    conjuncts: list[ast.Expr],
+    binding: str,
+    meta: TableMeta,
+    known_binding: Callable[[Optional[str], str], bool],
+) -> list[Sargable]:
+    """Find predicates on *binding*'s columns comparable against known values."""
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+    out: list[Sargable] = []
+    for conj in conjuncts:
+        if not isinstance(conj, ast.Binary) or conj.op not in flipped:
+            continue
+        for left, right, op in (
+            (conj.left, conj.right, conj.op),
+            (conj.right, conj.left, flipped[conj.op]),
+        ):
+            if (
+                isinstance(left, ast.ColumnRef)
+                and (left.table is None or left.table.lower() == binding.lower())
+                and meta.has_column(left.name)
+                and expr_is_known(right, known_binding)
+            ):
+                out.append(Sargable(left.name.lower(), op, right, conj))
+                break
+    return out
+
+
+@dataclass
+class InProbe:
+    """Multi-probe of an index: ``column IN (known values...)``."""
+
+    table: str
+    binding: str
+    index: "Index"
+    items: list[ast.Expr]
+    consumed: list[ast.Expr] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"SEARCH {self.table} AS {self.binding} USING INDEX "
+            f"{self.index.name} IN-PROBE ({len(self.items)} keys)"
+        )
+
+
+@dataclass
+class FullScan:
+    table: str
+    binding: str
+
+    def describe(self) -> str:
+        return f"SCAN {self.table} AS {self.binding}"
+
+
+@dataclass
+class IndexEquality:
+    table: str
+    binding: str
+    index: Index
+    key_exprs: list[ast.Expr]
+    consumed: list[ast.Expr] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"SEARCH {self.table} AS {self.binding} USING INDEX "
+            f"{self.index.name} ({', '.join(self.index.columns)})"
+        )
+
+
+@dataclass
+class IndexRange:
+    table: str
+    binding: str
+    index: Index
+    prefix_exprs: list[ast.Expr]
+    low: Optional[tuple[str, ast.Expr]] = None  # (op, expr)
+    high: Optional[tuple[str, ast.Expr]] = None
+    consumed: list[ast.Expr] = field(default_factory=list)
+
+    def describe(self) -> str:
+        bounds = []
+        if self.low:
+            bounds.append(f"{self.low[0]} low")
+        if self.high:
+            bounds.append(f"{self.high[0]} high")
+        return (
+            f"SEARCH {self.table} AS {self.binding} USING INDEX "
+            f"{self.index.name} RANGE ({' AND '.join(bounds) or 'prefix'})"
+        )
+
+
+AccessPath = FullScan | IndexEquality | IndexRange | InProbe
+
+
+def choose_access_path(
+    indexes: list[Index],
+    meta: TableMeta,
+    binding: str,
+    conjuncts: list[ast.Expr],
+    known_binding: Callable[[Optional[str], str], bool],
+) -> AccessPath:
+    """Pick the best access path for one table given AND-ed conjuncts.
+
+    Preference order: longest full-equality index match, then equality
+    prefix + range, then full scan.  Ties favour unique indexes.
+    """
+    # ``col IN (known items...)`` against a single-column index: multi-probe.
+    # Checked first because pr-filter evaluation (PerfTrack's hot path) is
+    # dominated by exactly this shape.
+    if indexes:
+        for conj in conjuncts:
+            if (
+                isinstance(conj, ast.InList)
+                and not conj.negated
+                and isinstance(conj.operand, ast.ColumnRef)
+                and (
+                    conj.operand.table is None
+                    or conj.operand.table.lower() == binding.lower()
+                )
+                and meta.has_column(conj.operand.name)
+                and all(expr_is_known(i, known_binding) for i in conj.items)
+            ):
+                col = conj.operand.name.lower()
+                for idx in indexes:
+                    if [c.lower() for c in idx.columns] == [col]:
+                        return InProbe(
+                            meta.name, binding, idx, list(conj.items), consumed=[conj]
+                        )
+    sargables = extract_sargables(conjuncts, binding, meta, known_binding)
+    if not sargables or not indexes:
+        return FullScan(meta.name, binding)
+    eq_by_col: dict[str, Sargable] = {}
+    range_by_col: dict[str, list[Sargable]] = {}
+    for s in sargables:
+        if s.op == "=":
+            eq_by_col.setdefault(s.column, s)
+        else:
+            range_by_col.setdefault(s.column, []).append(s)
+
+    best: AccessPath | None = None
+    best_score = (-1, False)  # (matched eq columns, unique)
+    for idx in indexes:
+        cols = [c.lower() for c in idx.columns]
+        matched: list[Sargable] = []
+        for c in cols:
+            s = eq_by_col.get(c)
+            if s is None:
+                break
+            matched.append(s)
+        if len(matched) == len(cols):
+            score = (len(matched) + 1, idx.unique)
+            if score > best_score:
+                best_score = score
+                best = IndexEquality(
+                    meta.name,
+                    binding,
+                    idx,
+                    [s.value for s in matched],
+                    consumed=[s.conjunct for s in matched],
+                )
+            continue
+        if matched:
+            score = (len(matched), idx.unique)
+            if score > best_score:
+                best_score = score
+                # Equality on a strict prefix: range-scan the prefix.
+                best = IndexRange(
+                    meta.name,
+                    binding,
+                    idx,
+                    [s.value for s in matched],
+                    consumed=[],  # keep conjuncts as residual filters: prefix
+                    # scan returns a superset when the index has more columns
+                )
+            continue
+        # Pure range on leading column.
+        ranges = range_by_col.get(cols[0])
+        if ranges:
+            low = high = None
+            for s in ranges:
+                if s.op in (">", ">="):
+                    low = (s.op, s.value)
+                else:
+                    high = (s.op, s.value)
+            score = (0, idx.unique)
+            if best is None:
+                best_score = score
+                best = IndexRange(meta.name, binding, idx, [], low=low, high=high)
+    return best or FullScan(meta.name, binding)

@@ -1,0 +1,312 @@
+"""Row storage and the Database object for minidb.
+
+A :class:`Table` stores rows as ``rowid -> tuple`` with monotonically
+increasing row ids; secondary indexes live alongside.  :class:`Database`
+owns the catalog, all tables and indexes, the undo log that backs
+transactions, and (when opened on a file) the write-ahead log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from .catalog import Catalog, IndexMeta, TableMeta
+from .errors import IntegrityError, InternalError
+from .index import Index
+from .sqltypes import coerce
+
+
+class Table:
+    """Physical storage for one table."""
+
+    def __init__(self, meta: TableMeta) -> None:
+        self.meta = meta
+        self.rows: dict[int, tuple] = {}
+        self.next_rowid = 1
+        self.next_auto = 1  # next auto-assigned integer primary key
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def allocate_rowid(self) -> int:
+        rid = self.next_rowid
+        self.next_rowid += 1
+        return rid
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        return iter(self.rows.items())
+
+
+class UndoEntry:
+    """One reversible storage mutation."""
+
+    __slots__ = ("kind", "table", "rowid", "row", "old_row", "counters")
+
+    def __init__(self, kind: str, table: str, rowid: int = 0, row: tuple = (),
+                 old_row: tuple = (), counters: tuple[int, int] = (0, 0)) -> None:
+        self.kind = kind  # 'insert' | 'delete' | 'update' | 'counters'
+        self.table = table
+        self.rowid = rowid
+        self.row = row
+        self.old_row = old_row
+        self.counters = counters
+
+
+class Database:
+    """An open minidb database: schema + data + transaction state.
+
+    The write-ahead log (see :mod:`repro.minidb.wal`) is attached by the
+    connection layer via the ``journal`` attribute; the Database calls its
+    hooks on committed mutations so that durability stays decoupled from
+    execution.
+    """
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.tables: dict[str, Table] = {}
+        self.indexes: dict[str, Index] = {}
+        self._undo: list[UndoEntry] = []
+        self.in_transaction = False
+        self.journal = None  # set by connection when file-backed
+
+    # -- schema operations -----------------------------------------------------
+
+    def create_table(self, meta_stmt) -> TableMeta:
+        meta = self.catalog.create_table(meta_stmt)
+        self.tables[meta.name.lower()] = Table(meta)
+        # Implicit indexes for PK and UNIQUE sets.
+        if meta.primary_key:
+            self._make_internal_index(meta, meta.primary_key, unique=True, tag="pk")
+        for i, uq in enumerate(meta.unique_sets):
+            self._make_internal_index(meta, uq, unique=True, tag=f"uq{i}")
+        return meta
+
+    def _make_internal_index(self, meta: TableMeta, cols: list[str], unique: bool, tag: str) -> None:
+        name = f"__{meta.name.lower()}_{tag}"
+        if self.catalog.has_index(name):
+            return
+        imeta = IndexMeta(name, meta.name, list(cols), unique=unique)
+        self.catalog.indexes[name.lower()] = imeta
+        self.indexes[name.lower()] = Index(name, meta.name, cols, unique=unique)
+
+    def drop_table(self, name: str) -> None:
+        meta = self.catalog.drop_table(name)
+        del self.tables[meta.name.lower()]
+        for iname in [n for n, idx in self.indexes.items() if idx.table.lower() == meta.name.lower()]:
+            del self.indexes[iname]
+
+    def create_index(self, stmt) -> None:
+        imeta = self.catalog.create_index(stmt)
+        idx = Index(imeta.name, imeta.table, imeta.columns, unique=imeta.unique)
+        table = self.table(imeta.table)
+        positions = [table.meta.column_index(c) for c in imeta.columns]
+        try:
+            idx.rebuild(table.scan(), lambda row: tuple(row[p] for p in positions))
+        except IntegrityError:
+            # Existing data violates the new UNIQUE index: undo registration.
+            self.catalog.drop_index(imeta.name)
+            raise
+        self.indexes[imeta.name.lower()] = idx
+
+    def drop_index(self, name: str) -> None:
+        imeta = self.catalog.drop_index(name)
+        self.indexes.pop(imeta.name.lower(), None)
+
+    def table(self, name: str) -> Table:
+        meta = self.catalog.table(name)  # raises ProgrammingError if absent
+        return self.tables[meta.name.lower()]
+
+    def indexes_on(self, table: str) -> list[Index]:
+        return [
+            self.indexes[m.name.lower()]
+            for m in self.catalog.indexes_on(table)
+            if m.name.lower() in self.indexes
+        ]
+
+    # -- transactions -------------------------------------------------------------
+
+    def begin(self) -> None:
+        if self.in_transaction:
+            return
+        self.in_transaction = True
+        self._undo.clear()
+
+    def commit(self) -> None:
+        if not self.in_transaction:
+            return
+        if self.journal is not None:
+            self.journal.commit()
+        self._undo.clear()
+        self.in_transaction = False
+
+    def rollback(self) -> None:
+        if not self.in_transaction:
+            return
+        for entry in reversed(self._undo):
+            self._apply_undo(entry)
+        if self.journal is not None:
+            self.journal.rollback()
+        self._undo.clear()
+        self.in_transaction = False
+
+    def _apply_undo(self, entry: UndoEntry) -> None:
+        table = self.tables.get(entry.table.lower())
+        if table is None:
+            raise InternalError(f"undo references missing table {entry.table}")
+        if entry.kind == "insert":
+            self._unindex_row(table, entry.rowid, entry.row)
+            table.rows.pop(entry.rowid, None)
+        elif entry.kind == "delete":
+            table.rows[entry.rowid] = entry.old_row
+            self._index_row(table, entry.rowid, entry.old_row, check=False)
+        elif entry.kind == "update":
+            self._unindex_row(table, entry.rowid, entry.row)
+            table.rows[entry.rowid] = entry.old_row
+            self._index_row(table, entry.rowid, entry.old_row, check=False)
+        elif entry.kind == "counters":
+            table.next_rowid, table.next_auto = entry.counters
+        else:  # pragma: no cover - defensive
+            raise InternalError(f"unknown undo kind {entry.kind}")
+
+    # -- row mutation (used by executor) -------------------------------------------
+
+    def _index_row(self, table: Table, rowid: int, row: tuple, check: bool = True) -> None:
+        idxs = self.indexes_on(table.meta.name)
+        if check:
+            for idx in idxs:
+                key = tuple(row[table.meta.column_index(c)] for c in idx.columns)
+                idx.check_insert(key)
+        for idx in idxs:
+            key = tuple(row[table.meta.column_index(c)] for c in idx.columns)
+            idx.insert(key, rowid)
+
+    def _unindex_row(self, table: Table, rowid: int, row: tuple) -> None:
+        for idx in self.indexes_on(table.meta.name):
+            key = tuple(row[table.meta.column_index(c)] for c in idx.columns)
+            idx.delete(key, rowid)
+
+    def insert_row(self, table: Table, values: list[Any]) -> int:
+        """Insert a full-width row (already coerced); returns assigned rowid/PK."""
+        meta = table.meta
+        if self.in_transaction:
+            self._undo.append(
+                UndoEntry("counters", meta.name, counters=(table.next_rowid, table.next_auto))
+            )
+        auto_col = meta.rowid_pk_column
+        assigned = None
+        if auto_col is not None:
+            if values[auto_col] is None:
+                values[auto_col] = table.next_auto
+            assigned = values[auto_col]
+            if isinstance(assigned, int) and assigned >= table.next_auto:
+                table.next_auto = assigned + 1
+        # NOT NULL checks.
+        for i, col in enumerate(meta.columns):
+            if values[i] is None and col.not_null:
+                raise IntegrityError(
+                    f"NOT NULL constraint failed: {meta.name}.{col.name}"
+                )
+        row = tuple(values)
+        rowid = table.allocate_rowid()
+        self._check_foreign_keys_insert(meta, row)
+        self._index_row(table, rowid, row, check=True)
+        table.rows[rowid] = row
+        if self.in_transaction:
+            self._undo.append(UndoEntry("insert", meta.name, rowid, row))
+        if self.journal is not None:
+            self.journal.log_insert(meta.name, rowid, row)
+        return assigned if assigned is not None else rowid
+
+    def update_row(self, table: Table, rowid: int, new_row: tuple) -> None:
+        meta = table.meta
+        old_row = table.rows[rowid]
+        for i, col in enumerate(meta.columns):
+            if new_row[i] is None and col.not_null:
+                raise IntegrityError(
+                    f"NOT NULL constraint failed: {meta.name}.{col.name}"
+                )
+        self._check_foreign_keys_insert(meta, new_row)
+        self._unindex_row(table, rowid, old_row)
+        try:
+            self._index_row(table, rowid, new_row, check=True)
+        except IntegrityError:
+            self._index_row(table, rowid, old_row, check=False)
+            raise
+        table.rows[rowid] = new_row
+        if self.in_transaction:
+            self._undo.append(UndoEntry("update", meta.name, rowid, new_row, old_row))
+        if self.journal is not None:
+            self.journal.log_update(meta.name, rowid, new_row)
+
+    def delete_row(self, table: Table, rowid: int) -> None:
+        meta = table.meta
+        old_row = table.rows.pop(rowid)
+        self._unindex_row(table, rowid, old_row)
+        try:
+            self._check_foreign_keys_delete(meta, old_row)
+        except IntegrityError:
+            table.rows[rowid] = old_row
+            self._index_row(table, rowid, old_row, check=False)
+            raise
+        if self.in_transaction:
+            self._undo.append(UndoEntry("delete", meta.name, rowid, old_row=old_row))
+        if self.journal is not None:
+            self.journal.log_delete(meta.name, rowid)
+
+    # -- referential integrity ---------------------------------------------------------
+
+    def _check_foreign_keys_insert(self, meta: TableMeta, row: tuple) -> None:
+        for fk in meta.foreign_keys:
+            if not self.catalog.has_table(fk.ref_table):
+                continue  # forward reference during schema creation
+            values = tuple(row[meta.column_index(c)] for c in fk.columns)
+            if any(v is None for v in values):
+                continue  # NULL FK values pass (SQL MATCH SIMPLE)
+            ref_meta = self.catalog.table(fk.ref_table)
+            ref_cols = fk.ref_columns or ref_meta.primary_key
+            if not ref_cols:
+                continue
+            if not self._key_exists(ref_meta, ref_cols, values):
+                raise IntegrityError(
+                    f"FOREIGN KEY constraint failed: {meta.name}"
+                    f"({', '.join(fk.columns)}) -> {fk.ref_table}"
+                )
+
+    def _check_foreign_keys_delete(self, meta: TableMeta, row: tuple) -> None:
+        # Scan every table whose FKs reference `meta` and ensure no child
+        # row still points at the deleted key.
+        for other in self.catalog.tables.values():
+            for fk in other.foreign_keys:
+                if fk.ref_table.lower() != meta.name.lower():
+                    continue
+                ref_cols = fk.ref_columns or meta.primary_key
+                if not ref_cols:
+                    continue
+                key = tuple(row[meta.column_index(c)] for c in ref_cols)
+                if any(v is None for v in key):
+                    continue
+                child = self.tables[other.name.lower()]
+                if self._key_exists(other, fk.columns, key, table=child):
+                    raise IntegrityError(
+                        f"FOREIGN KEY constraint failed: {other.name}"
+                        f"({', '.join(fk.columns)}) still references {meta.name}"
+                    )
+
+    def _key_exists(
+        self, meta: TableMeta, columns: list[str], values: tuple, table: Optional[Table] = None
+    ) -> bool:
+        table = table or self.tables[meta.name.lower()]
+        # Prefer an index whose leading columns match.
+        for idx in self.indexes_on(meta.name):
+            if [c.lower() for c in idx.columns] == [c.lower() for c in columns]:
+                return bool(idx.lookup(tuple(values)))
+        positions = [meta.column_index(c) for c in columns]
+        for row in table.rows.values():
+            if all(row[p] == v for p, v in zip(positions, values)):
+                return True
+        return False
+
+    # -- coercion helper -------------------------------------------------------------------
+
+    def coerce_row(self, meta: TableMeta, values: list[Any]) -> list[Any]:
+        return [coerce(v, c.affinity) for v, c in zip(values, meta.columns)]

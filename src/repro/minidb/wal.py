@@ -1,0 +1,292 @@
+"""Durability for minidb: snapshot files plus a write-ahead log.
+
+A file-backed database ``<path>`` consists of:
+
+* ``<path>`` — a JSON snapshot of the catalog and all rows, written by
+  :func:`write_snapshot` (on checkpoint/close), and
+* ``<path>.wal`` — a JSON-lines log of committed mutations since the last
+  snapshot.  On open the snapshot is loaded and the WAL replayed, so a
+  crash between checkpoints loses nothing that was committed.
+
+The journal buffers mutation records per transaction and appends them to
+the WAL file only at commit, so rollback leaves no trace on disk.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+from typing import Any
+
+from .catalog import ColumnMeta, ForeignKeyMeta, IndexMeta, TableMeta
+from .errors import OperationalError
+from .index import Index
+from .storage import Database, Table
+
+_FORMAT_VERSION = 1
+
+
+def _encode_value(v: Any) -> Any:
+    if isinstance(v, bytes):
+        return {"__blob__": base64.b64encode(v).decode("ascii")}
+    return v
+
+
+def _decode_value(v: Any) -> Any:
+    if isinstance(v, dict) and "__blob__" in v:
+        return base64.b64decode(v["__blob__"])
+    return v
+
+
+def _encode_row(row: tuple) -> list:
+    return [_encode_value(v) for v in row]
+
+
+def _decode_row(row: list) -> tuple:
+    return tuple(_decode_value(v) for v in row)
+
+
+def _table_meta_to_dict(meta: TableMeta) -> dict:
+    return {
+        "name": meta.name,
+        "columns": [
+            {
+                "name": c.name,
+                "type_name": c.type_name,
+                "affinity": c.affinity,
+                "not_null": c.not_null,
+                "primary_key": c.primary_key,
+                "autoincrement": c.autoincrement,
+                "unique": c.unique,
+                "default": _encode_value(c.default),
+                "has_default": c.has_default,
+                "references": list(c.references) if c.references else None,
+            }
+            for c in meta.columns
+        ],
+        "primary_key": meta.primary_key,
+        "unique_sets": meta.unique_sets,
+        "foreign_keys": [
+            {"columns": fk.columns, "ref_table": fk.ref_table, "ref_columns": fk.ref_columns}
+            for fk in meta.foreign_keys
+        ],
+    }
+
+
+def _table_meta_from_dict(d: dict) -> TableMeta:
+    columns = [
+        ColumnMeta(
+            name=c["name"],
+            type_name=c["type_name"],
+            affinity=c["affinity"],
+            not_null=c["not_null"],
+            primary_key=c["primary_key"],
+            autoincrement=c["autoincrement"],
+            unique=c["unique"],
+            default=_decode_value(c["default"]),
+            has_default=c["has_default"],
+            references=tuple(c["references"]) if c["references"] else None,
+        )
+        for c in d["columns"]
+    ]
+    meta = TableMeta(d["name"], columns, primary_key=list(d["primary_key"]))
+    meta.unique_sets = [list(u) for u in d["unique_sets"]]
+    meta.foreign_keys = [
+        ForeignKeyMeta(list(fk["columns"]), fk["ref_table"], list(fk["ref_columns"]))
+        for fk in d["foreign_keys"]
+    ]
+    return meta
+
+
+def write_snapshot(db: Database, path: str) -> None:
+    """Write the full database state atomically (tmp file + rename)."""
+    doc = {
+        "version": _FORMAT_VERSION,
+        "tables": [],
+        "indexes": [
+            {
+                "name": im.name,
+                "table": im.table,
+                "columns": im.columns,
+                "unique": im.unique,
+            }
+            for im in db.catalog.indexes.values()
+            if not im.name.startswith("__")
+        ],
+    }
+    for key, table in db.tables.items():
+        doc["tables"].append(
+            {
+                "meta": _table_meta_to_dict(table.meta),
+                "next_rowid": table.next_rowid,
+                "next_auto": table.next_auto,
+                "rows": {str(rid): _encode_row(row) for rid, row in table.rows.items()},
+            }
+        )
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_snapshot(db: Database, path: str) -> None:
+    """Populate an empty Database from a snapshot file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise OperationalError(f"cannot read database file {path}: {exc}") from exc
+    if doc.get("version") != _FORMAT_VERSION:
+        raise OperationalError(
+            f"unsupported database format version {doc.get('version')!r}"
+        )
+    for tdoc in doc["tables"]:
+        meta = _table_meta_from_dict(tdoc["meta"])
+        db.catalog.tables[meta.name.lower()] = meta
+        table = Table(meta)
+        table.next_rowid = tdoc["next_rowid"]
+        table.next_auto = tdoc["next_auto"]
+        table.rows = {int(rid): _decode_row(row) for rid, row in tdoc["rows"].items()}
+        db.tables[meta.name.lower()] = table
+        if meta.primary_key:
+            db._make_internal_index(meta, meta.primary_key, unique=True, tag="pk")
+        for i, uq in enumerate(meta.unique_sets):
+            db._make_internal_index(meta, uq, unique=True, tag=f"uq{i}")
+    for idoc in doc["indexes"]:
+        imeta = IndexMeta(idoc["name"], idoc["table"], list(idoc["columns"]), idoc["unique"])
+        db.catalog.indexes[imeta.name.lower()] = imeta
+        db.indexes[imeta.name.lower()] = Index(
+            imeta.name, imeta.table, imeta.columns, imeta.unique
+        )
+    # Rebuild all index contents from rows.
+    for key, table in db.tables.items():
+        for idx in db.indexes_on(table.meta.name):
+            positions = [table.meta.column_index(c) for c in idx.columns]
+            idx.rebuild(table.scan(), lambda row, p=positions: tuple(row[i] for i in p))
+
+
+class Journal:
+    """Per-transaction mutation buffer flushed to the WAL on commit."""
+
+    def __init__(self, db: Database, path: str) -> None:
+        self.db = db
+        self.path = path
+        self.wal_path = path + ".wal"
+        self._pending: list[dict] = []
+
+    # -- hooks called by Database ------------------------------------------------
+
+    def log_insert(self, table: str, rowid: int, row: tuple) -> None:
+        self._pending.append(
+            {"op": "insert", "table": table, "rowid": rowid, "row": _encode_row(row)}
+        )
+
+    def log_update(self, table: str, rowid: int, row: tuple) -> None:
+        self._pending.append(
+            {"op": "update", "table": table, "rowid": rowid, "row": _encode_row(row)}
+        )
+
+    def log_delete(self, table: str, rowid: int) -> None:
+        self._pending.append({"op": "delete", "table": table, "rowid": rowid})
+
+    def log_ddl(self, sql: str) -> None:
+        self._pending.append({"op": "ddl", "sql": sql})
+
+    def log_counters(self, table: str, next_rowid: int, next_auto: int) -> None:
+        self._pending.append(
+            {"op": "counters", "table": table, "next_rowid": next_rowid, "next_auto": next_auto}
+        )
+
+    # -- transaction boundary -------------------------------------------------------
+
+    def commit(self) -> None:
+        if not self._pending:
+            return
+        with open(self.wal_path, "a", encoding="utf-8") as fh:
+            for rec in self._pending:
+                fh.write(json.dumps(rec))
+                fh.write("\n")
+            fh.write(json.dumps({"op": "commit"}))
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._pending.clear()
+
+    def rollback(self) -> None:
+        self._pending.clear()
+
+    # -- recovery / checkpoint ----------------------------------------------------------
+
+    def replay(self) -> int:
+        """Apply committed WAL records to the database; returns count applied."""
+        if not os.path.exists(self.wal_path):
+            return 0
+        applied = 0
+        batch: list[dict] = []
+        with open(self.wal_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    break  # torn write at the tail: ignore the partial batch
+                if rec.get("op") == "commit":
+                    for r in batch:
+                        self._apply(r)
+                        applied += 1
+                    batch.clear()
+                else:
+                    batch.append(rec)
+        return applied
+
+    def _apply(self, rec: dict) -> None:
+        op = rec["op"]
+        if op == "ddl":
+            from .parser import parse
+            from .executor import Executor
+
+            Executor(self.db).execute(parse(rec["sql"]))
+            return
+        table = self.db.tables.get(rec["table"].lower())
+        if table is None:
+            raise OperationalError(f"WAL references missing table {rec['table']}")
+        if op == "insert":
+            row = _decode_row(rec["row"])
+            rowid = rec["rowid"]
+            table.rows[rowid] = row
+            self.db._index_row(table, rowid, row, check=False)
+            table.next_rowid = max(table.next_rowid, rowid + 1)
+            pk = table.meta.rowid_pk_column
+            if pk is not None and isinstance(row[pk], int):
+                table.next_auto = max(table.next_auto, row[pk] + 1)
+        elif op == "update":
+            rowid = rec["rowid"]
+            old = table.rows.get(rowid)
+            if old is not None:
+                self.db._unindex_row(table, rowid, old)
+            row = _decode_row(rec["row"])
+            table.rows[rowid] = row
+            self.db._index_row(table, rowid, row, check=False)
+        elif op == "delete":
+            rowid = rec["rowid"]
+            old = table.rows.pop(rowid, None)
+            if old is not None:
+                self.db._unindex_row(table, rowid, old)
+        elif op == "counters":
+            table.next_rowid = rec["next_rowid"]
+            table.next_auto = rec["next_auto"]
+        else:
+            raise OperationalError(f"unknown WAL record {op!r}")
+
+    def checkpoint(self) -> None:
+        """Fold the WAL into a fresh snapshot and truncate it."""
+        write_snapshot(self.db, self.path)
+        try:
+            os.remove(self.wal_path)
+        except FileNotFoundError:
+            pass

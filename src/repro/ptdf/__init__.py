@@ -1,0 +1,55 @@
+"""PTdf — the PerfTrack data format (paper Figure 6).
+
+PTdf is a line-oriented interchange format; every piece of data loaded
+into PerfTrack flows through it, including the base resource types that
+initialise a new database (paper Figure 2).  This package provides the
+record model, a parser, a writer, the base-type definitions, and the
+``PTdfGen`` directory converter described in Section 3.3.
+"""
+
+from .format import (
+    ApplicationRec,
+    ExecutionRec,
+    PerfResultRec,
+    Record,
+    ResourceAttributeRec,
+    ResourceConstraintRec,
+    ResourceRec,
+    ResourceSet,
+    ResourceTypeRec,
+    parent_name,
+    split_name,
+    type_of_depth,
+)
+from .parser import PTdfParseError, parse_file, parse_lines, parse_string
+from .writer import PTdfWriter, write_file, write_string
+from .basetypes import BASE_HIERARCHIES, BASE_NONHIERARCHICAL, base_type_records
+from .ptdfgen import IndexEntry, PTdfGen, parse_index_file
+
+__all__ = [
+    "Record",
+    "ApplicationRec",
+    "ResourceTypeRec",
+    "ExecutionRec",
+    "ResourceRec",
+    "ResourceAttributeRec",
+    "PerfResultRec",
+    "ResourceConstraintRec",
+    "ResourceSet",
+    "parent_name",
+    "split_name",
+    "type_of_depth",
+    "parse_file",
+    "parse_lines",
+    "parse_string",
+    "PTdfParseError",
+    "PTdfWriter",
+    "write_file",
+    "write_string",
+    "BASE_HIERARCHIES",
+    "BASE_NONHIERARCHICAL",
+    "base_type_records",
+    "PTdfGen",
+    "IndexEntry",
+    "parse_index_file",
+]

@@ -1,0 +1,59 @@
+"""PerfTrack base resource types (paper Figure 2).
+
+Five hierarchies::
+
+    build/module/function/codeBlock        where in the code
+    grid/machine/partition/node/processor  hardware used
+    environment/module/function/codeBlock  runtime environment (dyn. libs)
+    execution/process/thread               application processes/threads
+    time/interval                          phase of execution
+
+plus the non-hierarchical (single-level) types: ``application``,
+``compiler``, ``preprocessor``, ``inputDeck``, ``submission``,
+``operatingSystem``, ``metric`` and ``performanceTool``.
+
+The paper notes that PerfTrack itself uses the type-extension interface to
+load these at database initialisation; :func:`base_type_records` produces
+exactly that PTdf.
+"""
+
+from __future__ import annotations
+
+from .format import ResourceTypeRec
+
+BASE_HIERARCHIES: tuple[str, ...] = (
+    "build/module/function/codeBlock",
+    "grid/machine/partition/node/processor",
+    "environment/module/function/codeBlock",
+    "execution/process/thread",
+    "time/interval",
+)
+
+BASE_NONHIERARCHICAL: tuple[str, ...] = (
+    "application",
+    "compiler",
+    "preprocessor",
+    "inputDeck",
+    "submission",
+    "operatingSystem",
+    "metric",
+    "performanceTool",
+)
+
+
+def base_type_records() -> list[ResourceTypeRec]:
+    """PTdf records declaring every base resource type."""
+    return [ResourceTypeRec(t) for t in BASE_HIERARCHIES + BASE_NONHIERARCHICAL]
+
+
+def all_base_type_paths() -> list[str]:
+    """Every type path including hierarchy prefixes (``grid``, ``grid/machine``, ...)."""
+    out: list[str] = []
+    for hier in BASE_HIERARCHIES:
+        parts = hier.split("/")
+        for depth in range(1, len(parts) + 1):
+            path = "/".join(parts[:depth])
+            if path not in out:
+                out.append(path)
+    out.extend(BASE_NONHIERARCHICAL)
+    return out

@@ -1,0 +1,252 @@
+"""PTdf record model (paper Figure 6).
+
+The eight record kinds::
+
+    Application         appName
+    ResourceType        resourceTypeName
+    Execution           execName appName
+    Resource            resourceName resourceTypeName [execName]
+    ResourceAttribute   resourceName attributeName attributeValue attributeType
+    PerfResult          execName resourceSet perfToolName metricName value units
+    ResourceConstraint  resourceName1 resourceName2
+
+Conventions (from Sections 2.1 and 3.3 of the paper):
+
+* Hierarchical resource *names* are Unix-style paths whose full form is
+  unique: ``/SingleMachineFrost/Frost/batch/frost121/p0``.  The parent of
+  a resource is its name minus the last segment.
+* Resource *types* are path-style too (``grid/machine/partition/node``);
+  the depth of a resource's name matches the depth of its type.
+* ``attributeType`` is ``string`` or ``resource`` — the latter is
+  equivalent to a ResourceConstraint (a resource-valued attribute).
+* A ``resourceSet`` is colon-separated lists of comma-separated resource
+  names, each list suffixed by its context type in parentheses:
+  ``/A/p0,/Code/main(primary):/A/p1(sender)``.  Context types are
+  ``primary | parent | child | sender | receiver``.
+
+Fields containing whitespace are double-quoted with backslash escapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+FOCUS_TYPES = ("primary", "parent", "child", "sender", "receiver")
+
+
+def split_name(name: str) -> list[str]:
+    """Split a full resource name into segments (``/a/b/c`` -> ``[a, b, c]``)."""
+    if not name.startswith("/"):
+        raise ValueError(f"resource name must start with '/': {name!r}")
+    parts = [p for p in name.split("/")[1:] if p != ""]
+    if not parts:
+        raise ValueError(f"empty resource name: {name!r}")
+    return parts
+
+
+def parent_name(name: str) -> Optional[str]:
+    """Full name of the parent resource, or None for a top-level resource."""
+    parts = split_name(name)
+    if len(parts) == 1:
+        return None
+    return "/" + "/".join(parts[:-1])
+
+
+def base_name(name: str) -> str:
+    """The last segment of a full resource name (paper: the *base name*)."""
+    return split_name(name)[-1]
+
+
+def type_of_depth(type_path: str, depth: int) -> str:
+    """Prefix of a type path with *depth* segments (``grid/machine``, 2 -> same)."""
+    segments = type_path.split("/")
+    if depth < 1 or depth > len(segments):
+        raise ValueError(f"depth {depth} out of range for type {type_path!r}")
+    return "/".join(segments[:depth])
+
+
+def quote_field(text: str) -> str:
+    """Quote a PTdf field if it contains whitespace or quotes."""
+    if text == "" or any(c.isspace() or c in '"#\\' for c in text):
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+@dataclass(frozen=True)
+class ResourceSet:
+    """One context in a PerfResult: resource names plus a focus type."""
+
+    names: tuple[str, ...]
+    set_type: str = "primary"
+
+    def __post_init__(self) -> None:
+        if self.set_type not in FOCUS_TYPES:
+            raise ValueError(
+                f"bad resource set type {self.set_type!r}; expected one of {FOCUS_TYPES}"
+            )
+        if not self.names:
+            raise ValueError("resource set must contain at least one resource")
+
+    def render(self) -> str:
+        return ",".join(self.names) + f"({self.set_type})"
+
+
+@dataclass(frozen=True)
+class ApplicationRec:
+    name: str
+
+    def fields(self) -> list[str]:
+        return ["Application", self.name]
+
+
+@dataclass(frozen=True)
+class ResourceTypeRec:
+    """Declares a resource type path; every prefix becomes a type node."""
+
+    name: str  # e.g. "grid/machine/partition/node/processor" or "application"
+
+    def fields(self) -> list[str]:
+        return ["ResourceType", self.name]
+
+
+@dataclass(frozen=True)
+class ExecutionRec:
+    name: str
+    application: str
+
+    def fields(self) -> list[str]:
+        return ["Execution", self.name, self.application]
+
+
+@dataclass(frozen=True)
+class ResourceRec:
+    name: str  # full path-style name
+    type: str  # path-style type of matching depth
+    execution: Optional[str] = None  # binds the resource to one execution
+
+    def fields(self) -> list[str]:
+        out = ["Resource", self.name, self.type]
+        if self.execution is not None:
+            out.append(self.execution)
+        return out
+
+
+@dataclass(frozen=True)
+class ResourceAttributeRec:
+    resource: str
+    attribute: str
+    value: str
+    attr_type: str = "string"  # "string" | "resource"
+
+    def __post_init__(self) -> None:
+        if self.attr_type not in ("string", "resource"):
+            raise ValueError(f"bad attributeType {self.attr_type!r}")
+
+    def fields(self) -> list[str]:
+        return [
+            "ResourceAttribute",
+            self.resource,
+            self.attribute,
+            self.value,
+            self.attr_type,
+        ]
+
+
+@dataclass(frozen=True)
+class PerfResultRec:
+    execution: str
+    resource_sets: tuple[ResourceSet, ...]
+    tool: str
+    metric: str
+    value: float
+    units: str
+
+    def fields(self) -> list[str]:
+        rs = ":".join(s.render() for s in self.resource_sets)
+        return [
+            "PerfResult",
+            self.execution,
+            rs,
+            self.tool,
+            self.metric,
+            repr(self.value),
+            self.units,
+        ]
+
+
+@dataclass(frozen=True)
+class PerfResultSeriesRec:
+    """Extension record (paper Section 6 future work): one array-valued
+    performance result, e.g. a whole Paradyn histogram.  ``values`` holds
+    ``None`` for bins with no data (exported as ``nan``)."""
+
+    execution: str
+    resource_sets: tuple[ResourceSet, ...]
+    tool: str
+    metric: str
+    units: str
+    start_time: float
+    bin_width: float
+    values: tuple[Optional[float], ...]
+
+    def fields(self) -> list[str]:
+        rs = ":".join(s.render() for s in self.resource_sets)
+        rendered = ",".join(
+            "nan" if v is None else repr(v) for v in self.values
+        )
+        return [
+            "PerfResultSeries",
+            self.execution,
+            rs,
+            self.tool,
+            self.metric,
+            self.units,
+            repr(self.start_time),
+            repr(self.bin_width),
+            rendered,
+        ]
+
+
+@dataclass(frozen=True)
+class ResourceConstraintRec:
+    resource1: str
+    resource2: str
+
+    def fields(self) -> list[str]:
+        return ["ResourceConstraint", self.resource1, self.resource2]
+
+
+Record = Union[
+    ApplicationRec,
+    ResourceTypeRec,
+    ExecutionRec,
+    ResourceRec,
+    ResourceAttributeRec,
+    PerfResultRec,
+    PerfResultSeriesRec,
+    ResourceConstraintRec,
+]
+
+
+def render_record(record: Record) -> str:
+    """One PTdf line for *record*."""
+    return " ".join(quote_field(f) for f in record.fields())
+
+
+def parse_resource_set_field(text: str) -> tuple[ResourceSet, ...]:
+    """Parse the resourceSet field of a PerfResult line."""
+    sets: list[ResourceSet] = []
+    for chunk in text.split(":"):
+        chunk = chunk.strip()
+        if not chunk:
+            raise ValueError(f"empty resource set in {text!r}")
+        if chunk.endswith(")") and "(" in chunk:
+            body, _, suffix = chunk.rpartition("(")
+            set_type = suffix[:-1].strip()
+        else:
+            body, set_type = chunk, "primary"
+        names = tuple(n.strip() for n in body.split(",") if n.strip())
+        sets.append(ResourceSet(names, set_type))
+    return tuple(sets)

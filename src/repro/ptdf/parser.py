@@ -1,0 +1,173 @@
+"""PTdf parser: text lines -> record objects.
+
+Lines are whitespace-separated fields; fields containing whitespace are
+double-quoted with backslash escapes.  ``#`` starts a comment (full-line
+or trailing, when not inside quotes).  Blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator
+
+from .format import (
+    ApplicationRec,
+    ExecutionRec,
+    PerfResultRec,
+    PerfResultSeriesRec,
+    Record,
+    ResourceAttributeRec,
+    ResourceConstraintRec,
+    ResourceRec,
+    ResourceTypeRec,
+    parse_resource_set_field,
+)
+
+
+class PTdfParseError(ValueError):
+    """A malformed PTdf line, with file/line context."""
+
+    def __init__(self, message: str, source: str = "<string>", lineno: int = 0) -> None:
+        super().__init__(f"{source}:{lineno}: {message}")
+        self.source = source
+        self.lineno = lineno
+
+
+def split_fields(line: str) -> list[str]:
+    """Tokenise one PTdf line honouring quotes, escapes and # comments."""
+    fields: list[str] = []
+    buf: list[str] = []
+    in_quotes = False
+    in_field = False
+    i = 0
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        if in_quotes:
+            if ch == "\\" and i + 1 < n:
+                buf.append(line[i + 1])
+                i += 2
+                continue
+            if ch == '"':
+                in_quotes = False
+                i += 1
+                continue
+            buf.append(ch)
+            i += 1
+            continue
+        if ch == '"':
+            in_quotes = True
+            in_field = True
+            i += 1
+            continue
+        if ch == "#":
+            break
+        if ch.isspace():
+            if in_field:
+                fields.append("".join(buf))
+                buf = []
+                in_field = False
+            i += 1
+            continue
+        buf.append(ch)
+        in_field = True
+        i += 1
+    if in_quotes:
+        raise ValueError("unterminated quoted field")
+    if in_field:
+        fields.append("".join(buf))
+    return fields
+
+
+def _parse_record(fields: list[str]) -> Record:
+    kind = fields[0]
+    args = fields[1:]
+    if kind == "Application":
+        _need(args, 1, kind)
+        return ApplicationRec(args[0])
+    if kind == "ResourceType":
+        _need(args, 1, kind)
+        return ResourceTypeRec(args[0])
+    if kind == "Execution":
+        _need(args, 2, kind)
+        return ExecutionRec(args[0], args[1])
+    if kind == "Resource":
+        if len(args) not in (2, 3):
+            raise ValueError(f"Resource takes 2 or 3 fields, got {len(args)}")
+        return ResourceRec(args[0], args[1], args[2] if len(args) == 3 else None)
+    if kind == "ResourceAttribute":
+        if len(args) not in (3, 4):
+            raise ValueError(
+                f"ResourceAttribute takes 3 or 4 fields, got {len(args)}"
+            )
+        attr_type = args[3] if len(args) == 4 else "string"
+        return ResourceAttributeRec(args[0], args[1], args[2], attr_type)
+    if kind == "PerfResult":
+        _need(args, 6, kind)
+        sets = parse_resource_set_field(args[1])
+        try:
+            value = float(args[4])
+        except ValueError:
+            raise ValueError(f"bad PerfResult value {args[4]!r}") from None
+        return PerfResultRec(args[0], sets, args[2], args[3], value, args[5])
+    if kind == "PerfResultSeries":
+        _need(args, 8, kind)
+        sets = parse_resource_set_field(args[1])
+        try:
+            start_time = float(args[5])
+            bin_width = float(args[6])
+        except ValueError:
+            raise ValueError("bad PerfResultSeries start/width") from None
+        values: list = []
+        for tok in args[7].split(","):
+            tok = tok.strip()
+            if not tok:
+                continue
+            if tok.lower() == "nan":
+                values.append(None)
+            else:
+                try:
+                    values.append(float(tok))
+                except ValueError:
+                    raise ValueError(
+                        f"bad PerfResultSeries value {tok!r}"
+                    ) from None
+        return PerfResultSeriesRec(
+            args[0], sets, args[2], args[3], args[4], start_time, bin_width,
+            tuple(values),
+        )
+    if kind == "ResourceConstraint":
+        _need(args, 2, kind)
+        return ResourceConstraintRec(args[0], args[1])
+    raise ValueError(f"unknown PTdf record kind {kind!r}")
+
+
+def _need(args: list[str], count: int, kind: str) -> None:
+    if len(args) != count:
+        raise ValueError(f"{kind} takes {count} fields, got {len(args)}")
+
+
+def parse_lines(lines: Iterable[str], source: str = "<string>") -> Iterator[Record]:
+    """Parse an iterable of PTdf lines, yielding records lazily."""
+    for lineno, raw in enumerate(lines, start=1):
+        try:
+            fields = split_fields(raw)
+        except ValueError as exc:
+            raise PTdfParseError(str(exc), source, lineno) from None
+        if not fields:
+            continue
+        try:
+            yield _parse_record(fields)
+        except ValueError as exc:
+            raise PTdfParseError(str(exc), source, lineno) from None
+
+
+def parse_string(text: str, source: str = "<string>") -> list[Record]:
+    """Parse a PTdf document held in a string."""
+    return list(parse_lines(text.split("\n"), source))
+
+
+def parse_file(path: str) -> list[Record]:
+    """Parse one PTdf file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return list(parse_lines(fh, source=os.fspath(path)))

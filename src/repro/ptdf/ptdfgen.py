@@ -1,0 +1,170 @@
+"""PTdfGen — generate PTdf for a directory full of tool-output files.
+
+From paper Section 3.3: *"The user creates an index file, containing a
+list of entries, one per execution.  Each entry lists the execution name,
+application name, concurrency model, number of processes, number of
+threads, and timestamps for the build and run.  PerfTrack generates PTdf
+files for the executions listed in one index file."*
+
+The generator itself is format-agnostic: converters (from
+:mod:`repro.tools`) register a ``sniff(path) -> bool`` and a
+``convert(path, entry, writer)``; PTdfGen walks the directory, matches
+files to index entries by execution-name prefix, and dispatches.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Protocol
+
+from .parser import PTdfParseError, split_fields
+from .writer import PTdfWriter
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One execution listed in a PTdfGen index file."""
+
+    execution: str
+    application: str
+    concurrency_model: str  # e.g. "MPI", "OpenMP", "MPI+OpenMP", "sequential"
+    num_processes: int
+    num_threads: int
+    build_timestamp: str
+    run_timestamp: str
+
+    def fields(self) -> list[str]:
+        return [
+            self.execution,
+            self.application,
+            self.concurrency_model,
+            str(self.num_processes),
+            str(self.num_threads),
+            self.build_timestamp,
+            self.run_timestamp,
+        ]
+
+
+def parse_index_file(path: str) -> list[IndexEntry]:
+    """Parse an index file (one whitespace-separated entry per line)."""
+    entries: list[IndexEntry] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            try:
+                fields = split_fields(raw)
+            except ValueError as exc:
+                raise PTdfParseError(str(exc), path, lineno) from None
+            if not fields:
+                continue
+            if len(fields) != 7:
+                raise PTdfParseError(
+                    f"index entry takes 7 fields, got {len(fields)}", path, lineno
+                )
+            try:
+                nproc = int(fields[3])
+                nthread = int(fields[4])
+            except ValueError:
+                raise PTdfParseError("process/thread counts must be integers", path, lineno) from None
+            entries.append(
+                IndexEntry(fields[0], fields[1], fields[2], nproc, nthread, fields[5], fields[6])
+            )
+    return entries
+
+
+class Converter(Protocol):
+    """A tool-output-to-PTdf converter (see repro.tools)."""
+
+    name: str
+
+    def sniff(self, path: str) -> bool:
+        """True when this converter understands the file at *path*."""
+        ...
+
+    def convert(self, path: str, entry: IndexEntry, writer: PTdfWriter) -> int:
+        """Append records for *path* to *writer*; returns results added."""
+        ...
+
+
+@dataclass
+class GenReport:
+    """What PTdfGen did for one execution."""
+
+    execution: str
+    files: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    records: int = 0
+    results: int = 0
+    output_path: Optional[str] = None
+
+
+class PTdfGen:
+    """Drives converters over a directory of raw tool output."""
+
+    def __init__(self, converters: Iterable[Converter]) -> None:
+        self.converters = list(converters)
+
+    def files_for(self, directory: str, entry: IndexEntry) -> list[str]:
+        """Data files belonging to *entry*: the execution name followed by a
+        non-alphanumeric boundary (so ``run-r1`` does not claim the files of
+        ``run-r12``)."""
+        out = []
+        prefix = entry.execution
+        for fname in sorted(os.listdir(directory)):
+            if not fname.startswith(prefix):
+                continue
+            rest = fname[len(prefix):]
+            if rest and (rest[0].isalnum() or rest[0] == "-"):
+                continue  # a longer execution name, not a suffix of ours
+            full = os.path.join(directory, fname)
+            if os.path.isfile(full):
+                out.append(full)
+        return out
+
+    def generate_one(
+        self, directory: str, entry: IndexEntry, out_dir: Optional[str] = None
+    ) -> tuple[PTdfWriter, GenReport]:
+        """Generate PTdf for one execution; optionally write ``<exec>.ptdf``."""
+        writer = PTdfWriter()
+        report = GenReport(execution=entry.execution)
+        writer.add_application(entry.application)
+        writer.add_execution(entry.execution, entry.application)
+        # Execution-level descriptive attributes from the index entry are
+        # recorded on an execution-hierarchy resource.
+        exec_res = f"/{entry.execution}"
+        writer.add_resource(exec_res, "execution", entry.execution)
+        writer.add_resource_attribute(exec_res, "concurrency model", entry.concurrency_model)
+        writer.add_resource_attribute(exec_res, "number of processes", str(entry.num_processes))
+        writer.add_resource_attribute(exec_res, "number of threads", str(entry.num_threads))
+        writer.add_resource_attribute(exec_res, "build timestamp", entry.build_timestamp)
+        writer.add_resource_attribute(exec_res, "run timestamp", entry.run_timestamp)
+        for path in self.files_for(directory, entry):
+            conv = self._converter_for(path)
+            if conv is None:
+                report.skipped.append(path)
+                continue
+            report.results += conv.convert(path, entry, writer)
+            report.files.append(path)
+        report.records = len(writer)
+        if out_dir is not None:
+            os.makedirs(out_dir, exist_ok=True)
+            out_path = os.path.join(out_dir, f"{entry.execution}.ptdf")
+            writer.write(out_path)
+            report.output_path = out_path
+        return writer, report
+
+    def generate(
+        self, directory: str, index_path: str, out_dir: Optional[str] = None
+    ) -> list[GenReport]:
+        """Generate PTdf for every execution in *index_path*."""
+        reports = []
+        for entry in parse_index_file(index_path):
+            _writer, report = self.generate_one(directory, entry, out_dir)
+            reports.append(report)
+        return reports
+
+    def _converter_for(self, path: str) -> Optional[Converter]:
+        for conv in self.converters:
+            if conv.sniff(path):
+                return conv
+        return None

@@ -1,0 +1,137 @@
+"""PTdf writer: record objects -> text.
+
+:class:`PTdfWriter` also offers convenience constructors that mirror the
+PTdataFormat API of paper Figure 6 (``addApplication``, ``addResource``,
+``addPerfResult``, ...), so converter scripts read like the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .format import (
+    ApplicationRec,
+    ExecutionRec,
+    PerfResultRec,
+    PerfResultSeriesRec,
+    Record,
+    ResourceAttributeRec,
+    ResourceConstraintRec,
+    ResourceRec,
+    ResourceSet,
+    ResourceTypeRec,
+    render_record,
+)
+
+
+class PTdfWriter:
+    """Accumulates PTdf records and serialises them.
+
+    Records keep insertion order; the loader requires definitions before
+    use (an execution before its resources, a resource before its
+    attributes), which falls out naturally when converters emit in
+    discovery order.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[Record] = []
+        self._seen: set[tuple] = set()
+
+    # -- PTdataFormat-style API (paper Figure 6) -------------------------------
+
+    def add_application(self, name: str) -> None:
+        self._add_once(ApplicationRec(name))
+
+    def add_resource_type(self, type_path: str) -> None:
+        self._add_once(ResourceTypeRec(type_path))
+
+    def add_execution(self, name: str, application: str) -> None:
+        self._add_once(ExecutionRec(name, application))
+
+    def add_resource(
+        self, name: str, type_path: str, execution: Optional[str] = None
+    ) -> None:
+        self._add_once(ResourceRec(name, type_path, execution))
+
+    def add_resource_attribute(
+        self, resource: str, attribute: str, value: str, attr_type: str = "string"
+    ) -> None:
+        self.records.append(ResourceAttributeRec(resource, attribute, str(value), attr_type))
+
+    def add_perf_result(
+        self,
+        execution: str,
+        resource_sets: Sequence[ResourceSet] | ResourceSet,
+        tool: str,
+        metric: str,
+        value: float,
+        units: str,
+    ) -> None:
+        if isinstance(resource_sets, ResourceSet):
+            resource_sets = (resource_sets,)
+        self.records.append(
+            PerfResultRec(execution, tuple(resource_sets), tool, metric, float(value), units)
+        )
+
+    def add_perf_result_series(
+        self,
+        execution: str,
+        resource_sets,
+        tool: str,
+        metric: str,
+        units: str,
+        start_time: float,
+        bin_width: float,
+        values,
+    ) -> None:
+        if isinstance(resource_sets, ResourceSet):
+            resource_sets = (resource_sets,)
+        self.records.append(
+            PerfResultSeriesRec(
+                execution, tuple(resource_sets), tool, metric, units,
+                float(start_time), float(bin_width), tuple(values),
+            )
+        )
+
+    def add_resource_constraint(self, resource1: str, resource2: str) -> None:
+        self.records.append(ResourceConstraintRec(resource1, resource2))
+
+    def extend(self, records: Iterable[Record]) -> None:
+        for rec in records:
+            self.records.append(rec)
+
+    def _add_once(self, rec: Record) -> None:
+        key = (type(rec).__name__,) + tuple(rec.fields())
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.records.append(rec)
+
+    # -- serialisation -------------------------------------------------------------
+
+    def render(self) -> str:
+        return "".join(render_record(r) + "\n" for r in self.records)
+
+    def write(self, path: str) -> int:
+        """Write to *path*; returns the number of lines written."""
+        text = self.render()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return len(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def write_string(records: Iterable[Record]) -> str:
+    return "".join(render_record(r) + "\n" for r in records)
+
+
+def write_file(records: Iterable[Record], path: str) -> int:
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(render_record(rec))
+            fh.write("\n")
+            count += 1
+    return count

@@ -1,0 +1,25 @@
+"""End-to-end drivers for the paper's three case studies (Section 4).
+
+Each study performs the full pipeline at a configurable scale: generate
+raw tool output (repro.synth) -> convert to PTdf (repro.tools) -> load
+into a data store (repro.core) -> report Table-1 statistics.
+
+* :mod:`repro.studies.purple` — Section 4.1: IRS on MCR and Frost.
+* :mod:`repro.studies.noise` — Section 4.2: SMG2000 on UV (benchmark +
+  mpiP + PMAPI) and BG/L (benchmark only).
+* :mod:`repro.studies.paradyn_study` — Section 4.3: IRS on MCR measured
+  with Paradyn.
+"""
+
+from .common import StudyReport, Table1Row
+from .purple import run_purple_study
+from .noise import run_noise_study
+from .paradyn_study import run_paradyn_study
+
+__all__ = [
+    "StudyReport",
+    "Table1Row",
+    "run_purple_study",
+    "run_noise_study",
+    "run_paradyn_study",
+]

@@ -1,0 +1,97 @@
+"""Shared plumbing for the case-study drivers: Table-1 accounting."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.datastore import LoadStats, PTDataStore
+
+
+@dataclass
+class Table1Row:
+    """One row of the paper's Table 1.
+
+    "Statistics for raw data, PTdf, and data store": per-execution raw
+    file count and bytes, resources/metrics/results per execution, total
+    PTdf files and lines, executions loaded, and data-store growth.
+    """
+
+    name: str
+    files_per_exec: float = 0.0
+    raw_bytes_per_exec: float = 0.0
+    resources_per_exec: float = 0.0
+    metrics: int = 0
+    results_per_exec: float = 0.0
+    ptdf_files: int = 0
+    ptdf_lines: int = 0
+    executions_loaded: int = 0
+    db_growth_bytes: int = 0
+
+    def render(self) -> str:
+        return (
+            f"{self.name:<12} files/exec={self.files_per_exec:>6.1f}  "
+            f"raw~bytes/exec={self.raw_bytes_per_exec:>10.0f}  "
+            f"resources/exec={self.resources_per_exec:>8.1f}  "
+            f"metrics={self.metrics:>4d}  "
+            f"results/exec={self.results_per_exec:>8.1f}  "
+            f"PTdf files/lines={self.ptdf_files}/{self.ptdf_lines}  "
+            f"execs loaded={self.executions_loaded}  "
+            f"DB growth={self.db_growth_bytes}B"
+        )
+
+
+@dataclass
+class StudyReport:
+    """Everything a study driver hands back."""
+
+    store: PTDataStore
+    table1: Table1Row
+    load_stats: LoadStats
+    executions: list[str] = field(default_factory=list)
+    raw_dir: Optional[str] = None
+    ptdf_dir: Optional[str] = None
+
+
+def dir_stats(directory: str, suffix: Optional[str] = None) -> tuple[int, int, int]:
+    """(file count, total bytes, total lines) for files in *directory*."""
+    files = 0
+    size = 0
+    lines = 0
+    for fname in sorted(os.listdir(directory)):
+        if suffix is not None and not fname.endswith(suffix):
+            continue
+        path = os.path.join(directory, fname)
+        if not os.path.isfile(path):
+            continue
+        files += 1
+        size += os.path.getsize(path)
+        with open(path, "rb") as fh:
+            lines += sum(1 for _ in fh)
+    return files, size, lines
+
+
+def ptdf_record_counts(directory: str) -> dict[str, int]:
+    """Count PTdf records by kind across ``*.ptdf`` files in *directory*.
+
+    Table 1 reports per-execution resource counts as they appear in the
+    PTdf, so this counts ``Resource``/``PerfResult``/... lines directly.
+    """
+    counts: dict[str, int] = {}
+    for fname in sorted(os.listdir(directory)):
+        if not fname.endswith(".ptdf"):
+            continue
+        with open(os.path.join(directory, fname), "r", encoding="utf-8") as fh:
+            for line in fh:
+                kind = line.split(" ", 1)[0].strip()
+                if kind:
+                    counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+def db_size_of(store: PTDataStore) -> int:
+    """Backend-reported data-store size in bytes (rough, cross-backend)."""
+    backend = store.backend
+    sizer = getattr(backend, "db_size_bytes", None)
+    return int(sizer()) if sizer is not None else 0

@@ -1,0 +1,132 @@
+"""Case study 2 — the noise-analysis study (paper Section 4.2).
+
+SMG2000 on two then-new platforms: UV (128 Power4+ nodes) with benchmark
+output, mpiP profiles and PMAPI counters; and BG/L (16k-node partition)
+with benchmark output only — which is why the paper's Table 1 shows
+SMG-UV at ~9,777 results/execution against SMG-BG/L's 8.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional, Sequence
+
+from ..collect.machine import machine_to_ptdf
+from ..collect.run_info import LibraryInfo, RunInfo, run_to_ptdf
+from ..core.datastore import LoadStats, PTDataStore
+from ..ptdf.ptdfgen import IndexEntry, PTdfGen
+from ..ptdf.writer import PTdfWriter
+from ..synth.machines import BGL, UV
+from ..synth.mpip_gen import MpiPSpec, generate_mpip_report
+from ..synth.smg_gen import SMGRunSpec, generate_smg_run
+from ..tools import ALL_CONVERTERS
+from .common import StudyReport, Table1Row, db_size_of, dir_stats, ptdf_record_counts
+
+
+def _run_env(execution: str, processes: int) -> RunInfo:
+    return RunInfo(
+        execution=execution,
+        machine="ppc64",
+        node="uv001",
+        num_processes=processes,
+        num_threads=1,
+        environment={"OMP_NUM_THREADS": "1", "MP_SHARED_MEMORY": "yes"},
+        libraries=[
+            LibraryInfo("libmpi_r.so.1", "1.0", 1843200, "MPI", "2005-01-15T10:00:00"),
+            LibraryInfo("libpthreads.so.0", "0.9", 524288, "thread", "2004-11-02T09:00:00"),
+        ],
+        input_deck="smg2000.in",
+        input_deck_timestamp="2005-02-20T12:00:00",
+        submission="psub-88123",
+        timestamp="2005-03-02T10:00:00",
+    )
+
+
+def run_noise_study(
+    store: Optional[PTDataStore] = None,
+    uv_executions: int = 4,
+    bgl_executions: int = 6,
+    uv_processes: Sequence[int] = (8, 16, 32, 64),
+    bgl_processes: Sequence[int] = (32, 64, 128, 256, 512, 1024),
+    mpip_callsites: int = 25,
+    work_dir: Optional[str] = None,
+    max_nodes_per_partition: int = 8,
+) -> tuple[StudyReport, StudyReport]:
+    """Run the noise study; returns (SMG-UV report, SMG-BG/L report)."""
+    store = store or PTDataStore()
+    work_dir = work_dir or tempfile.mkdtemp(prefix="noise-study-")
+
+    # New platforms: "Neither platform had previously been input."
+    machine_writer = PTdfWriter()
+    machine_to_ptdf(UV, machine_writer, max_nodes_per_partition=max_nodes_per_partition)
+    machine_to_ptdf(BGL, machine_writer, max_nodes_per_partition=max_nodes_per_partition)
+    store.load_records(machine_writer.records)
+
+    reports = []
+    for label, machine, n_exec, proc_counts, with_tools in (
+        ("SMG-UV", UV, uv_executions, uv_processes, True),
+        ("SMG-BG/L", BGL, bgl_executions, bgl_processes, False),
+    ):
+        raw_dir = os.path.join(work_dir, label.replace("/", "_"), "raw")
+        ptdf_dir = os.path.join(work_dir, label.replace("/", "_"), "ptdf")
+        os.makedirs(raw_dir, exist_ok=True)
+        db_before = db_size_of(store)
+        entries = []
+        env_writer = PTdfWriter()
+        env_writer.add_application("SMG2000")
+        for i in range(n_exec):
+            p = proc_counts[i % len(proc_counts)]
+            execution = f"smg-{machine.name.lower()}-p{p:05d}-r{i}"
+            spec = SMGRunSpec(execution, machine, p, with_pmapi=with_tools)
+            generate_smg_run(spec, raw_dir)
+            if with_tools:
+                generate_mpip_report(
+                    MpiPSpec(execution, p, callsites=mpip_callsites), raw_dir
+                )
+            entries.append(
+                IndexEntry(
+                    execution, "SMG2000", "MPI", p, 1,
+                    "2005-03-02T08:00:00", "2005-03-02T10:00:00",
+                )
+            )
+            # PTrun environment capture for each execution.
+            env_writer.add_execution(execution, "SMG2000")
+            run_to_ptdf(_run_env(execution, p), env_writer)
+        store.load_records(env_writer.records)
+        index_path = os.path.join(work_dir, f"{label.replace('/', '_')}.index")
+        with open(index_path, "w", encoding="utf-8") as fh:
+            for e in entries:
+                fh.write(" ".join(e.fields()) + "\n")
+        gen = PTdfGen(ALL_CONVERTERS)
+        gen_reports = gen.generate(raw_dir, index_path, out_dir=ptdf_dir)
+        stats = LoadStats()
+        for rep in gen_reports:
+            assert rep.output_path is not None
+            stats += store.load_file(rep.output_path)
+        raw_files, raw_bytes, _ = dir_stats(raw_dir)
+        ptdf_files, _, ptdf_lines = dir_stats(ptdf_dir, suffix=".ptdf")
+        rec_counts = ptdf_record_counts(ptdf_dir)
+        row = Table1Row(
+            name=label,
+            files_per_exec=raw_files / n_exec,
+            raw_bytes_per_exec=raw_bytes / n_exec,
+            resources_per_exec=rec_counts.get("Resource", 0) / n_exec,
+            metrics=len(store.metrics()),
+            results_per_exec=stats.results / n_exec,
+            ptdf_files=ptdf_files,
+            ptdf_lines=ptdf_lines,
+            executions_loaded=n_exec,
+            db_growth_bytes=db_size_of(store) - db_before,
+        )
+        reports.append(
+            StudyReport(
+                store=store,
+                table1=row,
+                load_stats=stats,
+                executions=[e.execution for e in entries],
+                raw_dir=raw_dir,
+                ptdf_dir=ptdf_dir,
+            )
+        )
+    return reports[0], reports[1]

@@ -1,0 +1,122 @@
+"""Case study 1 — the ASC Purple benchmark study (paper Section 4.1).
+
+IRS built with PTbuild, run on MCR (Linux) and Frost (AIX) over a process
+count sweep; the per-run output files are converted with PTdfGen and
+loaded.  Paper scale: 62 executions, ~1,514 results each, 6 raw files
+each; ``executions_per_machine`` scales that down for quick runs.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional, Sequence
+
+from ..collect.build_info import PTBuild, build_to_ptdf
+from ..collect.machine import machine_to_ptdf
+from ..core.datastore import PTDataStore
+from ..ptdf.ptdfgen import IndexEntry, PTdfGen
+from ..ptdf.writer import PTdfWriter
+from ..synth.irs_gen import generate_irs_run, irs_sweep_specs
+from ..synth.machines import FROST, MCR
+from ..tools import ALL_CONVERTERS
+from .common import StudyReport, Table1Row, db_size_of, dir_stats, ptdf_record_counts
+
+#: A representative make transcript for the IRS build (PTbuild input).
+IRS_MAKE_OUTPUT = """\
+make[1]: Entering directory `/usr/workspace/irs'
+mpicc -c -O2 -qarch=auto -DIRS_MPI irs.c -o irs.o
+mpicc -c -O2 -qarch=auto -DIRS_MPI rtmain.c -o rtmain.o
+mpicc -c -O2 -qarch=auto -DIRS_MPI matsolve.c -o matsolve.o
+mpicc -o irs irs.o rtmain.o matsolve.o -lm libhypre.a -lmpi
+make[1]: Leaving directory `/usr/workspace/irs'
+"""
+
+_WRAPPER_SHOW = {"mpicc": "xlc -I/usr/lpp/ppe.poe/include -lmpi_r -lvtd_r"}
+
+
+def run_purple_study(
+    store: Optional[PTDataStore] = None,
+    process_counts: Sequence[int] = (2, 4, 8, 16, 32, 64),
+    runs_per_count: int = 1,
+    machines=(MCR, FROST),
+    work_dir: Optional[str] = None,
+    max_nodes_per_partition: int = 8,
+) -> StudyReport:
+    """Run the Purple benchmark study end to end; returns the report."""
+    store = store or PTDataStore()
+    work_dir = work_dir or tempfile.mkdtemp(prefix="purple-study-")
+    raw_dir = os.path.join(work_dir, "raw")
+    ptdf_dir = os.path.join(work_dir, "ptdf")
+    os.makedirs(raw_dir, exist_ok=True)
+
+    # Machine descriptions (already-present descriptive data in the paper).
+    machine_writer = PTdfWriter()
+    for m in machines:
+        machine_to_ptdf(m, machine_writer, max_nodes_per_partition=max_nodes_per_partition)
+    store.load_records(machine_writer.records)
+
+    # PTbuild: capture the build once per machine.
+    build_writer = PTdfWriter()
+    for m in machines:
+        info = PTBuild().from_output(
+            IRS_MAKE_OUTPUT, makefile="Makefile.irs", arguments=("-j4",),
+            wrapper_show=_WRAPPER_SHOW,
+        )
+        build_to_ptdf(info, build_writer, f"irs-build-{m.name.lower()}")
+    store.load_records(build_writer.records)
+
+    db_before = db_size_of(store)
+
+    # Generate raw IRS output + index entries for PTdfGen.
+    entries: list[IndexEntry] = []
+    for m in machines:
+        for spec in irs_sweep_specs(m, tuple(process_counts), runs_per_count):
+            generate_irs_run(spec, raw_dir)
+            entries.append(
+                IndexEntry(
+                    spec.execution, "IRS", "MPI", spec.processes, spec.threads,
+                    "2005-03-01T08:00:00", "2005-03-01T09:00:00",
+                )
+            )
+    index_path = os.path.join(work_dir, "irs.index")
+    with open(index_path, "w", encoding="utf-8") as fh:
+        for e in entries:
+            fh.write(" ".join(e.fields()) + "\n")
+
+    # PTdfGen: directory of raw files + index -> PTdf files.
+    gen = PTdfGen(ALL_CONVERTERS)
+    reports = gen.generate(raw_dir, index_path, out_dir=ptdf_dir)
+
+    # Load all generated PTdf.
+    from ..core.datastore import LoadStats
+
+    stats = LoadStats()
+    for rep in reports:
+        assert rep.output_path is not None
+        stats += store.load_file(rep.output_path)
+
+    raw_files, raw_bytes, _ = dir_stats(raw_dir)
+    ptdf_files, _, ptdf_lines = dir_stats(ptdf_dir, suffix=".ptdf")
+    rec_counts = ptdf_record_counts(ptdf_dir)
+    n_exec = len(entries)
+    row = Table1Row(
+        name="IRS",
+        files_per_exec=raw_files / n_exec,
+        raw_bytes_per_exec=raw_bytes / n_exec,
+        resources_per_exec=rec_counts.get("Resource", 0) / n_exec,
+        metrics=len(store.metrics()),
+        results_per_exec=stats.results / n_exec,
+        ptdf_files=ptdf_files,
+        ptdf_lines=ptdf_lines,
+        executions_loaded=stats.executions,
+        db_growth_bytes=db_size_of(store) - db_before,
+    )
+    return StudyReport(
+        store=store,
+        table1=row,
+        load_stats=stats,
+        executions=[e.execution for e in entries],
+        raw_dir=raw_dir,
+        ptdf_dir=ptdf_dir,
+    )

@@ -1,0 +1,15 @@
+"""Synthetic workloads and tool-output generators.
+
+The paper's case studies used real runs of the ASC Purple benchmarks (IRS,
+SMG2000) on LLNL machines, measured with the benchmarks' own output plus
+mpiP, PMAPI and Paradyn.  We have none of those; this package generates
+*files in the same formats* at the same scales, driven by a deterministic
+statistical workload model, so the converters in :mod:`repro.tools` and
+everything above them exercise the identical code paths (see DESIGN.md
+Section 2 for the substitution argument).
+"""
+
+from .workload import WorkloadModel, exec_rng
+from .machines import MCR, FROST, UV, BGL, all_machines
+
+__all__ = ["WorkloadModel", "exec_rng", "MCR", "FROST", "UV", "BGL", "all_machines"]

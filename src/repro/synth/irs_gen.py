@@ -1,0 +1,155 @@
+"""Synthetic IRS (Implicit Radiation Solver) benchmark output.
+
+The paper's first case study (Section 4.1): "Each standard IRS benchmark
+outputs several data files for each application run.  IRS outputs
+performance data for the whole program, with the values cumulative over
+all processes.  The data includes timings for approximately 80 different
+functions in the program.  For each function, the aggregate, average, max
+and min values for five different metrics are reported.  Sometimes one of
+the values or metrics doesn't apply, so there are slightly varying numbers
+of performance results ... In our runs, each IRS execution generated
+approximately 1000 performance results" (Table 1: 6 files, ~1,514 results,
+25 metrics per execution).
+
+We emit six files per run: one run summary plus five per-metric function
+timing tables in a fixed-width layout; inapplicable cells are printed as
+``-`` with a deterministic ~5% rate so per-execution result counts vary
+like the paper's.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..collect.machine import MachineDescription
+from .workload import IRS_FUNCTIONS, WorkloadModel, exec_rng
+
+#: The five IRS metrics (per-function tables) and their units.
+IRS_METRICS: tuple[tuple[str, str], ...] = (
+    ("CPU time", "seconds"),
+    ("Wall time", "seconds"),
+    ("MPI time", "seconds"),
+    ("FP operations", "Mflops"),
+    ("L1 cache misses", "millions"),
+)
+
+IRS_STATS: tuple[str, ...] = ("aggregate", "avg", "max", "min")
+
+_BANNER = "IRS function timing report"
+_SUMMARY_BANNER = "IRS Implicit Radiation Solver"
+
+
+@dataclass(frozen=True)
+class IRSRunSpec:
+    """Parameters of one synthetic IRS run."""
+
+    execution: str
+    machine: MachineDescription
+    processes: int
+    threads: int = 1
+    problem: str = "zrad3d"
+
+
+def _metric_scale(rng: np.random.Generator, metric: str, cpu_total: float) -> float:
+    """Total volume of one metric given total CPU seconds."""
+    if metric == "CPU time":
+        return cpu_total
+    if metric == "Wall time":
+        return cpu_total * float(rng.uniform(1.02, 1.15))
+    if metric == "MPI time":
+        return cpu_total * float(rng.uniform(0.08, 0.35))
+    if metric == "FP operations":
+        return cpu_total * float(rng.uniform(180.0, 420.0))  # Mflop/s per cpu-s
+    return cpu_total * float(rng.uniform(0.8, 4.0))  # cache misses
+
+
+def generate_irs_run(
+    spec: IRSRunSpec,
+    out_dir: str,
+    model: Optional[WorkloadModel] = None,
+    drop_rate: float = 0.05,
+) -> list[str]:
+    """Write the six IRS output files for one run; returns the paths."""
+    model = model or WorkloadModel()
+    rng = exec_rng("irs", spec.execution)
+    os.makedirs(out_dir, exist_ok=True)
+    p = spec.processes
+    wall = model.total_time(p)
+    cpu_total = wall * p * float(rng.uniform(0.85, 0.98))
+    shares = model.function_shares(rng, len(IRS_FUNCTIONS))
+    paths: list[str] = []
+
+    # 1. run summary file
+    summary_path = os.path.join(out_dir, f"{spec.execution}.out")
+    iterations = int(rng.integers(40, 120))
+    with open(summary_path, "w", encoding="utf-8") as fh:
+        fh.write("*" * 60 + "\n")
+        fh.write(f"{_SUMMARY_BANNER}\n")
+        fh.write(f"Problem: {spec.problem}\n")
+        fh.write("*" * 60 + "\n")
+        fh.write(f"machine            = {spec.machine.name}\n")
+        fh.write(f"machine resource   = /{spec.machine.grid}/{spec.machine.name}\n")
+        fh.write(f"processes          = {p}\n")
+        fh.write(f"threads per proc   = {spec.threads}\n")
+        fh.write(f"wall clock time    = {wall:.6f} seconds\n")
+        fh.write(f"total CPU time     = {cpu_total:.6f} seconds\n")
+        fh.write(f"timestep iterations = {iterations}\n")
+        fh.write(f"final energy error = {float(rng.uniform(1e-9, 1e-6)):.3e}\n")
+        fh.write(f"memory high water  = {float(rng.uniform(200, 900)):.1f} MB\n")
+    paths.append(summary_path)
+
+    # 2-6. per-metric function tables
+    for metric, units in IRS_METRICS:
+        total = _metric_scale(rng, metric, cpu_total)
+        path = os.path.join(
+            out_dir, f"{spec.execution}.timing.{metric.replace(' ', '_').lower()}"
+        )
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(f"{_BANNER}\n")
+            fh.write(f"metric: {metric} ({units})\n")
+            fh.write(f"machine: /{spec.machine.grid}/{spec.machine.name}\n")
+            fh.write(f"processes: {p}\n")
+            fh.write(
+                f"{'function':<28}{'aggregate':>16}{'avg':>14}{'max':>14}{'min':>14}\n"
+            )
+            fh.write("-" * 86 + "\n")
+            for func, share in zip(IRS_FUNCTIONS, shares):
+                agg = total * float(share)
+                per_proc = model.per_process_values(rng, agg / p, p)
+                cells = {
+                    "aggregate": agg,
+                    "avg": float(per_proc.mean()),
+                    "max": float(per_proc.max()),
+                    "min": float(per_proc.min()),
+                }
+                rendered = []
+                for stat in IRS_STATS:
+                    if float(rng.random()) < drop_rate:
+                        rendered.append("-")
+                    else:
+                        rendered.append(f"{cells[stat]:.6f}")
+                fh.write(
+                    f"{func:<28}{rendered[0]:>16}{rendered[1]:>14}"
+                    f"{rendered[2]:>14}{rendered[3]:>14}\n"
+                )
+        paths.append(path)
+    return paths
+
+
+def irs_sweep_specs(
+    machine: MachineDescription,
+    process_counts: tuple[int, ...] = (2, 4, 8, 16, 32, 64),
+    runs_per_count: int = 1,
+    problem: str = "zrad3d",
+) -> list[IRSRunSpec]:
+    """Specs for a process-count sweep on one machine (the Fig. 5 study)."""
+    specs = []
+    for p in process_counts:
+        for r in range(runs_per_count):
+            name = f"irs-{machine.name.lower()}-p{p:04d}-r{r}"
+            specs.append(IRSRunSpec(name, machine, p, problem=problem))
+    return specs

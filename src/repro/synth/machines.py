@@ -1,0 +1,95 @@
+"""Declarative descriptions of the paper's machines.
+
+Section 4 of the paper runs on four LLNL systems:
+
+* **MCR** — a Linux (CHAOS) cluster with dual-Xeon nodes,
+* **Frost** — an AIX cluster of 16-way IBM Power3 nodes,
+* **UV** — "an early delivery component of the upcoming ASC Purple
+  platform ... 128 8-way nodes with Power4+ processors running at
+  1.5 GHz",
+* **BG/L** — "only one partition with 16k nodes based on the PowerPC 440"
+  during early installation.
+
+The UV and BG/L numbers are the paper's own; MCR and Frost use public
+2004-era configurations.  Emission may truncate node fan-out for the
+giant machines (see :func:`repro.collect.machine.machine_to_ptdf`).
+"""
+
+from __future__ import annotations
+
+from ..collect.machine import MachineDescription, Partition, ProcessorSpec
+
+MCR = MachineDescription(
+    grid="LLNL",
+    name="MCR",
+    operating_system="CHAOS-Linux-2.4",
+    partitions=[
+        Partition(
+            name="batch",
+            nodes=1152,
+            processors_per_node=2,
+            processor=ProcessorSpec(vendor="Intel", processor_type="Xeon", clock_mhz=2400),
+        ),
+        Partition(
+            name="debug",
+            nodes=32,
+            processors_per_node=2,
+            processor=ProcessorSpec(vendor="Intel", processor_type="Xeon", clock_mhz=2400),
+        ),
+    ],
+    attributes={"interconnect": "Quadrics QsNet Elan3", "cluster type": "Linux"},
+)
+
+FROST = MachineDescription(
+    grid="LLNL",
+    name="Frost",
+    operating_system="AIX-5.1",
+    partitions=[
+        Partition(
+            name="batch",
+            nodes=68,
+            processors_per_node=16,
+            processor=ProcessorSpec(vendor="IBM", processor_type="Power3", clock_mhz=375),
+            node_prefix="frost",
+        ),
+    ],
+    attributes={"interconnect": "IBM SP Switch2", "cluster type": "AIX"},
+)
+
+UV = MachineDescription(
+    grid="LLNL",
+    name="UV",
+    operating_system="AIX-5.2",
+    partitions=[
+        Partition(
+            name="batch",
+            nodes=128,
+            processors_per_node=8,
+            processor=ProcessorSpec(vendor="IBM", processor_type="Power4+", clock_mhz=1500),
+            node_prefix="uv",
+        ),
+    ],
+    attributes={"interconnect": "IBM Federation", "cluster type": "AIX",
+                "role": "ASC Purple early delivery"},
+)
+
+BGL = MachineDescription(
+    grid="LLNL",
+    name="BGL",
+    operating_system="BLRTS",
+    partitions=[
+        Partition(
+            name="R0",
+            nodes=16384,
+            processors_per_node=2,
+            processor=ProcessorSpec(vendor="IBM", processor_type="PowerPC440", clock_mhz=700),
+            node_prefix="bgl",
+        ),
+    ],
+    attributes={"interconnect": "3D torus", "cluster type": "BlueGene",
+                "peak teraflops": "130"},
+)
+
+
+def all_machines() -> list[MachineDescription]:
+    return [MCR, FROST, UV, BGL]

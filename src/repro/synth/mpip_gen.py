@@ -1,0 +1,152 @@
+"""Synthetic mpiP profiling reports (paper Figure 8, Section 4.2).
+
+The layout follows real mpiP 2.x reports: a header of ``@`` lines, the
+per-task "MPI Time" section, the "Callsites" table mapping site ids to
+(file, line, parent function, MPI call), the "Aggregate Time" top list,
+and the per-rank "Callsite Time statistics" section whose rows carry
+Count/Max/Mean/Min per (site, rank) plus a ``*`` roll-up row.
+
+"The mpiP data ... contains multiple measurements broken down by process
+or whole execution, MPI function, and callsite of the MPI function" — the
+converter turns the caller/callee relation into two resource sets per
+result, the Section 4.2 schema extension.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .workload import MPI_FUNCTIONS, WorkloadModel, exec_rng
+
+#: Source files callsites live in (hypre-like names for SMG2000).
+_CALLER_FILES = (
+    ("smg_relax.c", "hypre_SMGRelax"),
+    ("smg_solve.c", "hypre_SMGSolve"),
+    ("smg_setup.c", "hypre_SMGSetup"),
+    ("struct_communication.c", "hypre_CommPkgCreate"),
+    ("struct_grid.c", "hypre_StructGridAssemble"),
+    ("cyclic_reduction.c", "hypre_CyclicReduction"),
+    ("semi_interp.c", "hypre_SemiInterp"),
+    ("semi_restrict.c", "hypre_SemiRestrict"),
+)
+
+
+@dataclass(frozen=True)
+class MpiPSpec:
+    """Parameters of one synthetic mpiP report."""
+
+    execution: str
+    processes: int
+    callsites: int = 25
+    command: str = "smg2000 -n 40 40 40"
+    version: str = "2.8.2"
+
+
+def generate_mpip_report(
+    spec: MpiPSpec,
+    out_dir: str,
+    model: Optional[WorkloadModel] = None,
+) -> str:
+    """Write one mpiP report file; returns its path."""
+    model = model or WorkloadModel(parallel_seconds=280.0, serial_seconds=0.8)
+    rng = exec_rng("mpip", spec.execution)
+    os.makedirs(out_dir, exist_ok=True)
+    p = spec.processes
+    app_time_per_rank = model.total_time(p)
+    mpi_frac = model.mpi_fraction(p)
+    app_times = model.per_process_values(rng, app_time_per_rank, p)
+    mpi_times = app_times * mpi_frac * rng.uniform(0.7, 1.3, size=p)
+    mpi_times = np.minimum(mpi_times, app_times * 0.9)
+
+    # Callsite table: id -> (file, line, caller, call)
+    sites = []
+    for sid in range(1, spec.callsites + 1):
+        fname, caller = _CALLER_FILES[int(rng.integers(len(_CALLER_FILES)))]
+        call = MPI_FUNCTIONS[int(rng.integers(len(MPI_FUNCTIONS)))][4:]  # strip MPI_
+        line = int(rng.integers(40, 900))
+        sites.append((sid, fname, line, caller, call))
+
+    # Site shares of total MPI time.
+    shares = model.function_shares(rng, spec.callsites)
+    total_mpi_ms = float(mpi_times.sum()) * 1e3
+    site_time_ms = shares * total_mpi_ms
+    total_app_ms = float(app_times.sum()) * 1e3
+
+    path = os.path.join(out_dir, f"{spec.execution}.mpip.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("@ mpiP\n")
+        fh.write(f"@ Command : {spec.command}\n")
+        fh.write(f"@ Version : {spec.version}\n")
+        fh.write(f"@ MPI Task Assignment : {p} tasks\n")
+        fh.write("\n")
+        fh.write("@--- MPI Time (seconds) " + "-" * 50 + "\n")
+        fh.write(f"{'Task':>4} {'AppTime':>12} {'MPITime':>12} {'MPI%':>8}\n")
+        for r in range(p):
+            pct = 100.0 * mpi_times[r] / app_times[r]
+            fh.write(f"{r:>4} {app_times[r]:>12.4g} {mpi_times[r]:>12.4g} {pct:>8.2f}\n")
+        total_pct = 100.0 * float(mpi_times.sum()) / float(app_times.sum())
+        fh.write(
+            f"{'*':>4} {float(app_times.sum()):>12.4g} "
+            f"{float(mpi_times.sum()):>12.4g} {total_pct:>8.2f}\n"
+        )
+        fh.write("\n")
+        fh.write(f"@--- Callsites: {spec.callsites} " + "-" * 50 + "\n")
+        fh.write(f"{'ID':>3} {'Lev':>3} {'File':<24} {'Line':>5} "
+                 f"{'Parent_Funct':<26} {'MPI_Call':<14}\n")
+        for sid, fname, line, caller, call in sites:
+            fh.write(f"{sid:>3} {0:>3} {fname:<24} {line:>5} {caller:<26} {call:<14}\n")
+        fh.write("\n")
+        fh.write("@--- Aggregate Time (top twenty, descending, milliseconds) "
+                 + "-" * 15 + "\n")
+        fh.write(f"{'Call':<16} {'Site':>5} {'Time':>12} {'App%':>7} {'MPI%':>7}\n")
+        order = np.argsort(site_time_ms)[::-1]
+        for i in order[:20]:
+            sid, fname, line, caller, call = sites[i]
+            t = site_time_ms[i]
+            fh.write(
+                f"{call:<16} {sid:>5} {t:>12.4g} "
+                f"{100.0 * t / total_app_ms:>7.2f} {100.0 * t / total_mpi_ms:>7.2f}\n"
+            )
+        fh.write("\n")
+        n_stat_rows = spec.callsites * (p + 1)
+        fh.write(
+            f"@--- Callsite Time statistics (all, milliseconds): {n_stat_rows} "
+            + "-" * 15 + "\n"
+        )
+        fh.write(
+            f"{'Name':<16} {'Site':>5} {'Rank':>5} {'Count':>8} "
+            f"{'Max':>10} {'Mean':>10} {'Min':>10} {'App%':>7} {'MPI%':>7}\n"
+        )
+        for i, (sid, fname, line, caller, call) in enumerate(sites):
+            per_rank_mean = site_time_ms[i] / p
+            rank_totals = model.per_process_values(rng, per_rank_mean, p)
+            counts = np.maximum(
+                1, rng.poisson(lam=max(1.0, site_time_ms[i] / (p * 2.0)), size=p)
+            )
+            maxima = np.zeros(p)
+            means = np.zeros(p)
+            minima = np.zeros(p)
+            for r in range(p):
+                mean_t = rank_totals[r] / counts[r]
+                spread = float(rng.uniform(1.2, 4.0))
+                maxima[r] = mean_t * spread
+                means[r] = mean_t
+                minima[r] = mean_t / spread
+                fh.write(
+                    f"{call:<16} {sid:>5} {r:>5} {counts[r]:>8d} "
+                    f"{maxima[r]:>10.4g} {means[r]:>10.4g} {minima[r]:>10.4g} "
+                    f"{100.0 * rank_totals[r] / (app_times[r] * 1e3):>7.2f} "
+                    f"{100.0 * rank_totals[r] / (mpi_times[r] * 1e3):>7.2f}\n"
+                )
+            fh.write(
+                f"{call:<16} {sid:>5} {'*':>5} {int(counts.sum()):>8d} "
+                f"{float(maxima.max()):>10.4g} {float(means.mean()):>10.4g} "
+                f"{float(minima.min()):>10.4g} "
+                f"{100.0 * site_time_ms[i] / total_app_ms:>7.2f} "
+                f"{100.0 * site_time_ms[i] / total_mpi_ms:>7.2f}\n"
+            )
+    return path

@@ -1,0 +1,201 @@
+"""Synthetic Paradyn export files (paper Section 4.3).
+
+A Paradyn session export consists of several text files: histogram files
+(one per metric-focus pair, a header plus one value per bin, ``nan`` for
+bins with no data), an index file describing the histogram files, a
+resources file listing every Paradyn resource, and a search history graph.
+
+Scales follow the paper: each of the three IRS executions had
+"approximately 17,000 resources, 8 metrics, and 25,000 performance
+results", with per-execution variation because dynamic instrumentation
+starts at different times ("Paradyn may not have data for some bins") —
+reproduced here via a deterministic per-execution nan prefix and nan rate.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .workload import WorkloadModel, exec_rng
+
+PARADYN_METRICS: tuple[str, ...] = (
+    "cpu_inclusive",
+    "cpu_exclusive",
+    "exec_time",
+    "sync_wait_inclusive",
+    "msg_bytes_sent",
+    "msg_bytes_recv",
+    "procedure_calls",
+    "io_wait_inclusive",
+)
+
+
+@dataclass
+class ParadynSpec:
+    """Parameters of one synthetic Paradyn session export."""
+
+    execution: str
+    processes: int = 4
+    threads_per_process: int = 1
+    modules: int = 40
+    functions_per_module: int = 12
+    sync_objects: int = 16
+    histograms: int = 25
+    bins: int = 1000
+    bin_width: float = 0.2
+    nan_rate: float = 0.04
+    local_phases: int = 0
+    metrics: tuple[str, ...] = PARADYN_METRICS
+    #: Fraction of modules that are dynamic libraries (map to environment).
+    dynamic_module_fraction: float = 0.15
+    #: Fraction of functions living in DEFAULT_MODULE (unmappable).
+    default_module_fraction: float = 0.02
+
+
+@dataclass
+class ParadynExport:
+    """Paths of one generated export."""
+
+    resources_path: str
+    index_path: str
+    histogram_paths: list[str] = field(default_factory=list)
+    shg_path: Optional[str] = None
+
+
+def _code_resources(spec: ParadynSpec, rng: np.random.Generator) -> list[str]:
+    out = ["/Code"]
+    n_dynamic = int(spec.modules * spec.dynamic_module_fraction)
+    for m in range(spec.modules):
+        if m < n_dynamic:
+            mod = f"libshared_{m:03d}.so"
+        else:
+            mod = f"module_{m:03d}.c"
+        out.append(f"/Code/{mod}")
+        for f in range(spec.functions_per_module):
+            out.append(f"/Code/{mod}/fn_{m:03d}_{f:03d}")
+    n_default = max(1, int(spec.modules * spec.functions_per_module
+                           * spec.default_module_fraction))
+    out.append("/Code/DEFAULT_MODULE")
+    for f in range(n_default):
+        out.append(f"/Code/DEFAULT_MODULE/builtin_{f:03d}")
+    return out
+
+
+def _machine_resources(spec: ParadynSpec, rng: np.random.Generator) -> list[str]:
+    out = ["/Machine"]
+    for p in range(spec.processes):
+        node = f"mcr{int(rng.integers(1, 128)):03d}"
+        node_res = f"/Machine/{node}"
+        if node_res not in out:
+            out.append(node_res)
+        pid = int(rng.integers(1000, 30000))
+        proc = f"{node_res}/irs{{{pid}}}"
+        out.append(proc)
+        for t in range(1, spec.threads_per_process + 1):
+            out.append(f"{proc}/thr_{t}")
+    return out
+
+
+def _sync_resources(spec: ParadynSpec) -> list[str]:
+    out = ["/SyncObject", "/SyncObject/Message", "/SyncObject/Window"]
+    for i in range(spec.sync_objects):
+        kind = "Message" if i % 2 == 0 else "Window"
+        out.append(f"/SyncObject/{kind}/obj_{i:03d}")
+    return out
+
+
+def generate_paradyn_export(
+    spec: ParadynSpec,
+    out_dir: str,
+    model: Optional[WorkloadModel] = None,
+) -> ParadynExport:
+    """Write the full set of Paradyn export files for one execution."""
+    model = model or WorkloadModel()
+    rng = exec_rng("paradyn", spec.execution)
+    os.makedirs(out_dir, exist_ok=True)
+
+    code = _code_resources(spec, rng)
+    machine = _machine_resources(spec, rng)
+    sync = _sync_resources(spec)
+    resources = code + machine + sync
+
+    resources_path = os.path.join(out_dir, f"{spec.execution}.resources")
+    with open(resources_path, "w", encoding="utf-8") as fh:
+        fh.write("# Paradyn resources export\n")
+        for r in resources:
+            fh.write(r + "\n")
+
+    functions = [r for r in code if r.count("/") == 3]
+    processes = [r for r in machine if r.count("/") == 3]
+
+    export = ParadynExport(resources_path=resources_path, index_path="")
+    index_lines = ["# Paradyn histogram index"]
+    for h in range(spec.histograms):
+        metric = spec.metrics[h % len(spec.metrics)]
+        # Some histograms belong to user-created local phases.
+        phase = None
+        if spec.local_phases > 0 and h % 3 == 2:
+            phase = f"phase_{h % spec.local_phases}"
+        focus_parts = [functions[int(rng.integers(len(functions)))]]
+        if rng.random() < 0.7:
+            focus_parts.append(processes[int(rng.integers(len(processes)))])
+        if rng.random() < 0.15:
+            focus_parts.append(sync[3 + int(rng.integers(spec.sync_objects))])
+        focus = ",".join(focus_parts)
+        hist_name = f"{spec.execution}_hist_{h:04d}.hist"
+        hist_path = os.path.join(out_dir, hist_name)
+        # Dynamic instrumentation starts late: a nan prefix of random length.
+        start_bin = int(rng.integers(0, max(1, spec.bins // 10)))
+        scale = {
+            "cpu_inclusive": spec.bin_width * 0.8,
+            "cpu_exclusive": spec.bin_width * 0.5,
+            "exec_time": spec.bin_width,
+            "sync_wait_inclusive": spec.bin_width * 0.3,
+            "msg_bytes_sent": 1.0e5,
+            "msg_bytes_recv": 1.0e5,
+            "procedure_calls": 5.0e3,
+            "io_wait_inclusive": spec.bin_width * 0.05,
+        }.get(metric, 1.0)
+        values = rng.lognormal(mean=0.0, sigma=0.6, size=spec.bins) * scale
+        nan_mask = rng.random(spec.bins) < spec.nan_rate
+        nan_mask[:start_bin] = True
+        with open(hist_path, "w", encoding="utf-8") as fh:
+            fh.write("# Paradyn histogram export\n")
+            fh.write(f"# metric: {metric}\n")
+            if phase is not None:
+                fh.write(f"# phase: {phase}\n")
+            fh.write(f"# focus: {focus}\n")
+            fh.write(f"# numBins: {spec.bins}\n")
+            fh.write(f"# binWidth: {spec.bin_width}\n")
+            fh.write("# startTime: 0.0\n")
+            for i in range(spec.bins):
+                if nan_mask[i]:
+                    fh.write("nan\n")
+                else:
+                    fh.write(f"{values[i]:.6g}\n")
+        export.histogram_paths.append(hist_path)
+        index_lines.append(f"{hist_name} {metric} {focus}")
+        del phase
+
+    index_path = os.path.join(out_dir, f"{spec.execution}.index")
+    with open(index_path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(index_lines) + "\n")
+    export.index_path = index_path
+
+    # Search history graph: recorded for completeness; the converter does
+    # not ingest it (the paper defers Performance Consultant data to
+    # future work on complex performance results).
+    shg_path = os.path.join(out_dir, f"{spec.execution}.shg")
+    with open(shg_path, "w", encoding="utf-8") as fh:
+        fh.write("# Paradyn search history graph\n")
+        fh.write("TopLevelHypothesis true\n")
+        for i in range(8):
+            fn = functions[int(rng.integers(len(functions)))]
+            verdict = "true" if rng.random() < 0.3 else "false"
+            fh.write(f"ExcessiveSyncWaitingTime {fn} {verdict}\n")
+    export.shg_path = shg_path
+    return export

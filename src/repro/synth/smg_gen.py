@@ -1,0 +1,88 @@
+"""Synthetic SMG2000 benchmark output (paper Figure 7, Section 4.2).
+
+"The raw SMG2000 benchmark data only contains eight data values on the
+level of the whole execution": wall/cpu times for the three phases
+(Struct Interface, SMG Setup, SMG Solve), the iteration count and the
+final residual norm.  The run output optionally carries a PMAPI hardware
+counter block appended by extra instrumentation, exactly as the Figure 7
+screenshot shows one file holding both.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from ..collect.machine import MachineDescription
+from .pmapi_gen import render_pmapi_block
+from .workload import WorkloadModel, exec_rng
+
+SMG_PHASES: tuple[str, ...] = ("Struct Interface", "SMG Setup", "SMG Solve")
+
+
+@dataclass(frozen=True)
+class SMGRunSpec:
+    """Parameters of one synthetic SMG2000 run."""
+
+    execution: str
+    machine: MachineDescription
+    processes: int
+    nx: int = 40
+    ny: int = 40
+    nz: int = 40
+    with_pmapi: bool = False
+
+
+def _grid_decomposition(p: int) -> tuple[int, int, int]:
+    """Factor p into a roughly cubic (Px, Py, Pz)."""
+    px = int(round(p ** (1.0 / 3.0)))
+    while px > 1 and p % px:
+        px -= 1
+    rest = p // px
+    py = int(round(rest ** 0.5))
+    while py > 1 and rest % py:
+        py -= 1
+    pz = rest // py
+    return px, py, pz
+
+
+def generate_smg_run(
+    spec: SMGRunSpec,
+    out_dir: str,
+    model: Optional[WorkloadModel] = None,
+) -> str:
+    """Write one SMG2000 output file; returns its path."""
+    model = model or WorkloadModel(parallel_seconds=280.0, serial_seconds=0.8)
+    rng = exec_rng("smg2000", spec.execution)
+    os.makedirs(out_dir, exist_ok=True)
+    p = spec.processes
+    px, py, pz = _grid_decomposition(p)
+    solve_wall = model.total_time(p)
+    setup_wall = solve_wall * float(rng.uniform(0.08, 0.18))
+    struct_wall = solve_wall * float(rng.uniform(0.005, 0.02))
+    path = os.path.join(out_dir, f"{spec.execution}.smg.out")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("Running with these driver parameters:\n")
+        fh.write(f"  (nx, ny, nz)    = ({spec.nx}, {spec.ny}, {spec.nz})\n")
+        fh.write(f"  (Px, Py, Pz)    = ({px}, {py}, {pz})\n")
+        fh.write("  (bx, by, bz)    = (1, 1, 1)\n")
+        fh.write("  (cx, cy, cz)    = (1.000000, 1.000000, 1.000000)\n")
+        fh.write("  (n_pre, n_post) = (1, 1)\n")
+        fh.write("  dim             = 3\n")
+        fh.write("  solver ID       = 0\n")
+        for phase, wall in zip(SMG_PHASES, (struct_wall, setup_wall, solve_wall)):
+            cpu = wall * float(rng.uniform(0.92, 0.999))
+            fh.write("=" * 45 + "\n")
+            fh.write(f"{phase}:\n")
+            fh.write(f"  wall clock time = {wall:.6f} seconds\n")
+            fh.write(f"  cpu clock time  = {cpu:.6f} seconds\n")
+        fh.write("=" * 45 + "\n")
+        fh.write(f"Iterations = {int(rng.integers(4, 12))}\n")
+        fh.write(
+            f"Final Relative Residual Norm = {float(rng.uniform(1e-9, 1e-6)):.6e}\n"
+        )
+        if spec.with_pmapi:
+            fh.write("\n")
+            fh.write(render_pmapi_block(spec.execution, p, model, rng))
+    return path

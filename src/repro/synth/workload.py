@@ -1,0 +1,147 @@
+"""Statistical workload model behind all synthetic tool output.
+
+Design goals:
+
+* **Deterministic** — every generator seeds NumPy's PCG64 from a stable
+  hash of the execution name, so regenerating a study reproduces the same
+  bytes (tests and benchmarks rely on this).
+* **Realistic shape** — per-function times follow a lognormal size
+  distribution (a few hot functions dominate, like real profiles); per-
+  process values carry a load-imbalance term that grows with process
+  count plus multiplicative OS-noise, the effect the paper's second case
+  study (the BG/L "noise analysis") measured.
+* **Scaling law** — execution time follows an Amdahl-plus-communication
+  model ``t(p) = serial + parallel/p + comm·log2(p)``, so parameter
+  studies show speedup that rolls off at scale, giving the Figure-5 style
+  curves their characteristic shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def stable_seed(*parts: str) -> int:
+    """A 64-bit seed derived from strings, stable across runs and platforms."""
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def exec_rng(*parts: str) -> np.random.Generator:
+    """A deterministic RNG for one execution (or any named entity)."""
+    return np.random.default_rng(stable_seed(*parts))
+
+
+@dataclass
+class WorkloadModel:
+    """Parameters of the synthetic application behaviour."""
+
+    #: Serial fraction of the total work (Amdahl).
+    serial_seconds: float = 2.0
+    #: Perfectly parallel work at one process.
+    parallel_seconds: float = 600.0
+    #: Per-doubling communication overhead in seconds.
+    comm_seconds: float = 0.8
+    #: Load imbalance coefficient; spread grows ~ sqrt(log2 p) * imbalance.
+    imbalance: float = 0.08
+    #: Multiplicative OS-noise sigma (lognormal).
+    noise_sigma: float = 0.02
+    #: Lognormal sigma of the per-function share distribution.
+    function_sigma: float = 1.6
+
+    def total_time(self, processes: int) -> float:
+        """Modelled wall time of the whole run at *processes* ranks."""
+        p = max(1, processes)
+        return (
+            self.serial_seconds
+            + self.parallel_seconds / p
+            + self.comm_seconds * float(np.log2(p))
+        )
+
+    def function_shares(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Fractions of total time per function (sorted descending, sum=1)."""
+        raw = rng.lognormal(mean=0.0, sigma=self.function_sigma, size=count)
+        raw[::-1].sort()
+        return raw / raw.sum()
+
+    def per_process_values(
+        self,
+        rng: np.random.Generator,
+        mean_value: float,
+        processes: int,
+    ) -> np.ndarray:
+        """Per-rank values around *mean_value* with imbalance + noise.
+
+        The imbalance term is a fixed per-rank skew (some ranks simply own
+        more work); noise is fresh lognormal jitter.  The spread widens
+        with process count, which is what makes the Figure-5 min/max bars
+        separate at scale.
+        """
+        p = max(1, processes)
+        skew_scale = self.imbalance * float(np.sqrt(np.log2(p) + 1.0))
+        skew = rng.normal(loc=0.0, scale=skew_scale, size=p)
+        noise = rng.lognormal(mean=0.0, sigma=self.noise_sigma, size=p)
+        values = mean_value * (1.0 + np.abs(skew)) * noise
+        return np.maximum(values, mean_value * 0.05)
+
+    def mpi_fraction(self, processes: int) -> float:
+        """Fraction of time in MPI, growing with scale and bounded."""
+        p = max(1, processes)
+        frac = 0.04 * float(np.log2(p) + 1.0)
+        return min(frac, 0.6)
+
+
+#: Function names reused by the IRS/SMG/Paradyn generators so that code
+#: resources overlap across tools (the cross-tool comparison the paper's
+#: design targets).
+IRS_FUNCTIONS: tuple[str, ...] = tuple(
+    [
+        "main",
+        "rtmain",
+        "xirs",
+        "AllocateGlobalArrays",
+        "SetupProblem",
+        "timestep",
+        "radtr",
+        "matsolve",
+        "conductionSolve",
+        "CGSolve",
+        "MatVecMult",
+        "DotProduct",
+        "Preconditioner",
+        "BoundaryExchange",
+        "PackBuffers",
+        "UnpackBuffers",
+        "HaloUpdate",
+        "FluxCalc",
+        "EOSUpdate",
+        "OpacityCalc",
+        "EnergyUpdate",
+        "TemperatureUpdate",
+        "CheckConvergence",
+        "GlobalSum",
+        "GlobalMax",
+        "WriteDump",
+        "ReadRestart",
+        "DomainDecompose",
+        "LoadBalanceCheck",
+        "ZoneUpdate",
+    ]
+    + [f"kernel_{i:02d}" for i in range(50)]
+)
+
+MPI_FUNCTIONS: tuple[str, ...] = (
+    "MPI_Allreduce",
+    "MPI_Isend",
+    "MPI_Irecv",
+    "MPI_Waitall",
+    "MPI_Barrier",
+    "MPI_Bcast",
+    "MPI_Reduce",
+    "MPI_Allgather",
+    "MPI_Send",
+    "MPI_Recv",
+)

@@ -1,0 +1,39 @@
+"""Converters from performance-tool output to PTdf.
+
+One module per tool/benchmark format the paper's case studies ingest:
+
+* :mod:`repro.tools.irs` — IRS benchmark function-timing tables,
+* :mod:`repro.tools.smg2000` — SMG2000 whole-run benchmark output,
+* :mod:`repro.tools.mpip` — mpiP profiles (caller/callee contexts use the
+  multiple-resource-set extension of Section 4.2),
+* :mod:`repro.tools.pmapi` — PMAPI hardware-counter blocks,
+* :mod:`repro.tools.paradyn` — Paradyn exports (histograms + index +
+  resources, with the Figure-11 hierarchy mapping).
+
+Every converter implements the :class:`repro.ptdf.ptdfgen.Converter`
+protocol (``sniff`` + ``convert``) so PTdfGen can drive a directory of
+mixed output, which is exactly the paper's workflow.
+"""
+
+from .irs import IRSConverter
+from .smg2000 import SMGConverter
+from .mpip import MpiPConverter
+from .pmapi import PMAPIConverter
+from .paradyn import ParadynConverter
+
+ALL_CONVERTERS = (
+    IRSConverter(),
+    SMGConverter(),
+    MpiPConverter(),
+    PMAPIConverter(),
+    ParadynConverter(),
+)
+
+__all__ = [
+    "IRSConverter",
+    "SMGConverter",
+    "MpiPConverter",
+    "PMAPIConverter",
+    "ParadynConverter",
+    "ALL_CONVERTERS",
+]

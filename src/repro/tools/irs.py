@@ -1,0 +1,178 @@
+"""IRS benchmark output -> PTdf converter.
+
+Handles the two IRS file kinds: the run summary (whole-program metrics)
+and the per-metric function timing tables.  Results are whole-program,
+cumulative over all processes (paper Section 4.1), so the context of each
+function-level result is {execution resource, function resource}; summary
+metrics use the execution resource alone.  Inapplicable cells (``-``) are
+skipped, which is why per-execution result counts vary slightly.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Optional
+
+from ..ptdf.ptdfgen import IndexEntry
+from ..ptdf.format import ResourceSet
+from ..ptdf.writer import PTdfWriter
+
+_TABLE_BANNER = "IRS function timing report"
+_SUMMARY_BANNER = "IRS Implicit Radiation Solver"
+
+_METRIC_LINE = re.compile(r"^metric:\s*(.+?)\s*\((.+?)\)\s*$")
+_PROC_LINE = re.compile(r"^processes:\s*(\d+)\s*$")
+_MACHINE_LINE = re.compile(r"^machine:\s*(/\S+)\s*$")
+
+#: Whole-run summary lines worth storing: label -> (metric name, units).
+_SUMMARY_METRICS = {
+    "wall clock time": ("Wall time", "seconds"),
+    "total CPU time": ("CPU time", "seconds"),
+    "timestep iterations": ("Iterations", "count"),
+    "final energy error": ("Energy error", "relative"),
+    "memory high water": ("Memory high water mark", "MB"),
+}
+
+STATS = ("aggregate", "avg", "max", "min")
+
+
+def _function_resource(entry: IndexEntry, func: str) -> str:
+    """Function resources live in the build hierarchy: /<app>/src/<func>."""
+    return f"/{entry.application}/src/{func}"
+
+
+class IRSConverter:
+    """PTdfGen converter for IRS output files."""
+
+    name = "irs"
+    tool_name = "IRS benchmark"
+
+    def sniff(self, path: str) -> bool:
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                head = fh.read(400)
+        except OSError:
+            return False
+        return _TABLE_BANNER in head or _SUMMARY_BANNER in head
+
+    def convert(self, path: str, entry: IndexEntry, writer: PTdfWriter) -> int:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+        if _SUMMARY_BANNER in text[:400]:
+            return self._convert_summary(text, entry, writer)
+        return self._convert_table(text, entry, writer)
+
+    # -- run summary ------------------------------------------------------------
+
+    def _convert_summary(self, text: str, entry: IndexEntry, writer: PTdfWriter) -> int:
+        exec_res = f"/{entry.execution}"
+        writer.add_resource(exec_res, "execution", entry.execution)
+        context = [exec_res]
+        for line in text.splitlines():
+            if line.startswith("machine resource"):
+                machine = line.partition("=")[2].strip()
+                if machine.startswith("/"):
+                    writer.add_resource(machine, "grid/machine")
+                    context.append(machine)
+                break
+        count = 0
+        for line in text.splitlines():
+            if "=" not in line:
+                continue
+            label, _, rest = line.partition("=")
+            label = label.strip()
+            if label not in _SUMMARY_METRICS:
+                continue
+            metric, units = _SUMMARY_METRICS[label]
+            token = rest.strip().split()[0]
+            try:
+                value = float(token)
+            except ValueError:
+                continue
+            writer.add_perf_result(
+                entry.execution,
+                ResourceSet(tuple(context)),
+                self.tool_name,
+                metric,
+                value,
+                units,
+            )
+            count += 1
+        return count
+
+    # -- function tables ------------------------------------------------------------
+
+    def _convert_table(self, text: str, entry: IndexEntry, writer: PTdfWriter) -> int:
+        metric: Optional[str] = None
+        units = ""
+        in_body = False
+        exec_res = f"/{entry.execution}"
+        writer.add_resource(exec_res, "execution", entry.execution)
+        machine_res: Optional[str] = None
+        count = 0
+        for line in text.splitlines():
+            m = _METRIC_LINE.match(line)
+            if m:
+                metric, units = m.group(1), m.group(2)
+                continue
+            mm = _MACHINE_LINE.match(line)
+            if mm:
+                machine_res = mm.group(1)
+                writer.add_resource(machine_res, "grid/machine")
+                continue
+            if _PROC_LINE.match(line):
+                continue
+            if line.startswith("---"):
+                in_body = True
+                continue
+            if not in_body or not line.strip() or metric is None:
+                continue
+            fields = line.split()
+            if len(fields) != 1 + len(STATS):
+                continue
+            func = fields[0]
+            func_res = _function_resource(entry, func)
+            emitted_any = False
+            for stat, token in zip(STATS, fields[1:]):
+                if token == "-":
+                    continue
+                try:
+                    value = float(token)
+                except ValueError:
+                    continue
+                if not emitted_any:
+                    writer.add_resource(
+                        f"/{entry.application}", "build"
+                    )
+                    writer.add_resource(
+                        f"/{entry.application}/src", "build/module"
+                    )
+                    writer.add_resource(func_res, "build/module/function")
+                    emitted_any = True
+                names = [exec_res, func_res]
+                if machine_res is not None:
+                    names.append(machine_res)
+                writer.add_perf_result(
+                    entry.execution,
+                    ResourceSet(tuple(names)),
+                    self.tool_name,
+                    f"{metric} ({stat})",
+                    value,
+                    units,
+                )
+                count += 1
+        return count
+
+
+def convert_directory(
+    directory: str, entry: IndexEntry, writer: PTdfWriter
+) -> int:
+    """Convert every IRS file for one execution in *directory*."""
+    conv = IRSConverter()
+    total = 0
+    for fname in sorted(os.listdir(directory)):
+        path = os.path.join(directory, fname)
+        if fname.startswith(entry.execution) and conv.sniff(path):
+            total += conv.convert(path, entry, writer)
+    return total

@@ -1,0 +1,272 @@
+"""mpiP profile -> PTdf converter (paper Section 4.2).
+
+Sections handled:
+
+* **MPI Time** — per-task AppTime/MPITime (context: {execution, process});
+  the ``*`` row lands on the execution alone.
+* **Callsites** — builds the resource map: the MPI call becomes an
+  ``environment/module/function`` resource (a dynamically linked library
+  function), the parent function a ``build/module/function`` resource,
+  and the callsite itself a ``codeBlock`` under the parent.
+* **Aggregate Time** and **Callsite Time statistics** — each value gets
+  *two* resource sets: a primary context (execution [, process], callsite
+  codeBlock, MPI function) and a ``parent`` context naming the calling
+  function.  This is the Section 4.2 modification: "We decided to modify
+  PerfTrack to accommodate multiple Resource Sets for each performance
+  result ... This allows us to record the caller and callee for each
+  value, so we have no loss of granularity."
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..ptdf.format import ResourceSet
+from ..ptdf.ptdfgen import IndexEntry
+from ..ptdf.writer import PTdfWriter
+
+_SECTION_RE = re.compile(r"^@---\s*(.+?)\s*-{3,}")
+
+
+@dataclass(frozen=True)
+class Callsite:
+    site: int
+    file: str
+    line: int
+    caller: str
+    mpi_call: str  # without the MPI_ prefix, as mpiP prints it
+
+
+class MpiPConverter:
+    """PTdfGen converter for mpiP reports."""
+
+    name = "mpip"
+    tool_name = "mpiP"
+
+    def __init__(self, metric_naming: str = "generic") -> None:
+        """``metric_naming`` controls callsite-statistic metric names:
+
+        * ``"generic"`` (default): ``Call time (mean)`` etc. — the MPI
+          function is a *resource*, keeping the metric table small;
+        * ``"per-call"``: ``MPI_Allreduce time (mean)`` etc. — one metric
+          family per MPI function, the naming style that gives the paper's
+          Table 1 its 259-metric SMG-UV row.
+        """
+        if metric_naming not in ("generic", "per-call"):
+            raise ValueError(
+                f"metric_naming must be 'generic' or 'per-call', got {metric_naming!r}"
+            )
+        self.metric_naming = metric_naming
+
+    def _stat_metric(self, site: Callsite, label: str) -> str:
+        if self.metric_naming == "per-call":
+            return f"MPI_{site.mpi_call} {label}"
+        return f"Call {label}"
+
+    def sniff(self, path: str) -> bool:
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                head = fh.read(100)
+        except OSError:
+            return False
+        return head.startswith("@ mpiP")
+
+    # -- resource naming -------------------------------------------------------
+
+    @staticmethod
+    def _mpi_fn_resource(call: str) -> str:
+        return f"/libmpi/mpi/MPI_{call}"
+
+    @staticmethod
+    def _caller_resource(entry: IndexEntry, site: Callsite) -> str:
+        return f"/{entry.application}/{site.file}/{site.caller}"
+
+    @classmethod
+    def _callsite_resource(cls, entry: IndexEntry, site: Callsite) -> str:
+        return f"{cls._caller_resource(entry, site)}/site_{site.site}_line_{site.line}"
+
+    def _declare_site_resources(
+        self, entry: IndexEntry, site: Callsite, writer: PTdfWriter
+    ) -> None:
+        writer.add_resource("/libmpi", "environment")
+        writer.add_resource("/libmpi/mpi", "environment/module")
+        writer.add_resource(self._mpi_fn_resource(site.mpi_call), "environment/module/function")
+        writer.add_resource(f"/{entry.application}", "build")
+        writer.add_resource(f"/{entry.application}/{site.file}", "build/module")
+        writer.add_resource(self._caller_resource(entry, site), "build/module/function")
+        cs = self._callsite_resource(entry, site)
+        writer.add_resource(cs, "build/module/function/codeBlock")
+        writer.add_resource_attribute(cs, "line", str(site.line))
+
+    # -- parsing -----------------------------------------------------------------
+
+    def convert(self, path: str, entry: IndexEntry, writer: PTdfWriter) -> int:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+        return self.convert_text(text, entry, writer)
+
+    def convert_text(self, text: str, entry: IndexEntry, writer: PTdfWriter) -> int:
+        exec_res = f"/{entry.execution}"
+        writer.add_resource(exec_res, "execution", entry.execution)
+        section = None
+        sites: dict[int, Callsite] = {}
+        count = 0
+        for line in text.splitlines():
+            m = _SECTION_RE.match(line)
+            if m:
+                section = m.group(1)
+                continue
+            if line.startswith("@") or not line.strip():
+                continue
+            if section is None:
+                continue
+            if section.startswith("MPI Time"):
+                count += self._task_row(line, entry, exec_res, writer)
+            elif section.startswith("Callsites"):
+                self._callsite_row(line, sites)
+            elif section.startswith("Aggregate Time"):
+                count += self._aggregate_row(line, entry, exec_res, sites, writer)
+            elif section.startswith("Callsite Time statistics"):
+                count += self._stat_row(line, entry, exec_res, sites, writer)
+        return count
+
+    def _task_row(
+        self, line: str, entry: IndexEntry, exec_res: str, writer: PTdfWriter
+    ) -> int:
+        fields = line.split()
+        if len(fields) != 4 or fields[0] in ("Task",):
+            return 0
+        task, app_t, mpi_t, _pct = fields
+        try:
+            app_v = float(app_t)
+            mpi_v = float(mpi_t)
+        except ValueError:
+            return 0
+        if task == "*":
+            context = ResourceSet((exec_res,))
+        else:
+            try:
+                rank = int(task)
+            except ValueError:
+                return 0
+            proc_res = f"{exec_res}/p{rank}"
+            writer.add_resource(proc_res, "execution/process", entry.execution)
+            context = ResourceSet((exec_res, proc_res))
+        writer.add_perf_result(
+            entry.execution, context, self.tool_name, "Application time", app_v, "seconds"
+        )
+        writer.add_perf_result(
+            entry.execution, context, self.tool_name, "MPI time", mpi_v, "seconds"
+        )
+        return 2
+
+    def _callsite_row(self, line: str, sites: dict[int, Callsite]) -> None:
+        fields = line.split()
+        if len(fields) != 6 or fields[0] in ("ID",):
+            return
+        try:
+            sid = int(fields[0])
+            lineno = int(fields[3])
+        except ValueError:
+            return
+        sites[sid] = Callsite(sid, fields[2], lineno, fields[4], fields[5])
+
+    def _contexts(
+        self,
+        entry: IndexEntry,
+        exec_res: str,
+        site: Callsite,
+        writer: PTdfWriter,
+        rank: int | None,
+    ) -> tuple[ResourceSet, ResourceSet]:
+        self._declare_site_resources(entry, site, writer)
+        primary_names = [
+            exec_res,
+            self._callsite_resource(entry, site),
+            self._mpi_fn_resource(site.mpi_call),
+        ]
+        if rank is not None:
+            proc_res = f"{exec_res}/p{rank}"
+            writer.add_resource(proc_res, "execution/process", entry.execution)
+            primary_names.insert(1, proc_res)
+        primary = ResourceSet(tuple(primary_names))
+        parent = ResourceSet((self._caller_resource(entry, site),), "parent")
+        return primary, parent
+
+    def _aggregate_row(
+        self,
+        line: str,
+        entry: IndexEntry,
+        exec_res: str,
+        sites: dict[int, Callsite],
+        writer: PTdfWriter,
+    ) -> int:
+        fields = line.split()
+        if len(fields) != 5 or fields[0] in ("Call",):
+            return 0
+        try:
+            sid = int(fields[1])
+            time_ms = float(fields[2])
+        except ValueError:
+            return 0
+        site = sites.get(sid)
+        if site is None:
+            return 0
+        primary, parent = self._contexts(entry, exec_res, site, writer, rank=None)
+        writer.add_perf_result(
+            entry.execution,
+            (primary, parent),
+            self.tool_name,
+            "Aggregate MPI time",
+            time_ms,
+            "milliseconds",
+        )
+        return 1
+
+    def _stat_row(
+        self,
+        line: str,
+        entry: IndexEntry,
+        exec_res: str,
+        sites: dict[int, Callsite],
+        writer: PTdfWriter,
+    ) -> int:
+        fields = line.split()
+        if len(fields) != 9 or fields[0] in ("Name",):
+            return 0
+        try:
+            sid = int(fields[1])
+        except ValueError:
+            return 0
+        site = sites.get(sid)
+        if site is None:
+            return 0
+        rank: int | None
+        if fields[2] == "*":
+            rank = None
+        else:
+            try:
+                rank = int(fields[2])
+            except ValueError:
+                return 0
+        try:
+            count_v = float(fields[3])
+            max_v = float(fields[4])
+            mean_v = float(fields[5])
+            min_v = float(fields[6])
+        except ValueError:
+            return 0
+        primary, parent = self._contexts(entry, exec_res, site, writer, rank)
+        emitted = 0
+        for metric, value, units in (
+            (self._stat_metric(site, "count"), count_v, "count"),
+            (self._stat_metric(site, "time (max)"), max_v, "milliseconds"),
+            (self._stat_metric(site, "time (mean)"), mean_v, "milliseconds"),
+            (self._stat_metric(site, "time (min)"), min_v, "milliseconds"),
+        ):
+            writer.add_perf_result(
+                entry.execution, (primary, parent), self.tool_name, metric, value, units
+            )
+            emitted += 1
+        return emitted

@@ -1,0 +1,294 @@
+"""Paradyn export -> PTdf converter (paper Section 4.3, Figures 10/11).
+
+The three steps the paper describes:
+
+1. **Hierarchy mapping** (Figure 11):
+
+   * Paradyn ``/Code/<module>/<function>`` maps to PerfTrack's *build*
+     hierarchy, or to the *environment* hierarchy when the module is
+     recognisably a dynamic library (``*.so``); ``DEFAULT_MODULE`` (and
+     anything else ambiguous) defaults to *build*.
+   * Paradyn ``/Machine/<node>/<process>[/<thread>]`` maps to the
+     *execution* hierarchy; the machine node is stored as a resource
+     attribute of the process resource.
+   * Paradyn ``/SyncObject/...`` gets a brand-new top-level PerfTrack
+     hierarchy ``syncObject/syncClass/syncInstance`` via the type
+     extension interface.
+   * Paradyn's *global phase* maps to the top of the *time* hierarchy;
+     histogram bins become ``time/interval`` resources with start/end
+     attributes (local phases, when present, sit between).
+
+2. **Parsing** the exported files: resources list, histogram index, and
+   histogram files (header + one value per bin).
+
+3. **Loading**: each non-``nan`` bin becomes one performance result whose
+   context is the mapped focus plus the bin resource.  ``nan`` bins are
+   dropped: "We do not record 'nan' entries as performance results."
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ptdf.format import ResourceSet
+from ..ptdf.ptdfgen import IndexEntry
+from ..ptdf.writer import PTdfWriter
+
+SYNC_TYPE_ROOT = "syncObject"
+
+_HDR_RE = re.compile(r"^#\s*(\w+):\s*(.+?)\s*$")
+
+
+@dataclass
+class _Mapping:
+    """Resolved PerfTrack resources for one Paradyn resource path."""
+
+    names: list[tuple[str, str]]  # (resource name, type path), root-first
+    attributes: list[tuple[str, str, str]]  # (resource, attr, value)
+
+
+class ParadynConverter:
+    """PTdfGen converter for Paradyn session exports.
+
+    ``bins_as`` selects how histograms are stored:
+
+    * ``"results"`` (default, the paper's prototype): one scalar
+      performance result per non-nan bin, each with its own
+      ``time/interval`` resource;
+    * ``"series"`` (the paper's Section-6 proposal, implemented here):
+      one *vector* performance result per histogram — "to avoid creating
+      a new performance result for each bin in a Paradyn histogram file".
+    """
+
+    name = "paradyn"
+    tool_name = "Paradyn"
+
+    def __init__(self, bins_as: str = "results") -> None:
+        if bins_as not in ("results", "series"):
+            raise ValueError(f"bins_as must be 'results' or 'series', got {bins_as!r}")
+        self.bins_as = bins_as
+
+    def sniff(self, path: str) -> bool:
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                head = fh.read(100)
+        except OSError:
+            return False
+        return head.startswith(
+            ("# Paradyn histogram index", "# Paradyn histogram export")
+        )
+
+    # ------------------------------------------------------------- mapping
+
+    def map_resource(self, entry: IndexEntry, paradyn_path: str) -> Optional[_Mapping]:
+        """Map one Paradyn resource path to PerfTrack resources.
+
+        Returns None for pure hierarchy roots (/Code, /Machine, ...).
+        """
+        parts = [p for p in paradyn_path.split("/") if p]
+        if not parts:
+            return None
+        root, rest = parts[0], parts[1:]
+        if root == "Code":
+            if not rest:
+                return None
+            module = rest[0]
+            is_dynamic = module.endswith((".so", ".dylib", ".sl")) or ".so." in module
+            hierarchy = "environment" if is_dynamic else "build"
+            top = f"/{entry.application}-dyn" if is_dynamic else f"/{entry.application}"
+            names = [top]
+            types = [hierarchy]
+            names.append(f"{top}/{module}")
+            types.append(f"{hierarchy}/module")
+            if len(rest) >= 2:
+                names.append(f"{top}/{module}/{rest[1]}")
+                types.append(f"{hierarchy}/module/function")
+            if len(rest) >= 3:
+                names.append(f"{top}/{module}/{rest[1]}/{rest[2]}")
+                types.append(f"{hierarchy}/module/function/codeBlock")
+            return _Mapping(names=list(zip(names, types)), attributes=[])  # type: ignore[arg-type]
+        if root == "Machine":
+            if len(rest) < 2:
+                return None  # a bare node is recorded only as an attribute
+            node, process = rest[0], rest[1]
+            exec_res = f"/{entry.execution}"
+            proc_res = f"{exec_res}/{process}"
+            names = [
+                (exec_res, "execution"),
+                (proc_res, "execution/process"),
+            ]
+            attrs = [(proc_res, "machine node", node)]
+            if len(rest) >= 3:
+                names.append((f"{proc_res}/{rest[2]}", "execution/process/thread"))
+            return _Mapping(names=names, attributes=attrs)  # type: ignore[arg-type]
+        if root == "SyncObject":
+            names = [("/syncObjects", SYNC_TYPE_ROOT)]
+            if len(rest) >= 1:
+                names.append((f"/syncObjects/{rest[0]}", f"{SYNC_TYPE_ROOT}/syncClass"))
+            if len(rest) >= 2:
+                names.append(
+                    (
+                        f"/syncObjects/{rest[0]}/{rest[1]}",
+                        f"{SYNC_TYPE_ROOT}/syncClass/syncInstance",
+                    )
+                )
+            return _Mapping(names=names, attributes=[])  # type: ignore[arg-type]
+        return None
+
+    def _declare(self, entry: IndexEntry, mapping: _Mapping, writer: PTdfWriter) -> list[str]:
+        """Emit Resource records for a mapping; returns leaf-most names."""
+        for name, type_path in mapping.names:  # type: ignore[misc]
+            execution = entry.execution if type_path.startswith("execution") else None
+            writer.add_resource(name, type_path, execution)
+        for res, attr, value in mapping.attributes:
+            writer.add_resource_attribute(res, attr, value)
+        return [name for name, _t in mapping.names]  # type: ignore[misc]
+
+    # ------------------------------------------------------------- conversion
+
+    def convert(self, path: str, entry: IndexEntry, writer: PTdfWriter) -> int:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            head = fh.read(100)
+        if head.startswith("# Paradyn histogram index"):
+            return self.convert_index(path, entry, writer)
+        return self.convert_histogram(path, entry, writer)
+
+    def convert_resources_file(
+        self, path: str, entry: IndexEntry, writer: PTdfWriter
+    ) -> int:
+        """Load every Paradyn resource up front (types + resources)."""
+        writer.add_resource_type(f"{SYNC_TYPE_ROOT}/syncClass/syncInstance")
+        count = 0
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                mapping = self.map_resource(entry, line)
+                if mapping is not None:
+                    self._declare(entry, mapping, writer)
+                    count += 1
+        return count
+
+    def convert_index(self, path: str, entry: IndexEntry, writer: PTdfWriter) -> int:
+        """Convert every histogram listed in an index file."""
+        directory = os.path.dirname(path)
+        total = 0
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                hist_name = line.split()[0]
+                hist_path = os.path.join(directory, hist_name)
+                if os.path.exists(hist_path):
+                    total += self.convert_histogram(hist_path, entry, writer)
+        return total
+
+    def convert_histogram(
+        self, path: str, entry: IndexEntry, writer: PTdfWriter, phase: Optional[str] = None
+    ) -> int:
+        """One histogram file: header, then one result per non-nan bin."""
+        metric = None
+        focus = ""
+        bin_width = 1.0
+        start_time = 0.0
+        file_phase: Optional[str] = None
+        values: list[Optional[float]] = []
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    m = _HDR_RE.match(line)
+                    if m:
+                        key, val = m.group(1), m.group(2)
+                        if key == "metric":
+                            metric = val
+                        elif key == "focus":
+                            focus = val
+                        elif key == "binWidth":
+                            bin_width = float(val)
+                        elif key == "startTime":
+                            start_time = float(val)
+                        elif key == "phase":
+                            file_phase = val
+                    continue
+                if line.lower() == "nan":
+                    values.append(None)
+                else:
+                    try:
+                        values.append(float(line))
+                    except ValueError:
+                        values.append(None)
+        if metric is None:
+            return 0
+        if phase is None and file_phase is not None:
+            phase = file_phase
+        exec_res = f"/{entry.execution}"
+        writer.add_resource(exec_res, "execution", entry.execution)
+        # Focus resources.
+        focus_names: list[str] = [exec_res]
+        for part in focus.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            mapping = self.map_resource(entry, part)
+            if mapping is None:
+                continue
+            declared = self._declare(entry, mapping, writer)
+            if declared:
+                focus_names.append(declared[-1])
+        # Time hierarchy: global phase at the top, bins as intervals.
+        phase_label = phase or "global"
+        phase_res = f"/{entry.execution}-{phase_label}"
+        if phase is None:
+            writer.add_resource(phase_res, "time")
+        else:
+            writer.add_resource(f"/{entry.execution}-global", "time")
+            writer.add_resource_type("time/interval/interval")
+            phase_res = f"/{entry.execution}-global/{phase}"
+            writer.add_resource(phase_res, "time/interval")
+        if self.bins_as == "series":
+            # One vector result for the whole histogram; the time context
+            # is the phase resource, bin bounds live with the values.
+            if not any(v is not None for v in values):
+                return 0
+            writer.add_perf_result_series(
+                entry.execution,
+                ResourceSet(tuple(focus_names + [phase_res])),
+                self.tool_name,
+                metric,
+                "paradyn units",
+                start_time,
+                bin_width,
+                values,
+            )
+            return 1
+        count = 0
+        bin_type = "time/interval" if phase is None else "time/interval/interval"
+        for i, value in enumerate(values):
+            if value is None:
+                continue  # nan bins are not recorded
+            bin_res = f"{phase_res}/bin_{i}"
+            writer.add_resource(bin_res, bin_type)
+            writer.add_resource_attribute(
+                bin_res, "start time", f"{start_time + i * bin_width:.6f}"
+            )
+            writer.add_resource_attribute(
+                bin_res, "end time", f"{start_time + (i + 1) * bin_width:.6f}"
+            )
+            writer.add_perf_result(
+                entry.execution,
+                ResourceSet(tuple(focus_names + [bin_res])),
+                self.tool_name,
+                metric,
+                value,
+                "paradyn units",
+            )
+            count += 1
+        return count

@@ -1,0 +1,69 @@
+"""PMAPI hardware-counter output -> PTdf converter.
+
+Each rank's counter totals become one performance result per counter with
+the context {execution, process resource}; process resources are created
+in the execution hierarchy on first sight.
+"""
+
+from __future__ import annotations
+
+from ..ptdf.format import ResourceSet
+from ..ptdf.ptdfgen import IndexEntry
+from ..ptdf.writer import PTdfWriter
+
+PMAPI_HEADER = "PMAPI hardware counter report"
+
+
+class PMAPIConverter:
+    """PTdfGen converter for PMAPI counter reports."""
+
+    name = "pmapi"
+    tool_name = "PMAPI"
+
+    def sniff(self, path: str) -> bool:
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                head = fh.read(200)
+        except OSError:
+            return False
+        return head.startswith(PMAPI_HEADER)
+
+    def convert(self, path: str, entry: IndexEntry, writer: PTdfWriter) -> int:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            return self.convert_text(fh.read(), entry, writer)
+
+    def convert_text(self, text: str, entry: IndexEntry, writer: PTdfWriter) -> int:
+        counters: list[str] = []
+        exec_res = f"/{entry.execution}"
+        writer.add_resource(exec_res, "execution", entry.execution)
+        count = 0
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith(PMAPI_HEADER) or line.startswith("ranks:"):
+                continue
+            if line.startswith("counters:"):
+                counters = line.split(":", 1)[1].split()
+                continue
+            if line.startswith("rank"):
+                continue
+            fields = line.split()
+            if not counters or len(fields) != len(counters) + 1:
+                continue
+            try:
+                rank = int(fields[0])
+                values = [float(v) for v in fields[1:]]
+            except ValueError:
+                continue
+            proc_res = f"{exec_res}/p{rank}"
+            writer.add_resource(proc_res, "execution/process", entry.execution)
+            for counter, value in zip(counters, values):
+                writer.add_perf_result(
+                    entry.execution,
+                    ResourceSet((exec_res, proc_res)),
+                    self.tool_name,
+                    counter,
+                    value,
+                    "count",
+                )
+                count += 1
+        return count

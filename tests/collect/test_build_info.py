@@ -1,0 +1,125 @@
+"""PTbuild tests: make-output parsing, MPI wrapper unwrapping, PTdf emission."""
+
+import pytest
+
+from repro.collect.build_info import (
+    PTBuild,
+    build_to_ptdf,
+    capture_build_environment,
+    parse_command_line,
+    parse_make_output,
+    unwrap_mpi_wrapper,
+)
+from repro.ptdf.writer import PTdfWriter
+
+MAKE_OUTPUT = """\
+make[1]: Entering directory `/src/irs'
+gcc -c -O2 -g -DNDEBUG irs.c -o irs.o
+mpicc -c -O3 -qhot solver.c -o solver.o
+echo building...
+gcc -o irs irs.o solver.o -lm -lhypre libfoo.a
+make[1]: Leaving directory `/src/irs'
+"""
+
+
+class TestParseCommandLine:
+    def test_compiler_recognised(self):
+        inv = parse_command_line("gcc -c -O2 foo.c -o foo.o")
+        assert inv is not None
+        assert inv.compiler == "gcc"
+        assert inv.flags == ["-c", "-O2"]
+        assert inv.sources == ["foo.c"]
+        assert inv.output == "foo.o"
+
+    def test_non_compiler_ignored(self):
+        assert parse_command_line("echo hello") is None
+        assert parse_command_line("rm -f *.o") is None
+
+    def test_libraries_extracted(self):
+        inv = parse_command_line("cc main.o -o app -lm -lmpi libx.a")
+        assert inv.libraries == ["-lm", "-lmpi", "libx.a"]
+
+    def test_path_qualified_compiler(self):
+        inv = parse_command_line("/usr/bin/gcc -O1 a.c")
+        assert inv is not None and inv.compiler == "/usr/bin/gcc"
+
+    def test_malformed_quoting_skipped(self):
+        assert parse_command_line('gcc "unclosed') is None
+
+
+class TestParseMakeOutput:
+    def test_extracts_all_invocations(self):
+        invs = parse_make_output(MAKE_OUTPUT)
+        assert len(invs) == 3
+        assert [i.compiler for i in invs] == ["gcc", "mpicc", "gcc"]
+
+    def test_make_chatter_ignored(self):
+        invs = parse_make_output("make: Nothing to be done for 'all'.\n")
+        assert invs == []
+
+
+class TestWrapperUnwrapping:
+    def test_unwrap_with_supplied_show(self):
+        inv = parse_command_line("mpicc -c -O3 x.c")
+        unwrap_mpi_wrapper(inv, show_output="xlc -I/usr/include -lmpi_r")
+        assert inv.wrapped_compiler == "xlc"
+        assert inv.wrapper_libraries == ["-lmpi_r"]
+
+    def test_non_wrapper_untouched(self):
+        inv = parse_command_line("gcc -c x.c")
+        unwrap_mpi_wrapper(inv, show_output="should not matter")
+        assert inv.wrapped_compiler is None
+
+    def test_empty_show_output(self):
+        inv = parse_command_line("mpicc -c x.c")
+        unwrap_mpi_wrapper(inv, show_output="")
+        assert inv.wrapped_compiler is None
+
+
+class TestBuildInfo:
+    def test_from_output_aggregates(self):
+        info = PTBuild(env={"CC": "gcc", "PATH": "/usr/bin"}).from_output(
+            MAKE_OUTPUT,
+            makefile="Makefile",
+            arguments=("-j2",),
+            wrapper_show={"mpicc": "xlc -lmpi_r"},
+        )
+        assert info.compilers == ["gcc", "mpicc"]
+        assert "-O2" in info.all_flags and "-O3" in info.all_flags
+        assert "libfoo.a" in info.static_libraries
+        assert info.makefile == "Makefile"
+        assert info.invocations[1].wrapped_compiler == "xlc"
+
+    def test_capture_environment_fields(self):
+        info = capture_build_environment(env={"HOME": "/root"})
+        assert info.os_name
+        assert info.node
+        assert info.environment == {"HOME": "/root"}
+        assert info.timestamp
+
+
+class TestBuildToPtdf:
+    def test_resources_and_attributes(self, store):
+        info = PTBuild(env={"CC": "gcc"}).from_output(
+            MAKE_OUTPUT, makefile="Makefile", wrapper_show={"mpicc": "xlc -lmpi_r"}
+        )
+        w = PTdfWriter()
+        res = build_to_ptdf(info, w, "irs-build-1")
+        assert res == "/irs-build-1"
+        store.load_records(w.records)
+        rid = store.resource_id("/irs-build-1")
+        attrs = {a.name for a in store.attributes_of(rid)}
+        assert "compilation flags" in attrs
+        assert "static libraries" in attrs
+        assert "wrapped compiler (mpicc)" in attrs
+        # compiler is a resource-valued attribute -> constraint
+        constrained = {c.name for c in store.constraints_of(rid)}
+        assert "/gcc" in constrained and "/mpicc" in constrained
+
+    def test_os_resource_created(self, store):
+        info = capture_build_environment()
+        w = PTdfWriter()
+        build_to_ptdf(info, w, "b1")
+        store.load_records(w.records)
+        os_resources = store.resources_of_type("operatingSystem")
+        assert len(os_resources) == 1

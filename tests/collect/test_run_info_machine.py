@@ -1,0 +1,150 @@
+"""PTrun and machine-description tests."""
+
+import os
+
+import pytest
+
+from repro.collect.machine import MachineDescription, Partition, ProcessorSpec, machine_to_ptdf
+from repro.collect.run_info import LibraryInfo, RunInfo, capture_run_environment, run_to_ptdf
+from repro.ptdf.writer import PTdfWriter
+from repro.synth.machines import BGL, FROST, MCR, UV, all_machines
+
+
+class TestCaptureRunEnvironment:
+    def test_basic_fields(self):
+        info = capture_run_environment("e1", num_processes=8, env={"X": "1"})
+        assert info.execution == "e1"
+        assert info.num_processes == 8
+        assert info.environment == {"X": "1"}
+
+    def test_library_capture(self, tmp_path):
+        lib = tmp_path / "libmpi.so.2.1"
+        lib.write_bytes(b"\x7fELF fake")
+        info = capture_run_environment("e1", library_paths=[str(lib)])
+        assert len(info.libraries) == 1
+        li = info.libraries[0]
+        assert li.name == "libmpi.so.2.1"
+        assert li.version == "2.1"
+        assert li.size == 9
+        assert li.kind == "MPI"
+
+    def test_thread_library_kind(self, tmp_path):
+        lib = tmp_path / "libpthread.so.0"
+        lib.write_bytes(b"x")
+        info = capture_run_environment("e1", library_paths=[str(lib)])
+        assert info.libraries[0].kind == "thread"
+
+    def test_missing_library_tolerated(self):
+        info = capture_run_environment("e1", library_paths=["/no/such/lib.so.1"])
+        assert info.libraries[0].size == 0
+
+
+class TestRunToPtdf:
+    def _info(self):
+        return RunInfo(
+            execution="e1",
+            machine="ppc64",
+            node="uv001",
+            num_processes=16,
+            num_threads=2,
+            environment={"OMP_NUM_THREADS": "2"},
+            libraries=[LibraryInfo("libmpi_r.so.1", "1.0", 100, "MPI", "ts")],
+            input_deck="deck.in",
+            input_deck_timestamp="2005-01-01",
+            submission="psub-1",
+            timestamp="2005-01-02",
+        )
+
+    def test_resources_created(self, store):
+        store.add_application("app")
+        store.add_execution("e1", "app")
+        w = PTdfWriter()
+        run_to_ptdf(self._info(), w)
+        store.load_records(w.records)
+        assert store.has_resource("/e1-env")
+        assert store.has_resource("/e1-env/libmpi_r.so.1")
+        assert store.has_resource("/deck.in")
+        assert store.has_resource("/psub-1")
+
+    def test_execution_attributes(self, store):
+        store.add_application("app")
+        store.add_execution("e1", "app")
+        w = PTdfWriter()
+        run_to_ptdf(self._info(), w)
+        store.load_records(w.records)
+        rid = store.resource_id("/e1")
+        attrs = {a.name: a.value for a in store.attributes_of(rid)}
+        assert attrs["number of processes"] == "16"
+        assert attrs["number of threads"] == "2"
+        constrained = {c.name for c in store.constraints_of(rid)}
+        assert "/deck.in" in constrained and "/psub-1" in constrained
+
+    def test_library_attributes(self, store):
+        store.add_application("app")
+        store.add_execution("e1", "app")
+        w = PTdfWriter()
+        run_to_ptdf(self._info(), w)
+        store.load_records(w.records)
+        rid = store.resource_id("/e1-env/libmpi_r.so.1")
+        attrs = {a.name: a.value for a in store.attributes_of(rid)}
+        assert attrs == {"version": "1.0", "size": "100", "type": "MPI", "timestamp": "ts"}
+
+
+class TestMachineDescriptions:
+    def test_paper_machines_shapes(self):
+        assert UV.total_nodes == 128
+        assert UV.partitions[0].processors_per_node == 8
+        assert UV.partitions[0].processor.clock_mhz == 1500
+        assert BGL.partitions[0].nodes == 16384
+        assert BGL.partitions[0].processor.processor_type == "PowerPC440"
+        assert MCR.operating_system.startswith("CHAOS")
+        assert FROST.partitions[0].processor.clock_mhz == 375
+
+    def test_all_machines(self):
+        assert {m.name for m in all_machines()} == {"MCR", "Frost", "UV", "BGL"}
+
+    def test_naming_helpers(self):
+        p = UV.partitions[0]
+        assert UV.node_name(p, 3) == "/LLNL/UV/batch/uv3"
+        assert UV.processor_name(p, 3, 7) == "/LLNL/UV/batch/uv3/p7"
+
+
+class TestMachineToPtdf:
+    def test_full_emission_counts(self, store):
+        m = MachineDescription(
+            grid="G",
+            name="M",
+            operating_system="TestOS",
+            partitions=[
+                Partition("batch", 2, 2, ProcessorSpec("V", "T", 1000)),
+            ],
+        )
+        w = PTdfWriter()
+        count = machine_to_ptdf(m, w)
+        store.load_records(w.records)
+        # grid + machine + partition + 2 nodes + 4 processors
+        assert count == 9
+        assert len(store.resources_of_type("grid/machine/partition/node/processor")) == 4
+
+    def test_truncation_keeps_true_attributes(self, store):
+        w = PTdfWriter()
+        machine_to_ptdf(BGL, w, max_nodes_per_partition=4)
+        store.load_records(w.records)
+        nodes = store.resources_of_type("grid/machine/partition/node")
+        assert len(nodes) == 4
+        mid = store.resource_id("/LLNL/BGL")
+        attrs = {a.name: a.value for a in store.attributes_of(mid)}
+        assert attrs["total nodes"] == "16384"
+        assert attrs["total processors"] == "32768"
+
+    def test_processor_attributes(self, store):
+        w = PTdfWriter()
+        machine_to_ptdf(FROST, w, max_nodes_per_partition=1)
+        store.load_records(w.records)
+        pid = store.resource_id("/LLNL/Frost/batch/frost0/p0")
+        attrs = {a.name: a.value for a in store.attributes_of(pid)}
+        assert attrs == {
+            "vendor": "IBM",
+            "processor type": "Power3",
+            "clock MHz": "375",
+        }

@@ -1,0 +1,91 @@
+"""Shared fixtures: backends, loaded stores, synthetic study directories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PTDataStore
+from repro.dbapi import open_backend
+from repro.ptdf.format import ResourceSet
+
+
+@pytest.fixture(params=["minidb", "sqlite"])
+def backend_kind(request) -> str:
+    """Run a test against both database backends (the paper's dual-DBMS)."""
+    return request.param
+
+
+@pytest.fixture
+def backend(backend_kind):
+    b = open_backend(backend_kind)
+    yield b
+    b.close()
+
+
+@pytest.fixture
+def store(backend_kind) -> PTDataStore:
+    """An initialised, empty data store on the parametrized backend."""
+    ds = PTDataStore(backend_kind=backend_kind)
+    yield ds
+    ds.close()
+
+
+@pytest.fixture
+def minidb_store() -> PTDataStore:
+    """A minidb-only store for tests that inspect engine internals."""
+    ds = PTDataStore(backend_kind="minidb")
+    yield ds
+    ds.close()
+
+
+def load_tiny_study(ds: PTDataStore) -> None:
+    """A small two-execution data set used by many query tests.
+
+    Machine: /LLNL/Frost/batch with 2 nodes x 2 processors.
+    Application IRS with executions irs-a (2 procs) and irs-b (4 procs);
+    function times for funcA/funcB per processor.
+    """
+    ds.add_application("IRS")
+    for mname in ("Frost",):
+        ds.add_resource("/LLNL", "grid")
+        ds.add_resource(f"/LLNL/{mname}", "grid/machine")
+        ds.add_resource(f"/LLNL/{mname}/batch", "grid/machine/partition")
+        for n in range(2):
+            node = f"/LLNL/{mname}/batch/n{n}"
+            ds.add_resource(node, "grid/machine/partition/node")
+            for p in range(2):
+                proc = f"{node}/p{p}"
+                ds.add_resource(proc, "grid/machine/partition/node/processor")
+                ds.add_resource_attribute(proc, "clock MHz", "375")
+                ds.add_resource_attribute(proc, "vendor", "IBM")
+    ds.add_resource("/IRS", "build")
+    ds.add_resource("/IRS/src", "build/module")
+    for fn in ("funcA", "funcB"):
+        ds.add_resource(f"/IRS/src/{fn}", "build/module/function")
+    for exec_name, nproc in (("irs-a", 2), ("irs-b", 4)):
+        ds.add_execution(exec_name, "IRS")
+        ds.add_resource(f"/{exec_name}", "execution", exec_name)
+        procs = []
+        for i in range(nproc):
+            pr = f"/{exec_name}/proc{i}"
+            ds.add_resource(pr, "execution/process", exec_name)
+            procs.append(pr)
+        for fi, fn in enumerate(("funcA", "funcB")):
+            for i, pr in enumerate(procs):
+                cpu = f"/LLNL/Frost/batch/n{i % 2}/p{i // 2 % 2}"
+                value = (fi + 1) * 10.0 + i + (0.5 if exec_name == "irs-b" else 0.0)
+                ds.add_perf_result(
+                    exec_name,
+                    ResourceSet((f"/{exec_name}", pr, f"/IRS/src/{fn}", cpu)),
+                    "testtool",
+                    "CPU time",
+                    value,
+                    "seconds",
+                )
+    ds.commit()
+
+
+@pytest.fixture
+def tiny_store(store) -> PTDataStore:
+    load_tiny_study(store)
+    return store

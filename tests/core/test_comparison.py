@@ -1,0 +1,107 @@
+"""Comparison-operator tests (align/difference/ratio/distill)."""
+
+import math
+
+import pytest
+
+from repro.core.comparison import (
+    AlignedPair,
+    align_executions,
+    compare_executions,
+    context_signature,
+    distill,
+    distill_results,
+)
+from repro.core import ByName, Expansion, PrFilter
+from repro.core.query import QueryEngine
+
+
+class TestDistill:
+    def test_basic_stats(self):
+        d = distill([1.0, 2.0, 3.0, 4.0])
+        assert d.count == 4
+        assert d.minimum == 1.0 and d.maximum == 4.0
+        assert d.mean == 2.5 and d.total == 10.0
+        assert math.isclose(d.stddev, math.sqrt(1.25))
+
+    def test_imbalance(self):
+        d = distill([1.0, 1.0, 2.0])
+        assert math.isclose(d.imbalance, 2.0 / (4.0 / 3.0))
+
+    def test_none_values_skipped(self):
+        assert distill([1.0, None, 3.0]).count == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            distill([])
+
+    def test_distill_results(self, tiny_store):
+        qe = QueryEngine(tiny_store)
+        results = qe.fetch(PrFilter([ByName("/irs-a", Expansion.DESCENDANTS)]))
+        d = distill_results(results)
+        assert d.count == 4
+        assert d.minimum == 10.0 and d.maximum == 21.0
+
+
+class TestContextSignature:
+    def test_execution_resources_abstracted(self, tiny_store):
+        qe = QueryEngine(tiny_store)
+        a = qe.fetch(PrFilter([ByName("/irs-a", Expansion.DESCENDANTS)]))
+        b = qe.fetch(PrFilter([ByName("/irs-b", Expansion.DESCENDANTS)]))
+        sig_a = {context_signature(tiny_store, r) for r in a}
+        sig_b = {context_signature(tiny_store, r) for r in b}
+        # signatures overlap despite different executions/process counts
+        assert sig_a & sig_b
+
+    def test_code_resources_kept(self, tiny_store):
+        qe = QueryEngine(tiny_store)
+        r = qe.fetch(PrFilter([ByName("/IRS/src/funcA", Expansion.NONE)]))[0]
+        sig = context_signature(tiny_store, r)
+        assert "/IRS/src/funcA" in sig
+        assert "<execution>" in sig
+
+
+class TestAlign:
+    def test_alignment_pairs_common_contexts(self, tiny_store):
+        pairs = align_executions(tiny_store, "irs-a", "irs-b", metric="CPU time")
+        common = [p for p in pairs if p.left is not None and p.right is not None]
+        assert len(common) >= 2  # funcA and funcB on shared processors
+
+    def test_difference_and_ratio(self):
+        p = AlignedPair("m", ("sig",), 10.0, 15.0)
+        assert p.difference == 5.0
+        assert p.ratio == 1.5
+
+    def test_missing_side(self):
+        p = AlignedPair("m", (), None, 1.0)
+        assert p.difference is None and p.ratio is None
+        p2 = AlignedPair("m", (), 0.0, 1.0)
+        assert p2.ratio is None
+
+    def test_unknown_execution(self, tiny_store):
+        with pytest.raises(ValueError):
+            align_executions(tiny_store, "nope", "irs-a")
+
+
+class TestCompareExecutions:
+    def test_classification(self, tiny_store):
+        cmp = compare_executions(tiny_store, "irs-a", "irs-b", metric="CPU time")
+        assert cmp.left == "irs-a" and cmp.right == "irs-b"
+        assert cmp.common
+        # irs-b values are +0.5 on shared contexts: a mild regression
+        regs = cmp.regressions(threshold=1.01)
+        assert regs
+        assert all(p.ratio >= 1.01 for p in regs)
+
+    def test_improvements_empty_here(self, tiny_store):
+        cmp = compare_executions(tiny_store, "irs-a", "irs-b", metric="CPU time")
+        assert cmp.improvements(threshold=0.5) == []
+
+    def test_reversed_comparison_flips(self, tiny_store):
+        fwd = compare_executions(tiny_store, "irs-a", "irs-b", metric="CPU time")
+        rev = compare_executions(tiny_store, "irs-b", "irs-a", metric="CPU time")
+        assert len(fwd.common) == len(rev.common)
+        f = {(p.metric, p.signature): p.ratio for p in fwd.common}
+        r = {(p.metric, p.signature): p.ratio for p in rev.common}
+        for key, ratio in f.items():
+            assert math.isclose(ratio * r[key], 1.0)

@@ -1,0 +1,127 @@
+"""Constraint filters and focus-type-restricted queries.
+
+Covers two paper behaviours not exercised elsewhere:
+
+* resource constraints as navigable relations ("if process 8 runs on node
+  16, we would add an entry to resource_constraint"), and
+* sender/receiver contexts for measurements that span processes ("such as
+  the transit time of a message between two processes").
+"""
+
+import pytest
+
+from repro.core import ByConstraint, ByName, Expansion, PrFilter
+from repro.core.query import QueryEngine
+from repro.ptdf.format import ResourceSet
+
+
+@pytest.fixture
+def transit_store(store):
+    """Two processes on two nodes, message-transit results between them."""
+    store.add_execution("mpi-run", "app")
+    store.add_resource("/M/c/b/n16", "grid/machine/partition/node")
+    store.add_resource("/M/c/b/n17", "grid/machine/partition/node")
+    store.add_resource("/mpi-run", "execution", "mpi-run")
+    store.add_resource("/mpi-run/p8", "execution/process", "mpi-run")
+    store.add_resource("/mpi-run/p9", "execution/process", "mpi-run")
+    # "if process 8 runs on node 16, we would add an entry to
+    # resource_constraint containing the resources for process 8 and node 16"
+    store.add_resource_constraint("/mpi-run/p8", "/M/c/b/n16")
+    store.add_resource_constraint("/mpi-run/p9", "/M/c/b/n17")
+    # Message transit time: one result, sender and receiver contexts.
+    store.add_perf_result(
+        "mpi-run",
+        (
+            ResourceSet(("/mpi-run", "/mpi-run/p8"), "sender"),
+            ResourceSet(("/mpi-run", "/mpi-run/p9"), "receiver"),
+        ),
+        "tracer",
+        "Message transit time",
+        0.0042,
+        "seconds",
+    )
+    # An ordinary per-process result for contrast.
+    store.add_perf_result(
+        "mpi-run",
+        ResourceSet(("/mpi-run", "/mpi-run/p8")),
+        "tracer",
+        "CPU time",
+        1.5,
+        "seconds",
+    )
+    return store
+
+
+class TestByConstraint:
+    def test_processes_on_node(self, transit_store):
+        fam = transit_store.resolve_filter(ByConstraint("/M/c/b/n16"))
+        names = {transit_store.resource_by_id(i).name for i in fam.resource_ids}
+        assert names == {"/mpi-run/p8"}
+
+    def test_reverse_direction(self, transit_store):
+        fam = transit_store.resolve_filter(
+            ByConstraint("/mpi-run/p9", direction="from")
+        )
+        names = {transit_store.resource_by_id(i).name for i in fam.resource_ids}
+        assert names == {"/M/c/b/n17"}
+
+    def test_missing_target_empty(self, transit_store):
+        assert len(transit_store.resolve_filter(ByConstraint("/nope"))) == 0
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            ByConstraint("/x", direction="sideways")
+
+    def test_in_pr_filter(self, transit_store):
+        """Results measured on the process that ran on node 16."""
+        qe = QueryEngine(transit_store)
+        prf = PrFilter([ByConstraint("/M/c/b/n16")])
+        results = qe.fetch(prf)
+        metrics = {r.metric for r in results}
+        assert metrics == {"Message transit time", "CPU time"}
+
+    def test_describe(self):
+        assert "->" in ByConstraint("/x").describe()
+        assert "<-" in ByConstraint("/x", direction="from").describe()
+
+
+class TestFocusTypes:
+    def test_transit_result_has_both_contexts(self, transit_store):
+        qe = QueryEngine(transit_store)
+        results = [
+            r for r in qe.fetch(PrFilter()) if r.metric == "Message transit time"
+        ]
+        assert len(results) == 1
+        types = sorted(c.focus_type for c in results[0].contexts)
+        assert types == ["receiver", "sender"]
+
+    def test_sender_restricted_query(self, transit_store):
+        """Find transit times by their sending process only."""
+        qe = QueryEngine(transit_store)
+        fam = transit_store.resolve_filter(ByName("/mpi-run/p8", Expansion.NONE))
+        sender_ids = qe.result_ids([fam], focus_type="sender")
+        results = qe.fetch_results(sender_ids)
+        assert [r.metric for r in results] == ["Message transit time"]
+
+    def test_receiver_side_does_not_match_sender_query(self, transit_store):
+        qe = QueryEngine(transit_store)
+        fam = transit_store.resolve_filter(ByName("/mpi-run/p9", Expansion.NONE))
+        assert qe.result_ids([fam], focus_type="sender") == set()
+        assert len(qe.result_ids([fam], focus_type="receiver")) == 1
+
+    def test_primary_restriction_excludes_transit(self, transit_store):
+        qe = QueryEngine(transit_store)
+        fam = transit_store.resolve_filter(ByName("/mpi-run", Expansion.DESCENDANTS))
+        primary = qe.fetch_results(qe.result_ids([fam], focus_type="primary"))
+        assert [r.metric for r in primary] == ["CPU time"]
+
+    def test_empty_filter_with_focus_type(self, transit_store):
+        qe = QueryEngine(transit_store)
+        assert len(qe.result_ids([], focus_type="sender")) == 1
+        assert len(qe.result_ids([], focus_type="child")) == 0
+
+    def test_unrestricted_matches_either_context(self, transit_store):
+        qe = QueryEngine(transit_store)
+        fam = transit_store.resolve_filter(ByName("/mpi-run/p9", Expansion.NONE))
+        results = qe.fetch_results(qe.result_ids([fam]))
+        assert {r.metric for r in results} == {"Message transit time"}

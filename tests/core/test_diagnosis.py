@@ -1,0 +1,84 @@
+"""Diagnosis-helper tests: load balance, scaling, bottlenecks, history."""
+
+import pytest
+
+from repro.core.diagnosis import (
+    ScalingPoint,
+    load_balance,
+    rank_bottlenecks,
+    scaling_study,
+    scan_history,
+)
+
+
+class TestLoadBalance:
+    def test_whole_execution(self, tiny_store):
+        rep = load_balance(tiny_store, "irs-a", "CPU time")
+        assert rep.stats.count == 4
+        assert rep.spread == rep.stats.maximum - rep.stats.minimum
+
+    def test_single_function(self, tiny_store):
+        rep = load_balance(tiny_store, "irs-a", "CPU time", function="/IRS/src/funcA")
+        assert rep.stats.count == 2
+        assert rep.stats.minimum == 10.0 and rep.stats.maximum == 11.0
+
+    def test_missing_data_raises(self, tiny_store):
+        with pytest.raises(ValueError):
+            load_balance(tiny_store, "irs-a", "no such metric")
+
+
+class TestScaling:
+    def test_points_sorted_by_nproc(self, tiny_store):
+        # attach nproc attributes to the execution resources
+        for name, p in (("irs-a", 2), ("irs-b", 4)):
+            tiny_store.add_resource_attribute(
+                f"/{name}", "number of processes", str(p)
+            )
+        pts = scaling_study(tiny_store, ["irs-b", "irs-a"], "CPU time")
+        assert [pt.processes for pt in pts] == [2, 4]
+
+    def test_speedup_efficiency(self):
+        base = ScalingPoint("e1", 1, 100.0)
+        p4 = ScalingPoint("e4", 4, 30.0)
+        assert p4.speedup(base) == pytest.approx(100.0 / 30.0)
+        assert p4.efficiency(base) == pytest.approx(100.0 / 30.0 / 4)
+
+    def test_fallback_nproc_from_result_count(self, tiny_store):
+        pts = scaling_study(tiny_store, ["irs-a"], "CPU time")
+        assert pts[0].processes == 4  # 4 results for irs-a
+
+
+class TestBottlenecks:
+    def test_ranking_order_and_shares(self, tiny_store):
+        ranked = rank_bottlenecks(
+            tiny_store, "irs-a", "CPU time", type_path="build/module/function"
+        )
+        assert [b.label for b in ranked] == ["/IRS/src/funcB", "/IRS/src/funcA"]
+        assert ranked[0].value > ranked[1].value
+        assert sum(b.share for b in ranked) == pytest.approx(1.0)
+
+    def test_top_limit(self, tiny_store):
+        ranked = rank_bottlenecks(
+            tiny_store, "irs-a", "CPU time", type_path="build/module/function", top=1
+        )
+        assert len(ranked) == 1
+
+
+class TestHistoryScan:
+    def test_regressions_found(self, tiny_store):
+        regs = scan_history(
+            tiny_store, ["irs-a", "irs-b"], metric="CPU time", threshold=1.01
+        )
+        assert regs
+        for r in regs:
+            assert r.after > r.before
+            assert r.factor > 1.0
+
+    def test_high_threshold_empty(self, tiny_store):
+        assert (
+            scan_history(tiny_store, ["irs-a", "irs-b"], metric="CPU time", threshold=3.0)
+            == []
+        )
+
+    def test_single_execution_no_pairs(self, tiny_store):
+        assert scan_history(tiny_store, ["irs-a"], metric="CPU time") == []

@@ -1,0 +1,245 @@
+"""Resource filter and pr-filter tests, including the Section-2.2 property.
+
+The key invariant: the SQL evaluation path (focus-set intersection in
+QueryEngine) agrees with the pure in-memory reference semantics
+``∀ R ∈ PRF: ∃ r ∈ C: r ∈ R`` for every generated filter.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import (
+    AttributeClause,
+    ByAttributes,
+    ByName,
+    ByType,
+    Expansion,
+    PrFilter,
+)
+from repro.core.filters import COMPARATORS, ResourceFamily, filter_results, matches
+from repro.core.query import QueryEngine
+
+
+class TestComparators:
+    def test_numeric_comparisons(self):
+        assert COMPARATORS["<"]("374", "375")
+        assert COMPARATORS[">="]("375", "375")
+        assert not COMPARATORS[">"]("374", "375")
+
+    def test_text_fallback(self):
+        assert COMPARATORS["="]("Linux", "Linux")
+        assert COMPARATORS["<"]("AIX", "Linux")
+
+    def test_contains(self):
+        assert COMPARATORS["contains"]("Red Hat Linux", "Linux")
+        assert not COMPARATORS["contains"](None, "x")
+
+    def test_clause_validation(self):
+        with pytest.raises(ValueError):
+            AttributeClause("a", "~=", "v")
+
+    def test_clause_test(self):
+        c = AttributeClause("clock MHz", ">", "1000")
+        assert c.test("1500") and not c.test("375")
+
+
+class TestMatchesSemantics:
+    def test_empty_filter_matches_all(self):
+        assert matches([], {1, 2})
+        assert matches([], set())
+
+    def test_each_family_must_intersect(self):
+        fams = [{1, 2}, {3}]
+        assert matches(fams, {1, 3})
+        assert matches(fams, {2, 3, 9})
+        assert not matches(fams, {1, 2})  # second family misses
+        assert not matches(fams, {3})  # first family misses
+
+    def test_empty_family_never_matches(self):
+        assert not matches([set()], {1})
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        families=st.lists(
+            st.frozensets(st.integers(0, 15), max_size=6), max_size=4
+        ),
+        context=st.frozensets(st.integers(0, 15), max_size=8),
+    )
+    def test_matches_equals_quantifier_definition(self, families, context):
+        expected = all(any(r in fam for r in context) for fam in families)
+        assert matches(families, context) == expected
+
+
+class TestResolveFilter:
+    def test_by_type(self, tiny_store):
+        fam = tiny_store.resolve_filter(ByType("grid/machine/partition/node/processor"))
+        assert len(fam) == 4
+
+    def test_by_full_name_no_expansion(self, tiny_store):
+        fam = tiny_store.resolve_filter(ByName("/LLNL/Frost", Expansion.NONE))
+        assert len(fam) == 1
+
+    def test_by_full_name_with_descendants(self, tiny_store):
+        fam = tiny_store.resolve_filter(ByName("/LLNL/Frost", Expansion.DESCENDANTS))
+        # Frost + batch + 2 nodes + 4 processors
+        assert len(fam) == 8
+
+    def test_by_name_ancestors(self, tiny_store):
+        fam = tiny_store.resolve_filter(
+            ByName("/LLNL/Frost/batch/n0/p0", Expansion.ANCESTORS)
+        )
+        assert len(fam) == 5  # self + 4 ancestors
+
+    def test_by_name_both(self, tiny_store):
+        fam = tiny_store.resolve_filter(ByName("/LLNL/Frost/batch", Expansion.BOTH))
+        assert len(fam) == 1 + 2 + 2 + 4  # self, ancestors, nodes, processors
+
+    def test_by_base_name(self, tiny_store):
+        # "batch" as a base name: the batch partition of any machine.
+        fam = tiny_store.resolve_filter(ByName("batch", Expansion.NONE))
+        assert len(fam) == 1
+        tiny_store.add_resource("/LLNL/MCR/batch", "grid/machine/partition")
+        fam = tiny_store.resolve_filter(ByName("batch", Expansion.NONE))
+        assert len(fam) == 2
+
+    def test_missing_name_empty_family(self, tiny_store):
+        fam = tiny_store.resolve_filter(ByName("/nope", Expansion.DESCENDANTS))
+        assert len(fam) == 0
+
+    def test_by_attributes(self, tiny_store):
+        fam = tiny_store.resolve_filter(
+            ByAttributes((AttributeClause("clock MHz", "=", "375"),))
+        )
+        assert len(fam) == 4
+
+    def test_by_attributes_conjunction(self, tiny_store):
+        fam = tiny_store.resolve_filter(
+            ByAttributes(
+                (
+                    AttributeClause("clock MHz", "=", "375"),
+                    AttributeClause("vendor", "=", "IBM"),
+                )
+            )
+        )
+        assert len(fam) == 4
+        fam2 = tiny_store.resolve_filter(
+            ByAttributes(
+                (
+                    AttributeClause("clock MHz", "=", "375"),
+                    AttributeClause("vendor", "=", "Intel"),
+                )
+            )
+        )
+        assert len(fam2) == 0
+
+    def test_by_attributes_with_type_scope(self, tiny_store):
+        tiny_store.add_resource("/other", "build")
+        tiny_store.add_resource_attribute("/other", "clock MHz", "375")
+        scoped = tiny_store.resolve_filter(
+            ByAttributes(
+                (AttributeClause("clock MHz", "=", "375"),),
+                type_path="grid/machine/partition/node/processor",
+            )
+        )
+        unscoped = tiny_store.resolve_filter(
+            ByAttributes((AttributeClause("clock MHz", "=", "375"),))
+        )
+        assert len(unscoped) == 5 and len(scoped) == 4
+
+    def test_attribute_with_expansion(self, tiny_store):
+        fam = tiny_store.resolve_filter(
+            ByAttributes(
+                (AttributeClause("vendor", "=", "IBM"),),
+                expansion=Expansion.ANCESTORS,
+            )
+        )
+        # 4 processors + their shared ancestors (node x2, batch, Frost, LLNL)
+        assert len(fam) == 9
+
+
+class TestPrFilterEvaluation:
+    def test_single_family(self, tiny_store):
+        qe = QueryEngine(tiny_store)
+        prf = PrFilter([ByName("/IRS/src/funcA", Expansion.NONE)])
+        results = qe.fetch(prf)
+        assert len(results) == 6  # 2 + 4 processes across two executions
+        assert all(r.metric == "CPU time" for r in results)
+
+    def test_conjunction_of_families(self, tiny_store):
+        qe = QueryEngine(tiny_store)
+        prf = PrFilter(
+            [
+                ByName("/IRS/src/funcA", Expansion.NONE),
+                ByName("/irs-a", Expansion.DESCENDANTS),
+            ]
+        )
+        assert len(qe.fetch(prf)) == 2
+
+    def test_empty_filter_matches_everything(self, tiny_store):
+        qe = QueryEngine(tiny_store)
+        assert len(qe.evaluate(PrFilter())) == 12
+
+    def test_count_matches_fetch(self, tiny_store):
+        qe = QueryEngine(tiny_store)
+        fam = tiny_store.resolve_filter(ByName("/irs-b", Expansion.DESCENDANTS))
+        assert qe.count_for_family(fam) == len(
+            qe.fetch_results(qe.result_ids([fam]))
+        )
+
+    def test_sql_path_equals_reference_semantics(self, tiny_store):
+        """The paper's formal semantics vs the focus-intersection SQL path."""
+        qe = QueryEngine(tiny_store)
+        all_results = qe.fetch_results(qe.evaluate(PrFilter()))
+        filters = [
+            ByName("/IRS/src/funcB", Expansion.NONE),
+            ByName("/LLNL/Frost/batch/n0", Expansion.DESCENDANTS),
+        ]
+        prf = PrFilter(filters)
+        families = [f.resource_ids for f in tiny_store.resolve_prfilter(prf)]
+        expected_ids = {r.id for r in filter_results(families, all_results)}
+        assert qe.evaluate(prf) == expected_ids
+
+    # Read-only use of the store fixture: safe to share across examples.
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        picks=st.lists(
+            st.sampled_from(
+                [
+                    ("/IRS/src/funcA", Expansion.NONE),
+                    ("/IRS/src/funcB", Expansion.NONE),
+                    ("/irs-a", Expansion.DESCENDANTS),
+                    ("/irs-b", Expansion.DESCENDANTS),
+                    ("/LLNL/Frost", Expansion.DESCENDANTS),
+                    ("/LLNL/Frost/batch/n0", Expansion.DESCENDANTS),
+                    ("/LLNL/Frost/batch/n1/p1", Expansion.NONE),
+                    ("batch", Expansion.DESCENDANTS),
+                ]
+            ),
+            max_size=3,
+        )
+    )
+    def test_random_prfilters_agree_with_reference(self, tiny_store, picks):
+        qe = QueryEngine(tiny_store)
+        all_results = qe.fetch_results(qe.evaluate(PrFilter()))
+        prf = PrFilter([ByName(n, e) for n, e in picks])
+        families = [f.resource_ids for f in tiny_store.resolve_prfilter(prf)]
+        expected = {r.id for r in filter_results(families, all_results)}
+        assert qe.evaluate(prf) == expected
+
+
+class TestDescribe:
+    def test_prfilter_describe(self):
+        prf = PrFilter([ByName("/a"), ByType("grid")])
+        text = prf.describe()
+        assert "name=/a" in text and "type=grid" in text
+
+    def test_empty_describe(self):
+        assert PrFilter().describe() == "<empty>"
+
+    def test_family_membership(self):
+        fam = ResourceFamily("x", frozenset({1, 2}))
+        assert 1 in fam and 3 not in fam and len(fam) == 2

@@ -1,0 +1,148 @@
+"""Prediction/model tests (Section-6 extension)."""
+
+import math
+
+import pytest
+
+from repro.core import ByName, Expansion, PrFilter
+from repro.core.predictions import (
+    AmdahlCommModel,
+    compare_predictions,
+    cross_validate,
+    fit_amdahl_comm,
+    fit_model_to_history,
+    store_predictions,
+)
+from repro.core.query import QueryEngine
+
+
+class TestAmdahlCommModel:
+    def test_predict_formula(self):
+        m = AmdahlCommModel(serial=2.0, parallel=100.0, comm=0.5)
+        assert m.predict(1) == pytest.approx(102.0)
+        assert m.predict(4) == pytest.approx(2.0 + 25.0 + 1.0)
+
+    def test_describe(self):
+        m = AmdahlCommModel(1.0, 2.0, 3.0)
+        assert "t(p) =" in m.describe()
+
+
+class TestFitting:
+    def test_exact_recovery(self):
+        true = AmdahlCommModel(serial=3.0, parallel=240.0, comm=0.7)
+        points = [(p, true.predict(p)) for p in (1, 2, 4, 8, 16, 64)]
+        fit = fit_amdahl_comm(points)
+        assert fit.serial == pytest.approx(3.0, abs=1e-6)
+        assert fit.parallel == pytest.approx(240.0, rel=1e-6)
+        assert fit.comm == pytest.approx(0.7, abs=1e-6)
+
+    def test_noisy_fit_close(self):
+        import numpy as np
+
+        rng = np.random.default_rng(42)
+        true = AmdahlCommModel(2.0, 300.0, 1.0)
+        points = [
+            (p, true.predict(p) * float(rng.uniform(0.97, 1.03)))
+            for p in (1, 2, 4, 8, 16, 32, 64)
+        ]
+        fit = fit_amdahl_comm(points)
+        for p in (2, 128):
+            assert abs(fit.predict(p) - true.predict(p)) / true.predict(p) < 0.25
+
+    def test_requires_three_distinct_counts(self):
+        with pytest.raises(ValueError):
+            fit_amdahl_comm([(2, 10.0), (2, 11.0), (4, 6.0)])
+
+    def test_negative_coefficients_clamped(self):
+        # Superlinear data would fit negative serial time; clamp at 0.
+        points = [(1, 100.0), (2, 40.0), (4, 15.0), (8, 5.0)]
+        fit = fit_amdahl_comm(points)
+        assert fit.serial >= 0 and fit.parallel >= 0 and fit.comm >= 0
+
+
+@pytest.fixture
+def history_store(store):
+    """Executions following a known scaling law with nproc attributes."""
+    true = AmdahlCommModel(2.0, 200.0, 0.8)
+    store.add_application("app")
+    from repro.ptdf.format import ResourceSet
+
+    for p in (2, 4, 8, 16, 32):
+        name = f"run-p{p:03d}"
+        store.add_execution(name, "app")
+        store.add_resource(f"/{name}", "execution", name)
+        store.add_resource_attribute(f"/{name}", "number of processes", str(p))
+        store.add_perf_result(
+            name, ResourceSet((f"/{name}",)), "timer", "Wall time", true.predict(p),
+            "seconds",
+        )
+    return store, true
+
+
+class TestHistoryFitting:
+    def test_fit_model_to_history(self, history_store):
+        store, true = history_store
+        execs = [f"run-p{p:03d}" for p in (2, 4, 8, 16, 32)]
+        model, points = fit_model_to_history(store, execs, "Wall time")
+        assert len(points) == 5
+        assert model.predict(64) == pytest.approx(true.predict(64), rel=0.01)
+
+    def test_compare_predictions(self, history_store):
+        store, true = history_store
+        execs = [f"run-p{p:03d}" for p in (2, 4, 8, 16, 32)]
+        model, _ = fit_model_to_history(store, execs, "Wall time")
+        rows = compare_predictions(store, model, execs, "Wall time")
+        assert len(rows) == 5
+        assert all(r.relative_error < 0.01 for r in rows)
+
+    def test_cross_validate(self, history_store):
+        store, _ = history_store
+        execs = [f"run-p{p:03d}" for p in (2, 4, 8, 16, 32)]
+        rows = cross_validate(store, execs, "Wall time")
+        assert len(rows) == 5
+        assert all(r.relative_error < 0.05 for r in rows)
+
+    def test_cross_validate_needs_four(self, history_store):
+        store, _ = history_store
+        with pytest.raises(ValueError):
+            cross_validate(store, ["run-p002", "run-p004"], "Wall time")
+
+
+class TestStorePredictions:
+    def test_predictions_queryable(self, history_store):
+        store, true = history_store
+        created = store_predictions(
+            store, true, "app", "Wall time", process_counts=(64, 128)
+        )
+        assert len(created) == 2
+        qe = QueryEngine(store)
+        results = qe.fetch(PrFilter([ByName(f"/{created[0]}", Expansion.NONE)]))
+        assert len(results) == 1
+        r = results[0]
+        assert r.tool == "prediction:amdahl-comm"
+        assert r.value == pytest.approx(true.predict(64))
+
+    def test_prediction_attributes(self, history_store):
+        store, true = history_store
+        created = store_predictions(store, true, "app", "Wall time", (64,))
+        rid = store.resource_id(f"/{created[0]}")
+        attrs = {a.name: a.value for a in store.attributes_of(rid)}
+        assert attrs["number of processes"] == "64"
+        assert "t(p) =" in attrs["model"]
+
+    def test_repeated_store_gets_unique_names(self, history_store):
+        store, true = history_store
+        a = store_predictions(store, true, "app", "Wall time", (64,))
+        b = store_predictions(store, true, "app", "Wall time", (64,))
+        assert a[0] != b[0]
+
+    def test_direct_comparison_to_actual(self, history_store):
+        """The paper's goal: predictions comparable to actual runs."""
+        store, true = history_store
+        created = store_predictions(store, true, "app", "Wall time", (16,))
+        from repro.core.diagnosis import scaling_study
+
+        pts = scaling_study(store, [created[0], "run-p016"], "Wall time")
+        assert len(pts) == 2
+        values = [pt.value for pt in pts]
+        assert values[0] == pytest.approx(values[1], rel=0.01)

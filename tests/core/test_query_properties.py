@@ -1,0 +1,115 @@
+"""Algebraic properties of pr-filter evaluation, via hypothesis.
+
+These hold by the Section-2.2 semantics and must hold in the SQL
+implementation:
+
+* **monotonicity** — adding a family to a pr-filter never grows the
+  result set (∀-quantification only gets stricter);
+* **family-order irrelevance** — a pr-filter is a *set* of families;
+* **expansion monotonicity** — widening a family (N → D → B) never
+  shrinks its match count;
+* **focus-type restriction** — restricting to one focus type yields a
+  subset of the unrestricted result.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import ByName, Expansion, PrFilter
+from repro.core.query import QueryEngine
+
+NAMES = [
+    "/IRS/src/funcA",
+    "/IRS/src/funcB",
+    "/irs-a",
+    "/irs-b",
+    "/LLNL/Frost",
+    "/LLNL/Frost/batch/n0",
+    "/LLNL/Frost/batch/n1/p1",
+    "batch",
+    "p0",
+]
+
+_shared = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class TestFilterAlgebra:
+    @_shared
+    @given(
+        picks=st.lists(st.sampled_from(NAMES), min_size=1, max_size=3),
+        extra=st.sampled_from(NAMES),
+    )
+    def test_adding_family_is_monotone(self, tiny_store, picks, extra):
+        qe = QueryEngine(tiny_store)
+        base = qe.evaluate(PrFilter([ByName(n) for n in picks]))
+        tightened = qe.evaluate(PrFilter([ByName(n) for n in picks + [extra]]))
+        assert tightened <= base
+
+    @_shared
+    @given(picks=st.lists(st.sampled_from(NAMES), min_size=2, max_size=4))
+    def test_family_order_irrelevant(self, tiny_store, picks):
+        qe = QueryEngine(tiny_store)
+        fwd = qe.evaluate(PrFilter([ByName(n) for n in picks]))
+        rev = qe.evaluate(PrFilter([ByName(n) for n in reversed(picks)]))
+        assert fwd == rev
+
+    @_shared
+    @given(name=st.sampled_from(NAMES))
+    def test_duplicate_family_is_idempotent(self, tiny_store, name):
+        qe = QueryEngine(tiny_store)
+        once = qe.evaluate(PrFilter([ByName(name)]))
+        twice = qe.evaluate(PrFilter([ByName(name), ByName(name)]))
+        assert once == twice
+
+    @_shared
+    @given(name=st.sampled_from(NAMES))
+    def test_expansion_monotone(self, tiny_store, name):
+        qe = QueryEngine(tiny_store)
+        counts = {}
+        for exp in (Expansion.NONE, Expansion.DESCENDANTS, Expansion.BOTH):
+            fam = tiny_store.resolve_filter(ByName(name, exp))
+            counts[exp] = qe.count_for_family(fam)
+        assert counts[Expansion.NONE] <= counts[Expansion.DESCENDANTS]
+        assert counts[Expansion.DESCENDANTS] <= counts[Expansion.BOTH]
+
+    @_shared
+    @given(
+        name=st.sampled_from(NAMES),
+        focus_type=st.sampled_from(["primary", "sender", "receiver", "parent"]),
+    )
+    def test_focus_type_restriction_is_subset(self, tiny_store, name, focus_type):
+        qe = QueryEngine(tiny_store)
+        fam = tiny_store.resolve_filter(ByName(name))
+        unrestricted = qe.result_ids([fam])
+        restricted = qe.result_ids([fam], focus_type=focus_type)
+        assert restricted <= unrestricted
+
+    @_shared
+    @given(picks=st.lists(st.sampled_from(NAMES), max_size=3))
+    def test_count_equals_fetch_length(self, tiny_store, picks):
+        qe = QueryEngine(tiny_store)
+        families = [tiny_store.resolve_filter(ByName(n)) for n in picks]
+        assert qe.count_for_filter(families) == len(
+            qe.fetch_results(qe.result_ids(families))
+        )
+
+
+class TestLoaderProperties:
+    def test_reloading_results_doubles_results_not_foci(self, store):
+        text = (
+            "Application A\nExecution e A\nResource /e execution e\n"
+            "Resource /e/p0 execution/process e\n"
+            'PerfResult e /e,/e/p0(primary) t m 1.0 u\n'
+            'PerfResult e /e,/e/p0(primary) t m2 2.0 u\n'
+        )
+        store.load_string(text)
+        first = store.db_stats()
+        store.load_string(text)
+        second = store.db_stats()
+        assert second["performance_result"] == 2 * first["performance_result"]
+        assert second["focus"] == first["focus"]  # contexts are shared
+        assert second["resource_item"] == first["resource_item"]

@@ -1,0 +1,55 @@
+"""Text report tests."""
+
+from repro.core.datastore import LoadStats
+from repro.core.reports import (
+    application_report,
+    execution_report,
+    load_report,
+    store_summary,
+)
+
+
+class TestStoreSummary:
+    def test_contains_all_tables(self, tiny_store):
+        text = store_summary(tiny_store)
+        assert "resource_item" in text
+        assert "performance_result" in text
+        assert "applications: IRS" in text
+
+    def test_counts_present(self, tiny_store):
+        text = store_summary(tiny_store)
+        assert "executions: 2" in text
+
+
+class TestApplicationReport:
+    def test_lists_executions(self, tiny_store):
+        text = application_report(tiny_store, "IRS")
+        assert "irs-a" in text and "irs-b" in text
+        assert "Application: IRS" in text
+
+
+class TestExecutionReport:
+    def test_details(self, tiny_store):
+        text = execution_report(tiny_store, "irs-a")
+        assert "application:      IRS" in text
+        assert "CPU time" in text
+
+    def test_attributes_included(self, tiny_store):
+        tiny_store.add_resource_attribute("/irs-a", "number of processes", "2")
+        text = execution_report(tiny_store, "irs-a")
+        assert "number of processes" in text
+
+
+class TestLoadReport:
+    def test_all_fields_rendered(self):
+        stats = LoadStats(executions=3, resources=50, attributes=9, results=120, foci=40)
+        text = load_report("IRS", stats, ptdf_files=3, ptdf_lines=200, db_growth_bytes=4096)
+        assert "executions loaded" in text
+        assert "120" in text
+        assert "PTdf files" in text
+        assert "4096" in text
+
+    def test_optional_fields_omitted(self):
+        text = load_report("IRS", LoadStats())
+        assert "PTdf files" not in text
+        assert "DB growth" not in text

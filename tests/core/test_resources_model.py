@@ -1,0 +1,77 @@
+"""Resource/ResourceType/ResourceTree model-object tests."""
+
+import pytest
+
+from repro.core.resources import Resource, ResourceTree, ResourceType
+
+
+def _res(rid, name, type_name, parent=None):
+    return Resource(
+        id=rid, name=name, type_name=type_name, type_id=rid * 10, parent_id=parent
+    )
+
+
+class TestResourceType:
+    def test_base_and_depth(self):
+        t = ResourceType(1, "grid/machine/partition")
+        assert t.base == "partition"
+        assert t.depth == 3
+        assert t.is_hierarchical
+
+    def test_single_level(self):
+        t = ResourceType(2, "application")
+        assert t.base == "application"
+        assert t.depth == 1
+        assert not t.is_hierarchical
+
+
+class TestResource:
+    def test_derived_properties(self):
+        r = _res(1, "/LLNL/Frost/batch", "grid/machine/partition")
+        assert r.base == "batch"
+        assert r.parent_name == "/LLNL/Frost"
+        assert r.segments == ["LLNL", "Frost", "batch"]
+        assert r.depth == 3
+
+    def test_top_level(self):
+        r = _res(1, "/LLNL", "grid")
+        assert r.parent_name is None
+        assert r.depth == 1
+
+
+class TestResourceTree:
+    @pytest.fixture
+    def tree(self):
+        root = ResourceTree(_res(1, "/M", "grid"))
+        machine = ResourceTree(_res(2, "/M/frost", "grid/machine", 1))
+        p1 = ResourceTree(_res(3, "/M/frost/b1", "grid/machine/partition", 2))
+        p2 = ResourceTree(_res(4, "/M/frost/b2", "grid/machine/partition", 2))
+        machine.children = [p1, p2]
+        root.children = [machine]
+        return root
+
+    def test_walk_preorder(self, tree):
+        names = [r.name for r in tree.walk()]
+        assert names == ["/M", "/M/frost", "/M/frost/b1", "/M/frost/b2"]
+
+    def test_render_indentation(self, tree):
+        text = tree.render()
+        lines = text.splitlines()
+        assert lines[0] == "M"
+        assert lines[1] == "  frost"
+        assert lines[2] == "    b1"
+
+
+class TestTreeFromStore:
+    def test_build_tree_from_datastore(self, tiny_store):
+        """Materialise a display tree by walking children_of."""
+
+        def build(res):
+            node = ResourceTree(res)
+            node.children = [build(c) for c in tiny_store.children_of(res.id)]
+            return node
+
+        root = build(tiny_store.resource_by_name("/LLNL"))
+        names = [r.name for r in root.walk()]
+        assert "/LLNL/Frost/batch/n1/p1" in names
+        assert len(names) == 1 + 1 + 1 + 2 + 4

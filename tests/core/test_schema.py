@@ -1,0 +1,74 @@
+"""Schema creation tests on both backends (paper Figure 1)."""
+
+import pytest
+
+from repro.core import schema as schema_mod
+from repro.dbapi import open_backend
+from repro.minidb.errors import IntegrityError
+
+
+class TestSchemaCreation:
+    def test_all_tables_created(self, backend):
+        schema_mod.create_schema(backend)
+        assert schema_mod.schema_is_present(backend)
+        for t in schema_mod.TABLE_NAMES:
+            assert backend.has_table(t), t
+
+    def test_schema_absent_before_creation(self, backend):
+        assert not schema_mod.schema_is_present(backend)
+
+    def test_figure1_table_set(self):
+        # Figure 1's tables plus the Section-6 complex-result extension.
+        assert set(schema_mod.TABLE_NAMES) == {
+            "performance_result_vector",
+            "focus_framework",
+            "application",
+            "execution",
+            "performance_tool",
+            "metric",
+            "resource_item",
+            "resource_attribute",
+            "resource_constraint",
+            "resource_has_ancestor",
+            "resource_has_descendant",
+            "focus",
+            "focus_has_resource",
+            "performance_result",
+            "performance_result_has_focus",
+        }
+
+    def test_unique_resource_name_enforced(self, backend):
+        schema_mod.create_schema(backend)
+        backend.execute(
+            "INSERT INTO focus_framework (name, base_name) VALUES ('grid', 'grid')"
+        )
+        tid = backend.scalar("SELECT id FROM focus_framework WHERE name = 'grid'")
+        backend.execute(
+            "INSERT INTO resource_item (name, base_name, focus_framework_id) "
+            "VALUES ('/m', 'm', ?)",
+            (tid,),
+        )
+        with pytest.raises(IntegrityError):
+            backend.execute(
+                "INSERT INTO resource_item (name, base_name, focus_framework_id) "
+                "VALUES ('/m', 'm', ?)",
+                (tid,),
+            )
+
+    def test_fk_metric_enforced(self, backend):
+        schema_mod.create_schema(backend)
+        with pytest.raises(IntegrityError):
+            backend.execute(
+                "INSERT INTO performance_result "
+                "(execution_id, metric_id, performance_tool_id, value, units) "
+                "VALUES (1, 1, 1, 0.5, 's')"
+            )
+
+    def test_describe_schema_lists_every_table(self):
+        text = "\n".join(schema_mod.describe_schema())
+        for t in schema_mod.TABLE_NAMES:
+            assert f"{t}:" in text
+
+    def test_create_without_indexes(self, backend):
+        schema_mod.create_schema(backend, with_indexes=False)
+        assert schema_mod.schema_is_present(backend)

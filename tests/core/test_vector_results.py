@@ -1,0 +1,164 @@
+"""Complex (vector) performance results — the Section-6 extension."""
+
+import pytest
+
+from repro.core import PrFilter, ByName, Expansion, PTDataStore
+from repro.core.query import QueryEngine
+from repro.ptdf.format import PerfResultSeriesRec, ResourceSet
+from repro.ptdf.parser import parse_string
+from repro.ptdf.writer import PTdfWriter, write_string
+
+
+@pytest.fixture
+def vstore(store):
+    store.add_execution("e1", "app")
+    store.add_resource("/e1", "execution", "e1")
+    store.add_resource("/e1-global", "time")
+    return store
+
+
+class TestAddVectorResult:
+    def test_single_result_row(self, vstore):
+        pr_id = vstore.add_vector_result(
+            "e1",
+            ResourceSet(("/e1", "/e1-global")),
+            "Paradyn",
+            "cpu_inclusive",
+            [1.0, None, 3.0, 4.0],
+            units="paradyn units",
+            start_time=0.0,
+            bin_width=0.2,
+        )
+        assert vstore.count_rows("performance_result") == 1
+        # None bins are not stored (the nan rule).
+        assert vstore.count_rows("performance_result_vector") == 3
+        vec = vstore.vector_of(pr_id)
+        assert [v[0] for v in vec] == [0, 2, 3]
+        assert vec[1][1] == pytest.approx(0.4)  # bin 2 starts at 2*0.2
+        assert vec[1][2] == pytest.approx(0.6)
+
+    def test_scalar_value_is_mean(self, vstore):
+        pr_id = vstore.add_vector_result(
+            "e1", ResourceSet(("/e1",)), "t", "m", [2.0, 4.0, None]
+        )
+        value = vstore.backend.scalar(
+            "SELECT value FROM performance_result WHERE id = ?", (pr_id,)
+        )
+        assert value == pytest.approx(3.0)
+
+    def test_value_type_marked(self, vstore):
+        vstore.add_vector_result("e1", ResourceSet(("/e1",)), "t", "m", [1.0])
+        vt = vstore.backend.scalar("SELECT value_type FROM performance_result")
+        assert vt == "vector"
+
+    def test_unknown_execution(self, vstore):
+        with pytest.raises(Exception):
+            vstore.add_vector_result("nope", ResourceSet(("/e1",)), "t", "m", [1.0])
+
+
+class TestQueryVectorResults:
+    def test_fetch_includes_series(self, vstore):
+        vstore.add_vector_result(
+            "e1", ResourceSet(("/e1", "/e1-global")), "Paradyn", "m",
+            [1.0, None, 3.0], start_time=10.0, bin_width=0.5,
+        )
+        qe = QueryEngine(vstore)
+        results = qe.fetch(PrFilter([ByName("/e1", Expansion.NONE)]))
+        assert len(results) == 1
+        r = results[0]
+        assert r.is_vector
+        assert r.series_values() == [1.0, 3.0]
+        assert r.series[0] == (0, 10.0, 10.5, 1.0)
+        assert r.value == pytest.approx(2.0)
+
+    def test_scalar_results_have_empty_series(self, vstore):
+        vstore.add_perf_result("e1", ResourceSet(("/e1",)), "t", "m", 5.0, "u")
+        qe = QueryEngine(vstore)
+        r = qe.fetch(PrFilter([ByName("/e1", Expansion.NONE)]))[0]
+        assert not r.is_vector
+        assert r.series == ()
+
+    def test_mixed_fetch(self, vstore):
+        vstore.add_perf_result("e1", ResourceSet(("/e1",)), "t", "scalar-m", 5.0, "u")
+        vstore.add_vector_result("e1", ResourceSet(("/e1",)), "t", "vec-m", [1.0, 2.0])
+        qe = QueryEngine(vstore)
+        results = qe.fetch(PrFilter([ByName("/e1", Expansion.NONE)]))
+        kinds = {r.metric: r.is_vector for r in results}
+        assert kinds == {"scalar-m": False, "vec-m": True}
+
+    def test_prfilter_applies_to_vectors(self, vstore):
+        vstore.add_vector_result(
+            "e1", ResourceSet(("/e1", "/e1-global")), "t", "m", [1.0]
+        )
+        qe = QueryEngine(vstore)
+        assert len(qe.fetch(PrFilter([ByName("/e1-global", Expansion.NONE)]))) == 1
+        assert qe.fetch(PrFilter([ByName("/nonexistent")])) == []
+
+
+class TestPTdfSeriesRecord:
+    def test_roundtrip(self):
+        rec = PerfResultSeriesRec(
+            "e1", (ResourceSet(("/e1",)),), "Paradyn", "cpu", "u", 0.0, 0.2,
+            (1.5, None, 2.5),
+        )
+        assert parse_string(write_string([rec])) == [rec]
+
+    def test_writer_helper(self):
+        w = PTdfWriter()
+        w.add_perf_result_series(
+            "e1", ResourceSet(("/e1",)), "t", "m", "u", 0.0, 1.0, [1.0, None]
+        )
+        assert len(w) == 1
+        assert w.records[0].values == (1.0, None)
+
+    def test_load_through_store(self, vstore):
+        text = (
+            "PerfResultSeries e1 /e1(primary) Paradyn cpu u 0.0 0.25 1.0,nan,3.0\n"
+        )
+        stats = vstore.load_string(text)
+        assert stats.results == 1
+        assert vstore.count_rows("performance_result_vector") == 2
+
+    def test_bad_series_value(self, vstore):
+        from repro.ptdf.parser import PTdfParseError
+
+        with pytest.raises(PTdfParseError):
+            vstore.load_string(
+                "PerfResultSeries e1 /e1(primary) t m u 0.0 0.25 1.0,bogus\n"
+            )
+
+
+class TestStorageEconomics:
+    """The point of the extension: far fewer result/focus rows per histogram."""
+
+    def test_series_mode_uses_fewer_rows(self):
+        from repro.ptdf.ptdfgen import IndexEntry
+        from repro.synth.paradyn_gen import ParadynSpec, generate_paradyn_export
+        from repro.tools.paradyn import ParadynConverter
+        import tempfile
+
+        d = tempfile.mkdtemp()
+        spec = ParadynSpec("ve1", processes=2, modules=4, functions_per_module=3,
+                           histograms=4, bins=100)
+        export = generate_paradyn_export(spec, d)
+        entry = IndexEntry("ve1", "IRS", "MPI", 2, 1, "t0", "t1")
+
+        stats = {}
+        for mode in ("results", "series"):
+            conv = ParadynConverter(bins_as=mode)
+            w = PTdfWriter()
+            w.add_application("IRS")
+            w.add_execution("ve1", "IRS")
+            conv.convert_index(export.index_path, entry, w)
+            ds = PTDataStore()
+            ds.load_records(w.records)
+            stats[mode] = ds.db_stats()
+        assert stats["series"]["performance_result"] == 4
+        assert stats["results"]["performance_result"] > 200
+        # Same measured values, one row per bin either way in the vector table.
+        assert (
+            stats["series"]["performance_result_vector"]
+            == stats["results"]["performance_result"]
+        )
+        # Dramatically fewer resources (no per-bin time/interval resources).
+        assert stats["series"]["resource_item"] < stats["results"]["resource_item"] / 5

@@ -1,0 +1,95 @@
+"""Backend abstraction tests: dialect smoothing and error normalisation."""
+
+import pytest
+
+from repro.dbapi import MinidbBackend, SqliteBackend, open_backend
+from repro.minidb.errors import (
+    DatabaseError,
+    IntegrityError,
+    OperationalError,
+    ProgrammingError,
+)
+
+
+class TestOpenBackend:
+    def test_minidb_default(self):
+        b = open_backend()
+        assert isinstance(b, MinidbBackend)
+        assert b.name == "minidb"
+        b.close()
+
+    @pytest.mark.parametrize("alias", ["sqlite", "sqlite3", "SQLITE"])
+    def test_sqlite_aliases(self, alias):
+        b = open_backend(alias)
+        assert isinstance(b, SqliteBackend)
+        b.close()
+
+    def test_unknown_backend(self):
+        with pytest.raises(ProgrammingError):
+            open_backend("oracle")
+
+
+class TestExecutionHelpers:
+    @pytest.fixture(autouse=True)
+    def _table(self, backend):
+        backend.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        backend.executemany(
+            "INSERT INTO t (v) VALUES (?)", [("a",), ("b",), ("c",)]
+        )
+
+    def test_query(self, backend):
+        rows = backend.query("SELECT v FROM t ORDER BY id")
+        assert rows == [("a",), ("b",), ("c",)]
+
+    def test_query_one(self, backend):
+        assert backend.query_one("SELECT v FROM t WHERE id = ?", (2,)) == ("b",)
+        assert backend.query_one("SELECT v FROM t WHERE id = 99") is None
+
+    def test_scalar(self, backend):
+        assert backend.scalar("SELECT COUNT(*) FROM t") == 3
+        assert backend.scalar("SELECT v FROM t WHERE id = 99") is None
+
+    def test_insert_returns_key(self, backend):
+        rid = backend.insert("INSERT INTO t (v) VALUES (?)", ("d",))
+        assert rid == 4
+
+    def test_has_table(self, backend):
+        assert backend.has_table("t")
+        assert backend.has_table("T")  # case-insensitive
+        assert not backend.has_table("nope")
+
+    def test_rollback(self, backend):
+        backend.commit()
+        backend.execute("INSERT INTO t (v) VALUES ('x')")
+        backend.rollback()
+        assert backend.scalar("SELECT COUNT(*) FROM t") == 3
+
+    def test_db_size_bytes_positive(self, backend):
+        backend.commit()
+        assert backend.db_size_bytes() > 0
+
+
+class TestErrorNormalisation:
+    """Both backends raise the same PEP-249 classes for the same faults."""
+
+    @pytest.fixture(autouse=True)
+    def _table(self, backend):
+        backend.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT UNIQUE)")
+        backend.execute("INSERT INTO t (v) VALUES ('a')")
+
+    def test_unique_violation(self, backend):
+        with pytest.raises(IntegrityError):
+            backend.execute("INSERT INTO t (v) VALUES ('a')")
+
+    def test_missing_table(self, backend):
+        with pytest.raises((ProgrammingError, OperationalError)):
+            backend.execute("SELECT * FROM no_such_table")
+
+    def test_syntax_error(self, backend):
+        with pytest.raises((ProgrammingError, OperationalError)):
+            backend.execute("SELEKT broken")
+
+    def test_all_errors_are_database_errors(self, backend):
+        for sql in ("INSERT INTO t (v) VALUES ('a')", "SELECT * FROM nope", "SELEKT"):
+            with pytest.raises(DatabaseError):
+                backend.execute(sql)

@@ -1,0 +1,148 @@
+"""Main-window table and bar-chart view-model tests (Figures 4 and 5)."""
+
+import pytest
+
+from repro.core import ByName, Expansion, PrFilter
+from repro.core.query import QueryEngine
+from repro.gui.barchart import BarChart, Series, min_max_chart
+from repro.gui.mainwindow import FIXED_COLUMNS, MainWindow
+
+
+@pytest.fixture
+def window(tiny_store):
+    qe = QueryEngine(tiny_store)
+    w = MainWindow(qe)
+    w.show_results(qe.fetch(PrFilter([ByName("/irs-a", Expansion.DESCENDANTS)])))
+    return w
+
+
+class TestTable:
+    def test_fixed_columns(self, window):
+        assert window.columns == list(FIXED_COLUMNS)
+        assert len(window.rows) == 4
+
+    def test_cell_access(self, window):
+        assert window.cell(0, "execution") == "irs-a"
+        assert window.cell(0, "units") == "seconds"
+
+    def test_sort_by_value(self, window):
+        window.sort("value")
+        values = [r.cell("value") for r in window.rows]
+        assert values == sorted(values)
+        window.sort("value", descending=True)
+        assert [r.cell("value") for r in window.rows] == sorted(values, reverse=True)
+
+    def test_filter_predicate(self, window):
+        remaining = window.filter(lambda r: r.cell("value") >= 11)
+        assert remaining == 3
+
+    def test_filter_column_substring(self, window):
+        window.add_column("build/module/function")
+        remaining = window.filter_column("build/module/function", "funca")
+        assert remaining == 2
+
+    def test_as_table_shape(self, window):
+        table = window.as_table()
+        assert len(table) == 4
+        assert len(table[0]) == len(window.columns)
+
+
+class TestAddColumns:
+    def test_addable_columns_lists_varying_types(self, window):
+        addable = window.addable_columns()
+        assert "build/module/function" in addable
+        assert "execution" not in addable  # identical across rows
+
+    def test_add_column_fills_cells(self, window):
+        window.add_column("build/module/function")
+        assert "build/module/function" in window.columns
+        cells = {r.cell("build/module/function") for r in window.rows}
+        assert cells == {"/IRS/src/funcA", "/IRS/src/funcB"}
+
+    def test_add_column_idempotent(self, window):
+        window.add_column("build/module/function")
+        window.add_column("build/module/function")
+        assert window.columns.count("build/module/function") == 1
+
+    def test_add_attribute_column(self, window):
+        window.add_attribute_column(
+            "grid/machine/partition/node/processor", "clock MHz"
+        )
+        col = "grid/machine/partition/node/processor:clock MHz"
+        assert col in window.columns
+        assert all(r.cell(col) == "375" for r in window.rows)
+
+
+class TestCsvRoundTrip:
+    def test_export_import(self, window, tmp_path):
+        window.add_column("build/module/function")
+        path = str(tmp_path / "table.csv")
+        window.save_csv(path)
+        cols, rows = MainWindow.load_csv(path)
+        assert cols == window.columns
+        assert len(rows) == 4
+
+    def test_load_empty_csv(self, tmp_path):
+        path = str(tmp_path / "empty.csv")
+        open(path, "w").close()
+        assert MainWindow.load_csv(path) == ([], [])
+
+
+class TestSeriesHandoff:
+    def test_series_for(self, window):
+        window.add_column("build/module/function")
+        series = window.series_for("build/module/function")
+        assert len(series) == 4
+        assert all(isinstance(v, float) for _l, v in series)
+
+
+class TestBarChart:
+    def test_multi_series_categories(self):
+        chart = BarChart("Load balance", "seconds")
+        s_min, s_max = Series("min"), Series("max")
+        for p, lo, hi in (("2", 1.0, 1.5), ("4", 0.9, 2.0)):
+            s_min.add(p, lo)
+            s_max.add(p, hi)
+        chart.add_series(s_min)
+        chart.add_series(s_max)
+        assert chart.categories == ["2", "4"]
+        assert chart.max_value() == 2.0
+
+    def test_ascii_render(self):
+        chart = min_max_chart("T", ["2", "4"], [1.0, 0.9], [1.5, 2.0])
+        text = chart.render_ascii(width=10)
+        assert "T" in text
+        assert "min" in text and "max" in text
+        # the tallest bar is full width
+        assert "#" * 10 in text
+
+    def test_ascii_deterministic(self):
+        chart = min_max_chart("T", ["2"], [1.0], [2.0])
+        assert chart.render_ascii() == chart.render_ascii()
+
+    def test_csv_export(self, tmp_path):
+        chart = min_max_chart("T", ["2", "4"], [1.0, 0.9], [1.5, 2.0])
+        text = chart.to_csv()
+        lines = text.strip().splitlines()
+        assert lines[0] == "category,min,max"
+        assert lines[1].startswith("2,")
+        path = str(tmp_path / "chart.csv")
+        chart.save_csv(path)
+        assert open(path).read() == text
+
+    def test_missing_category_value(self):
+        chart = BarChart()
+        a = Series("a")
+        a.add("x", 1.0)
+        b = Series("b")
+        b.add("y", 2.0)
+        chart.add_series(a)
+        chart.add_series(b)
+        csv_text = chart.to_csv()
+        assert "x,1.0,\n" in csv_text
+
+    def test_empty_chart(self):
+        chart = BarChart("empty")
+        assert chart.max_value() == 0.0
+        assert chart.categories == []
+        assert "empty" in chart.render_ascii()

@@ -1,0 +1,112 @@
+"""Selection-dialog view-model tests (paper Figure 3 behaviours)."""
+
+import pytest
+
+from repro.core import Expansion
+from repro.gui.selection import SelectionDialog
+
+
+@pytest.fixture
+def dialog(tiny_store):
+    return SelectionDialog(tiny_store)
+
+
+class TestTypeMenu:
+    def test_menu_lists_types(self, dialog):
+        menu = dialog.resource_type_menu()
+        assert "grid/machine" in menu
+        assert "build/module/function" in menu
+
+    def test_choose_unknown_type(self, dialog):
+        with pytest.raises(ValueError):
+            dialog.choose_type("not/a/type")
+
+    def test_lazy_lists_empty_before_choice(self, dialog):
+        assert dialog.resource_names() == []
+        assert dialog.attribute_names() == []
+
+
+class TestResourceLists:
+    def test_base_names_of_type(self, dialog):
+        dialog.choose_type("grid/machine/partition/node/processor")
+        assert dialog.resource_names() == ["p0", "p1"]
+
+    def test_children_expansion(self, dialog):
+        dialog.choose_type("grid/machine")
+        kids = dialog.children_of_name("/LLNL/Frost")
+        assert kids == ["/LLNL/Frost/batch"]
+        grandkids = dialog.children_of_name("/LLNL/Frost/batch")
+        assert grandkids == ["/LLNL/Frost/batch/n0", "/LLNL/Frost/batch/n1"]
+
+    def test_attribute_names_scoped_to_type(self, dialog):
+        dialog.choose_type("grid/machine/partition/node/processor")
+        assert dialog.attribute_names() == ["clock MHz", "vendor"]
+        dialog.choose_type("grid/machine")
+        assert dialog.attribute_names() == []
+
+    def test_attribute_values(self, dialog):
+        dialog.choose_type("grid/machine/partition/node/processor")
+        assert dialog.attribute_values("vendor") == ["IBM"]
+
+    def test_view_attributes(self, dialog):
+        attrs = dialog.view_attributes("/LLNL/Frost/batch/n0/p0")
+        assert attrs == {"clock MHz": "375", "vendor": "IBM"}
+
+    def test_view_attributes_unknown(self, dialog):
+        with pytest.raises(ValueError):
+            dialog.view_attributes("/nope")
+
+
+class TestFilterBuilding:
+    def test_add_name_default_descendants(self, dialog):
+        param = dialog.add_name("/LLNL/Frost")
+        assert param.filter.expansion is Expansion.DESCENDANTS
+        assert param.count == 12  # everything ran on Frost
+
+    def test_per_family_and_total_counts(self, dialog):
+        p1 = dialog.add_name("/IRS/src/funcA", Expansion.NONE)
+        assert p1.count == 6
+        assert dialog.total_count() == 6
+        p2 = dialog.add_name("/irs-a")
+        assert p2.count == 4
+        assert dialog.total_count() == 2  # funcA within irs-a
+
+    def test_add_type_family(self, dialog):
+        dialog.choose_type("grid/machine")
+        param = dialog.add_type()
+        # No machine-level-only measurements exist in the tiny study.
+        assert param.count == 0
+        assert dialog.total_count() == 0
+
+    def test_add_attribute_family(self, dialog):
+        dialog.choose_type("grid/machine/partition/node/processor")
+        param = dialog.add_attribute("clock MHz", "=", "375")
+        assert param.count == 12
+
+    def test_set_relatives_flag(self, dialog):
+        dialog.add_name("/LLNL/Frost", Expansion.NONE)
+        assert dialog.total_count() == 0  # no machine-level results
+        updated = dialog.set_relatives(0, Expansion.DESCENDANTS)
+        assert updated.count == 12
+        assert dialog.total_count() == 12
+
+    def test_remove_row(self, dialog):
+        dialog.add_name("/IRS/src/funcA", Expansion.NONE)
+        dialog.add_name("/irs-a")
+        dialog.remove(0)
+        assert len(dialog.selected) == 1
+        assert dialog.total_count() == 4
+
+    def test_empty_filter_counts_everything(self, dialog):
+        assert dialog.total_count() == 12
+
+    def test_retrieve(self, dialog):
+        dialog.add_name("/irs-b")
+        results = dialog.retrieve()
+        assert len(results) == 8
+        assert all(r.execution == "irs-b" for r in results)
+
+    def test_pr_filter_export(self, dialog):
+        dialog.add_name("/irs-a")
+        prf = dialog.pr_filter()
+        assert len(prf) == 1

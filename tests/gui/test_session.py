@@ -1,0 +1,98 @@
+"""Session save/load tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AttributeClause,
+    ByAttributes,
+    ByConstraint,
+    ByName,
+    ByType,
+    Expansion,
+    PrFilter,
+)
+from repro.gui.session import Session, filter_from_dict, filter_to_dict
+
+
+FILTERS = [
+    ByName("/LLNL/Frost", Expansion.DESCENDANTS),
+    ByName("batch", Expansion.NONE),
+    ByType("grid/machine", Expansion.BOTH),
+    ByAttributes(
+        (AttributeClause("clock MHz", ">", "1000"), AttributeClause("vendor", "=", "IBM")),
+        type_path="grid/machine/partition/node/processor",
+        expansion=Expansion.ANCESTORS,
+    ),
+    ByConstraint("/M/n16", direction="from", expansion=Expansion.NONE),
+]
+
+
+class TestFilterSerialisation:
+    @pytest.mark.parametrize("f", FILTERS, ids=[type(f).__name__ + str(i) for i, f in enumerate(FILTERS)])
+    def test_round_trip(self, f):
+        assert filter_from_dict(filter_to_dict(f)) == f
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            filter_from_dict({"kind": "bogus"})
+
+
+class TestSessionPersistence:
+    def test_save_load(self, tmp_path):
+        session = Session(
+            name="frost-study",
+            pr_filter=PrFilter(list(FILTERS)),
+            columns=["build/module/function"],
+            sort_column="value",
+            sort_descending=True,
+            notes="looking at load balance",
+        )
+        path = str(tmp_path / "s.json")
+        session.save(path)
+        loaded = Session.load(path)
+        assert loaded == session
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(ValueError):
+            Session.load(str(path))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        notes=st.text(max_size=100),
+        sort_desc=st.booleans(),
+        picks=st.lists(st.sampled_from(FILTERS), max_size=4),
+    )
+    def test_dict_round_trip_property(self, notes, sort_desc, picks):
+        s = Session(pr_filter=PrFilter(list(picks)), notes=notes,
+                    sort_descending=sort_desc)
+        assert Session.from_dict(s.to_dict()) == s
+
+
+class TestSessionRun:
+    def test_rerun_reproduces_table(self, tiny_store):
+        session = Session(
+            pr_filter=PrFilter([ByName("/irs-a", Expansion.DESCENDANTS)]),
+            columns=["build/module/function"],
+            sort_column="value",
+        )
+        window = session.run(tiny_store)
+        assert len(window.rows) == 4
+        assert "build/module/function" in window.columns
+        values = [r.cell("value") for r in window.rows]
+        assert values == sorted(values)
+
+    def test_saved_session_reruns_identically(self, tiny_store, tmp_path):
+        session = Session(pr_filter=PrFilter([ByName("/IRS/src/funcA", Expansion.NONE)]))
+        path = str(tmp_path / "s.json")
+        session.save(path)
+        w1 = session.run(tiny_store)
+        w2 = Session.load(path).run(tiny_store)
+        assert w1.to_csv() == w2.to_csv()
+
+    def test_specified_ids_excluded_from_free_resources(self, tiny_store):
+        session = Session(pr_filter=PrFilter([ByName("/IRS/src/funcA", Expansion.NONE)]))
+        window = session.run(tiny_store)
+        assert "build/module/function" not in window.addable_columns()

@@ -1,0 +1,114 @@
+"""SVG renderer tests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.gui.barchart import BarChart, Series, min_max_chart
+from repro.gui.svg import barchart_to_svg, save_svg, series_to_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestBarchartSvg:
+    @pytest.fixture
+    def chart(self):
+        return min_max_chart("Load balance", ["2", "4", "8"], [1.0, 0.9, 0.8],
+                             [1.2, 1.5, 1.9], value_label="seconds")
+
+    def test_well_formed_xml(self, chart):
+        root = _parse(barchart_to_svg(chart))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_bar_count(self, chart):
+        root = _parse(barchart_to_svg(chart))
+        rects = root.findall(f"{SVG_NS}rect")
+        # background + 6 bars + 2 legend swatches
+        assert len(rects) == 1 + 6 + 2
+
+    def test_bar_heights_proportional(self, chart):
+        root = _parse(barchart_to_svg(chart))
+        bars = [
+            r for r in root.findall(f"{SVG_NS}rect")
+            if r.find(f"{SVG_NS}title") is not None
+        ]
+        by_title = {r.find(f"{SVG_NS}title").text: float(r.get("height")) for r in bars}
+        assert by_title["max 8: 1.9"] > by_title["max 2: 1.2"]
+        # tallest bar spans (nearly) the full plot height
+        assert max(by_title.values()) > 250
+
+    def test_title_and_labels_present(self, chart):
+        text = barchart_to_svg(chart)
+        assert "Load balance" in text
+        assert "seconds" in text
+        assert ">2<" in text and ">8<" in text
+
+    def test_escaping(self):
+        chart = BarChart('a <"dangerous"> & title')
+        s = Series("s<1>")
+        s.add("c&d", 1.0)
+        chart.add_series(s)
+        text = barchart_to_svg(chart)
+        assert "<\"dangerous\">" not in text
+        _parse(text)  # must stay well-formed
+
+    def test_empty_chart_renders(self):
+        text = barchart_to_svg(BarChart("empty"))
+        _parse(text)
+
+    def test_missing_category_skipped(self):
+        chart = BarChart()
+        a = Series("a")
+        a.add("x", 1.0)
+        b = Series("b")
+        b.add("y", 2.0)
+        chart.add_series(a)
+        chart.add_series(b)
+        root = _parse(barchart_to_svg(chart))
+        bars = [
+            r for r in root.findall(f"{SVG_NS}rect")
+            if r.find(f"{SVG_NS}title") is not None
+        ]
+        assert len(bars) == 2
+
+    def test_deterministic(self, chart):
+        assert barchart_to_svg(chart) == barchart_to_svg(chart)
+
+    def test_save(self, chart, tmp_path):
+        path = str(tmp_path / "chart.svg")
+        save_svg(barchart_to_svg(chart), path)
+        _parse(open(path).read())
+
+
+class TestSeriesSvg:
+    def test_polyline_points(self):
+        points = [(0.0, 1.0), (1.0, 2.0), (2.0, 0.5)]
+        root = _parse(series_to_svg(points, title="hist"))
+        poly = root.find(f"{SVG_NS}polyline")
+        assert poly is not None
+        coords = poly.get("points").split()
+        assert len(coords) == 3
+
+    def test_empty_series(self):
+        _parse(series_to_svg([], title="empty"))
+
+    def test_from_vector_result(self, store):
+        from repro.core import PrFilter
+        from repro.core.query import QueryEngine
+        from repro.ptdf.format import ResourceSet
+
+        store.add_execution("e1", "app")
+        store.add_resource("/e1", "execution", "e1")
+        store.add_vector_result(
+            "e1", ResourceSet(("/e1",)), "Paradyn", "cpu", [1.0, None, 2.0],
+            start_time=0.0, bin_width=0.5,
+        )
+        r = QueryEngine(store).fetch(PrFilter())[0]
+        points = [((s + e) / 2, v) for _i, s, e, v in r.series]
+        text = series_to_svg(points, title=r.metric)
+        root = _parse(text)
+        assert root.find(f"{SVG_NS}polyline") is not None

@@ -1,0 +1,114 @@
+"""GROUP BY / aggregate execution tests."""
+
+import pytest
+
+import repro.minidb as minidb
+
+
+@pytest.fixture
+def conn():
+    c = minidb.connect()
+    c.executescript(
+        """
+        CREATE TABLE m (run TEXT, metric TEXT, value REAL);
+        INSERT INTO m VALUES
+            ('r1', 'time', 10.0), ('r1', 'time', 12.0), ('r1', 'flops', 5.0),
+            ('r2', 'time', 20.0), ('r2', 'time', NULL), ('r2', 'flops', 7.0);
+        """
+    )
+    yield c
+    c.close()
+
+
+def q(conn, sql, params=()):
+    return conn.execute(sql, params).fetchall()
+
+
+class TestAggregates:
+    def test_count_star_vs_count_column(self, conn):
+        assert q(conn, "SELECT COUNT(*), COUNT(value) FROM m") == [(6, 5)]
+
+    def test_sum_avg_min_max(self, conn):
+        rows = q(conn, "SELECT SUM(value), AVG(value), MIN(value), MAX(value) FROM m")
+        total = 10 + 12 + 5 + 20 + 7
+        assert rows == [(total, total / 5, 5.0, 20.0)]
+
+    def test_aggregate_ignores_null(self, conn):
+        assert q(conn, "SELECT AVG(value) FROM m WHERE run = 'r2' AND metric = 'time'") == [
+            (20.0,)
+        ]
+
+    def test_count_distinct(self, conn):
+        assert q(conn, "SELECT COUNT(DISTINCT run) FROM m") == [(2,)]
+
+    def test_sum_over_empty_is_null(self, conn):
+        assert q(conn, "SELECT SUM(value) FROM m WHERE run = 'nope'") == [(None,)]
+
+    def test_count_over_empty_is_zero(self, conn):
+        assert q(conn, "SELECT COUNT(*) FROM m WHERE run = 'nope'") == [(0,)]
+
+    def test_total_over_empty_is_zero_float(self, conn):
+        assert q(conn, "SELECT TOTAL(value) FROM m WHERE run = 'nope'") == [(0.0,)]
+
+    def test_group_concat(self, conn):
+        rows = q(conn, "SELECT GROUP_CONCAT(metric) FROM m WHERE run = 'r1'")
+        assert rows == [("time,time,flops",)]
+
+
+class TestGroupBy:
+    def test_group_by_single(self, conn):
+        rows = q(
+            conn,
+            "SELECT run, COUNT(*) FROM m GROUP BY run ORDER BY run",
+        )
+        assert rows == [("r1", 3), ("r2", 3)]
+
+    def test_group_by_two_columns(self, conn):
+        rows = q(
+            conn,
+            "SELECT run, metric, SUM(value) FROM m GROUP BY run, metric "
+            "ORDER BY run, metric",
+        )
+        assert rows == [
+            ("r1", "flops", 5.0),
+            ("r1", "time", 22.0),
+            ("r2", "flops", 7.0),
+            ("r2", "time", 20.0),
+        ]
+
+    def test_having(self, conn):
+        rows = q(
+            conn,
+            "SELECT metric, COUNT(value) AS n FROM m GROUP BY metric "
+            "HAVING COUNT(value) >= 3 ORDER BY metric",
+        )
+        assert rows == [("time", 3)]
+
+    def test_group_by_expression(self, conn):
+        rows = q(
+            conn,
+            "SELECT UPPER(run), COUNT(*) FROM m GROUP BY UPPER(run) ORDER BY 1",
+        )
+        assert rows == [("R1", 3), ("R2", 3)]
+
+    def test_order_by_aggregate(self, conn):
+        rows = q(
+            conn,
+            "SELECT metric FROM m GROUP BY metric ORDER BY SUM(value) DESC",
+        )
+        assert rows == [("time",), ("flops",)]
+
+    def test_aggregate_in_expression(self, conn):
+        rows = q(conn, "SELECT MAX(value) - MIN(value) FROM m WHERE metric = 'time'")
+        assert rows == [(10.0,)]
+
+    def test_aggregate_outside_group_context_rejected(self, conn):
+        with pytest.raises(minidb.ProgrammingError):
+            q(conn, "SELECT value FROM m WHERE SUM(value) > 1")
+
+    def test_where_applies_before_grouping(self, conn):
+        rows = q(
+            conn,
+            "SELECT run, COUNT(*) FROM m WHERE metric = 'time' GROUP BY run ORDER BY run",
+        )
+        assert rows == [("r1", 2), ("r2", 2)]

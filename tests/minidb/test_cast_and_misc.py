@@ -1,0 +1,168 @@
+"""CAST expression and miscellaneous engine-behaviour tests."""
+
+import pytest
+
+import repro.minidb as minidb
+
+
+@pytest.fixture
+def conn():
+    c = minidb.connect()
+    yield c
+    c.close()
+
+
+def q(conn, sql, params=()):
+    return conn.execute(sql, params).fetchall()
+
+
+class TestCast:
+    def test_string_to_integer(self, conn):
+        assert q(conn, "SELECT CAST('42' AS INTEGER)") == [(42,)]
+
+    def test_float_to_integer_sqlite_behaviour(self, conn):
+        # Stays fractional in our affinity model (sqlite truncates; our
+        # NUMERIC-leaning coercion preserves); integral floats become int.
+        assert q(conn, "SELECT CAST(3.0 AS INTEGER)") == [(3,)]
+
+    def test_number_to_text(self, conn):
+        assert q(conn, "SELECT CAST(5 AS TEXT), CAST(2.5 AS TEXT)") == [("5", "2.5")]
+
+    def test_uncastable_text_to_number_is_zero(self, conn):
+        assert q(conn, "SELECT CAST('abc' AS INTEGER), CAST('x' AS REAL)") == [(0, 0.0)]
+
+    def test_null_passthrough(self, conn):
+        assert q(conn, "SELECT CAST(NULL AS INTEGER)") == [(None,)]
+
+    def test_two_word_type(self, conn):
+        assert q(conn, "SELECT CAST('2.5' AS DOUBLE PRECISION)") == [(2.5,)]
+
+    def test_sized_type(self, conn):
+        assert q(conn, "SELECT CAST(42 AS VARCHAR(10))") == [("42",)]
+
+    def test_cast_in_where(self, conn):
+        conn.execute("CREATE TABLE t (v TEXT)")
+        conn.execute("INSERT INTO t VALUES ('10'), ('9'), ('100')")
+        rows = q(conn, "SELECT v FROM t WHERE CAST(v AS INTEGER) > 9 ORDER BY CAST(v AS INTEGER)")
+        assert rows == [("10",), ("100",)]
+
+    def test_cast_agrees_with_sqlite(self, conn):
+        import sqlite3
+
+        s = sqlite3.connect(":memory:")
+        for sql in (
+            "SELECT CAST('42' AS INTEGER)",
+            "SELECT CAST(5 AS TEXT)",
+            "SELECT CAST(NULL AS REAL)",
+            "SELECT CAST('abc' AS INTEGER)",
+        ):
+            assert q(conn, sql) == s.execute(sql).fetchall(), sql
+        s.close()
+
+
+class TestStatementCache:
+    def test_repeated_execution_uses_cache(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        for i in range(5):
+            conn.execute("INSERT INTO t VALUES (?)", (i,))
+        assert len(conn._statement_cache) >= 2
+        assert q(conn, "SELECT COUNT(*) FROM t") == [(5,)]
+
+    def test_cache_bounded(self, conn):
+        for i in range(600):
+            conn.execute(f"SELECT {i}")
+        assert len(conn._statement_cache) <= 512
+
+
+class TestEdgeCases:
+    def test_empty_in_list(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("INSERT INTO t VALUES (1)")
+        assert q(conn, "SELECT a FROM t WHERE a IN ()") == []
+        assert q(conn, "SELECT a FROM t WHERE a NOT IN ()") == [(1,)]
+
+    def test_select_negative_limit_means_all(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("INSERT INTO t VALUES (1), (2)")
+        assert len(q(conn, "SELECT a FROM t LIMIT -1")) == 2
+
+    def test_union_then_order_by_position(self, conn):
+        rows = q(conn, "SELECT 2 UNION SELECT 1 ORDER BY 1")
+        assert rows == [(1,), (2,)]
+
+    def test_deep_expression_nesting(self, conn):
+        expr = "1" + " + 1" * 200
+        assert q(conn, f"SELECT {expr}") == [(201,)]
+
+    def test_quoted_identifier_with_space(self, conn):
+        conn.execute('CREATE TABLE t ("clock MHz" INTEGER)')
+        conn.execute('INSERT INTO t ("clock MHz") VALUES (375)')
+        assert q(conn, 'SELECT "clock MHz" FROM t') == [(375,)]
+
+    def test_self_referential_fk(self, conn):
+        conn.execute(
+            "CREATE TABLE node (id INTEGER PRIMARY KEY, parent INTEGER REFERENCES node(id))"
+        )
+        conn.execute("INSERT INTO node (id, parent) VALUES (1, NULL)")
+        conn.execute("INSERT INTO node (id, parent) VALUES (2, 1)")
+        with pytest.raises(minidb.IntegrityError):
+            conn.execute("INSERT INTO node (id, parent) VALUES (3, 99)")
+        with pytest.raises(minidb.IntegrityError):
+            conn.execute("DELETE FROM node WHERE id = 1")
+
+    def test_group_concat_deterministic(self, conn):
+        conn.execute("CREATE TABLE t (g INTEGER, v TEXT)")
+        conn.execute("INSERT INTO t VALUES (1, 'a'), (1, 'b'), (2, 'c')")
+        rows = q(conn, "SELECT g, GROUP_CONCAT(v) FROM t GROUP BY g ORDER BY g")
+        assert rows == [(1, "a,b"), (2, "c")]
+
+
+class TestExplainCoverage:
+    @pytest.fixture
+    def planned(self, conn):
+        conn.executescript(
+            "CREATE TABLE a (id INTEGER PRIMARY KEY, v INTEGER);"
+            "CREATE TABLE b (aid INTEGER, w INTEGER);"
+            "CREATE INDEX idx_b ON b (aid);"
+        )
+        return conn
+
+    def _plan(self, conn, sql):
+        return "\n".join(r[0] for r in conn.execute("EXPLAIN " + sql).fetchall())
+
+    def test_explain_update_uses_index(self, planned):
+        assert "USING INDEX __a_pk" in self._plan(planned, "UPDATE a SET v = 1 WHERE id = 3")
+
+    def test_explain_delete_scan(self, planned):
+        assert "SCAN a" in self._plan(planned, "DELETE FROM a WHERE v = 1")
+
+    def test_explain_union(self, planned):
+        p = self._plan(planned, "SELECT v FROM a UNION SELECT w FROM b")
+        assert "UNION" in p
+
+    def test_explain_aggregate_and_order(self, planned):
+        p = self._plan(planned, "SELECT v, COUNT(*) FROM a GROUP BY v ORDER BY v")
+        assert "AGGREGATE" in p and "ORDER BY" in p
+
+    def test_explain_constant_row(self, planned):
+        assert "CONSTANT ROW" in self._plan(planned, "SELECT 1")
+
+    def test_explain_in_probe(self, planned):
+        p = self._plan(planned, "SELECT * FROM b WHERE aid IN (1, 2, 3)")
+        assert "IN-PROBE (3 keys)" in p
+
+    def test_explain_insert(self, planned):
+        assert "INSERT" in self._plan(planned, "INSERT INTO a (v) VALUES (1)")
+
+
+class TestExecuteScript:
+    def test_splits_on_semicolons_outside_strings(self, conn):
+        conn.executescript(
+            "CREATE TABLE s (v TEXT); INSERT INTO s VALUES ('a;b'); -- c;\n"
+            "INSERT INTO s VALUES (';');"
+        )
+        assert q(conn, "SELECT v FROM s ORDER BY v") == [(";",), ("a;b",)]
+
+    def test_trailing_statement_without_semicolon(self, conn):
+        conn.executescript("CREATE TABLE x (a INTEGER); INSERT INTO x VALUES (1)")
+        assert q(conn, "SELECT a FROM x") == [(1,)]

@@ -1,0 +1,96 @@
+"""PEP 249 conformance surface of minidb."""
+
+import pytest
+
+import repro.minidb as minidb
+
+
+class TestModuleGlobals:
+    def test_apilevel(self):
+        assert minidb.apilevel == "2.0"
+
+    def test_paramstyle(self):
+        assert minidb.paramstyle == "qmark"
+
+    def test_exception_hierarchy(self):
+        assert issubclass(minidb.InterfaceError, minidb.Error)
+        assert issubclass(minidb.DatabaseError, minidb.Error)
+        for cls in (
+            minidb.DataError,
+            minidb.OperationalError,
+            minidb.IntegrityError,
+            minidb.InternalError,
+            minidb.ProgrammingError,
+            minidb.NotSupportedError,
+        ):
+            assert issubclass(cls, minidb.DatabaseError)
+
+
+@pytest.fixture
+def cur():
+    c = minidb.connect()
+    cur = c.cursor()
+    cur.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    cur.executemany("INSERT INTO t VALUES (?, ?)", [(i, f"v{i}") for i in range(10)])
+    yield cur
+    c.close()
+
+
+class TestCursor:
+    def test_fetchone_sequence(self, cur):
+        cur.execute("SELECT a FROM t ORDER BY a LIMIT 3")
+        assert cur.fetchone() == (0,)
+        assert cur.fetchone() == (1,)
+        assert cur.fetchone() == (2,)
+        assert cur.fetchone() is None
+
+    def test_fetchmany_default_arraysize(self, cur):
+        cur.execute("SELECT a FROM t ORDER BY a")
+        assert cur.fetchmany() == [(0,)]
+        cur.arraysize = 3
+        assert cur.fetchmany() == [(1,), (2,), (3,)]
+
+    def test_fetchmany_size(self, cur):
+        cur.execute("SELECT a FROM t ORDER BY a")
+        assert len(cur.fetchmany(4)) == 4
+
+    def test_fetchall_after_partial(self, cur):
+        cur.execute("SELECT a FROM t ORDER BY a")
+        cur.fetchone()
+        rest = cur.fetchall()
+        assert len(rest) == 9
+
+    def test_iteration(self, cur):
+        cur.execute("SELECT a FROM t ORDER BY a")
+        assert [r[0] for r in cur] == list(range(10))
+
+    def test_description_is_seven_tuples(self, cur):
+        cur.execute("SELECT a, b FROM t LIMIT 1")
+        assert all(len(d) == 7 for d in cur.description)
+        assert [d[0] for d in cur.description] == ["a", "b"]
+
+    def test_rowcount_on_select(self, cur):
+        cur.execute("SELECT * FROM t")
+        assert cur.rowcount == 10
+
+    def test_rowcount_on_dml(self, cur):
+        cur.execute("DELETE FROM t WHERE a < 3")
+        assert cur.rowcount == 3
+
+    def test_executemany_rowcount(self, cur):
+        cur.executemany("INSERT INTO t VALUES (?, ?)", [(100, "x"), (101, "y")])
+        assert cur.rowcount == 2
+
+    def test_closed_cursor_rejects_fetch(self, cur):
+        cur.close()
+        with pytest.raises(minidb.InterfaceError):
+            cur.fetchall()
+
+    def test_dict_params_rejected(self, cur):
+        with pytest.raises(minidb.InterfaceError):
+            cur.execute("SELECT :a", {"a": 1})
+
+    def test_pyformat_placeholders_accepted(self, cur):
+        # The paper's pyGreSQL path used %s placeholders.
+        cur.execute("SELECT a FROM t WHERE a = %s", (5,))
+        assert cur.fetchall() == [(5,)]

@@ -1,0 +1,156 @@
+"""Differential testing: minidb must agree with sqlite3 on a query corpus.
+
+This is the strongest correctness evidence for the engine: both backends
+get identical schemas and rows, then every query in the corpus (and a
+hypothesis-generated family of WHERE clauses) must return the same bag of
+rows.
+"""
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.minidb as minidb
+
+ROWS = [
+    (1, "alice", "eng", 120.0, 1),
+    (2, "bob", "eng", 100.0, 1),
+    (3, "carol", "ops", 90.0, 2),
+    (4, "dave", "ops", 95.0, 2),
+    (5, "erin", "mgmt", 150.0, None),
+    (6, "frank", None, None, 3),
+]
+
+DEPTS = [(1, "building-A"), (2, "building-B"), (3, "building-C")]
+
+SCHEMA = [
+    "CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT, dept TEXT, salary REAL, loc INTEGER)",
+    "CREATE TABLE loc (id INTEGER PRIMARY KEY, building TEXT)",
+    "CREATE INDEX idx_dept ON emp (dept)",
+]
+
+
+def normalize(rows):
+    out = []
+    for row in rows:
+        norm = []
+        for v in row:
+            if isinstance(v, float) and v.is_integer():
+                v = int(v)
+            norm.append(v)
+        out.append(tuple(norm))
+    return sorted(out, key=repr)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    m = minidb.connect()
+    s = sqlite3.connect(":memory:")
+    for conn in (m, s):
+        cur = conn.cursor()
+        for ddl in SCHEMA:
+            cur.execute(ddl)
+        cur.executemany("INSERT INTO emp VALUES (?, ?, ?, ?, ?)", ROWS)
+        cur.executemany("INSERT INTO loc VALUES (?, ?)", DEPTS)
+        conn.commit()
+    yield m, s
+    m.close()
+    s.close()
+
+
+def both(engines, sql, params=()):
+    m, s = engines
+    return (
+        normalize(m.execute(sql, params).fetchall()),
+        normalize(s.execute(sql, params).fetchall()),
+    )
+
+
+CORPUS = [
+    "SELECT * FROM emp",
+    "SELECT name, salary FROM emp WHERE salary > 95",
+    "SELECT name FROM emp WHERE dept = 'eng' AND salary >= 100",
+    "SELECT name FROM emp WHERE dept IS NULL",
+    "SELECT name FROM emp WHERE salary IS NOT NULL AND salary < 100",
+    "SELECT name FROM emp WHERE name LIKE '%a%'",
+    "SELECT name FROM emp WHERE name NOT LIKE 'a%'",
+    "SELECT name FROM emp WHERE salary BETWEEN 90 AND 120",
+    "SELECT name FROM emp WHERE dept IN ('eng', 'mgmt')",
+    "SELECT name FROM emp WHERE dept NOT IN ('eng')",
+    "SELECT DISTINCT dept FROM emp",
+    "SELECT COUNT(*), COUNT(dept), COUNT(DISTINCT dept) FROM emp",
+    "SELECT SUM(salary), AVG(salary), MIN(salary), MAX(salary) FROM emp",
+    "SELECT dept, COUNT(*) FROM emp GROUP BY dept",
+    "SELECT dept, SUM(salary) FROM emp GROUP BY dept HAVING SUM(salary) > 100",
+    "SELECT e.name, l.building FROM emp e JOIN loc l ON l.id = e.loc",
+    "SELECT e.name, l.building FROM emp e LEFT JOIN loc l ON l.id = e.loc",
+    "SELECT l.building, COUNT(e.id) FROM loc l LEFT JOIN emp e ON e.loc = l.id GROUP BY l.building",
+    "SELECT name FROM emp WHERE loc IN (SELECT id FROM loc WHERE building LIKE '%B')",
+    "SELECT name FROM emp e WHERE EXISTS (SELECT 1 FROM loc l WHERE l.id = e.loc)",
+    "SELECT name, (SELECT building FROM loc l WHERE l.id = e.loc) FROM emp e",
+    "SELECT name FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)",
+    "SELECT dept FROM emp UNION SELECT building FROM loc",
+    "SELECT dept FROM emp UNION ALL SELECT dept FROM emp",
+    "SELECT name, CASE WHEN salary >= 120 THEN 'high' WHEN salary >= 95 THEN 'mid' ELSE 'low' END FROM emp WHERE salary IS NOT NULL",
+    "SELECT UPPER(name), LENGTH(name) FROM emp",
+    "SELECT COALESCE(dept, 'unknown') FROM emp",
+    "SELECT name || '-' || dept FROM emp WHERE dept IS NOT NULL",
+    "SELECT salary * 2 + 1 FROM emp WHERE salary IS NOT NULL",
+    "SELECT -salary FROM emp WHERE id = 1",
+    "SELECT name FROM emp ORDER BY salary DESC LIMIT 3",
+    "SELECT name FROM emp ORDER BY dept, salary LIMIT 2 OFFSET 1",
+    "SELECT t.d, t.n FROM (SELECT dept AS d, COUNT(*) AS n FROM emp GROUP BY dept) t WHERE t.n > 1",
+    "SELECT a.name, b.name FROM emp a JOIN emp b ON a.dept = b.dept AND a.id < b.id",
+    "SELECT COUNT(*) FROM emp, loc",
+    "SELECT MAX(salary) - MIN(salary) FROM emp",
+    "SELECT dept FROM emp GROUP BY dept ORDER BY COUNT(*) DESC, dept",
+    "SELECT name FROM emp WHERE id % 2 = 0",
+]
+
+
+@pytest.mark.parametrize("sql", CORPUS, ids=[f"q{i}" for i in range(len(CORPUS))])
+def test_corpus_agreement(engines, sql):
+    mine, theirs = both(engines, sql)
+    assert mine == theirs, f"disagreement on: {sql}"
+
+
+class TestParametrizedAgreement:
+    @pytest.mark.parametrize(
+        "sql,params",
+        [
+            ("SELECT name FROM emp WHERE salary > ?", (99,)),
+            ("SELECT name FROM emp WHERE dept = ? OR dept = ?", ("eng", "ops")),
+            ("SELECT ? + 1, ? || 'x'", (5, "a")),
+            ("SELECT name FROM emp WHERE salary BETWEEN ? AND ?", (90, 110)),
+        ],
+    )
+    def test_params(self, engines, sql, params):
+        mine, theirs = both(engines, sql, params)
+        assert mine == theirs
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    column=st.sampled_from(["id", "salary", "loc"]),
+    op=st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+    value=st.integers(-5, 160),
+    order_col=st.sampled_from(["id", "name", "salary"]),
+    limit=st.integers(1, 10),
+)
+def test_generated_where_clauses(column, op, value, order_col, limit):
+    sql = (
+        f"SELECT id, name FROM emp WHERE {column} {op} ? "
+        f"ORDER BY {order_col}, id LIMIT {limit}"
+    )
+    m = minidb.connect()
+    s = sqlite3.connect(":memory:")
+    for conn in (m, s):
+        cur = conn.cursor()
+        cur.execute(SCHEMA[0])
+        cur.executemany("INSERT INTO emp VALUES (?, ?, ?, ?, ?)", ROWS)
+    mine = normalize(m.execute(sql, (value,)).fetchall())
+    theirs = normalize(s.execute(sql, (value,)).fetchall())
+    m.close()
+    s.close()
+    assert mine == theirs

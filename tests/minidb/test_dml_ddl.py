@@ -1,0 +1,186 @@
+"""INSERT/UPDATE/DELETE and schema-change tests, including constraints."""
+
+import pytest
+
+import repro.minidb as minidb
+
+
+@pytest.fixture
+def conn():
+    c = minidb.connect()
+    yield c
+    c.close()
+
+
+def q(conn, sql, params=()):
+    return conn.execute(sql, params).fetchall()
+
+
+class TestInsert:
+    def test_lastrowid_autoincrements(self, conn):
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        c1 = conn.execute("INSERT INTO t (v) VALUES ('a')")
+        c2 = conn.execute("INSERT INTO t (v) VALUES ('b')")
+        assert (c1.lastrowid, c2.lastrowid) == (1, 2)
+
+    def test_explicit_pk_advances_counter(self, conn):
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        conn.execute("INSERT INTO t (id, v) VALUES (10, 'a')")
+        cur = conn.execute("INSERT INTO t (v) VALUES ('b')")
+        assert cur.lastrowid == 11
+
+    def test_insert_without_column_list(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        conn.execute("INSERT INTO t VALUES (1, 'x')")
+        assert q(conn, "SELECT * FROM t") == [(1, "x")]
+
+    def test_insert_applies_defaults(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER, b TEXT DEFAULT 'dflt')")
+        conn.execute("INSERT INTO t (a) VALUES (1)")
+        assert q(conn, "SELECT b FROM t") == [("dflt",)]
+
+    def test_wrong_value_count(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        with pytest.raises(minidb.ProgrammingError):
+            conn.execute("INSERT INTO t VALUES (1)")
+
+    def test_insert_select(self, conn):
+        conn.executescript(
+            "CREATE TABLE src (v INTEGER); CREATE TABLE dst (v INTEGER);"
+            "INSERT INTO src VALUES (1), (2), (3);"
+        )
+        cur = conn.execute("INSERT INTO dst (v) SELECT v FROM src WHERE v > 1")
+        assert cur.rowcount == 2
+        assert q(conn, "SELECT v FROM dst ORDER BY v") == [(2,), (3,)]
+
+    def test_type_coercion_on_insert(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER, b REAL, c TEXT)")
+        conn.execute("INSERT INTO t VALUES ('5', '2.5', 7)")
+        assert q(conn, "SELECT * FROM t") == [(5, 2.5, "7")]
+
+
+class TestConstraints:
+    def test_not_null(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER NOT NULL)")
+        with pytest.raises(minidb.IntegrityError):
+            conn.execute("INSERT INTO t VALUES (NULL)")
+
+    def test_unique_column(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER UNIQUE)")
+        conn.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(minidb.IntegrityError):
+            conn.execute("INSERT INTO t VALUES (1)")
+
+    def test_unique_allows_multiple_nulls(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER UNIQUE)")
+        conn.execute("INSERT INTO t VALUES (NULL), (NULL)")
+        assert q(conn, "SELECT COUNT(*) FROM t") == [(2,)]
+
+    def test_composite_primary_key(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b))")
+        conn.execute("INSERT INTO t VALUES (1, 1), (1, 2)")
+        with pytest.raises(minidb.IntegrityError):
+            conn.execute("INSERT INTO t VALUES (1, 2)")
+
+    def test_foreign_key_enforced_on_insert(self, conn):
+        conn.executescript(
+            "CREATE TABLE p (id INTEGER PRIMARY KEY);"
+            "CREATE TABLE c (pid INTEGER REFERENCES p(id));"
+            "INSERT INTO p (id) VALUES (1);"
+        )
+        conn.execute("INSERT INTO c VALUES (1)")
+        with pytest.raises(minidb.IntegrityError):
+            conn.execute("INSERT INTO c VALUES (2)")
+
+    def test_foreign_key_null_allowed(self, conn):
+        conn.executescript(
+            "CREATE TABLE p (id INTEGER PRIMARY KEY);"
+            "CREATE TABLE c (pid INTEGER REFERENCES p(id));"
+        )
+        conn.execute("INSERT INTO c VALUES (NULL)")
+
+    def test_foreign_key_blocks_parent_delete(self, conn):
+        conn.executescript(
+            "CREATE TABLE p (id INTEGER PRIMARY KEY);"
+            "CREATE TABLE c (pid INTEGER REFERENCES p(id));"
+            "INSERT INTO p (id) VALUES (1); INSERT INTO c VALUES (1);"
+        )
+        with pytest.raises(minidb.IntegrityError):
+            conn.execute("DELETE FROM p WHERE id = 1")
+        # After removing the child the delete succeeds.
+        conn.execute("DELETE FROM c")
+        conn.execute("DELETE FROM p WHERE id = 1")
+        assert q(conn, "SELECT COUNT(*) FROM p") == [(0,)]
+
+
+class TestUpdateDelete:
+    @pytest.fixture(autouse=True)
+    def _tbl(self, conn):
+        conn.executescript(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER);"
+            "INSERT INTO t (v) VALUES (1), (2), (3);"
+        )
+
+    def test_update_rowcount(self, conn):
+        cur = conn.execute("UPDATE t SET v = v + 10 WHERE v >= 2")
+        assert cur.rowcount == 2
+        assert q(conn, "SELECT v FROM t ORDER BY id") == [(1,), (12,), (13,)]
+
+    def test_update_references_old_values(self, conn):
+        conn.execute("UPDATE t SET v = id WHERE 1 = 1")
+        assert q(conn, "SELECT v FROM t ORDER BY id") == [(1,), (2,), (3,)]
+
+    def test_update_violating_unique_rolls_back_row(self, conn):
+        conn.execute("CREATE TABLE u (a INTEGER UNIQUE)")
+        conn.execute("INSERT INTO u VALUES (1), (2)")
+        with pytest.raises(minidb.IntegrityError):
+            conn.execute("UPDATE u SET a = 1 WHERE a = 2")
+        assert q(conn, "SELECT a FROM u ORDER BY a") == [(1,), (2,)]
+
+    def test_delete_where(self, conn):
+        cur = conn.execute("DELETE FROM t WHERE v = 2")
+        assert cur.rowcount == 1
+        assert q(conn, "SELECT COUNT(*) FROM t") == [(2,)]
+
+    def test_delete_all(self, conn):
+        assert conn.execute("DELETE FROM t").rowcount == 3
+
+
+class TestSchemaChanges:
+    def test_drop_table(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("DROP TABLE t")
+        with pytest.raises(minidb.ProgrammingError):
+            conn.execute("SELECT * FROM t")
+
+    def test_drop_missing_table(self, conn):
+        with pytest.raises(minidb.ProgrammingError):
+            conn.execute("DROP TABLE nope")
+        conn.execute("DROP TABLE IF EXISTS nope")  # no error
+
+    def test_create_table_if_not_exists(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)")
+
+    def test_duplicate_table_rejected(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(minidb.ProgrammingError):
+            conn.execute("CREATE TABLE t (a INTEGER)")
+
+    def test_duplicate_column_rejected(self, conn):
+        with pytest.raises(minidb.ProgrammingError):
+            conn.execute("CREATE TABLE t (a INTEGER, a TEXT)")
+
+    def test_index_lifecycle(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("CREATE INDEX i ON t (a)")
+        with pytest.raises(minidb.ProgrammingError):
+            conn.execute("CREATE INDEX i ON t (a)")
+        conn.execute("DROP INDEX i")
+        conn.execute("CREATE INDEX IF NOT EXISTS i ON t (a)")
+
+    def test_unique_index_backfills_and_enforces(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("INSERT INTO t VALUES (1), (1)")
+        with pytest.raises(minidb.IntegrityError):
+            conn.execute("CREATE UNIQUE INDEX u ON t (a)")

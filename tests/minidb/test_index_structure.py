@@ -1,0 +1,144 @@
+"""Index data-structure unit tests (hash + ordered access paths)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minidb.errors import IntegrityError
+from repro.minidb.index import Index
+
+
+class TestBasicOperations:
+    def test_insert_lookup(self):
+        idx = Index("i", "t", ["a"])
+        idx.insert((1,), 100)
+        idx.insert((1,), 101)
+        idx.insert((2,), 102)
+        assert sorted(idx.lookup((1,))) == [100, 101]
+        assert idx.lookup((3,)) == []
+
+    def test_delete(self):
+        idx = Index("i", "t", ["a"])
+        idx.insert((1,), 100)
+        idx.insert((1,), 101)
+        idx.delete((1,), 100)
+        assert idx.lookup((1,)) == [101]
+        idx.delete((1,), 101)
+        assert idx.lookup((1,)) == []
+
+    def test_delete_missing_is_noop(self):
+        idx = Index("i", "t", ["a"])
+        idx.delete((1,), 999)
+
+    def test_len(self):
+        idx = Index("i", "t", ["a"])
+        for i in range(5):
+            idx.insert((i % 2,), i)
+        assert len(idx) == 5
+
+    def test_unique_violation(self):
+        idx = Index("i", "t", ["a"], unique=True)
+        idx.insert((1,), 100)
+        with pytest.raises(IntegrityError):
+            idx.insert((1,), 101)
+
+    def test_unique_allows_null_keys(self):
+        idx = Index("i", "t", ["a"], unique=True)
+        idx.insert((None,), 1)
+        idx.insert((None,), 2)
+
+    def test_check_insert_does_not_mutate(self):
+        idx = Index("i", "t", ["a"], unique=True)
+        idx.insert((1,), 100)
+        with pytest.raises(IntegrityError):
+            idx.check_insert((1,))
+        idx.check_insert((2,))
+        assert idx.lookup((2,)) == []
+
+
+class TestOrderedScans:
+    def _make(self):
+        idx = Index("i", "t", ["a"])
+        for i, key in enumerate([5, 1, 3, 2, 4]):
+            idx.insert((key,), i)
+        return idx
+
+    def test_iter_ordered(self):
+        idx = self._make()
+        keys = [k[0] for k in idx.distinct_keys()]
+        assert keys == [1, 2, 3, 4, 5]
+
+    def test_iter_descending(self):
+        idx = self._make()
+        rowids = list(idx.iter_ordered(descending=True))
+        assert rowids[0] == 0  # key 5 inserted as rowid 0
+
+    def test_range_inclusive(self):
+        idx = self._make()
+        got = sorted(idx.range_scan((2,), (4,)))
+        keys = sorted(k[0] for k in idx.distinct_keys())
+        assert len(got) == 3
+
+    def test_range_exclusive_low(self):
+        idx = self._make()
+        got = list(idx.range_scan((2,), (4,), low_inclusive=False))
+        assert len(got) == 2
+
+    def test_range_exclusive_high(self):
+        idx = self._make()
+        got = list(idx.range_scan((2,), (4,), high_inclusive=False))
+        assert len(got) == 2
+
+    def test_range_unbounded_high(self):
+        idx = self._make()
+        assert len(list(idx.range_scan((3,), None))) == 3
+
+    def test_range_after_deletions(self):
+        idx = self._make()
+        idx.delete((3,), 2)
+        assert len(list(idx.range_scan((1,), (5,)))) == 4
+
+    def test_composite_prefix_range(self):
+        idx = Index("i", "t", ["a", "b"])
+        for rid, (a, b) in enumerate([(1, "x"), (1, "y"), (2, "x"), (3, "z")]):
+            idx.insert((a, b), rid)
+        got = sorted(idx.range_scan((1,), (1,)))
+        assert got == [0, 1]
+
+    def test_null_keys_excluded_from_bounded_range(self):
+        idx = Index("i", "t", ["a"])
+        idx.insert((None,), 0)
+        idx.insert((1,), 1)
+        assert list(idx.range_scan((0,), (9,))) == [1]
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.integers(0, 9),   # key
+                st.integers(0, 30),  # rowid
+            ),
+            max_size=80,
+        )
+    )
+    def test_matches_reference_dict(self, ops):
+        idx = Index("i", "t", ["k"])
+        ref: dict[int, list[int]] = {}
+        for op, key, rowid in ops:
+            if op == "insert":
+                idx.insert((key,), rowid)
+                ref.setdefault(key, []).append(rowid)
+            else:
+                idx.delete((key,), rowid)
+                bucket = ref.get(key, [])
+                if rowid in bucket:
+                    bucket.remove(rowid)
+                if not bucket:
+                    ref.pop(key, None)
+        for key in range(10):
+            assert sorted(idx.lookup((key,))) == sorted(ref.get(key, []))
+        # ordered iteration covers exactly the reference contents
+        all_ref = sorted(r for bucket in ref.values() for r in bucket)
+        assert sorted(idx.iter_ordered()) == all_ref

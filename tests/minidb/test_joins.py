@@ -1,0 +1,145 @@
+"""Join execution tests (inner/left/cross, nested, index probes)."""
+
+import pytest
+
+import repro.minidb as minidb
+
+
+@pytest.fixture
+def conn():
+    c = minidb.connect()
+    c.executescript(
+        """
+        CREATE TABLE dept (id INTEGER PRIMARY KEY, name TEXT);
+        CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT, dept_id INTEGER);
+        CREATE TABLE badge (emp_id INTEGER, code TEXT);
+        INSERT INTO dept (name) VALUES ('eng'), ('ops'), ('empty');
+        INSERT INTO emp (name, dept_id) VALUES
+            ('alice', 1), ('bob', 1), ('carol', 2), ('ghost', NULL);
+        INSERT INTO badge (emp_id, code) VALUES (1, 'A1'), (3, 'C3');
+        """
+    )
+    yield c
+    c.close()
+
+
+def q(conn, sql, params=()):
+    return conn.execute(sql, params).fetchall()
+
+
+class TestInnerJoin:
+    def test_basic(self, conn):
+        rows = q(
+            conn,
+            "SELECT e.name, d.name FROM emp e JOIN dept d ON e.dept_id = d.id "
+            "ORDER BY e.name",
+        )
+        assert rows == [("alice", "eng"), ("bob", "eng"), ("carol", "ops")]
+
+    def test_null_fk_never_matches(self, conn):
+        rows = q(conn, "SELECT e.name FROM emp e JOIN dept d ON e.dept_id = d.id")
+        assert ("ghost",) not in rows
+
+    def test_three_way(self, conn):
+        rows = q(
+            conn,
+            "SELECT e.name, b.code FROM emp e "
+            "JOIN dept d ON e.dept_id = d.id "
+            "JOIN badge b ON b.emp_id = e.id ORDER BY e.name",
+        )
+        assert rows == [("alice", "A1"), ("carol", "C3")]
+
+    def test_join_condition_with_extra_predicate(self, conn):
+        rows = q(
+            conn,
+            "SELECT e.name FROM emp e JOIN dept d ON e.dept_id = d.id AND d.name = 'ops'",
+        )
+        assert rows == [("carol",)]
+
+    def test_where_applies_after_join(self, conn):
+        rows = q(
+            conn,
+            "SELECT e.name FROM emp e JOIN dept d ON e.dept_id = d.id "
+            "WHERE d.name = 'eng' ORDER BY e.name",
+        )
+        assert rows == [("alice",), ("bob",)]
+
+
+class TestLeftJoin:
+    def test_null_extension(self, conn):
+        rows = q(
+            conn,
+            "SELECT e.name, d.name FROM emp e LEFT JOIN dept d ON e.dept_id = d.id "
+            "ORDER BY e.name",
+        )
+        assert ("ghost", None) in rows
+        assert len(rows) == 4
+
+    def test_left_join_then_filter_null(self, conn):
+        rows = q(
+            conn,
+            "SELECT d.name FROM dept d LEFT JOIN emp e ON e.dept_id = d.id "
+            "WHERE e.id IS NULL",
+        )
+        assert rows == [("empty",)]
+
+    def test_left_join_chain(self, conn):
+        rows = q(
+            conn,
+            "SELECT e.name, b.code FROM emp e LEFT JOIN badge b ON b.emp_id = e.id "
+            "ORDER BY e.name",
+        )
+        assert rows == [
+            ("alice", "A1"),
+            ("bob", None),
+            ("carol", "C3"),
+            ("ghost", None),
+        ]
+
+
+class TestCrossJoin:
+    def test_comma_cross(self, conn):
+        rows = q(conn, "SELECT COUNT(*) FROM dept, emp")
+        assert rows == [(12,)]
+
+    def test_explicit_cross(self, conn):
+        rows = q(conn, "SELECT COUNT(*) FROM dept CROSS JOIN dept d2")
+        assert rows == [(9,)]
+
+
+class TestJoinWithSubquery:
+    def test_subquery_as_right_side(self, conn):
+        rows = q(
+            conn,
+            "SELECT e.name, big.n FROM emp e "
+            "JOIN (SELECT dept_id AS did, COUNT(*) AS n FROM emp "
+            "      WHERE dept_id IS NOT NULL GROUP BY dept_id) big "
+            "ON big.did = e.dept_id WHERE big.n > 1 ORDER BY e.name",
+        )
+        assert rows == [("alice", 2), ("bob", 2)]
+
+    def test_self_join(self, conn):
+        rows = q(
+            conn,
+            "SELECT a.name, b.name FROM emp a JOIN emp b "
+            "ON a.dept_id = b.dept_id AND a.id < b.id",
+        )
+        assert rows == [("alice", "bob")]
+
+
+class TestJoinPlanning:
+    def test_inner_probe_uses_pk_index(self, conn):
+        plan = q(conn, "EXPLAIN SELECT * FROM emp e JOIN dept d ON d.id = e.dept_id")
+        text = "\n".join(r[0] for r in plan)
+        assert "SEARCH dept AS d USING INDEX" in text
+
+    def test_no_index_full_scan(self, conn):
+        plan = q(conn, "EXPLAIN SELECT * FROM emp e JOIN badge b ON b.emp_id = e.id")
+        text = "\n".join(r[0] for r in plan)
+        assert "SCAN badge AS b" in text
+
+    def test_index_created_later_is_used(self, conn):
+        conn.execute("CREATE INDEX idx_badge ON badge (emp_id)")
+        plan = q(conn, "EXPLAIN SELECT * FROM emp e JOIN badge b ON b.emp_id = e.id")
+        text = "\n".join(r[0] for r in plan)
+        assert "SEARCH badge AS b USING INDEX idx_badge" in text

@@ -1,0 +1,124 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.minidb.errors import SqlSyntaxError
+from repro.minidb.lexer import (
+    BLOBLIT,
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    OP,
+    PARAM,
+    STRING,
+    tokenize,
+)
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        toks = tokenize("select From WHERE")
+        assert [t.value for t in toks[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind == KEYWORD for t in toks[:-1])
+
+    def test_identifiers_keep_case(self):
+        toks = tokenize("resource_item FooBar")
+        assert [t.value for t in toks[:-1]] == ["resource_item", "FooBar"]
+        assert all(t.kind == IDENT for t in toks[:-1])
+
+    def test_integer_and_float_literals(self):
+        toks = tokenize("42 3.14 .5 1e6 2.5E-3")
+        assert all(t.kind == NUMBER for t in toks[:-1])
+        assert values("42 3.14 .5 1e6 2.5E-3") == ["42", "3.14", ".5", "1e6", "2.5E-3"]
+
+    def test_string_literal_with_escaped_quote(self):
+        toks = tokenize("'it''s'")
+        assert toks[0].kind == STRING
+        assert toks[0].value == "it's"
+
+    def test_empty_string_literal(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_blob_literal(self):
+        toks = tokenize("x'DEADBEEF'")
+        assert toks[0].kind == BLOBLIT
+        assert toks[0].value == "DEADBEEF"
+
+    def test_eof_token_always_last(self):
+        assert tokenize("")[-1].kind == EOF
+        assert tokenize("SELECT 1")[-1].kind == EOF
+
+
+class TestOperators:
+    def test_multichar_operators(self):
+        assert values("<= >= <> || ==") == ["<=", ">=", "<>", "||", "="]
+
+    def test_bang_equals_normalised(self):
+        assert values("a != b") == ["a", "<>", "b"]
+
+    def test_single_char_operators(self):
+        assert values("( ) , . * / % + - = < > ;") == list("(),.*/%+-=<>;")
+
+
+class TestParameters:
+    def test_qmark(self):
+        toks = tokenize("WHERE a = ?")
+        assert toks[3].kind == PARAM
+
+    def test_pyformat_percent_s(self):
+        toks = tokenize("WHERE a = %s")
+        assert toks[3].kind == PARAM
+        assert toks[3].value == "?"
+
+
+class TestQuotedIdentifiers:
+    def test_double_quoted(self):
+        toks = tokenize('"weird name"')
+        assert toks[0].kind == IDENT
+        assert toks[0].value == "weird name"
+
+    def test_backtick(self):
+        assert tokenize("`tbl`")[0].value == "tbl"
+
+    def test_brackets(self):
+        assert tokenize("[col name]")[0].value == "col name"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("SELECT 1 -- trailing comment") == ["SELECT", "1"]
+
+    def test_block_comment(self):
+        assert values("SELECT /* inline */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT /* oops")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SqlSyntaxError) as exc:
+            tokenize("SELECT\n  @")
+        assert "line 2" in str(exc.value)
+
+    def test_invalid_blob_literal(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("x'NOTHEX'")

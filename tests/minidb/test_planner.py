@@ -1,0 +1,112 @@
+"""Access-path selection tests: which queries use which indexes."""
+
+import pytest
+
+import repro.minidb as minidb
+
+
+@pytest.fixture
+def conn():
+    c = minidb.connect()
+    c.executescript(
+        """
+        CREATE TABLE r (id INTEGER PRIMARY KEY, name TEXT, type_id INTEGER, base TEXT);
+        CREATE INDEX idx_type ON r (type_id);
+        CREATE UNIQUE INDEX idx_name ON r (name);
+        CREATE INDEX idx_composite ON r (base, type_id);
+        """
+    )
+    c.executemany(
+        "INSERT INTO r (name, type_id, base) VALUES (?, ?, ?)",
+        [(f"/m/n{i}", i % 5, f"n{i % 10}") for i in range(100)],
+    )
+    yield c
+    c.close()
+
+
+def plan(conn, sql):
+    return "\n".join(r[0] for r in conn.execute("EXPLAIN " + sql).fetchall())
+
+
+class TestAccessPathSelection:
+    def test_pk_equality_uses_pk_index(self, conn):
+        assert "USING INDEX __r_pk" in plan(conn, "SELECT * FROM r WHERE id = 5")
+
+    def test_unique_index_preferred_over_nonunique(self, conn):
+        p = plan(conn, "SELECT * FROM r WHERE name = '/m/n3' AND type_id = 3")
+        assert "idx_name" in p
+
+    def test_nonindexed_predicate_scans(self, conn):
+        conn.execute("CREATE TABLE plainx (v INTEGER)")
+        assert "SCAN plainx" in plan(conn, "SELECT * FROM plainx WHERE v = 1")
+
+    def test_composite_full_match(self, conn):
+        p = plan(conn, "SELECT * FROM r WHERE base = 'n1' AND type_id = 1")
+        assert "idx_composite" in p
+
+    def test_composite_prefix_match_range(self, conn):
+        p = plan(conn, "SELECT * FROM r WHERE base = 'n1'")
+        assert "idx_composite" in p and "RANGE" in p
+
+    def test_range_scan_on_leading_column(self, conn):
+        p = plan(conn, "SELECT * FROM r WHERE type_id > 2")
+        assert "idx_type" in p and "RANGE" in p
+
+    def test_flipped_operands_still_sargable(self, conn):
+        assert "USING INDEX" in plan(conn, "SELECT * FROM r WHERE 5 = id")
+
+    def test_or_predicate_not_sargable(self, conn):
+        p = plan(conn, "SELECT * FROM r WHERE id = 1 OR id = 2")
+        assert "SCAN r" in p
+
+    def test_expression_on_column_not_sargable(self, conn):
+        p = plan(conn, "SELECT * FROM r WHERE id + 1 = 2")
+        assert "SCAN r" in p
+
+
+class TestPlanCorrectness:
+    """Indexed and non-indexed paths must agree on results."""
+
+    @pytest.mark.parametrize(
+        "where,params",
+        [
+            ("id = ?", (7,)),
+            ("name = ?", ("/m/n42",)),
+            ("type_id = ?", (3,)),
+            ("base = ? AND type_id = ?", ("n2", 2)),
+            ("type_id > ?", (2,)),
+            ("type_id >= ? AND type_id < ?", (1, 4)),
+            ("base = ?", ("n3",)),
+        ],
+    )
+    def test_same_rows_with_and_without_indexes(self, conn, where, params):
+        with_idx = sorted(
+            conn.execute(f"SELECT id FROM r WHERE {where}", params).fetchall()
+        )
+        # A second engine without secondary indexes.
+        c2 = minidb.connect()
+        c2.execute("CREATE TABLE r (id INTEGER, name TEXT, type_id INTEGER, base TEXT)")
+        rows = conn.execute("SELECT id, name, type_id, base FROM r").fetchall()
+        cur = c2.cursor()
+        cur.executemany("INSERT INTO r VALUES (?, ?, ?, ?)", rows)
+        without_idx = sorted(
+            c2.execute(f"SELECT id FROM r WHERE {where}", params).fetchall()
+        )
+        c2.close()
+        assert with_idx == without_idx
+        assert with_idx  # the parametrized predicates all match something
+
+    def test_update_via_index_path(self, conn):
+        cur = conn.execute("UPDATE r SET base = 'patched' WHERE id = 10")
+        assert cur.rowcount == 1
+        assert conn.execute("SELECT base FROM r WHERE id = 10").fetchall() == [("patched",)]
+
+    def test_delete_via_index_path(self, conn):
+        cur = conn.execute("DELETE FROM r WHERE name = '/m/n50'")
+        assert cur.rowcount == 1
+        assert conn.execute("SELECT COUNT(*) FROM r").fetchall() == [(99,)]
+
+    def test_index_maintained_after_update(self, conn):
+        conn.execute("UPDATE r SET type_id = 99 WHERE id = 1")
+        rows = conn.execute("SELECT id FROM r WHERE type_id = 99").fetchall()
+        assert rows == [(1,)]

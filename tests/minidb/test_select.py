@@ -1,0 +1,195 @@
+"""SELECT execution tests against the minidb engine."""
+
+import pytest
+
+import repro.minidb as minidb
+
+
+@pytest.fixture
+def conn():
+    c = minidb.connect()
+    cur = c.cursor()
+    cur.execute(
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT, dept TEXT, salary REAL)"
+    )
+    rows = [
+        ("alice", "eng", 120.0),
+        ("bob", "eng", 100.0),
+        ("carol", "ops", 90.0),
+        ("dave", "ops", 95.0),
+        ("erin", "mgmt", 150.0),
+    ]
+    cur.executemany("INSERT INTO emp (name, dept, salary) VALUES (?, ?, ?)", rows)
+    yield c
+    c.close()
+
+
+def q(conn, sql, params=()):
+    return conn.execute(sql, params).fetchall()
+
+
+class TestProjection:
+    def test_select_columns(self, conn):
+        rows = q(conn, "SELECT name, salary FROM emp WHERE name = 'alice'")
+        assert rows == [("alice", 120.0)]
+
+    def test_select_star_order(self, conn):
+        rows = q(conn, "SELECT * FROM emp WHERE id = 1")
+        assert rows == [(1, "alice", "eng", 120.0)]
+
+    def test_expression_projection(self, conn):
+        rows = q(conn, "SELECT salary * 2 FROM emp WHERE name = 'bob'")
+        assert rows == [(200.0,)]
+
+    def test_description_names(self, conn):
+        cur = conn.execute("SELECT name AS who, salary FROM emp LIMIT 1")
+        assert [d[0] for d in cur.description] == ["who", "salary"]
+
+    def test_select_without_from(self, conn):
+        assert q(conn, "SELECT 1 + 1, 'x' || 'y'") == [(2, "xy")]
+
+    def test_qualified_star(self, conn):
+        rows = q(conn, "SELECT e.* FROM emp e WHERE e.id = 2")
+        assert rows == [(2, "bob", "eng", 100.0)]
+
+
+class TestWhere:
+    def test_comparison_operators(self, conn):
+        assert len(q(conn, "SELECT 1 FROM emp WHERE salary >= 100")) == 3
+        assert len(q(conn, "SELECT 1 FROM emp WHERE salary <> 90")) == 4
+
+    def test_and_or_not(self, conn):
+        rows = q(
+            conn,
+            "SELECT name FROM emp WHERE dept = 'eng' AND NOT salary < 110 OR name = 'erin' "
+            "ORDER BY name",
+        )
+        assert rows == [("alice",), ("erin",)]
+
+    def test_like(self, conn):
+        assert q(conn, "SELECT name FROM emp WHERE name LIKE 'a%'") == [("alice",)]
+        assert q(conn, "SELECT name FROM emp WHERE name LIKE '_ob'") == [("bob",)]
+
+    def test_not_like(self, conn):
+        assert len(q(conn, "SELECT 1 FROM emp WHERE name NOT LIKE '%a%'")) == 2
+
+    def test_between(self, conn):
+        rows = q(conn, "SELECT name FROM emp WHERE salary BETWEEN 90 AND 100 ORDER BY name")
+        assert rows == [("bob",), ("carol",), ("dave",)]
+
+    def test_in_list(self, conn):
+        rows = q(conn, "SELECT name FROM emp WHERE dept IN ('ops', 'mgmt') ORDER BY name")
+        assert [r[0] for r in rows] == ["carol", "dave", "erin"]
+
+    def test_is_null(self, conn):
+        conn.execute("INSERT INTO emp (name, dept, salary) VALUES ('zed', NULL, NULL)")
+        assert q(conn, "SELECT name FROM emp WHERE dept IS NULL") == [("zed",)]
+        assert len(q(conn, "SELECT 1 FROM emp WHERE salary IS NOT NULL")) == 5
+
+    def test_null_comparison_filters_row(self, conn):
+        conn.execute("INSERT INTO emp (name, dept, salary) VALUES ('zed', NULL, NULL)")
+        # NULL = NULL is unknown, not true.
+        assert q(conn, "SELECT name FROM emp WHERE dept = NULL") == []
+
+    def test_parameters(self, conn):
+        rows = q(conn, "SELECT name FROM emp WHERE dept = ? AND salary > ?", ("eng", 110))
+        assert rows == [("alice",)]
+
+    def test_too_few_parameters(self, conn):
+        with pytest.raises(minidb.ProgrammingError):
+            q(conn, "SELECT 1 FROM emp WHERE dept = ?")
+
+
+class TestOrderLimit:
+    def test_order_by_column(self, conn):
+        rows = q(conn, "SELECT name FROM emp ORDER BY salary")
+        assert rows[0] == ("carol",) and rows[-1] == ("erin",)
+
+    def test_order_by_desc(self, conn):
+        rows = q(conn, "SELECT name FROM emp ORDER BY salary DESC")
+        assert rows[0] == ("erin",)
+
+    def test_order_by_position(self, conn):
+        rows = q(conn, "SELECT name, salary FROM emp ORDER BY 2 DESC LIMIT 1")
+        assert rows == [("erin", 150.0)]
+
+    def test_order_by_alias(self, conn):
+        rows = q(conn, "SELECT salary AS s FROM emp ORDER BY s LIMIT 2")
+        assert [r[0] for r in rows] == [90.0, 95.0]
+
+    def test_order_by_unprojected_column(self, conn):
+        rows = q(conn, "SELECT name FROM emp ORDER BY salary LIMIT 1")
+        assert rows == [("carol",)]
+
+    def test_limit_offset(self, conn):
+        rows = q(conn, "SELECT name FROM emp ORDER BY name LIMIT 2 OFFSET 1")
+        assert rows == [("bob",), ("carol",)]
+
+    def test_order_stable_mixed_expression(self, conn):
+        rows = q(conn, "SELECT name FROM emp ORDER BY dept, salary DESC")
+        assert rows == [("alice",), ("bob",), ("erin",), ("dave",), ("carol",)]
+
+
+class TestDistinctUnion:
+    def test_distinct(self, conn):
+        rows = q(conn, "SELECT DISTINCT dept FROM emp ORDER BY dept")
+        assert rows == [("eng",), ("mgmt",), ("ops",)]
+
+    def test_union_dedups(self, conn):
+        rows = q(
+            conn,
+            "SELECT dept FROM emp UNION SELECT dept FROM emp ORDER BY dept",
+        )
+        assert rows == [("eng",), ("mgmt",), ("ops",)]
+
+    def test_union_all_keeps_duplicates(self, conn):
+        rows = q(conn, "SELECT dept FROM emp UNION ALL SELECT dept FROM emp")
+        assert len(rows) == 10
+
+    def test_union_arity_mismatch(self, conn):
+        with pytest.raises(minidb.ProgrammingError):
+            q(conn, "SELECT dept, id FROM emp UNION SELECT dept FROM emp")
+
+
+class TestScalarFunctions:
+    def test_string_functions(self, conn):
+        assert q(conn, "SELECT UPPER('ab'), LOWER('AB'), LENGTH('abc')") == [("AB", "ab", 3)]
+
+    def test_substr(self, conn):
+        assert q(conn, "SELECT SUBSTR('hello', 2, 3)") == [("ell",)]
+        assert q(conn, "SELECT SUBSTR('hello', -3)") == [("llo",)]
+
+    def test_coalesce_ifnull(self, conn):
+        assert q(conn, "SELECT COALESCE(NULL, NULL, 3), IFNULL(NULL, 'd')") == [(3, "d")]
+
+    def test_nullif(self, conn):
+        assert q(conn, "SELECT NULLIF(1, 1), NULLIF(1, 2)") == [(None, 1)]
+
+    def test_abs_round(self, conn):
+        assert q(conn, "SELECT ABS(-4), ROUND(3.14159, 2)") == [(4, 3.14)]
+
+    def test_replace_trim(self, conn):
+        assert q(conn, "SELECT REPLACE('a-b', '-', '+'), TRIM('  x ')") == [("a+b", "x")]
+
+    def test_typeof(self, conn):
+        assert q(conn, "SELECT TYPEOF(1), TYPEOF(1.5), TYPEOF('x'), TYPEOF(NULL)") == [
+            ("integer", "real", "text", "null")
+        ]
+
+    def test_unknown_function(self, conn):
+        with pytest.raises(minidb.ProgrammingError):
+            q(conn, "SELECT NO_SUCH_FN(1)")
+
+    def test_case_expression(self, conn):
+        rows = q(
+            conn,
+            "SELECT name, CASE WHEN salary >= 120 THEN 'high' ELSE 'low' END "
+            "FROM emp ORDER BY name LIMIT 2",
+        )
+        assert rows == [("alice", "high"), ("bob", "low")]
+
+    def test_division_by_zero_is_null(self, conn):
+        assert q(conn, "SELECT 1 / 0, 5 % 0") == [(None, None)]
+
+    def test_integer_division_truncates(self, conn):
+        assert q(conn, "SELECT 7 / 2, -7 / 2") == [(3, -3)]

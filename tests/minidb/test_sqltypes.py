@@ -1,0 +1,124 @@
+"""Type affinity, coercion and cross-type comparison tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.minidb.errors import DataError
+from repro.minidb.sqltypes import (
+    BLOB,
+    BOOLEAN,
+    INTEGER,
+    NUMERIC,
+    REAL,
+    TEXT,
+    affinity_for,
+    coerce,
+    compare,
+    sort_key,
+    values_equal,
+)
+
+
+class TestAffinity:
+    @pytest.mark.parametrize(
+        "decl,expected",
+        [
+            ("INTEGER", INTEGER),
+            ("int", INTEGER),
+            ("BIGINT", INTEGER),
+            ("REAL", REAL),
+            ("DOUBLE", REAL),
+            ("FLOAT", REAL),
+            ("TEXT", TEXT),
+            ("VARCHAR(80)", TEXT),
+            ("CHAR(1)", TEXT),
+            ("BLOB", BLOB),
+            ("BOOLEAN", BOOLEAN),
+            ("NUMERIC", NUMERIC),
+            ("DECIMAL(10,2)", NUMERIC),
+            ("SOMETHING_ODD", NUMERIC),
+        ],
+    )
+    def test_affinity_mapping(self, decl, expected):
+        assert affinity_for(decl) == expected
+
+
+class TestCoercion:
+    def test_none_passes_through(self):
+        for aff in (INTEGER, REAL, TEXT, BLOB, BOOLEAN, NUMERIC):
+            assert coerce(None, aff) is None
+
+    def test_integer_from_string(self):
+        assert coerce("42", INTEGER) == 42
+
+    def test_integer_keeps_fractional_float(self):
+        assert coerce(1.5, INTEGER) == 1.5
+
+    def test_integer_from_integral_float(self):
+        v = coerce(3.0, INTEGER)
+        assert v == 3 and isinstance(v, int)
+
+    def test_integer_rejects_garbage(self):
+        with pytest.raises(DataError):
+            coerce("abc", INTEGER)
+
+    def test_real_from_int(self):
+        v = coerce(3, REAL)
+        assert v == 3.0 and isinstance(v, float)
+
+    def test_text_from_number(self):
+        assert coerce(42, TEXT) == "42"
+
+    def test_boolean_from_strings(self):
+        assert coerce("true", BOOLEAN) is True
+        assert coerce("0", BOOLEAN) is False
+        with pytest.raises(DataError):
+            coerce("maybe", BOOLEAN)
+
+    def test_blob_from_str(self):
+        assert coerce("ab", BLOB) == b"ab"
+
+    def test_numeric_string_passthrough(self):
+        assert coerce("12", NUMERIC) == 12
+        assert coerce("1.5", NUMERIC) == 1.5
+        assert coerce("hello", NUMERIC) == "hello"
+
+
+class TestComparison:
+    def test_null_comparisons_unknown(self):
+        assert compare(None, 1) is None
+        assert compare(1, None) is None
+        assert values_equal(None, None) is None
+
+    def test_numbers_before_text(self):
+        assert compare(99999, "a") == -1
+
+    def test_text_before_blob(self):
+        assert compare("z", b"a") == -1
+
+    def test_int_float_equal(self):
+        assert values_equal(1, 1.0) is True
+
+    @given(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9))
+    def test_integer_ordering_matches_python(self, a, b):
+        c = compare(a, b)
+        assert c == (a > b) - (a < b)
+
+    @given(
+        st.one_of(st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False),
+                  st.text(), st.binary())
+    )
+    def test_sort_key_total_order_reflexive(self, v):
+        assert sort_key(v) == sort_key(v)
+
+    @given(
+        st.lists(
+            st.one_of(st.integers(-100, 100), st.text(max_size=4), st.booleans()),
+            max_size=20,
+        )
+    )
+    def test_sort_key_sortable_mixed(self, values):
+        # Mixed-type lists must sort without raising.
+        ordered = sorted(values, key=sort_key)
+        keys = [sort_key(v) for v in ordered]
+        assert keys == sorted(keys)

@@ -1,0 +1,111 @@
+"""Stateful property test: minidb vs a reference model under random
+sequences of DML + transaction boundaries.
+
+The reference keeps two plain dicts: ``committed`` (durable state) and
+``pending`` (the open transaction's view).  After every operation the
+engine's visible table must equal the reference's pending view, and after
+rollback/commit it must equal the committed view.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+import repro.minidb as minidb
+
+
+class TransactionMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.conn = minidb.connect()
+        self.conn.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+        self.committed: dict[int, int] = {}
+        self.pending: dict[int, int] = {}
+
+    keys = st.integers(0, 12)
+    values = st.integers(-100, 100)
+
+    def _engine_state(self) -> dict[int, int]:
+        return dict(self.conn.execute("SELECT k, v FROM t").fetchall())
+
+    @rule(k=keys, v=values)
+    def upsert(self, k, v):
+        if k in self.pending:
+            self.conn.execute("UPDATE t SET v = ? WHERE k = ?", (v, k))
+        else:
+            self.conn.execute("INSERT INTO t (k, v) VALUES (?, ?)", (k, v))
+        self.pending[k] = v
+
+    @rule(k=keys)
+    def delete(self, k):
+        self.conn.execute("DELETE FROM t WHERE k = ?", (k,))
+        self.pending.pop(k, None)
+
+    @rule(lo=keys, hi=keys, dv=values)
+    def bulk_update(self, lo, hi, dv):
+        if lo > hi:
+            lo, hi = hi, lo
+        self.conn.execute(
+            "UPDATE t SET v = v + ? WHERE k BETWEEN ? AND ?", (dv, lo, hi)
+        )
+        for k in list(self.pending):
+            if lo <= k <= hi:
+                self.pending[k] += dv
+
+    @rule()
+    def commit(self):
+        self.conn.commit()
+        self.committed = dict(self.pending)
+
+    @rule()
+    def rollback(self):
+        self.conn.rollback()
+        self.pending = dict(self.committed)
+
+    @invariant()
+    def engine_matches_pending_view(self):
+        assert self._engine_state() == self.pending
+
+    def teardown(self):
+        self.conn.close()
+
+
+TestTransactionStateMachine = TransactionMachine.TestCase
+TestTransactionStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+
+
+class TestWalDurabilityProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(-50, 50), st.booleans()),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_reopen_sees_exactly_committed_state(self, tmp_path_factory, ops):
+        """Commit-marked changes survive reopen; uncommitted ones never do."""
+        path = str(tmp_path_factory.mktemp("walprop") / "db.json")
+        conn = minidb.connect(path)
+        conn.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+        conn.commit()
+        committed: dict[int, int] = {}
+        pending: dict[int, int] = {}
+        for k, v, do_commit in ops:
+            if k in pending:
+                conn.execute("UPDATE t SET v = ? WHERE k = ?", (v, k))
+            else:
+                conn.execute("INSERT INTO t (k, v) VALUES (?, ?)", (k, v))
+            pending[k] = v
+            if do_commit:
+                conn.commit()
+                committed = dict(pending)
+        # Crash: reopen without close/checkpoint.
+        reopened = minidb.connect(path)
+        state = dict(reopened.execute("SELECT k, v FROM t").fetchall())
+        assert state == committed
+        reopened.close()
+        conn.rollback()
+        conn.close()

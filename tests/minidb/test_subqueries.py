@@ -1,0 +1,117 @@
+"""Subquery execution: IN/EXISTS/scalar, correlated and not."""
+
+import pytest
+
+import repro.minidb as minidb
+
+
+@pytest.fixture
+def conn():
+    c = minidb.connect()
+    c.executescript(
+        """
+        CREATE TABLE runs (id INTEGER PRIMARY KEY, app TEXT, nproc INTEGER);
+        CREATE TABLE results (run_id INTEGER, metric TEXT, value REAL);
+        INSERT INTO runs (app, nproc) VALUES ('irs', 2), ('irs', 8), ('smg', 4);
+        INSERT INTO results VALUES
+            (1, 'time', 100.0), (1, 'flops', 5.0),
+            (2, 'time', 30.0),
+            (3, 'time', 60.0), (3, 'flops', 9.0);
+        """
+    )
+    yield c
+    c.close()
+
+
+def q(conn, sql, params=()):
+    return conn.execute(sql, params).fetchall()
+
+
+class TestInSubquery:
+    def test_in(self, conn):
+        rows = q(
+            conn,
+            "SELECT app, nproc FROM runs WHERE id IN "
+            "(SELECT run_id FROM results WHERE metric = 'flops') ORDER BY id",
+        )
+        assert rows == [("irs", 2), ("smg", 4)]
+
+    def test_not_in(self, conn):
+        rows = q(
+            conn,
+            "SELECT nproc FROM runs WHERE id NOT IN "
+            "(SELECT run_id FROM results WHERE metric = 'flops')",
+        )
+        assert rows == [(8,)]
+
+    def test_in_empty_subquery(self, conn):
+        assert q(conn, "SELECT 1 FROM runs WHERE id IN (SELECT run_id FROM results WHERE 1 = 0)") == []
+
+    def test_in_subquery_must_be_single_column(self, conn):
+        with pytest.raises(minidb.ProgrammingError):
+            q(conn, "SELECT 1 FROM runs WHERE id IN (SELECT run_id, value FROM results)")
+
+
+class TestExists:
+    def test_correlated_exists(self, conn):
+        rows = q(
+            conn,
+            "SELECT app, nproc FROM runs r WHERE EXISTS "
+            "(SELECT 1 FROM results x WHERE x.run_id = r.id AND x.metric = 'flops') "
+            "ORDER BY r.id",
+        )
+        assert rows == [("irs", 2), ("smg", 4)]
+
+    def test_not_exists(self, conn):
+        rows = q(
+            conn,
+            "SELECT nproc FROM runs r WHERE NOT EXISTS "
+            "(SELECT 1 FROM results x WHERE x.run_id = r.id AND x.metric = 'flops')",
+        )
+        assert rows == [(8,)]
+
+
+class TestScalarSubquery:
+    def test_uncorrelated_scalar(self, conn):
+        rows = q(conn, "SELECT app FROM runs WHERE nproc = (SELECT MAX(nproc) FROM runs)")
+        assert rows == [("irs",)]
+
+    def test_correlated_scalar_in_projection(self, conn):
+        rows = q(
+            conn,
+            "SELECT r.app, r.nproc, "
+            "(SELECT SUM(value) FROM results x WHERE x.run_id = r.id) AS total "
+            "FROM runs r ORDER BY r.id",
+        )
+        assert rows == [("irs", 2, 105.0), ("irs", 8, 30.0), ("smg", 4, 69.0)]
+
+    def test_scalar_subquery_empty_is_null(self, conn):
+        rows = q(conn, "SELECT (SELECT value FROM results WHERE 1 = 0)")
+        assert rows == [(None,)]
+
+    def test_scalar_subquery_multi_row_rejected(self, conn):
+        with pytest.raises(minidb.ProgrammingError):
+            q(conn, "SELECT (SELECT value FROM results)")
+
+    def test_scalar_subquery_multi_column_rejected(self, conn):
+        with pytest.raises(minidb.ProgrammingError):
+            q(conn, "SELECT (SELECT metric, value FROM results LIMIT 1)")
+
+
+class TestFromSubquery:
+    def test_nested_aggregation(self, conn):
+        rows = q(
+            conn,
+            "SELECT AVG(total) FROM "
+            "(SELECT run_id, SUM(value) AS total FROM results GROUP BY run_id) t",
+        )
+        assert rows == [((105.0 + 30.0 + 69.0) / 3,)]
+
+    def test_subquery_with_order_and_limit(self, conn):
+        rows = q(
+            conn,
+            "SELECT value FROM "
+            "(SELECT value FROM results WHERE metric = 'time' ORDER BY value DESC LIMIT 2) t "
+            "ORDER BY value",
+        )
+        assert rows == [(60.0,), (100.0,)]

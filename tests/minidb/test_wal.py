@@ -1,0 +1,136 @@
+"""Persistence: snapshots, WAL replay, crash recovery, checkpointing."""
+
+import json
+import os
+
+import pytest
+
+import repro.minidb as minidb
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "perf.db")
+
+
+def make_db(path):
+    c = minidb.connect(path)
+    c.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    c.execute("INSERT INTO t (v) VALUES ('one'), ('two')")
+    c.commit()
+    return c
+
+
+class TestSnapshotRoundTrip:
+    def test_close_and_reopen(self, db_path):
+        make_db(db_path).close()
+        c = minidb.connect(db_path)
+        assert c.execute("SELECT v FROM t ORDER BY id").fetchall() == [("one",), ("two",)]
+        c.close()
+
+    def test_schema_survives(self, db_path):
+        c = make_db(db_path)
+        c.execute("CREATE UNIQUE INDEX uv ON t (v)")
+        c.close()
+        c = minidb.connect(db_path)
+        with pytest.raises(minidb.IntegrityError):
+            c.execute("INSERT INTO t (v) VALUES ('one')")
+        c.close()
+
+    def test_autoincrement_survives(self, db_path):
+        make_db(db_path).close()
+        c = minidb.connect(db_path)
+        cur = c.execute("INSERT INTO t (v) VALUES ('three')")
+        assert cur.lastrowid == 3
+        c.close()
+
+    def test_blob_round_trip(self, db_path):
+        c = minidb.connect(db_path)
+        c.execute("CREATE TABLE b (data BLOB)")
+        c.execute("INSERT INTO b VALUES (?)", (b"\x00\x01\xfe",))
+        c.commit()
+        c.close()
+        c = minidb.connect(db_path)
+        assert c.execute("SELECT data FROM b").fetchall() == [(b"\x00\x01\xfe",)]
+        c.close()
+
+
+class TestWalReplay:
+    def test_committed_wal_replayed_without_checkpoint(self, db_path):
+        c = make_db(db_path)
+        c.execute("INSERT INTO t (v) VALUES ('three')")
+        c.commit()
+        # Simulate a crash: no close/checkpoint, reopen from snapshot+WAL.
+        c2 = minidb.connect(db_path)
+        assert c2.execute("SELECT COUNT(*) FROM t").fetchall() == [(3,)]
+        c2.close()
+        c.close()
+
+    def test_uncommitted_changes_not_in_wal(self, db_path):
+        c = make_db(db_path)
+        c.execute("INSERT INTO t (v) VALUES ('ghost')")
+        # No commit: a new reader must not see it.
+        c2 = minidb.connect(db_path)
+        assert c2.execute("SELECT COUNT(*) FROM t").fetchall() == [(2,)]
+        c2.close()
+        c.rollback()
+        c.close()
+
+    def test_torn_tail_ignored(self, db_path):
+        c = make_db(db_path)
+        c.execute("INSERT INTO t (v) VALUES ('three')")
+        c.commit()
+        wal = db_path + ".wal"
+        with open(wal, "a", encoding="utf-8") as fh:
+            fh.write('{"op": "insert", "table": "t", "rowid": 99, "row": [99, "tor')
+        c2 = minidb.connect(db_path)
+        assert c2.execute("SELECT COUNT(*) FROM t").fetchall() == [(3,)]
+        c2.close()
+        c.close()
+
+    def test_update_delete_in_wal(self, db_path):
+        c = make_db(db_path)
+        c.execute("UPDATE t SET v = 'uno' WHERE id = 1")
+        c.execute("DELETE FROM t WHERE id = 2")
+        c.commit()
+        c2 = minidb.connect(db_path)
+        assert c2.execute("SELECT v FROM t").fetchall() == [("uno",)]
+        c2.close()
+        c.close()
+
+    def test_ddl_in_wal(self, db_path):
+        c = make_db(db_path)
+        c.execute("CREATE TABLE extra (x INTEGER)")
+        c.execute("INSERT INTO extra VALUES (5)")
+        c.commit()
+        c2 = minidb.connect(db_path)
+        assert c2.execute("SELECT x FROM extra").fetchall() == [(5,)]
+        c2.close()
+        c.close()
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_wal(self, db_path):
+        c = make_db(db_path)
+        c.execute("INSERT INTO t (v) VALUES ('three')")
+        c.commit()
+        assert os.path.exists(db_path + ".wal")
+        c.checkpoint()
+        assert not os.path.exists(db_path + ".wal")
+        c.close()
+        c2 = minidb.connect(db_path)
+        assert c2.execute("SELECT COUNT(*) FROM t").fetchall() == [(3,)]
+        c2.close()
+
+    def test_snapshot_is_valid_json(self, db_path):
+        make_db(db_path).close()
+        with open(db_path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["version"] == 1
+        assert any(t["meta"]["name"] == "t" for t in doc["tables"])
+
+    def test_corrupt_snapshot_raises_operational_error(self, db_path):
+        with open(db_path, "w", encoding="utf-8") as fh:
+            fh.write("this is not json")
+        with pytest.raises(minidb.OperationalError):
+            minidb.connect(db_path)

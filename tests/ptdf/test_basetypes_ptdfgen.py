@@ -1,0 +1,165 @@
+"""Base resource types (Figure 2) and PTdfGen (Section 3.3) tests."""
+
+import os
+
+import pytest
+
+from repro.ptdf.basetypes import (
+    BASE_HIERARCHIES,
+    BASE_NONHIERARCHICAL,
+    all_base_type_paths,
+    base_type_records,
+)
+from repro.ptdf.parser import PTdfParseError
+from repro.ptdf.ptdfgen import IndexEntry, PTdfGen, parse_index_file
+from repro.ptdf.writer import PTdfWriter
+
+
+class TestBaseTypes:
+    def test_five_hierarchies(self):
+        assert len(BASE_HIERARCHIES) == 5
+        roots = {h.split("/")[0] for h in BASE_HIERARCHIES}
+        assert roots == {"build", "grid", "environment", "execution", "time"}
+
+    def test_eight_nonhierarchical(self):
+        assert len(BASE_NONHIERARCHICAL) == 8
+        assert "operatingSystem" in BASE_NONHIERARCHICAL
+        assert "performanceTool" in BASE_NONHIERARCHICAL
+
+    def test_grid_hierarchy_shape(self):
+        assert "grid/machine/partition/node/processor" in BASE_HIERARCHIES
+
+    def test_records_cover_all(self):
+        names = {r.name for r in base_type_records()}
+        assert names == set(BASE_HIERARCHIES) | set(BASE_NONHIERARCHICAL)
+
+    def test_all_paths_include_prefixes(self):
+        paths = all_base_type_paths()
+        assert "grid" in paths and "grid/machine" in paths
+        assert "execution/process/thread" in paths
+        assert len(paths) == len(set(paths))
+
+
+class _FakeConverter:
+    """Counts conversions; understands files containing the magic header."""
+
+    name = "fake"
+
+    def sniff(self, path: str) -> bool:
+        with open(path) as fh:
+            return fh.read(4) == "FAKE"
+
+    def convert(self, path, entry, writer) -> int:
+        writer.add_perf_result(
+            entry.execution,
+            __import__("repro.ptdf.format", fromlist=["ResourceSet"]).ResourceSet(
+                (f"/{entry.execution}",)
+            ),
+            "fake",
+            "m",
+            1.0,
+            "u",
+        )
+        return 1
+
+
+class TestIndexFile:
+    def test_parse_entries(self, tmp_path):
+        path = str(tmp_path / "study.index")
+        with open(path, "w") as fh:
+            fh.write("# executions\n")
+            fh.write("run1 IRS MPI 64 1 2005-01-01 2005-01-02\n")
+            fh.write('run2 IRS "MPI+OpenMP" 32 4 2005-01-03 2005-01-04\n')
+        entries = parse_index_file(path)
+        assert len(entries) == 2
+        assert entries[0] == IndexEntry("run1", "IRS", "MPI", 64, 1, "2005-01-01", "2005-01-02")
+        assert entries[1].concurrency_model == "MPI+OpenMP"
+        assert entries[1].num_threads == 4
+
+    def test_wrong_arity(self, tmp_path):
+        path = str(tmp_path / "bad.index")
+        with open(path, "w") as fh:
+            fh.write("run1 IRS MPI 64\n")
+        with pytest.raises(PTdfParseError):
+            parse_index_file(path)
+
+    def test_non_integer_counts(self, tmp_path):
+        path = str(tmp_path / "bad.index")
+        with open(path, "w") as fh:
+            fh.write("run1 IRS MPI many 1 a b\n")
+        with pytest.raises(PTdfParseError):
+            parse_index_file(path)
+
+
+class TestPTdfGen:
+    @pytest.fixture
+    def study_dir(self, tmp_path):
+        d = tmp_path / "raw"
+        d.mkdir()
+        (d / "run1.data").write_text("FAKE payload")
+        (d / "run1.other").write_text("FAKE more")
+        (d / "run1.noise").write_text("not recognised")
+        (d / "run2.data").write_text("FAKE payload")
+        (d / "unrelated.txt").write_text("FAKE but wrong exec")
+        index = tmp_path / "s.index"
+        index.write_text(
+            "run1 IRS MPI 4 1 t0 t1\nrun2 IRS MPI 8 1 t0 t1\n"
+        )
+        return str(d), str(index), str(tmp_path / "out")
+
+    def test_files_matched_by_prefix(self, study_dir):
+        raw, index, out = study_dir
+        gen = PTdfGen([_FakeConverter()])
+        entry = parse_index_file(index)[0]
+        files = gen.files_for(raw, entry)
+        assert [os.path.basename(f) for f in files] == [
+            "run1.data",
+            "run1.noise",
+            "run1.other",
+        ]
+
+    def test_generate_reports(self, study_dir):
+        raw, index, out = study_dir
+        gen = PTdfGen([_FakeConverter()])
+        reports = gen.generate(raw, index, out_dir=out)
+        assert len(reports) == 2
+        r1 = reports[0]
+        assert r1.results == 2  # two recognised files
+        assert len(r1.skipped) == 1
+        assert r1.output_path and os.path.exists(r1.output_path)
+
+    def test_index_metadata_becomes_attributes(self, study_dir):
+        raw, index, out = study_dir
+        gen = PTdfGen([_FakeConverter()])
+        entry = parse_index_file(index)[0]
+        writer, _report = gen.generate_one(raw, entry)
+        text = writer.render()
+        assert "number of processes" in text
+        assert "concurrency model" in text
+
+    def test_generated_ptdf_is_loadable(self, study_dir):
+        from repro.core import PTDataStore
+
+        raw, index, out = study_dir
+        gen = PTdfGen([_FakeConverter()])
+        reports = gen.generate(raw, index, out_dir=out)
+        store = PTDataStore()
+        for rep in reports:
+            stats = store.load_file(rep.output_path)
+        assert store.executions() == ["run1", "run2"]
+
+
+class TestPrefixBoundary:
+    def test_r1_does_not_claim_r12_files(self, tmp_path):
+        d = tmp_path / "raw"
+        d.mkdir()
+        (d / "run-r1.data").write_text("FAKE a")
+        (d / "run-r12.data").write_text("FAKE b")
+        (d / "run-r1_extra.hist").write_text("FAKE c")
+        gen = PTdfGen([_FakeConverter()])
+        e1 = IndexEntry("run-r1", "A", "MPI", 1, 1, "t", "t")
+        e12 = IndexEntry("run-r12", "A", "MPI", 1, 1, "t", "t")
+        f1 = [os.path.basename(f) for f in gen.files_for(str(d), e1)]
+        f12 = [os.path.basename(f) for f in gen.files_for(str(d), e12)]
+        assert f1 == ["run-r1.data", "run-r1_extra.hist"]
+        assert f12 == ["run-r12.data"]

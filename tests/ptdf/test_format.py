@@ -1,0 +1,143 @@
+"""PTdf record model tests: names, types, resource sets, quoting."""
+
+import pytest
+
+from repro.ptdf.format import (
+    ApplicationRec,
+    ExecutionRec,
+    PerfResultRec,
+    ResourceAttributeRec,
+    ResourceConstraintRec,
+    ResourceRec,
+    ResourceSet,
+    ResourceTypeRec,
+    base_name,
+    parent_name,
+    parse_resource_set_field,
+    quote_field,
+    render_record,
+    split_name,
+    type_of_depth,
+)
+
+
+class TestNames:
+    def test_split_name(self):
+        assert split_name("/SingleMachineFrost/Frost/batch/frost121/p0") == [
+            "SingleMachineFrost",
+            "Frost",
+            "batch",
+            "frost121",
+            "p0",
+        ]
+
+    def test_split_requires_leading_slash(self):
+        with pytest.raises(ValueError):
+            split_name("Frost/batch")
+
+    def test_split_rejects_empty(self):
+        with pytest.raises(ValueError):
+            split_name("/")
+
+    def test_parent_name(self):
+        assert parent_name("/A/B/C") == "/A/B"
+        assert parent_name("/A") is None
+
+    def test_base_name(self):
+        assert base_name("/A/B/batch") == "batch"
+
+    def test_type_of_depth(self):
+        t = "grid/machine/partition/node/processor"
+        assert type_of_depth(t, 1) == "grid"
+        assert type_of_depth(t, 3) == "grid/machine/partition"
+        assert type_of_depth(t, 5) == t
+        with pytest.raises(ValueError):
+            type_of_depth(t, 6)
+        with pytest.raises(ValueError):
+            type_of_depth(t, 0)
+
+
+class TestResourceSet:
+    def test_valid_focus_types(self):
+        for ft in ("primary", "parent", "child", "sender", "receiver"):
+            ResourceSet(("/a",), ft)
+
+    def test_invalid_focus_type(self):
+        with pytest.raises(ValueError):
+            ResourceSet(("/a",), "bogus")
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceSet((), "primary")
+
+    def test_render(self):
+        rs = ResourceSet(("/a", "/b"), "sender")
+        assert rs.render() == "/a,/b(sender)"
+
+    def test_parse_field_multi_set(self):
+        sets = parse_resource_set_field("/a,/b(primary):/c(sender)")
+        assert len(sets) == 2
+        assert sets[0].names == ("/a", "/b")
+        assert sets[1].set_type == "sender"
+
+    def test_parse_field_default_type(self):
+        sets = parse_resource_set_field("/a,/b")
+        assert sets[0].set_type == "primary"
+
+    def test_parse_round_trip(self):
+        original = (
+            ResourceSet(("/x/y", "/z"), "primary"),
+            ResourceSet(("/w",), "parent"),
+        )
+        text = ":".join(s.render() for s in original)
+        assert parse_resource_set_field(text) == original
+
+
+class TestQuoting:
+    def test_plain_field_unquoted(self):
+        assert quote_field("/a/b") == "/a/b"
+
+    def test_space_quoted(self):
+        assert quote_field("clock MHz") == '"clock MHz"'
+
+    def test_quotes_escaped(self):
+        assert quote_field('say "hi"') == '"say \\"hi\\""'
+
+    def test_empty_field_quoted(self):
+        assert quote_field("") == '""'
+
+
+class TestRecordRendering:
+    def test_application(self):
+        assert render_record(ApplicationRec("IRS")) == "Application IRS"
+
+    def test_resource_type(self):
+        assert render_record(ResourceTypeRec("grid/machine")) == "ResourceType grid/machine"
+
+    def test_execution(self):
+        assert render_record(ExecutionRec("run1", "IRS")) == "Execution run1 IRS"
+
+    def test_resource_with_and_without_exec(self):
+        assert render_record(ResourceRec("/r", "grid")) == "Resource /r grid"
+        assert (
+            render_record(ResourceRec("/e/p0", "execution/process", "e"))
+            == "Resource /e/p0 execution/process e"
+        )
+
+    def test_resource_attribute(self):
+        rec = ResourceAttributeRec("/r", "clock MHz", "375", "string")
+        assert render_record(rec) == 'ResourceAttribute /r "clock MHz" 375 string'
+
+    def test_attribute_type_validated(self):
+        with pytest.raises(ValueError):
+            ResourceAttributeRec("/r", "a", "v", "integer")
+
+    def test_perf_result(self):
+        rec = PerfResultRec(
+            "run1", (ResourceSet(("/r",)),), "mpiP", "MPI time", 1.5, "seconds"
+        )
+        assert render_record(rec) == 'PerfResult run1 /r(primary) mpiP "MPI time" 1.5 seconds'
+
+    def test_resource_constraint(self):
+        rec = ResourceConstraintRec("/p8", "/n16")
+        assert render_record(rec) == "ResourceConstraint /p8 /n16"

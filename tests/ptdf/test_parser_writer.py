@@ -1,0 +1,197 @@
+"""PTdf parse/write round-trips, error handling, and hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ptdf.format import (
+    ApplicationRec,
+    ExecutionRec,
+    PerfResultRec,
+    ResourceAttributeRec,
+    ResourceConstraintRec,
+    ResourceRec,
+    ResourceSet,
+    ResourceTypeRec,
+    render_record,
+)
+from repro.ptdf.parser import PTdfParseError, parse_file, parse_string, split_fields
+from repro.ptdf.writer import PTdfWriter, write_file, write_string
+
+
+class TestSplitFields:
+    def test_plain(self):
+        assert split_fields("a b c") == ["a", "b", "c"]
+
+    def test_quoted_with_spaces(self):
+        assert split_fields('Resource "/a b" grid') == ["Resource", "/a b", "grid"]
+
+    def test_escapes(self):
+        assert split_fields(r'"x \"y\" z"') == ['x "y" z']
+
+    def test_comment_stripped(self):
+        assert split_fields("a b # comment") == ["a", "b"]
+
+    def test_hash_inside_quotes_kept(self):
+        assert split_fields('"a # b" c') == ["a # b", "c"]
+
+    def test_blank_line(self):
+        assert split_fields("   ") == []
+
+    def test_unterminated_quote(self):
+        with pytest.raises(ValueError):
+            split_fields('"oops')
+
+
+class TestParsing:
+    def test_full_document(self):
+        text = """
+# base data
+Application IRS
+ResourceType grid/machine
+Execution run1 IRS
+Resource /M grid
+Resource /M/frost grid/machine
+Resource /run1 execution run1
+ResourceAttribute /M/frost "total nodes" 68 string
+PerfResult run1 /M/frost,/run1(primary) IRS "CPU time" 12.5 seconds
+ResourceConstraint /run1 /M/frost
+"""
+        records = parse_string(text)
+        kinds = [type(r).__name__ for r in records]
+        assert kinds == [
+            "ApplicationRec",
+            "ResourceTypeRec",
+            "ExecutionRec",
+            "ResourceRec",
+            "ResourceRec",
+            "ResourceRec",
+            "ResourceAttributeRec",
+            "PerfResultRec",
+            "ResourceConstraintRec",
+        ]
+        pr = records[-2]
+        assert pr.value == 12.5
+        assert pr.resource_sets[0].names == ("/M/frost", "/run1")
+
+    def test_unknown_kind(self):
+        with pytest.raises(PTdfParseError) as exc:
+            parse_string("Bogus field1")
+        assert ":1:" in str(exc.value)
+
+    def test_wrong_arity(self):
+        with pytest.raises(PTdfParseError):
+            parse_string("Application")
+        with pytest.raises(PTdfParseError):
+            parse_string("Execution onlyone")
+
+    def test_bad_value(self):
+        with pytest.raises(PTdfParseError):
+            parse_string("PerfResult e /r(primary) tool metric notanumber units")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(PTdfParseError) as exc:
+            parse_string("Application ok\n\nBogus x")
+        assert ":3:" in str(exc.value)
+
+    def test_resource_optional_execution(self):
+        recs = parse_string("Resource /r grid\nResource /e execution run1")
+        assert recs[0].execution is None
+        assert recs[1].execution == "run1"
+
+
+RECORD_STRATEGY = st.one_of(
+    st.builds(ApplicationRec, st.text(st.characters(categories=["L", "N"]), min_size=1, max_size=12)),
+    st.builds(
+        ResourceTypeRec,
+        st.lists(st.sampled_from(["grid", "machine", "node", "time"]), min_size=1, max_size=3).map(
+            "/".join
+        ),
+    ),
+    st.builds(
+        ExecutionRec,
+        st.text(st.characters(categories=["L", "N"]), min_size=1, max_size=10),
+        st.text(st.characters(categories=["L", "N"]), min_size=1, max_size=10),
+    ),
+    st.builds(
+        ResourceAttributeRec,
+        st.just("/res"),
+        st.text(min_size=1, max_size=16).filter(lambda s: "\n" not in s and "\r" not in s),
+        st.text(max_size=16).filter(lambda s: "\n" not in s and "\r" not in s),
+        st.sampled_from(["string", "resource"]),
+    ),
+    st.builds(
+        PerfResultRec,
+        st.just("exec1"),
+        st.tuples(
+            st.builds(
+                ResourceSet,
+                st.lists(
+                    st.sampled_from(["/a", "/a/b", "/c/d/e"]), min_size=1, max_size=3, unique=True
+                ).map(tuple),
+                st.sampled_from(["primary", "parent", "child", "sender", "receiver"]),
+            )
+        ),
+        st.just("tool"),
+        st.text(st.characters(categories=["L"]), min_size=1, max_size=10),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.sampled_from(["seconds", "count", ""]),
+    ),
+    st.builds(ResourceConstraintRec, st.just("/x"), st.just("/y")),
+)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(records=st.lists(RECORD_STRATEGY, max_size=10))
+    def test_render_parse_round_trip(self, records):
+        text = write_string(records)
+        parsed = parse_string(text)
+        assert parsed == records
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        name=st.text(min_size=1, max_size=20).filter(
+            lambda s: "\n" not in s and "\r" not in s
+        )
+    )
+    def test_awkward_attribute_values_survive(self, name):
+        rec = ResourceAttributeRec("/r", name, 'va "l" ue', "string")
+        assert parse_string(render_record(rec)) == [rec]
+
+
+class TestWriter:
+    def test_dedup_of_definitions(self):
+        w = PTdfWriter()
+        w.add_application("IRS")
+        w.add_application("IRS")
+        w.add_resource("/r", "grid")
+        w.add_resource("/r", "grid")
+        assert len(w) == 2
+
+    def test_attributes_not_deduped(self):
+        w = PTdfWriter()
+        w.add_resource("/r", "grid")
+        w.add_resource_attribute("/r", "a", "1")
+        w.add_resource_attribute("/r", "a", "1")
+        assert len(w) == 3
+
+    def test_write_and_parse_file(self, tmp_path):
+        w = PTdfWriter()
+        w.add_application("IRS")
+        w.add_execution("e1", "IRS")
+        w.add_resource("/e1", "execution", "e1")
+        w.add_perf_result("e1", ResourceSet(("/e1",)), "t", "m", 3.5, "s")
+        path = str(tmp_path / "out.ptdf")
+        n = w.write(path)
+        assert n == 4
+        assert len(parse_file(path)) == 4
+
+    def test_perf_result_accepts_single_set(self):
+        w = PTdfWriter()
+        w.add_perf_result("e", ResourceSet(("/r",)), "t", "m", 1, "s")
+        assert w.records[0].resource_sets[0].names == ("/r",)
+
+    def test_write_file_helper(self, tmp_path):
+        path = str(tmp_path / "x.ptdf")
+        n = write_file([ApplicationRec("A"), ExecutionRec("e", "A")], path)
+        assert n == 2

@@ -1,0 +1,142 @@
+"""End-to-end case-study tests at reduced scale (paper Section 4)."""
+
+import pytest
+
+from repro.core import ByName, Expansion, PTDataStore, PrFilter
+from repro.core.query import QueryEngine
+from repro.studies import run_noise_study, run_paradyn_study, run_purple_study
+
+
+@pytest.fixture(scope="module")
+def purple():
+    return run_purple_study(process_counts=(2, 4), runs_per_count=1)
+
+
+class TestPurpleStudy:
+    def test_execution_count(self, purple):
+        # 2 machines x 2 process counts
+        assert purple.table1.executions_loaded == 4
+        assert len(purple.executions) == 4
+
+    def test_six_files_per_execution(self, purple):
+        assert purple.table1.files_per_exec == 6.0
+
+    def test_results_per_exec_near_paper(self, purple):
+        # Paper Table 1: ~1,514 results/exec for IRS.
+        assert 1400 < purple.table1.results_per_exec < 1600
+
+    def test_metric_count_matches_paper(self, purple):
+        assert purple.table1.metrics == 25
+
+    def test_db_growth_positive(self, purple):
+        assert purple.table1.db_growth_bytes > 0
+
+    def test_machines_described(self, purple):
+        assert purple.store.has_resource("/LLNL/MCR")
+        assert purple.store.has_resource("/LLNL/Frost")
+
+    def test_build_capture_loaded(self, purple):
+        rid = purple.store.resource_id("/irs-build-mcr")
+        attrs = {a.name for a in purple.store.attributes_of(rid)}
+        assert "compilation flags" in attrs
+
+    def test_queryable_by_function(self, purple):
+        qe = QueryEngine(purple.store)
+        results = qe.fetch(PrFilter([ByName("/IRS/src/main", Expansion.NONE)]))
+        # main appears in every execution's tables (4 stats x 5 metrics, minus drops)
+        assert len(results) > 4 * 15
+
+
+class TestNoiseStudy:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return run_noise_study(
+            uv_executions=2, bgl_executions=2, uv_processes=(4, 8), mpip_callsites=8
+        )
+
+    def test_uv_vs_bgl_shape(self, reports):
+        uv, bgl = reports
+        # The paper's shape: UV executions dwarf BG/L's 8 native values.
+        assert bgl.table1.results_per_exec == 8.0
+        assert uv.table1.results_per_exec > 20 * bgl.table1.results_per_exec
+
+    def test_shared_store(self, reports):
+        uv, bgl = reports
+        assert uv.store is bgl.store
+
+    def test_uv_has_mpip_data(self, reports):
+        uv, _ = reports
+        assert "mpiP" in uv.store.tools()
+        assert "PMAPI" in uv.store.tools()
+
+    def test_bgl_machine_attributes(self, reports):
+        _, bgl = reports
+        mid = bgl.store.resource_id("/LLNL/BGL")
+        attrs = {a.name: a.value for a in bgl.store.attributes_of(mid)}
+        assert attrs["total nodes"] == "16384"
+
+    def test_run_environment_captured(self, reports):
+        uv, _ = reports
+        execution = uv.executions[0]
+        rid = uv.store.resource_id(f"/{execution}")
+        attrs = {a.name for a in uv.store.attributes_of(rid)}
+        assert "number of processes" in attrs
+
+
+class TestParadynStudy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_paradyn_study(
+            executions=2, modules=8, functions_per_module=4, histograms=6, bins=100
+        )
+
+    def test_execution_count(self, report):
+        assert report.table1.executions_loaded == 2
+
+    def test_nan_bins_dropped(self, report):
+        assert report.table1.results_per_exec < 6 * 100
+
+    def test_resources_dominate(self, report):
+        # Paradyn's defining trait in Table 1: huge resource counts/exec.
+        assert report.table1.resources_per_exec > 100
+
+    def test_paradyn_tool_registered(self, report):
+        assert "Paradyn" in report.store.tools()
+
+    def test_syncobjects_loaded(self, report):
+        assert report.store.resource_type("syncObject/syncClass/syncInstance")
+
+    def test_per_exec_variation(self, report):
+        # Dynamic instrumentation: executions differ in result counts.
+        counts = [
+            report.store.execution_details(e)["results"] for e in report.executions
+        ]
+        assert counts[0] != counts[1]
+
+
+class TestCrossStudyIntegration:
+    def test_all_studies_share_one_store(self):
+        """The paper's vision: one data store holding every study."""
+        store = PTDataStore()
+        purple = run_purple_study(store=store, process_counts=(2,), runs_per_count=1)
+        uv, bgl = run_noise_study(
+            store=store, uv_executions=1, bgl_executions=1, mpip_callsites=4
+        )
+        paradyn = run_paradyn_study(
+            store=store, executions=1, modules=4, functions_per_module=3,
+            histograms=3, bins=50,
+        )
+        apps = store.applications()
+        assert "IRS" in apps and "SMG2000" in apps
+        tools = set(store.tools())
+        assert {"IRS benchmark", "SMG2000 benchmark", "mpiP", "PMAPI", "Paradyn"} <= tools
+        # Cross-tool query: everything measured on any execution still
+        # navigates through one pr-filter interface.
+        qe = QueryEngine(store)
+        total = len(qe.evaluate(PrFilter()))
+        assert total == (
+            purple.load_stats.results
+            + uv.load_stats.results
+            + bgl.load_stats.results
+            + paradyn.load_stats.results
+        )

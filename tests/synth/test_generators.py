@@ -1,0 +1,180 @@
+"""Generator tests: file shapes, determinism, paper-scale knobs."""
+
+import os
+
+import pytest
+
+from repro.synth.irs_gen import IRS_METRICS, IRSRunSpec, generate_irs_run, irs_sweep_specs
+from repro.synth.machines import MCR, UV
+from repro.synth.mpip_gen import MpiPSpec, generate_mpip_report
+from repro.synth.paradyn_gen import PARADYN_METRICS, ParadynSpec, generate_paradyn_export
+from repro.synth.pmapi_gen import PMAPI_COUNTERS, generate_pmapi_file, render_pmapi_block
+from repro.synth.smg_gen import SMGRunSpec, _grid_decomposition, generate_smg_run
+
+
+class TestIRSGenerator:
+    def test_six_files(self, tmp_path):
+        spec = IRSRunSpec("irs-x", MCR, 8)
+        files = generate_irs_run(spec, str(tmp_path))
+        assert len(files) == 6
+        assert all(os.path.exists(f) for f in files)
+
+    def test_deterministic(self, tmp_path):
+        spec = IRSRunSpec("irs-x", MCR, 8)
+        f1 = generate_irs_run(spec, str(tmp_path / "a"))
+        f2 = generate_irs_run(spec, str(tmp_path / "b"))
+        for a, b in zip(f1, f2):
+            assert open(a).read() == open(b).read()
+
+    def test_metric_files_have_all_functions(self, tmp_path):
+        spec = IRSRunSpec("irs-x", MCR, 4)
+        files = generate_irs_run(spec, str(tmp_path), drop_rate=0.0)
+        timing = [f for f in files if ".timing." in f][0]
+        lines = open(timing).read().splitlines()
+        body = [
+            l
+            for l in lines
+            if l
+            and not l.startswith(
+                ("IRS", "metric", "machine", "processes", "-", "function")
+            )
+        ]
+        assert len(body) == 80
+
+    def test_drop_rate_produces_dashes(self, tmp_path):
+        spec = IRSRunSpec("irs-x", MCR, 4)
+        files = generate_irs_run(spec, str(tmp_path), drop_rate=0.5)
+        text = "".join(open(f).read() for f in files if ".timing." in f)
+        assert " -" in text
+
+    def test_sweep_specs(self):
+        specs = irs_sweep_specs(MCR, (2, 4), runs_per_count=2)
+        assert len(specs) == 4
+        assert {s.processes for s in specs} == {2, 4}
+        assert len({s.execution for s in specs}) == 4
+
+
+class TestSMGGenerator:
+    def test_grid_decomposition_factors(self):
+        for p in (1, 2, 4, 8, 16, 27, 64):
+            px, py, pz = _grid_decomposition(p)
+            assert px * py * pz == p
+
+    def test_output_contains_eight_values(self, tmp_path):
+        path = generate_smg_run(SMGRunSpec("smg-x", UV, 8), str(tmp_path))
+        text = open(path).read()
+        assert text.count("wall clock time") == 3
+        assert text.count("cpu clock time") == 3
+        assert "Iterations =" in text
+        assert "Final Relative Residual Norm" in text
+
+    def test_pmapi_block_appended(self, tmp_path):
+        path = generate_smg_run(SMGRunSpec("smg-x", UV, 4, with_pmapi=True), str(tmp_path))
+        assert "PMAPI hardware counter report" in open(path).read()
+
+    def test_no_pmapi_by_default(self, tmp_path):
+        path = generate_smg_run(SMGRunSpec("smg-x", UV, 4), str(tmp_path))
+        assert "PMAPI" not in open(path).read()
+
+    def test_deterministic(self, tmp_path):
+        s = SMGRunSpec("smg-d", UV, 8)
+        a = open(generate_smg_run(s, str(tmp_path / "a"))).read()
+        b = open(generate_smg_run(s, str(tmp_path / "b"))).read()
+        assert a == b
+
+
+class TestPMAPIGenerator:
+    def test_block_shape(self):
+        block = render_pmapi_block("e1", 4)
+        lines = block.strip().splitlines()
+        assert lines[0] == "PMAPI hardware counter report"
+        assert len([l for l in lines if l[0].isdigit()]) == 4
+
+    def test_counter_columns(self):
+        block = render_pmapi_block("e1", 2)
+        data = [l for l in block.splitlines() if l and l[0].isdigit()]
+        for row in data:
+            assert len(row.split()) == 1 + len(PMAPI_COUNTERS)
+
+    def test_standalone_file(self, tmp_path):
+        path = generate_pmapi_file("e1", 3, str(tmp_path))
+        assert os.path.basename(path) == "e1.pmapi.txt"
+
+    def test_cycles_track_clock(self):
+        block_slow = render_pmapi_block("e1", 2, clock_mhz=700)
+        block_fast = render_pmapi_block("e1", 2, clock_mhz=1500)
+        cyc_slow = int(block_slow.splitlines()[-1].split()[1])
+        cyc_fast = int(block_fast.splitlines()[-1].split()[1])
+        assert cyc_fast > cyc_slow
+
+
+class TestMpiPGenerator:
+    def test_sections_present(self, tmp_path):
+        path = generate_mpip_report(MpiPSpec("e1", 4, callsites=6), str(tmp_path))
+        text = open(path).read()
+        assert text.startswith("@ mpiP")
+        for section in ("MPI Time", "Callsites: 6", "Aggregate Time", "Callsite Time statistics"):
+            assert section in text
+
+    def test_task_rows_count(self, tmp_path):
+        path = generate_mpip_report(MpiPSpec("e1", 8, callsites=4), str(tmp_path))
+        in_task = False
+        count = 0
+        for line in open(path):
+            if line.startswith("@--- MPI Time"):
+                in_task = True
+                continue
+            if in_task and line.startswith("@"):
+                break
+            if in_task and line.strip() and not line.lstrip().startswith("Task"):
+                count += 1
+        assert count == 9  # 8 ranks + '*'
+
+    def test_stat_rows_per_site(self, tmp_path):
+        p, sites = 4, 3
+        path = generate_mpip_report(MpiPSpec("e1", p, callsites=sites), str(tmp_path))
+        stat_rows = [
+            l for l in open(path) if l[:1].isalpha() and l.split()[0] != "Name"
+            and len(l.split()) == 9
+        ]
+        assert len(stat_rows) == sites * (p + 1)
+
+
+class TestParadynGenerator:
+    def test_export_files(self, tmp_path):
+        spec = ParadynSpec("e1", processes=2, modules=4, functions_per_module=3,
+                           histograms=5, bins=20)
+        exp = generate_paradyn_export(spec, str(tmp_path))
+        assert os.path.exists(exp.resources_path)
+        assert os.path.exists(exp.index_path)
+        assert len(exp.histogram_paths) == 5
+        assert exp.shg_path and os.path.exists(exp.shg_path)
+
+    def test_resource_counts(self, tmp_path):
+        spec = ParadynSpec("e1", processes=2, modules=4, functions_per_module=3,
+                           histograms=2, bins=10, sync_objects=4)
+        exp = generate_paradyn_export(spec, str(tmp_path))
+        lines = [l for l in open(exp.resources_path) if l.strip() and not l.startswith("#")]
+        code = [l for l in lines if l.startswith("/Code")]
+        # /Code + 4 modules + 12 functions + DEFAULT_MODULE + builtins
+        assert len(code) >= 18
+
+    def test_histogram_header_and_nans(self, tmp_path):
+        spec = ParadynSpec("e1", processes=2, modules=4, functions_per_module=3,
+                           histograms=1, bins=50, nan_rate=0.5)
+        exp = generate_paradyn_export(spec, str(tmp_path))
+        text = open(exp.histogram_paths[0]).read()
+        assert "# metric:" in text and "# numBins: 50" in text
+        assert "nan" in text
+
+    def test_metrics_cycle(self, tmp_path):
+        spec = ParadynSpec("e1", processes=2, modules=4, functions_per_module=3,
+                           histograms=10, bins=5)
+        exp = generate_paradyn_export(spec, str(tmp_path))
+        metrics = set()
+        for line in open(exp.index_path):
+            if line.startswith("#"):
+                continue
+            metrics.add(line.split()[1])
+        assert metrics <= set(PARADYN_METRICS)
+        assert len(metrics) == 8

@@ -1,0 +1,104 @@
+"""Workload-model tests: determinism, scaling shape, imbalance growth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synth.workload import (
+    IRS_FUNCTIONS,
+    MPI_FUNCTIONS,
+    WorkloadModel,
+    exec_rng,
+    stable_seed,
+)
+
+
+class TestDeterminism:
+    def test_stable_seed_is_stable(self):
+        assert stable_seed("a", "b") == stable_seed("a", "b")
+
+    def test_stable_seed_distinguishes_parts(self):
+        assert stable_seed("ab") != stable_seed("a", "b")
+
+    def test_rng_reproducible(self):
+        a = exec_rng("irs", "run1").random(5)
+        b = exec_rng("irs", "run1").random(5)
+        assert np.array_equal(a, b)
+
+    def test_rng_differs_per_execution(self):
+        a = exec_rng("irs", "run1").random(5)
+        b = exec_rng("irs", "run2").random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestScalingLaw:
+    def test_time_decreases_then_flattens(self):
+        m = WorkloadModel()
+        times = [m.total_time(p) for p in (1, 2, 4, 8, 16, 64, 256)]
+        assert all(a > b for a, b in zip(times, times[1:]))
+        # Speedup efficiency decays: t(1)/t(256) far below 256.
+        assert times[0] / times[-1] < 256 * 0.6
+
+    def test_serial_floor(self):
+        m = WorkloadModel(serial_seconds=5.0, parallel_seconds=10.0, comm_seconds=0.0)
+        assert m.total_time(10**6) == pytest.approx(5.0, abs=0.1)
+
+    @given(p=st.integers(1, 4096))
+    @settings(max_examples=50, deadline=None)
+    def test_time_positive(self, p):
+        assert WorkloadModel().total_time(p) > 0
+
+
+class TestFunctionShares:
+    def test_shares_sum_to_one(self):
+        m = WorkloadModel()
+        shares = m.function_shares(exec_rng("x"), 80)
+        assert shares.sum() == pytest.approx(1.0)
+        assert len(shares) == 80
+
+    def test_shares_sorted_descending(self):
+        shares = WorkloadModel().function_shares(exec_rng("x"), 50)
+        assert all(a >= b for a, b in zip(shares, shares[1:]))
+
+    def test_skewed_distribution(self):
+        # A few hot functions dominate, like real profiles.
+        shares = WorkloadModel().function_shares(exec_rng("x"), 80)
+        assert shares[:8].sum() > 0.4
+
+
+class TestPerProcessValues:
+    def test_length_and_positivity(self):
+        m = WorkloadModel()
+        v = m.per_process_values(exec_rng("x"), 10.0, 64)
+        assert len(v) == 64
+        assert (v > 0).all()
+
+    def test_spread_grows_with_process_count(self):
+        m = WorkloadModel(imbalance=0.1, noise_sigma=0.01)
+        spreads = []
+        for p in (4, 64, 1024):
+            v = m.per_process_values(exec_rng("spread"), 10.0, p)
+            spreads.append(float(v.max() - v.min()))
+        assert spreads[0] < spreads[-1]
+
+    def test_mean_close_to_target(self):
+        m = WorkloadModel(imbalance=0.02, noise_sigma=0.01)
+        v = m.per_process_values(exec_rng("m"), 100.0, 512)
+        assert abs(v.mean() - 100.0) / 100.0 < 0.2
+
+
+class TestMpiFraction:
+    def test_grows_with_scale(self):
+        m = WorkloadModel()
+        assert m.mpi_fraction(2) < m.mpi_fraction(64) < m.mpi_fraction(4096)
+
+    def test_bounded(self):
+        assert WorkloadModel().mpi_fraction(10**9) <= 0.6
+
+
+class TestFunctionTables:
+    def test_irs_function_count_near_80(self):
+        assert len(IRS_FUNCTIONS) == 80
+
+    def test_mpi_functions_prefixed(self):
+        assert all(f.startswith("MPI_") for f in MPI_FUNCTIONS)

@@ -1,0 +1,40 @@
+"""Example-script health: all compile; the quickstart runs end to end."""
+
+import os
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+class TestExamples:
+    def test_at_least_the_promised_scripts_exist(self):
+        assert {
+            "quickstart.py",
+            "purple_benchmark_study.py",
+            "noise_analysis_study.py",
+            "paradyn_integration.py",
+            "comparison_diagnosis.py",
+            "model_prediction.py",
+        } <= set(EXAMPLES)
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_compiles(self, name):
+        py_compile.compile(os.path.join(EXAMPLES_DIR, name), doraise=True)
+
+    def test_quickstart_runs(self):
+        proc = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "PerfTrack data store summary" in proc.stdout
+        assert "FP ops" in proc.stdout

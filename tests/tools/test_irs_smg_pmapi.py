@@ -1,0 +1,161 @@
+"""Converter tests: IRS, SMG2000, PMAPI (generator -> parser -> store)."""
+
+import pytest
+
+from repro.core import PTDataStore
+from repro.ptdf.ptdfgen import IndexEntry
+from repro.ptdf.writer import PTdfWriter
+from repro.synth.irs_gen import IRSRunSpec, generate_irs_run
+from repro.synth.machines import MCR, UV
+from repro.synth.pmapi_gen import generate_pmapi_file
+from repro.synth.smg_gen import SMGRunSpec, generate_smg_run
+from repro.tools.irs import IRSConverter
+from repro.tools.pmapi import PMAPIConverter
+from repro.tools.smg2000 import SMGConverter
+
+
+def _entry(execution, app="IRS", nproc=4):
+    return IndexEntry(execution, app, "MPI", nproc, 1, "t0", "t1")
+
+
+def _writer(entry):
+    w = PTdfWriter()
+    w.add_application(entry.application)
+    w.add_execution(entry.execution, entry.application)
+    return w
+
+
+class TestIRSConverter:
+    @pytest.fixture
+    def files(self, tmp_path):
+        return generate_irs_run(IRSRunSpec("irs-c", MCR, 4), str(tmp_path), drop_rate=0.1)
+
+    def test_sniff(self, files, tmp_path):
+        conv = IRSConverter()
+        assert all(conv.sniff(f) for f in files)
+        other = tmp_path / "other.txt"
+        other.write_text("not irs output")
+        assert not conv.sniff(str(other))
+
+    def test_summary_results(self, files):
+        conv = IRSConverter()
+        entry = _entry("irs-c")
+        w = _writer(entry)
+        summary = [f for f in files if f.endswith(".out")][0]
+        n = conv.convert(summary, entry, w)
+        assert n == 5  # wall, cpu, iterations, energy error, memory HWM
+
+    def test_table_results_skip_dashes(self, files):
+        conv = IRSConverter()
+        entry = _entry("irs-c")
+        w = _writer(entry)
+        tables = [f for f in files if ".timing." in f]
+        total = sum(conv.convert(f, entry, w) for f in tables)
+        # 80 funcs x 4 stats x 5 metrics minus ~10% dropped
+        assert 1300 < total < 1560
+
+    def test_loadable_and_queryable(self, files):
+        conv = IRSConverter()
+        entry = _entry("irs-c")
+        w = _writer(entry)
+        for f in files:
+            conv.convert(f, entry, w)
+        ds = PTDataStore()
+        stats = ds.load_records(w.records)
+        assert stats.results > 1300
+        # metric naming: "<metric> (<stat>)" per paper's 4-stat scheme
+        assert "CPU time (aggregate)" in ds.metrics()
+        assert "CPU time (max)" in ds.metrics()
+        # function resources in the build hierarchy
+        fns = ds.resources_of_type("build/module/function")
+        assert len(fns) == 80
+
+    def test_metric_count_matches_paper(self, files):
+        conv = IRSConverter()
+        entry = _entry("irs-c")
+        w = _writer(entry)
+        for f in files:
+            conv.convert(f, entry, w)
+        ds = PTDataStore()
+        ds.load_records(w.records)
+        # Table 1: 25 metrics for IRS (5 metrics x 4 stats + 5 summary)
+        assert len(ds.metrics()) == 25
+
+
+class TestSMGConverter:
+    def test_eight_native_values(self, tmp_path):
+        path = generate_smg_run(SMGRunSpec("smg-c", UV, 8), str(tmp_path))
+        conv = SMGConverter()
+        assert conv.sniff(path)
+        entry = _entry("smg-c", app="SMG2000", nproc=8)
+        w = _writer(entry)
+        n = conv.convert(path, entry, w)
+        assert n == 8  # the paper's "eight data values"
+
+    def test_driver_parameters_stored_as_attributes(self, tmp_path):
+        path = generate_smg_run(SMGRunSpec("smg-c", UV, 8), str(tmp_path))
+        entry = _entry("smg-c", app="SMG2000", nproc=8)
+        w = _writer(entry)
+        SMGConverter().convert(path, entry, w)
+        ds = PTDataStore()
+        ds.load_records(w.records)
+        rid = ds.resource_id("/smg-c")
+        attrs = {a.name for a in ds.attributes_of(rid)}
+        assert "driver nx, ny, nz" in attrs
+        assert "driver Px, Py, Pz" in attrs
+
+    def test_embedded_pmapi_delegated(self, tmp_path):
+        path = generate_smg_run(SMGRunSpec("smg-c", UV, 4, with_pmapi=True), str(tmp_path))
+        entry = _entry("smg-c", app="SMG2000", nproc=4)
+        w = _writer(entry)
+        n = SMGConverter().convert(path, entry, w)
+        assert n == 8 + 4 * 6  # native + ranks x counters
+
+    def test_metric_names(self, tmp_path):
+        path = generate_smg_run(SMGRunSpec("smg-c", UV, 8), str(tmp_path))
+        entry = _entry("smg-c", app="SMG2000", nproc=8)
+        w = _writer(entry)
+        SMGConverter().convert(path, entry, w)
+        ds = PTDataStore()
+        ds.load_records(w.records)
+        assert "SMG Solve Wall time" in ds.metrics()
+        assert "Iterations" in ds.metrics()
+
+
+class TestPMAPIConverter:
+    def test_standalone_file(self, tmp_path):
+        path = generate_pmapi_file("e1", 3, str(tmp_path))
+        conv = PMAPIConverter()
+        assert conv.sniff(path)
+        entry = _entry("e1")
+        w = _writer(entry)
+        n = conv.convert(path, entry, w)
+        assert n == 3 * 6
+
+    def test_process_contexts(self, tmp_path):
+        path = generate_pmapi_file("e1", 2, str(tmp_path))
+        entry = _entry("e1")
+        w = _writer(entry)
+        PMAPIConverter().convert(path, entry, w)
+        ds = PTDataStore()
+        ds.load_records(w.records)
+        procs = ds.resources_of_type("execution/process")
+        assert {p.base for p in procs} == {"p0", "p1"}
+
+    def test_counter_values_are_counts(self, tmp_path):
+        path = generate_pmapi_file("e1", 2, str(tmp_path))
+        entry = _entry("e1")
+        w = _writer(entry)
+        PMAPIConverter().convert(path, entry, w)
+        ds = PTDataStore()
+        ds.load_records(w.records)
+        rows = ds.backend.query(
+            "SELECT p.value FROM performance_result p "
+            "JOIN metric m ON m.id = p.metric_id WHERE m.name = 'PM_CYC'"
+        )
+        assert len(rows) == 2 and all(v > 0 for (v,) in rows)
+
+    def test_sniff_rejects_other(self, tmp_path):
+        f = tmp_path / "x.txt"
+        f.write_text("something else")
+        assert not PMAPIConverter().sniff(str(f))

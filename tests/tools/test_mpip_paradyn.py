@@ -1,0 +1,298 @@
+"""Converter tests: mpiP (multi-resource-set) and Paradyn (Fig. 11 mapping)."""
+
+import pytest
+
+from repro.core import PTDataStore
+from repro.ptdf.ptdfgen import IndexEntry
+from repro.ptdf.writer import PTdfWriter
+from repro.synth.mpip_gen import MpiPSpec, generate_mpip_report
+from repro.synth.paradyn_gen import ParadynSpec, generate_paradyn_export
+from repro.tools.mpip import MpiPConverter
+from repro.tools.paradyn import ParadynConverter
+
+
+def _entry(execution, app="SMG2000", nproc=4):
+    return IndexEntry(execution, app, "MPI", nproc, 1, "t0", "t1")
+
+
+def _writer(entry):
+    w = PTdfWriter()
+    w.add_application(entry.application)
+    w.add_execution(entry.execution, entry.application)
+    return w
+
+
+@pytest.fixture
+def mpip_loaded(tmp_path):
+    path = generate_mpip_report(MpiPSpec("e1", 4, callsites=5), str(tmp_path))
+    entry = _entry("e1")
+    w = _writer(entry)
+    n = MpiPConverter().convert(path, entry, w)
+    ds = PTDataStore()
+    ds.load_records(w.records)
+    return ds, n
+
+
+class TestMpiPConverter:
+    def test_result_count(self, mpip_loaded):
+        ds, n = mpip_loaded
+        # tasks: (4+1)x2; aggregate: min(5,20); stats: 5 sites x 5 rows x 4 vals
+        assert n == 10 + 5 + 100
+
+    def test_caller_callee_resource_sets(self, mpip_loaded):
+        """Section 4.2: each callsite value carries primary + parent contexts."""
+        ds, _ = mpip_loaded
+        rows = ds.backend.query(
+            "SELECT COUNT(*) FROM performance_result_has_focus WHERE focus_type = 'parent'"
+        )
+        assert rows[0][0] == 105  # every callsite result has a parent context
+
+    def test_mpi_functions_in_environment_hierarchy(self, mpip_loaded):
+        ds, _ = mpip_loaded
+        fns = ds.resources_of_type("environment/module/function")
+        assert fns
+        assert all(f.name.startswith("/libmpi/mpi/MPI_") for f in fns)
+
+    def test_callers_in_build_hierarchy(self, mpip_loaded):
+        ds, _ = mpip_loaded
+        callers = ds.resources_of_type("build/module/function")
+        assert any(c.base.startswith("hypre_") for c in callers)
+
+    def test_callsites_are_codeblocks_with_line(self, mpip_loaded):
+        ds, _ = mpip_loaded
+        blocks = ds.resources_of_type("build/module/function/codeBlock")
+        assert blocks
+        line = ds.attribute_value(blocks[0].id, "line")
+        assert line is not None and int(line) > 0
+
+    def test_star_rows_use_execution_context(self, mpip_loaded):
+        ds, _ = mpip_loaded
+        # App/MPI time for the '*' row: context is exactly the execution.
+        rows = ds.backend.query(
+            "SELECT COUNT(*) FROM performance_result p "
+            "JOIN metric m ON m.id = p.metric_id "
+            "JOIN performance_result_has_focus prf ON prf.performance_result_id = p.id "
+            "JOIN focus f ON f.id = prf.focus_id "
+            "WHERE m.name = 'Application time'"
+        )
+        assert rows[0][0] == 5  # 4 ranks + aggregate row
+
+    def test_metric_names(self, mpip_loaded):
+        ds, _ = mpip_loaded
+        metrics = set(ds.metrics())
+        assert {
+            "Application time",
+            "MPI time",
+            "Aggregate MPI time",
+            "Call count",
+            "Call time (max)",
+            "Call time (mean)",
+            "Call time (min)",
+        } <= metrics
+
+
+@pytest.fixture
+def paradyn_export(tmp_path):
+    spec = ParadynSpec(
+        "pe1", processes=2, threads_per_process=2, modules=6,
+        functions_per_module=4, histograms=4, bins=30, nan_rate=0.2,
+        sync_objects=4,
+    )
+    return generate_paradyn_export(spec, str(tmp_path)), spec
+
+
+class TestParadynMapping:
+    def test_code_maps_to_build(self, paradyn_export):
+        conv = ParadynConverter()
+        entry = _entry("pe1", app="IRS")
+        m = conv.map_resource(entry, "/Code/module_005.c/fn_005_001")
+        names = dict(m.names)
+        assert names["/IRS/module_005.c/fn_005_001"] == "build/module/function"
+
+    def test_dynamic_module_maps_to_environment(self, paradyn_export):
+        conv = ParadynConverter()
+        entry = _entry("pe1", app="IRS")
+        m = conv.map_resource(entry, "/Code/libshared_000.so/fn_000_001")
+        types = {t for _n, t in m.names}
+        assert "environment/module/function" in types
+
+    def test_default_module_defaults_to_build(self):
+        conv = ParadynConverter()
+        entry = _entry("pe1", app="IRS")
+        m = conv.map_resource(entry, "/Code/DEFAULT_MODULE/builtin_000")
+        types = {t for _n, t in m.names}
+        assert "build/module/function" in types
+
+    def test_machine_node_becomes_attribute(self):
+        """Fig. 11: machine nodes are stored as attributes of processes."""
+        conv = ParadynConverter()
+        entry = _entry("pe1", app="IRS")
+        m = conv.map_resource(entry, "/Machine/mcr042/irs{123}")
+        names = dict(m.names)
+        assert "/pe1/irs{123}" in names
+        assert names["/pe1/irs{123}"] == "execution/process"
+        assert ("/pe1/irs{123}", "machine node", "mcr042") in m.attributes
+
+    def test_thread_mapping(self):
+        conv = ParadynConverter()
+        entry = _entry("pe1", app="IRS")
+        m = conv.map_resource(entry, "/Machine/mcr042/irs{123}/thr_1")
+        names = dict(m.names)
+        assert names["/pe1/irs{123}/thr_1"] == "execution/process/thread"
+
+    def test_syncobject_new_hierarchy(self):
+        conv = ParadynConverter()
+        entry = _entry("pe1", app="IRS")
+        m = conv.map_resource(entry, "/SyncObject/Message/obj_002")
+        names = dict(m.names)
+        assert names["/syncObjects/Message/obj_002"] == "syncObject/syncClass/syncInstance"
+
+    def test_roots_unmapped(self):
+        conv = ParadynConverter()
+        entry = _entry("pe1", app="IRS")
+        assert conv.map_resource(entry, "/Code") is None
+        assert conv.map_resource(entry, "/Machine") is None
+        assert conv.map_resource(entry, "/Machine/mcr001") is None
+
+
+class TestParadynConversion:
+    def test_full_export_conversion(self, paradyn_export):
+        export, spec = paradyn_export
+        conv = ParadynConverter()
+        entry = _entry("pe1", app="IRS")
+        w = _writer(entry)
+        conv.convert_resources_file(export.resources_path, entry, w)
+        n = conv.convert_index(export.index_path, entry, w)
+        ds = PTDataStore()
+        ds.load_records(w.records)
+        # nan bins dropped: results < histograms x bins
+        assert 0 < n < spec.histograms * spec.bins
+        assert ds.count_rows("performance_result") == n
+
+    def test_nan_bins_not_recorded(self, paradyn_export):
+        export, spec = paradyn_export
+        hist = export.histogram_paths[0]
+        non_nan = sum(
+            1
+            for line in open(hist)
+            if line.strip() and not line.startswith("#") and line.strip() != "nan"
+        )
+        conv = ParadynConverter()
+        entry = _entry("pe1", app="IRS")
+        w = _writer(entry)
+        assert conv.convert_histogram(hist, entry, w) == non_nan
+
+    def test_bins_in_time_hierarchy_with_bounds(self, paradyn_export):
+        export, _spec = paradyn_export
+        conv = ParadynConverter()
+        entry = _entry("pe1", app="IRS")
+        w = _writer(entry)
+        conv.convert_histogram(export.histogram_paths[0], entry, w)
+        ds = PTDataStore()
+        ds.load_records(w.records)
+        bins = ds.resources_of_type("time/interval")
+        assert bins
+        b0 = bins[0]
+        start = float(ds.attribute_value(b0.id, "start time"))
+        end = float(ds.attribute_value(b0.id, "end time"))
+        assert end - start == pytest.approx(0.2)
+
+    def test_global_phase_at_time_top_level(self, paradyn_export):
+        export, _spec = paradyn_export
+        conv = ParadynConverter()
+        entry = _entry("pe1", app="IRS")
+        w = _writer(entry)
+        conv.convert_histogram(export.histogram_paths[0], entry, w)
+        ds = PTDataStore()
+        ds.load_records(w.records)
+        phases = ds.resources_of_type("time")
+        assert [p.name for p in phases] == ["/pe1-global"]
+
+    def test_local_phase_extends_type_hierarchy(self, paradyn_export):
+        export, _spec = paradyn_export
+        conv = ParadynConverter()
+        entry = _entry("pe1", app="IRS")
+        w = _writer(entry)
+        conv.convert_histogram(
+            export.histogram_paths[0], entry, w, phase="phase1"
+        )
+        ds = PTDataStore()
+        ds.load_records(w.records)
+        assert ds.resource_type("time/interval/interval") is not None
+        bins = ds.resources_of_type("time/interval/interval")
+        assert bins and bins[0].name.startswith("/pe1-global/phase1/bin_")
+
+    def test_sync_type_registered(self, paradyn_export):
+        export, _spec = paradyn_export
+        conv = ParadynConverter()
+        entry = _entry("pe1", app="IRS")
+        w = _writer(entry)
+        conv.convert_resources_file(export.resources_path, entry, w)
+        ds = PTDataStore()
+        ds.load_records(w.records)
+        assert ds.resource_type("syncObject/syncClass/syncInstance") is not None
+
+
+class TestParadynLocalPhases:
+    def test_generator_emits_phase_headers(self, tmp_path):
+        spec = ParadynSpec(
+            "lp-gen", processes=2, modules=3, functions_per_module=2,
+            histograms=6, bins=10, local_phases=2,
+        )
+        export = generate_paradyn_export(spec, str(tmp_path))
+        phased = [
+            p for p in export.histogram_paths if "# phase:" in open(p).read()
+        ]
+        assert phased  # every third histogram carries a local phase
+
+    def test_phase_header_maps_to_nested_interval(self, tmp_path):
+        spec = ParadynSpec(
+            "lp-conv", processes=2, modules=3, functions_per_module=2,
+            histograms=6, bins=10, local_phases=2,
+        )
+        export = generate_paradyn_export(spec, str(tmp_path))
+        entry = _entry("lp-conv", app="IRS")
+        w = _writer(entry)
+        ParadynConverter().convert_index(export.index_path, entry, w)
+        ds = PTDataStore()
+        ds.load_records(w.records)
+        # Local phases are time/interval; their bins are a level deeper.
+        phases = [
+            r for r in ds.resources_of_type("time/interval")
+            if r.base.startswith("phase_")
+        ]
+        assert phases
+        nested = ds.resources_of_type("time/interval/interval")
+        assert nested
+        assert all(n.name.split("/")[-2].startswith("phase_") for n in nested)
+
+
+class TestMpiPMetricNaming:
+    def test_per_call_mode_expands_metric_table(self, tmp_path):
+        path = generate_mpip_report(MpiPSpec("mn1", 4, callsites=12), str(tmp_path))
+        entry = _entry("mn1")
+        stores = {}
+        for naming in ("generic", "per-call"):
+            w = _writer(entry)
+            MpiPConverter(metric_naming=naming).convert(path, entry, w)
+            ds = PTDataStore()
+            ds.load_records(w.records)
+            stores[naming] = set(ds.metrics())
+        # Same data, many more metric names in per-call mode (the paper's
+        # Table-1 SMG-UV row counted 259 metrics this way).
+        assert len(stores["per-call"]) > len(stores["generic"])
+        assert any(m.startswith("MPI_") and "time (mean)" in m
+                   for m in stores["per-call"])
+
+    def test_invalid_naming_rejected(self):
+        with pytest.raises(ValueError):
+            MpiPConverter(metric_naming="fancy")
+
+    def test_result_counts_identical_across_naming(self, tmp_path):
+        path = generate_mpip_report(MpiPSpec("mn2", 2, callsites=3), str(tmp_path))
+        entry = _entry("mn2", nproc=2)
+        counts = []
+        for naming in ("generic", "per-call"):
+            w = _writer(entry)
+            counts.append(MpiPConverter(metric_naming=naming).convert(path, entry, w))
+        assert counts[0] == counts[1]

@@ -1,0 +1,147 @@
+"""Failure injection: converters must survive malformed tool output.
+
+Real tool files get truncated, interleaved with stderr noise, or edited by
+hand; converters should parse what they can and never crash ("providing
+conversion support is the most useful way to keep PerfTrack useful").
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ptdf.ptdfgen import IndexEntry
+from repro.ptdf.writer import PTdfWriter
+from repro.synth.irs_gen import IRSRunSpec, generate_irs_run
+from repro.synth.machines import MCR, UV
+from repro.synth.mpip_gen import MpiPSpec, generate_mpip_report
+from repro.synth.paradyn_gen import ParadynSpec, generate_paradyn_export
+from repro.synth.smg_gen import SMGRunSpec, generate_smg_run
+from repro.tools import ALL_CONVERTERS
+from repro.tools.irs import IRSConverter
+from repro.tools.mpip import MpiPConverter
+from repro.tools.paradyn import ParadynConverter
+from repro.tools.smg2000 import SMGConverter
+
+
+def _entry():
+    return IndexEntry("rx", "APP", "MPI", 4, 1, "t0", "t1")
+
+
+def _writer():
+    w = PTdfWriter()
+    w.add_application("APP")
+    w.add_execution("rx", "APP")
+    return w
+
+
+@pytest.fixture(scope="module")
+def originals(tmp_path_factory):
+    d = str(tmp_path_factory.mktemp("robust"))
+    files = {}
+    files["irs"] = generate_irs_run(IRSRunSpec("rx", MCR, 4), d)[1]  # a timing table
+    files["smg"] = generate_smg_run(SMGRunSpec("rx-smg", UV, 4, with_pmapi=True), d)
+    files["mpip"] = generate_mpip_report(MpiPSpec("rx-mpip", 4, callsites=5), d)
+    export = generate_paradyn_export(
+        ParadynSpec("rx-par", processes=2, modules=3, functions_per_module=2,
+                    histograms=2, bins=20),
+        d,
+    )
+    files["paradyn_hist"] = export.histogram_paths[0]
+    files["paradyn_res"] = export.resources_path
+    return files
+
+
+_CONVERTERS = {
+    "irs": IRSConverter(),
+    "smg": SMGConverter(),
+    "mpip": MpiPConverter(),
+    "paradyn_hist": ParadynConverter(),
+}
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("kind", sorted(_CONVERTERS))
+    @pytest.mark.parametrize("fraction", [0.0, 0.1, 0.5, 0.9])
+    def test_truncated_files_never_crash(self, originals, tmp_path, kind, fraction):
+        text = open(originals[kind]).read()
+        cut = text[: int(len(text) * fraction)]
+        path = str(tmp_path / f"{kind}-{fraction}.txt")
+        open(path, "w").write(cut)
+        conv = _CONVERTERS[kind]
+        w = _writer()
+        n = conv.convert(path, _entry(), w)
+        assert n >= 0
+        # whatever was produced must be loadable
+        from repro.core import PTDataStore
+
+        PTDataStore().load_records(w.records)
+
+
+class TestNoiseInjection:
+    @pytest.mark.parametrize("kind", sorted(_CONVERTERS))
+    def test_interleaved_garbage_lines(self, originals, tmp_path, kind):
+        lines = open(originals[kind]).read().splitlines()
+        noisy = []
+        for i, line in enumerate(lines):
+            noisy.append(line)
+            if i % 7 == 3:
+                noisy.append("stderr: WARNING something unrelated 123 !!")
+        path = str(tmp_path / f"{kind}-noisy.txt")
+        open(path, "w").write("\n".join(noisy))
+        conv = _CONVERTERS[kind]
+        clean_w, noisy_w = _writer(), _writer()
+        n_clean = conv.convert(originals[kind], _entry(), clean_w)
+        n_noisy = conv.convert(path, _entry(), noisy_w)
+        # garbage lines are skipped, real data still extracted
+        assert n_noisy >= n_clean * 0.9
+
+    def test_paradyn_resources_with_garbage(self, originals, tmp_path):
+        lines = open(originals["paradyn_res"]).read().splitlines()
+        lines.insert(2, "not-a-path at all")
+        lines.insert(5, "/UnknownRoot/whatever/deep")
+        path = str(tmp_path / "res-noisy.txt")
+        open(path, "w").write("\n".join(lines))
+        w = _writer()
+        n = ParadynConverter().convert_resources_file(path, _entry(), w)
+        assert n > 0
+
+
+class TestRandomInput:
+    @settings(max_examples=30, deadline=None)
+    @given(blob=st.text(max_size=2000))
+    def test_random_text_never_crashes_any_converter(self, tmp_path_factory, blob):
+        d = tmp_path_factory.mktemp("fuzz")
+        path = str(d / "random.txt")
+        open(path, "w", encoding="utf-8").write(blob)
+        for conv in ALL_CONVERTERS:
+            if conv.sniff(path):
+                w = _writer()
+                conv.convert(path, _entry(), w)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.binary(max_size=1000))
+    def test_binary_input_never_crashes(self, tmp_path_factory, data):
+        d = tmp_path_factory.mktemp("fuzzbin")
+        path = str(d / "random.bin")
+        open(path, "wb").write(data)
+        for conv in ALL_CONVERTERS:
+            if conv.sniff(path):
+                w = _writer()
+                conv.convert(path, _entry(), w)
+
+
+class TestPTdfGenWithBrokenFiles:
+    def test_gen_skips_unreadable_directory_entries(self, originals, tmp_path):
+        import os
+        from repro.ptdf.ptdfgen import PTdfGen
+
+        raw = tmp_path / "raw"
+        raw.mkdir()
+        (raw / "rx.good").write_text(open(originals["irs"]).read())
+        (raw / "rx.junk").write_text("\x00\x01 binary-ish junk")
+        (raw / "rx.subdir").mkdir()  # a directory with a matching prefix
+        index = tmp_path / "i.index"
+        index.write_text("rx APP MPI 4 1 t0 t1\n")
+        gen = PTdfGen(ALL_CONVERTERS)
+        reports = gen.generate(str(raw), str(index), out_dir=str(tmp_path / "out"))
+        assert reports[0].results > 0
+        assert any("rx.junk" in s for s in reports[0].skipped)
