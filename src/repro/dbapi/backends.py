@@ -91,6 +91,10 @@ class Backend:
     def has_table(self, name: str) -> bool:
         raise NotImplementedError
 
+    def max_value(self, table: str, column: str) -> Any:
+        """Largest non-NULL value of one column (bulk-load id seeding)."""
+        return self.scalar(f"SELECT MAX({column}) FROM {table}")
+
 
 class MinidbBackend(Backend):
     """Backend over :mod:`repro.minidb` (errors already normalised)."""
@@ -103,6 +107,18 @@ class MinidbBackend(Backend):
 
     def has_table(self, name: str) -> bool:
         return self.connection.db.catalog.has_table(name)
+
+    def max_value(self, table: str, column: str) -> Any:
+        # O(1) off a single-column index covering the column (the id
+        # primary keys always have one); falls back to the aggregate scan.
+        db = self.connection.db
+        meta = db.catalog.table(table)
+        col = column.lower()
+        for idx in db.indexes_on(meta.name):
+            if [c.lower() for c in idx.columns] == [col]:
+                key = idx.max_key()
+                return None if key is None else key[0]
+        return super().max_value(table, column)
 
     def db_size_bytes(self) -> int:
         """Rough in-memory footprint: total stored cell count (see Table 1)."""

@@ -14,6 +14,7 @@ DDL statements commit implicitly (before and after), like Oracle.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from . import ast_nodes as ast
@@ -31,6 +32,10 @@ _DDL_NODES = (
 )
 _DML_NODES = (ast.Insert, ast.Update, ast.Delete)
 
+#: Parsed-statement cache capacity per connection.  Eviction is LRU so a
+#: burst of one-off statements cannot dump the hot loader statements.
+STATEMENT_CACHE_SIZE = 512
+
 
 class Connection:
     """An open minidb database handle."""
@@ -39,7 +44,7 @@ class Connection:
         self.db = Database()
         self.path: Optional[str] = None
         self._closed = False
-        self._statement_cache: dict[str, Any] = {}
+        self._statement_cache: OrderedDict[str, Any] = OrderedDict()
         if database != ":memory:":
             self.path = os.fspath(database)
             if os.path.exists(self.path):
@@ -114,9 +119,11 @@ class Connection:
         stmt = self._statement_cache.get(sql)
         if stmt is None:
             stmt = parse(sql)
-            if len(self._statement_cache) > 512:
-                self._statement_cache.clear()
+            while len(self._statement_cache) >= STATEMENT_CACHE_SIZE:
+                self._statement_cache.popitem(last=False)
             self._statement_cache[sql] = stmt
+        else:
+            self._statement_cache.move_to_end(sql)
         return stmt
 
     def _execute(self, sql: str, params: Sequence[Any]) -> Result:
@@ -167,10 +174,22 @@ class Cursor:
 
     def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
         self._check_open()
+        conn = self.connection
+        stmt = conn._parse_cached(sql)
+        if isinstance(stmt, ast.Insert) and stmt.select is None:
+            # Vectorized fast path: parse/plan once, one journal batch.
+            conn.db.begin()
+            result = Executor(conn.db).execute_insert_batch(stmt, seq_of_params)
+            self.description = None
+            self.rowcount = result.rowcount
+            self.lastrowid = result.lastrowid
+            self._rows = []
+            self._pos = 0
+            return self
         total = 0
         last = None
         for params in seq_of_params:
-            result = self.connection._execute(sql, tuple(params))
+            result = conn._execute(sql, tuple(params))
             if result.rowcount > 0:
                 total += result.rowcount
             last = result

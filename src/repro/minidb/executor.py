@@ -20,13 +20,14 @@ from .expressions import (
 )
 from .planner import (
     FullScan,
+    HashJoin,
     IndexEquality,
     IndexRange,
     InProbe,
     choose_access_path,
     split_conjuncts,
 )
-from .sqltypes import sort_key
+from .sqltypes import coerce, sort_key
 from .storage import Database
 
 
@@ -57,6 +58,9 @@ class Executor:
         # Access paths for join probes are chosen once per (table-node,
         # bound bindings) pair, not once per outer row.
         self._path_cache: dict[tuple, object] = {}
+        # Hash-join build tables, keyed by plan identity: built on the
+        # first probe, reused for every subsequent outer row.
+        self._hash_cache: dict[int, dict[tuple, list[int]]] = {}
 
     # -- dispatch --------------------------------------------------------------
 
@@ -131,6 +135,97 @@ class Executor:
             count += 1
         return Result(rowcount=count, lastrowid=lastrowid)
 
+    def execute_insert_batch(self, stmt: ast.Insert, seq_of_params) -> Result:
+        """Vectorized INSERT for ``executemany``: plan once, apply all rows.
+
+        The statement is analysed once (column positions, defaults); every
+        parameter row then goes straight to storage.  Constraints are still
+        checked per row, but the batch is **statement-atomic**: if any row
+        fails, every row already applied by this batch is undone before the
+        error propagates, and nothing reaches the journal.  On success the
+        whole batch becomes a single journal record (one WAL flush at
+        commit regardless of batch size).
+        """
+        if stmt.select is not None:
+            raise ProgrammingError("cannot batch-execute INSERT ... SELECT")
+        db = self.db
+        db.begin()  # no-op when already in a transaction
+        table = db.table(stmt.table)
+        meta = table.meta
+        if stmt.columns:
+            positions = [meta.column_index(c) for c in stmt.columns]
+        else:
+            positions = list(range(len(meta.columns)))
+        ncols = len(meta.columns)
+        # Per-destination-column source: parameter position or default value.
+        src_of: list[Optional[int]] = [None] * ncols
+        for src_i, dest in enumerate(positions):
+            src_of[dest] = src_i
+        defaults = [c.default if c.has_default else None for c in meta.columns]
+        for template in stmt.rows:
+            if len(template) != len(positions):
+                raise ProgrammingError(
+                    f"table {meta.name} expects {len(positions)} values, "
+                    f"got {len(template)}"
+                )
+        affinities = [c.affinity for c in meta.columns]
+        single = stmt.rows[0] if len(stmt.rows) == 1 else None
+        if single is not None and all(isinstance(e, ast.Parameter) for e in single):
+            # All-placeholder template (the bulk-load shape): skip the
+            # expression evaluator and map parameters straight to columns.
+            param_of: list[Optional[int]] = [None] * ncols
+            for src_i, dest in enumerate(positions):
+                param_of[dest] = single[src_i].index
+            need = max((e.index for e in single), default=-1) + 1
+            fixed = [
+                None if p is not None else coerce(defaults[i], affinities[i])
+                for i, p in enumerate(param_of)
+            ]
+
+            def build_rows() -> Iterator[list[Any]]:
+                for params in seq_of_params:
+                    if len(params) < need:
+                        raise ProgrammingError(
+                            f"statement requires at least {need} parameters, "
+                            f"{len(params)} supplied"
+                        )
+                    yield [
+                        coerce(params[p], affinities[i]) if p is not None else fixed[i]
+                        for i, p in enumerate(param_of)
+                    ]
+
+        else:
+            ev = self.evaluator
+            scope = Scope()
+
+            def build_rows() -> Iterator[list[Any]]:
+                for params in seq_of_params:
+                    ev.params = list(params)
+                    ev._inlist_cache.clear()  # parameter-dependent, per-row
+                    for template in stmt.rows:
+                        values = [ev.evaluate(e, scope) for e in template]
+                        yield db.coerce_row(
+                            meta,
+                            [
+                                values[src_of[i]] if src_of[i] is not None else defaults[i]
+                                for i in range(ncols)
+                            ],
+                        )
+
+        undo_mark = len(db._undo)
+        try:
+            applied, lastrowid = db.insert_rows(table, build_rows())
+        except BaseException:
+            # Undo only this batch's mutations, leaving the enclosing
+            # transaction's earlier work intact.
+            for entry in reversed(db._undo[undo_mark:]):
+                db._apply_undo(entry)
+            del db._undo[undo_mark:]
+            raise
+        if db.journal is not None and applied:
+            db.journal.log_insert_batch(meta.name, applied)
+        return Result(rowcount=len(applied), lastrowid=lastrowid)
+
     def _exec_Update(self, stmt: ast.Update) -> Result:
         table = self.db.table(stmt.table)
         meta = table.meta
@@ -199,6 +294,24 @@ class Executor:
                     if rowid not in seen:
                         seen.add(rowid)
                         yield rowid
+            return
+        if isinstance(path, HashJoin):
+            build = self._hash_cache.get(id(path))
+            if build is None:
+                build = {}
+                for rowid, row in table.rows.items():
+                    key = tuple(row[p] for p in path.build_positions)
+                    if any(v is None for v in key):
+                        continue  # NULL never matches an equi-join key
+                    hkey = tuple(sort_key(v) for v in key)
+                    build.setdefault(hkey, []).append(rowid)
+                self._hash_cache[id(path)] = build
+            probe = tuple(
+                self.evaluator.evaluate(e, outer_scope) for e in path.probe_exprs
+            )
+            if any(v is None for v in probe):
+                return
+            yield from build.get(tuple(sort_key(v) for v in probe), ())
             return
         if isinstance(path, IndexRange):
             prefix = tuple(
@@ -281,6 +394,7 @@ class Executor:
                 source.binding,
                 where_conjuncts,
                 known_binding=self._known_binding_fn(set(bound), meta, source.binding),
+                table_size=len(self.db.table(source.name).rows),
             )
             lines.append(path.describe())
             return
@@ -445,6 +559,7 @@ class Executor:
                 ref.binding,
                 push_conjuncts,
                 known_binding=self._known_binding_fn(set(bound), meta, ref.binding),
+                table_size=len(table.rows),
             )
             self._path_cache[cache_key] = path
         eval_scope = parent if parent is not None else outer

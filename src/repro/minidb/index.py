@@ -91,6 +91,10 @@ class Index:
         """Row ids with exactly *key* (empty list when absent)."""
         return list(self._map.get(key, ()))
 
+    def contains(self, key: tuple) -> bool:
+        """True when any row carries *key* (no result-list allocation)."""
+        return bool(self._map.get(key))
+
     def _ensure_sorted(self) -> None:
         if not self._sorted_valid:
             self._sorted = sorted((_ordered(k), k) for k in self._map)
@@ -142,3 +146,11 @@ class Index:
         self._ensure_sorted()
         for _okey, key in self._sorted:
             yield key
+
+    def max_key(self) -> tuple | None:
+        """Largest fully non-NULL key, or ``None`` (SQL MAX ignores NULLs)."""
+        self._ensure_sorted()
+        for _okey, key in reversed(self._sorted):
+            if not any(v is None for v in key):
+                return key
+        return None

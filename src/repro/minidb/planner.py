@@ -7,7 +7,9 @@ interprets; ``EXPLAIN <stmt>`` renders them as text.
 
 PerfTrack's hot queries — focus/resource lookups by id or name, pr-filter
 family probes — are all equality probes, so index-equality is the path
-that matters; everything else falls back to a full scan.
+that matters.  Equi-joins with no usable index get a hash join (build the
+probed table's key map once, stream the outer side against it) instead of
+O(n·m) nested loops; everything else falls back to a full scan.
 """
 
 from __future__ import annotations
@@ -18,6 +20,11 @@ from typing import Callable, Optional
 from . import ast_nodes as ast
 from .catalog import TableMeta
 from .index import Index
+
+
+#: Minimum row count of the build (probed) table before a hash join pays
+#: for building its key map; below this a nested scan is cheaper.
+HASH_JOIN_MIN_BUILD_ROWS = 4
 
 
 def split_conjuncts(expr: Optional[ast.Expr]) -> list[ast.Expr]:
@@ -115,6 +122,30 @@ class InProbe:
 
 
 @dataclass
+class HashJoin:
+    """Equi-join probe with no usable index: hash the table once, stream
+    outer rows against it.
+
+    ``build_positions[i]`` is the row position of ``build_cols[i]`` in the
+    probed table; ``probe_exprs[i]`` is the matching outer-row expression.
+    NULL keys are excluded on both sides (SQL equi-join semantics).
+    """
+
+    table: str
+    binding: str
+    build_cols: list[str]
+    build_positions: list[int]
+    probe_exprs: list[ast.Expr]
+    consumed: list[ast.Expr] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"HashJoin {self.table} AS {self.binding} "
+            f"(key: {', '.join(self.build_cols)})"
+        )
+
+
+@dataclass
 class FullScan:
     table: str
     binding: str
@@ -160,7 +191,22 @@ class IndexRange:
         )
 
 
-AccessPath = FullScan | IndexEquality | IndexRange | InProbe
+AccessPath = FullScan | IndexEquality | IndexRange | InProbe | HashJoin
+
+
+def _contains_column_ref(expr: ast.Expr) -> bool:
+    """True when *expr* references any column (i.e. varies per outer row)."""
+    if isinstance(expr, ast.ColumnRef):
+        return True
+    if isinstance(expr, ast.Unary):
+        return _contains_column_ref(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _contains_column_ref(expr.left) or _contains_column_ref(expr.right)
+    if isinstance(expr, ast.Cast):
+        return _contains_column_ref(expr.operand)
+    if isinstance(expr, ast.FuncCall):
+        return any(_contains_column_ref(a) for a in expr.args)
+    return False
 
 
 def choose_access_path(
@@ -169,11 +215,15 @@ def choose_access_path(
     binding: str,
     conjuncts: list[ast.Expr],
     known_binding: Callable[[Optional[str], str], bool],
+    table_size: Optional[int] = None,
 ) -> AccessPath:
     """Pick the best access path for one table given AND-ed conjuncts.
 
     Preference order: longest full-equality index match, then equality
-    prefix + range, then full scan.  Ties favour unique indexes.
+    prefix + range, then — for equi-join conjuncts against outer-row
+    values with no usable index and a build side of at least
+    ``HASH_JOIN_MIN_BUILD_ROWS`` rows (*table_size*) — a hash join, then
+    full scan.  Ties favour unique indexes.
     """
     # ``col IN (known items...)`` against a single-column index: multi-probe.
     # Checked first because pr-filter evaluation (PerfTrack's hot path) is
@@ -198,7 +248,7 @@ def choose_access_path(
                             meta.name, binding, idx, list(conj.items), consumed=[conj]
                         )
     sargables = extract_sargables(conjuncts, binding, meta, known_binding)
-    if not sargables or not indexes:
+    if not sargables:
         return FullScan(meta.name, binding)
     eq_by_col: dict[str, Sargable] = {}
     range_by_col: dict[str, list[Sargable]] = {}
@@ -257,4 +307,38 @@ def choose_access_path(
             if best is None:
                 best_score = score
                 best = IndexRange(meta.name, binding, idx, [], low=low, high=high)
-    return best or FullScan(meta.name, binding)
+    if best is not None:
+        return best
+    hash_join = _maybe_hash_join(meta, binding, eq_by_col, table_size)
+    if hash_join is not None:
+        return hash_join
+    return FullScan(meta.name, binding)
+
+
+def _maybe_hash_join(
+    meta: TableMeta,
+    binding: str,
+    eq_by_col: dict[str, Sargable],
+    table_size: Optional[int],
+) -> Optional[HashJoin]:
+    """Build a hash-join plan from equality conjuncts, if worthwhile.
+
+    At least one equality value must reference an outer-row column —
+    constant probes gain nothing from hashing over a single residual
+    scan — and the build side must be big enough to amortise the build.
+    """
+    if not eq_by_col:
+        return None
+    if table_size is not None and table_size < HASH_JOIN_MIN_BUILD_ROWS:
+        return None
+    if not any(_contains_column_ref(s.value) for s in eq_by_col.values()):
+        return None
+    cols = list(eq_by_col)
+    return HashJoin(
+        meta.name,
+        binding,
+        build_cols=cols,
+        build_positions=[meta.column_index(c) for c in cols],
+        probe_exprs=[eq_by_col[c].value for c in cols],
+        consumed=[eq_by_col[c].conjunct for c in cols],
+    )

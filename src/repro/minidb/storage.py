@@ -37,6 +37,30 @@ class Table:
         return iter(self.rows.items())
 
 
+class TablePlan:
+    """Cached per-table mutation metadata.
+
+    Row mutation re-resolves the same schema facts for every row — which
+    indexes cover the table, where their key columns live, which foreign
+    keys apply and what index (if any) serves the referenced key.  This
+    plan hoists all of it so bulk loads pay the resolution once per table
+    instead of once per row.  Any DDL invalidates every plan.
+    """
+
+    __slots__ = ("indexes", "not_null", "fks")
+
+    def __init__(
+        self,
+        indexes: list[tuple[Index, tuple[int, ...]]],
+        not_null: list[tuple[int, str]],
+        fks: list[tuple],
+    ) -> None:
+        self.indexes = indexes
+        self.not_null = not_null
+        #: each entry: (fk, local_positions, ref_meta, ref_index, ref_positions)
+        self.fks = fks
+
+
 class UndoEntry:
     """One reversible storage mutation."""
 
@@ -66,12 +90,14 @@ class Database:
         self.tables: dict[str, Table] = {}
         self.indexes: dict[str, Index] = {}
         self._undo: list[UndoEntry] = []
+        self._plans: dict[str, TablePlan] = {}
         self.in_transaction = False
         self.journal = None  # set by connection when file-backed
 
     # -- schema operations -----------------------------------------------------
 
     def create_table(self, meta_stmt) -> TableMeta:
+        self._invalidate_plans()
         meta = self.catalog.create_table(meta_stmt)
         self.tables[meta.name.lower()] = Table(meta)
         # Implicit indexes for PK and UNIQUE sets.
@@ -90,12 +116,14 @@ class Database:
         self.indexes[name.lower()] = Index(name, meta.name, cols, unique=unique)
 
     def drop_table(self, name: str) -> None:
+        self._invalidate_plans()
         meta = self.catalog.drop_table(name)
         del self.tables[meta.name.lower()]
         for iname in [n for n, idx in self.indexes.items() if idx.table.lower() == meta.name.lower()]:
             del self.indexes[iname]
 
     def create_index(self, stmt) -> None:
+        self._invalidate_plans()
         imeta = self.catalog.create_index(stmt)
         idx = Index(imeta.name, imeta.table, imeta.columns, unique=imeta.unique)
         table = self.table(imeta.table)
@@ -109,6 +137,7 @@ class Database:
         self.indexes[imeta.name.lower()] = idx
 
     def drop_index(self, name: str) -> None:
+        self._invalidate_plans()
         imeta = self.catalog.drop_index(name)
         self.indexes.pop(imeta.name.lower(), None)
 
@@ -122,6 +151,44 @@ class Database:
             for m in self.catalog.indexes_on(table)
             if m.name.lower() in self.indexes
         ]
+
+    # -- cached mutation plans ------------------------------------------------------
+
+    def _plan(self, meta: TableMeta) -> TablePlan:
+        key = meta.name.lower()
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = self._build_plan(meta)
+            self._plans[key] = plan
+        return plan
+
+    def _build_plan(self, meta: TableMeta) -> TablePlan:
+        idxs = [
+            (idx, tuple(meta.column_index(c) for c in idx.columns))
+            for idx in self.indexes_on(meta.name)
+        ]
+        not_null = [(i, c.name) for i, c in enumerate(meta.columns) if c.not_null]
+        fks: list[tuple] = []
+        for fk in meta.foreign_keys:
+            if not self.catalog.has_table(fk.ref_table):
+                continue  # forward reference during schema creation
+            ref_meta = self.catalog.table(fk.ref_table)
+            ref_cols = fk.ref_columns or ref_meta.primary_key
+            if not ref_cols:
+                continue
+            positions = tuple(meta.column_index(c) for c in fk.columns)
+            want = [c.lower() for c in ref_cols]
+            ref_index = None
+            for idx in self.indexes_on(ref_meta.name):
+                if [c.lower() for c in idx.columns] == want:
+                    ref_index = idx
+                    break
+            ref_positions = tuple(ref_meta.column_index(c) for c in ref_cols)
+            fks.append((fk, positions, ref_meta, ref_index, ref_positions))
+        return TablePlan(idxs, not_null, fks)
+
+    def _invalidate_plans(self) -> None:
+        self._plans.clear()
 
     # -- transactions -------------------------------------------------------------
 
@@ -171,19 +238,16 @@ class Database:
     # -- row mutation (used by executor) -------------------------------------------
 
     def _index_row(self, table: Table, rowid: int, row: tuple, check: bool = True) -> None:
-        idxs = self.indexes_on(table.meta.name)
+        entries = self._plan(table.meta).indexes
         if check:
-            for idx in idxs:
-                key = tuple(row[table.meta.column_index(c)] for c in idx.columns)
-                idx.check_insert(key)
-        for idx in idxs:
-            key = tuple(row[table.meta.column_index(c)] for c in idx.columns)
-            idx.insert(key, rowid)
+            for idx, positions in entries:
+                idx.check_insert(tuple(row[p] for p in positions))
+        for idx, positions in entries:
+            idx.insert(tuple(row[p] for p in positions), rowid)
 
     def _unindex_row(self, table: Table, rowid: int, row: tuple) -> None:
-        for idx in self.indexes_on(table.meta.name):
-            key = tuple(row[table.meta.column_index(c)] for c in idx.columns)
-            idx.delete(key, rowid)
+        for idx, positions in self._plan(table.meta).indexes:
+            idx.delete(tuple(row[p] for p in positions), rowid)
 
     def insert_row(self, table: Table, values: list[Any]) -> int:
         """Insert a full-width row (already coerced); returns assigned rowid/PK."""
@@ -201,10 +265,10 @@ class Database:
             if isinstance(assigned, int) and assigned >= table.next_auto:
                 table.next_auto = assigned + 1
         # NOT NULL checks.
-        for i, col in enumerate(meta.columns):
-            if values[i] is None and col.not_null:
+        for i, name in self._plan(meta).not_null:
+            if values[i] is None:
                 raise IntegrityError(
-                    f"NOT NULL constraint failed: {meta.name}.{col.name}"
+                    f"NOT NULL constraint failed: {meta.name}.{name}"
                 )
         row = tuple(values)
         rowid = table.allocate_rowid()
@@ -216,6 +280,100 @@ class Database:
         if self.journal is not None:
             self.journal.log_insert(meta.name, rowid, row)
         return assigned if assigned is not None else rowid
+
+    def insert_rows(
+        self, table: Table, rows: "Iterator[list[Any]]"
+    ) -> tuple[list[tuple[int, tuple]], Optional[Any]]:
+        """Batch insert of coerced full-width rows (vectorized ``executemany``).
+
+        Constraints (NOT NULL, UNIQUE, FOREIGN KEY) are still checked per
+        row, but all schema resolution is hoisted out of the loop and only
+        one counters undo entry is written for the whole batch — on
+        rollback it restores the batch-start counters exactly as the
+        per-row entries would have.  Journal hooks are *not* called; the
+        caller logs the returned ``(rowid, row)`` list as one batch record.
+
+        Returns ``(applied, lastrowid)``.  On a mid-batch failure the undo
+        entries for already-applied rows are left in place for the caller
+        to unwind (see ``Executor.execute_insert_batch``).
+        """
+        meta = table.meta
+        plan = self._plan(meta)
+        undo = self._undo if self.in_transaction else None
+        if undo is not None:
+            undo.append(
+                UndoEntry("counters", meta.name, counters=(table.next_rowid, table.next_auto))
+            )
+        auto_col = meta.rowid_pk_column
+        # Specialise single-column keys (the overwhelmingly common shape):
+        # (index, single position or None, all positions).
+        index_ops = [
+            (idx, p[0] if len(p) == 1 else None, p) for idx, p in plan.indexes
+        ]
+        fk_ops = [
+            (fk, p[0] if len(p) == 1 else None, p, ref_meta, ref_index, ref_pos)
+            for fk, p, ref_meta, ref_index, ref_pos in plan.fks
+        ]
+        not_null = plan.not_null
+        table_rows = table.rows
+        applied: list[tuple[int, tuple]] = []
+        lastrowid: Optional[Any] = None
+        for values in rows:
+            if auto_col is not None:
+                v = values[auto_col]
+                if v is None:
+                    v = values[auto_col] = table.next_auto
+                lastrowid = v
+                if isinstance(v, int) and v >= table.next_auto:
+                    table.next_auto = v + 1
+            for i, name in not_null:
+                if values[i] is None:
+                    raise IntegrityError(
+                        f"NOT NULL constraint failed: {meta.name}.{name}"
+                    )
+            row = tuple(values)
+            rowid = table.next_rowid
+            table.next_rowid = rowid + 1
+            if auto_col is None:
+                lastrowid = rowid
+            for fk, p0, ps, ref_meta, ref_index, ref_positions in fk_ops:
+                if p0 is not None:
+                    kv = row[p0]
+                    if kv is None:
+                        continue  # NULL FK values pass (SQL MATCH SIMPLE)
+                    key = (kv,)
+                else:
+                    key = tuple(row[p] for p in ps)
+                    if any(kv is None for kv in key):
+                        continue
+                if ref_index is not None:
+                    if ref_index.contains(key):
+                        continue
+                else:
+                    ref_table = self.tables[ref_meta.name.lower()]
+                    if any(
+                        all(r[p] == kv for p, kv in zip(ref_positions, key))
+                        for r in ref_table.rows.values()
+                    ):
+                        continue
+                raise IntegrityError(
+                    f"FOREIGN KEY constraint failed: {meta.name}"
+                    f"({', '.join(fk.columns)}) -> {fk.ref_table}"
+                )
+            keys = [
+                (row[p0],) if p0 is not None else tuple(row[p] for p in ps)
+                for _idx, p0, ps in index_ops
+            ]
+            for (idx, _p0, _ps), key in zip(index_ops, keys):
+                if idx.unique:
+                    idx.check_insert(key)
+            for (idx, _p0, _ps), key in zip(index_ops, keys):
+                idx.insert(key, rowid)
+            table_rows[rowid] = row
+            if undo is not None:
+                undo.append(UndoEntry("insert", meta.name, rowid, row))
+            applied.append((rowid, row))
+        return applied, lastrowid
 
     def update_row(self, table: Table, rowid: int, new_row: tuple) -> None:
         meta = table.meta
@@ -256,21 +414,24 @@ class Database:
     # -- referential integrity ---------------------------------------------------------
 
     def _check_foreign_keys_insert(self, meta: TableMeta, row: tuple) -> None:
-        for fk in meta.foreign_keys:
-            if not self.catalog.has_table(fk.ref_table):
-                continue  # forward reference during schema creation
-            values = tuple(row[meta.column_index(c)] for c in fk.columns)
+        for fk, positions, ref_meta, ref_index, ref_positions in self._plan(meta).fks:
+            values = tuple(row[p] for p in positions)
             if any(v is None for v in values):
                 continue  # NULL FK values pass (SQL MATCH SIMPLE)
-            ref_meta = self.catalog.table(fk.ref_table)
-            ref_cols = fk.ref_columns or ref_meta.primary_key
-            if not ref_cols:
-                continue
-            if not self._key_exists(ref_meta, ref_cols, values):
-                raise IntegrityError(
-                    f"FOREIGN KEY constraint failed: {meta.name}"
-                    f"({', '.join(fk.columns)}) -> {fk.ref_table}"
-                )
+            if ref_index is not None:
+                if ref_index.lookup(values):
+                    continue
+            else:
+                ref_table = self.tables[ref_meta.name.lower()]
+                if any(
+                    all(r[p] == v for p, v in zip(ref_positions, values))
+                    for r in ref_table.rows.values()
+                ):
+                    continue
+            raise IntegrityError(
+                f"FOREIGN KEY constraint failed: {meta.name}"
+                f"({', '.join(fk.columns)}) -> {fk.ref_table}"
+            )
 
     def _check_foreign_keys_delete(self, meta: TableMeta, row: tuple) -> None:
         # Scan every table whose FKs reference `meta` and ensure no child

@@ -184,6 +184,16 @@ class Journal:
             {"op": "insert", "table": table, "rowid": rowid, "row": _encode_row(row)}
         )
 
+    def log_insert_batch(self, table: str, rows: list[tuple[int, tuple]]) -> None:
+        """One record for a whole vectorized ``executemany`` batch."""
+        self._pending.append(
+            {
+                "op": "insert_batch",
+                "table": table,
+                "rows": [[rowid, _encode_row(row)] for rowid, row in rows],
+            }
+        )
+
     def log_update(self, table: str, rowid: int, row: tuple) -> None:
         self._pending.append(
             {"op": "update", "table": table, "rowid": rowid, "row": _encode_row(row)}
@@ -256,14 +266,10 @@ class Journal:
         if table is None:
             raise OperationalError(f"WAL references missing table {rec['table']}")
         if op == "insert":
-            row = _decode_row(rec["row"])
-            rowid = rec["rowid"]
-            table.rows[rowid] = row
-            self.db._index_row(table, rowid, row, check=False)
-            table.next_rowid = max(table.next_rowid, rowid + 1)
-            pk = table.meta.rowid_pk_column
-            if pk is not None and isinstance(row[pk], int):
-                table.next_auto = max(table.next_auto, row[pk] + 1)
+            self._apply_insert(table, rec["rowid"], _decode_row(rec["row"]))
+        elif op == "insert_batch":
+            for rowid, erow in rec["rows"]:
+                self._apply_insert(table, rowid, _decode_row(erow))
         elif op == "update":
             rowid = rec["rowid"]
             old = table.rows.get(rowid)
@@ -282,6 +288,14 @@ class Journal:
             table.next_auto = rec["next_auto"]
         else:
             raise OperationalError(f"unknown WAL record {op!r}")
+
+    def _apply_insert(self, table: Table, rowid: int, row: tuple) -> None:
+        table.rows[rowid] = row
+        self.db._index_row(table, rowid, row, check=False)
+        table.next_rowid = max(table.next_rowid, rowid + 1)
+        pk = table.meta.rowid_pk_column
+        if pk is not None and isinstance(row[pk], int):
+            table.next_auto = max(table.next_auto, row[pk] + 1)
 
     def checkpoint(self) -> None:
         """Fold the WAL into a fresh snapshot and truncate it."""

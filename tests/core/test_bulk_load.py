@@ -1,0 +1,157 @@
+"""The bulk load path must be indistinguishable from the per-row path.
+
+Byte-identity is the contract: same rows, same rowids, same id counters,
+same LoadStats — so snapshots, WALs and every downstream query agree no
+matter which path loaded the data.  A failed bulk load must leave the
+store exactly as it was.
+"""
+
+import pytest
+
+from repro.core import PTDataStore
+from repro.minidb.errors import ProgrammingError
+from repro.ptdf.format import (
+    ApplicationRec,
+    ExecutionRec,
+    PerfResultRec,
+    PerfResultSeriesRec,
+    ResourceAttributeRec,
+    ResourceConstraintRec,
+    ResourceRec,
+    ResourceSet,
+    ResourceTypeRec,
+)
+
+MACHINE_TYPE = "grid/machine/node/processor"
+CODE_TYPE = "application/module/function"
+
+
+def sample_records(run: str = "run-1"):
+    """One small but full-coverage PTdf stream (every record kind)."""
+    recs = [
+        ApplicationRec("irs"),
+        ResourceTypeRec(MACHINE_TYPE),
+        ResourceTypeRec(CODE_TYPE),
+        ResourceTypeRec("execution"),
+        ResourceTypeRec("time"),
+        ExecutionRec(run, "irs"),
+        ResourceRec(f"/grid/mcr/node3/cpu1-{run}", MACHINE_TYPE),
+        ResourceRec(f"/grid/mcr/node3/cpu2-{run}", MACHINE_TYPE),
+        ResourceRec("/irs/src/matsolve", CODE_TYPE),
+        ResourceRec(f"/{run}", "execution", execution=run),
+        ResourceRec("/all", "time"),
+        ResourceAttributeRec(f"/{run}", "trial", "3", "string"),
+        ResourceAttributeRec(
+            f"/{run}", "ran-on", f"/grid/mcr/node3/cpu1-{run}", "resource"
+        ),
+        ResourceConstraintRec(f"/{run}", f"/grid/mcr/node3/cpu2-{run}"),
+    ]
+    for i, cpu in enumerate((f"cpu1-{run}", f"cpu2-{run}")):
+        recs.append(
+            PerfResultRec(
+                execution=run,
+                resource_sets=(
+                    ResourceSet((f"/grid/mcr/node3/{cpu}", "/irs/src/matsolve")),
+                ),
+                tool="mpiP",
+                metric="wall_time",
+                value=10.5 + i,
+                units="seconds",
+            )
+        )
+    recs.append(
+        PerfResultSeriesRec(
+            execution=run,
+            resource_sets=(ResourceSet((f"/grid/mcr/node3/cpu1-{run}", "/all"),)),
+            tool="SvPablo",
+            metric="flops",
+            units="mflops",
+            start_time=0.0,
+            bin_width=0.5,
+            values=(1.0, None, 3.0, 4.0),
+        )
+    )
+    return recs
+
+
+def full_state(store):
+    db = store.backend.connection.db
+    return {
+        name: (
+            dict(db.table(name).rows),
+            db.table(name).next_rowid,
+            db.table(name).next_auto,
+        )
+        for name in db.catalog.tables
+    }
+
+
+def test_bulk_and_per_row_paths_are_byte_identical():
+    bulk, per_row = PTDataStore(), PTDataStore(bulk_load=False)
+    stats_b = [bulk.load_records(sample_records(f"run-{i}")) for i in range(3)]
+    stats_p = [per_row.load_records(sample_records(f"run-{i}")) for i in range(3)]
+    assert stats_b == stats_p
+    assert full_state(bulk) == full_state(per_row)
+
+
+def test_bulk_flag_per_call_overrides_store_default():
+    a, b = PTDataStore(), PTDataStore()
+    a.load_records(sample_records(), bulk=True)
+    b.load_records(sample_records(), bulk=False)
+    assert full_state(a) == full_state(b)
+
+
+def test_stats_count_every_kind():
+    stats = PTDataStore().load_records(sample_records())
+    assert stats.applications == 1
+    assert stats.executions == 1
+    assert stats.results == 3
+    assert stats.attributes == 2
+    assert stats.constraints == 1
+    assert stats.resources > 0
+    assert stats.foci > 0
+
+
+def test_failed_bulk_load_leaves_store_untouched():
+    store = PTDataStore()
+    store.load_records(sample_records("run-0"))
+    before = full_state(store)
+    bad = sample_records("run-1")
+    # Unknown execution mid-stream: the whole load must be rolled back.
+    bad.insert(
+        len(bad) - 1,
+        PerfResultRec(
+            execution="never-loaded",
+            resource_sets=(ResourceSet(("/all",)),),
+            tool="mpiP",
+            metric="wall_time",
+            value=1.0,
+            units="seconds",
+        ),
+    )
+    with pytest.raises(ProgrammingError):
+        store.load_records(bad)
+    assert full_state(store) == before
+    # The store is still usable and consistent after the failure.
+    stats = store.load_records(sample_records("run-1"))
+    assert stats.results == 3
+
+
+def test_failed_bulk_load_rewinds_caches():
+    store = PTDataStore()
+    store.load_records(sample_records("run-0"))
+    exec_ids = dict(store._exec_ids)
+    bad = [
+        ExecutionRec("ghost", "irs"),
+        PerfResultRec(
+            execution="missing",
+            resource_sets=(ResourceSet(("/nowhere",)),),
+            tool="t",
+            metric="m",
+            value=1.0,
+            units="u",
+        ),
+    ]
+    with pytest.raises(ProgrammingError):
+        store.load_records(bad)
+    assert store._exec_ids == exec_ids  # "ghost" did not survive the failure

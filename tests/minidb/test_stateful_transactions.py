@@ -52,6 +52,16 @@ class TransactionMachine(RuleBasedStateMachine):
             if lo <= k <= hi:
                 self.pending[k] += dv
 
+    @rule(items=st.lists(st.tuples(keys, values), min_size=1, max_size=6))
+    def insert_batch(self, items):
+        """Vectorized executemany: statement-atomic on duplicate keys."""
+        try:
+            self.conn.executemany("INSERT INTO t (k, v) VALUES (?, ?)", items)
+        except minidb.IntegrityError:
+            return  # failed batch must leave no partial rows
+        for k, v in items:
+            self.pending[k] = v
+
     @rule()
     def commit(self):
         self.conn.commit()
@@ -74,6 +84,69 @@ TestTransactionStateMachine = TransactionMachine.TestCase
 TestTransactionStateMachine.settings = settings(
     max_examples=40, stateful_step_count=30, deadline=None
 )
+
+
+class TestExecutemanyAtomicityProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        committed=st.lists(
+            st.tuples(st.integers(0, 20), st.integers(-50, 50)),
+            unique_by=lambda t: t[0],
+            min_size=1,
+            max_size=8,
+        ),
+        fresh=st.lists(
+            st.tuples(st.integers(21, 40), st.integers(-50, 50)),
+            unique_by=lambda t: t[0],
+            max_size=6,
+        ),
+        dup_at=st.integers(0, 6),
+    )
+    def test_failed_batch_then_rollback_leaves_no_partial_rows(
+        self, committed, fresh, dup_at
+    ):
+        """A batch that dies mid-way applies nothing, even before rollback."""
+        conn = minidb.connect()
+        conn.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+        conn.executemany("INSERT INTO t (k, v) VALUES (?, ?)", committed)
+        conn.commit()
+        base = dict(conn.execute("SELECT k, v FROM t").fetchall())
+
+        # Some uncommitted work, then a batch with a duplicate key planted
+        # at a random position: the batch must fail statement-atomically.
+        conn.execute("INSERT INTO t (k, v) VALUES (?, ?)", (99, 1))
+        batch = list(fresh)
+        batch.insert(min(dup_at, len(batch)), (committed[0][0], 0))
+        with pytest.raises(minidb.IntegrityError):
+            conn.executemany("INSERT INTO t (k, v) VALUES (?, ?)", batch)
+
+        # Statement atomicity: only the pre-batch uncommitted row is there.
+        state = dict(conn.execute("SELECT k, v FROM t").fetchall())
+        assert state == {**base, 99: 1}
+
+        # Transaction rollback: back to the committed snapshot exactly.
+        conn.rollback()
+        state = dict(conn.execute("SELECT k, v FROM t").fetchall())
+        assert state == base
+        conn.close()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 30), st.integers(-50, 50)),
+            unique_by=lambda t: t[0],
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_successful_batch_commits_all_rows(self, rows):
+        conn = minidb.connect()
+        conn.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+        cur = conn.executemany("INSERT INTO t (k, v) VALUES (?, ?)", rows)
+        assert cur.rowcount == len(rows)
+        conn.commit()
+        assert dict(conn.execute("SELECT k, v FROM t").fetchall()) == dict(rows)
+        conn.close()
 
 
 class TestWalDurabilityProperty:

@@ -1,0 +1,62 @@
+"""Statement-cache eviction: LRU, so hot statements survive bursts.
+
+The original cache cleared wholesale at capacity, which meant a burst of
+one-off statements (schema introspection, ad-hoc queries) dumped the hot
+loader statements too.  Eviction is now least-recently-used.
+"""
+
+import repro.minidb as minidb
+from repro.minidb.connection import STATEMENT_CACHE_SIZE
+
+
+def _fresh_conn():
+    conn = minidb.connect()
+    conn.execute("CREATE TABLE t (a INTEGER)")
+    return conn
+
+
+def test_hot_statement_survives_one_off_burst():
+    conn = _fresh_conn()
+    hot = "INSERT INTO t (a) VALUES (?)"
+    conn.execute(hot, (0,))
+    parsed = conn._statement_cache[hot]
+    # A burst of distinct one-off statements, with the hot statement
+    # re-used periodically: the hot entry must never be evicted.
+    for i in range(2 * STATEMENT_CACHE_SIZE):
+        conn.execute(f"SELECT a + {i} FROM t")
+        if i % 50 == 0:
+            conn.execute(hot, (i,))
+    assert conn._statement_cache[hot] is parsed
+    conn.close()
+
+
+def test_cache_size_stays_bounded():
+    conn = _fresh_conn()
+    for i in range(STATEMENT_CACHE_SIZE + 100):
+        conn.execute(f"SELECT {i} FROM t")
+    assert len(conn._statement_cache) <= STATEMENT_CACHE_SIZE
+    conn.close()
+
+
+def test_least_recently_used_is_evicted_first():
+    conn = _fresh_conn()
+    first = "SELECT a FROM t"
+    conn.execute(first)
+    # Touch `first` again after half the burst: statements older than the
+    # touch fall out before it does.
+    for i in range(STATEMENT_CACHE_SIZE - 2):
+        conn.execute(f"SELECT a + {i} FROM t")
+    conn.execute(first)
+    for i in range(10):
+        conn.execute(f"SELECT a - {i} FROM t")
+    assert first in conn._statement_cache
+    assert "SELECT a + 0 FROM t" not in conn._statement_cache
+    conn.close()
+
+
+def test_cache_hit_returns_same_parse_tree():
+    conn = _fresh_conn()
+    sql = "SELECT a FROM t WHERE a = ?"
+    conn.execute(sql, (1,))
+    assert conn._parse_cached(sql) is conn._parse_cached(sql)
+    conn.close()
