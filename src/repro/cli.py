@@ -4,7 +4,8 @@ The paper's script-based interface (Section 3.3) offered data collection,
 loading and querying from Python; this CLI packages the same operations:
 
 * ``ptrack init``      create a data store (minidb or sqlite file)
-* ``ptrack load``      load PTdf files
+* ``ptrack load``      load PTdf files (lint-gated; ``--force`` overrides)
+* ``ptrack lint``      statically validate PTdf files (also ``pt-lint``)
 * ``ptrack gen``       run PTdfGen over a directory of raw tool output
 * ``ptrack ls``        list applications / executions / metrics / tools /
                        resource types / resources of a type
@@ -67,7 +68,21 @@ def cmd_init(args) -> int:
 
 
 def cmd_load(args) -> int:
+    from .ptdf.lint import context_from_store, has_errors, lint_files
+
     store = _open_store(args, initialize=True)
+    if not args.force:
+        diagnostics = lint_files(args.files, context_from_store(store))
+        for diag in diagnostics:
+            print(diag, file=sys.stderr)
+        if has_errors(diagnostics):
+            print(
+                "load refused: the files above have lint errors "
+                "(use --force to load anyway)",
+                file=sys.stderr,
+            )
+            store.close()
+            return 1
     for path in args.files:
         stats = store.load_file(path)
         print(
@@ -77,6 +92,51 @@ def cmd_load(args) -> int:
     store.commit()
     store.close()
     return 0
+
+
+def cmd_lint(args) -> int:
+    from .ptdf.lint import Linter, context_from_store, has_errors
+
+    context = None
+    if args.db != ":memory:":
+        store = _open_store(args)
+        context = context_from_store(store)
+        store.close()
+    linter = Linter(context)
+    errors = warnings = 0
+    for path in args.files:
+        for diag in linter.lint_file(path):
+            if diag.severity == "error":
+                errors += 1
+            else:
+                warnings += 1
+            if diag.severity == "error" or not args.quiet:
+                print(diag)
+    print(f"# {errors} error(s), {warnings} warning(s)", file=sys.stderr)
+    if errors or (warnings and args.strict):
+        return 1
+    return 0
+
+
+def pt_lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``pt-lint`` — standalone PTdf linter (no database needed)."""
+    parser = argparse.ArgumentParser(
+        prog="pt-lint", description="statically validate PTdf files"
+    )
+    _add_db_options(parser)
+    parser.add_argument("files", nargs="+", help="PTdf files to check")
+    parser.add_argument(
+        "--strict", action="store_true", help="exit 1 on warnings too"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="report errors only"
+    )
+    args = parser.parse_args(argv)
+    try:
+        return cmd_lint(args)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def cmd_gen(args) -> int:
@@ -306,7 +366,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("load", help="load PTdf files")
     _add_db_options(p)
     p.add_argument("files", nargs="+", help="PTdf files")
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="load even when the files have lint errors",
+    )
     p.set_defaults(fn=cmd_load)
+
+    p = sub.add_parser("lint", help="statically validate PTdf files (pt-lint)")
+    _add_db_options(p)
+    p.add_argument("files", nargs="+", help="PTdf files to check")
+    p.add_argument("--strict", action="store_true", help="exit 1 on warnings too")
+    p.add_argument("--quiet", action="store_true", help="report errors only")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("gen", help="PTdfGen: raw tool output -> PTdf")
     p.add_argument("directory", help="directory of raw tool output")

@@ -526,11 +526,27 @@ class PTDataStore:
 
         return BulkLoader(self).load(records)
 
-    def load_string(self, text: str, bulk: Optional[bool] = None) -> LoadStats:
+    def load_string(
+        self, text: str, bulk: Optional[bool] = None, lint: bool = False
+    ) -> LoadStats:
+        if lint:
+            self._lint_or_raise(lambda linter: linter.lint_string(text))
         return self.load_records(parse_string(text), bulk=bulk)
 
-    def load_file(self, path: str, bulk: Optional[bool] = None) -> LoadStats:
+    def load_file(
+        self, path: str, bulk: Optional[bool] = None, lint: bool = False
+    ) -> LoadStats:
+        if lint:
+            self._lint_or_raise(lambda linter: linter.lint_file(path))
         return self.load_records(parse_file(path), bulk=bulk)
+
+    def _lint_or_raise(self, run) -> None:
+        """Refuse a load whose input has lint errors (``lint=True`` paths)."""
+        from ..ptdf.lint import Linter, PTdfLintError, context_from_store, has_errors
+
+        diagnostics = run(Linter(context_from_store(self)))
+        if has_errors(diagnostics):
+            raise PTdfLintError(diagnostics)
 
     # ------------------------------------------------------------------- lookups
 
@@ -717,7 +733,8 @@ class PTDataStore:
         }
 
     def count_rows(self, table: str) -> int:
-        return int(self.backend.scalar(f"SELECT COUNT(*) FROM {table}") or 0)
+        # table names come from schema.TABLE_NAMES, not user input
+        return int(self.backend.scalar(f"SELECT COUNT(*) FROM {table}") or 0)  # noqa: PTL001
 
     def db_stats(self) -> dict[str, int]:
         return {t: self.count_rows(t) for t in schema_mod.TABLE_NAMES}

@@ -45,7 +45,7 @@ class QueryEngine:
         out: set[int] = set()
         for chunk in _chunks(ids):
             marks = ",".join("?" * len(chunk))
-            rows = self.store.backend.query(
+            rows = self.store.backend.query(  # noqa: PTL001 — '?' marks only
                 f"SELECT DISTINCT focus_id FROM focus_has_resource "
                 f"WHERE resource_id IN ({marks})",
                 chunk,
@@ -89,7 +89,7 @@ class QueryEngine:
             if focus_type is None:
                 rows = self.store.backend.query("SELECT id FROM performance_result")
                 return {r[0] for r in rows}
-            rows = self.store.backend.query(
+            rows = self.store.backend.query(  # noqa: PTL001 — '?' marks only
                 "SELECT DISTINCT performance_result_id "
                 "FROM performance_result_has_focus WHERE focus_type = ?",
                 (focus_type,),
@@ -122,7 +122,7 @@ class QueryEngine:
         base: dict[int, tuple] = {}
         for chunk in _chunks(ids):
             marks = ",".join("?" * len(chunk))
-            rows = self.store.backend.query(
+            rows = self.store.backend.query(  # noqa: PTL001 — '?' marks only
                 f"SELECT p.id, e.name, m.name, t.name, p.value, p.units, "
                 f"p.start_time, p.end_time, p.value_type "
                 f"FROM performance_result p "
@@ -139,7 +139,7 @@ class QueryEngine:
         focus_ids: set[int] = set()
         for chunk in _chunks(ids):
             marks = ",".join("?" * len(chunk))
-            rows = self.store.backend.query(
+            rows = self.store.backend.query(  # noqa: PTL001 — '?' marks only
                 f"SELECT performance_result_id, focus_id, focus_type "
                 f"FROM performance_result_has_focus "
                 f"WHERE performance_result_id IN ({marks})",
@@ -155,7 +155,7 @@ class QueryEngine:
         }
         for chunk in _chunks(sorted(vector_ids)):
             marks = ",".join("?" * len(chunk))
-            rows = self.store.backend.query(
+            rows = self.store.backend.query(  # noqa: PTL001 — '?' marks only
                 f"SELECT performance_result_id, bin_index, bin_start, bin_end, value "
                 f"FROM performance_result_vector "
                 f"WHERE performance_result_id IN ({marks})",
@@ -168,7 +168,7 @@ class QueryEngine:
         focus_resources: dict[int, set[int]] = {fid: set() for fid in focus_ids}
         for chunk in _chunks(sorted(focus_ids)):
             marks = ",".join("?" * len(chunk))
-            rows = self.store.backend.query(
+            rows = self.store.backend.query(  # noqa: PTL001 — '?' marks only
                 f"SELECT focus_id, resource_id FROM focus_has_resource "
                 f"WHERE focus_id IN ({marks})",
                 chunk,

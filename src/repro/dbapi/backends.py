@@ -93,7 +93,9 @@ class Backend:
 
     def max_value(self, table: str, column: str) -> Any:
         """Largest non-NULL value of one column (bulk-load id seeding)."""
-        return self.scalar(f"SELECT MAX({column}) FROM {table}")
+        return self.scalar(  # noqa: PTL001 — internal schema identifiers
+            f"SELECT MAX({column}) FROM {table}"
+        )
 
 
 class MinidbBackend(Backend):

@@ -29,6 +29,7 @@ Entry point::
     print(cur.fetchall())
 """
 
+from .analyzer import Analysis, Diagnostic, analyze
 from .connection import Connection, Cursor, connect
 from .errors import (
     DatabaseError,
@@ -40,6 +41,8 @@ from .errors import (
     NotSupportedError,
     OperationalError,
     ProgrammingError,
+    SemanticError,
+    SqlSyntaxError,
     Warning,
 )
 
@@ -62,6 +65,11 @@ __all__ = [
     "InternalError",
     "ProgrammingError",
     "NotSupportedError",
+    "SemanticError",
+    "SqlSyntaxError",
+    "Analysis",
+    "Diagnostic",
+    "analyze",
     "apilevel",
     "threadsafety",
     "paramstyle",

@@ -261,3 +261,10 @@ class Rollback:
 @dataclass
 class Explain:
     statement: Any
+
+
+@dataclass
+class Check:
+    """``EXPLAIN [ANALYZE] CHECK <statement>``: static analysis, no execution."""
+
+    statement: Any

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from . import ast_nodes as ast
-from .errors import ProgrammingError
+from .errors import ProgrammingError, SemanticError, closest
 from .sqltypes import INTEGER, affinity_for
 
 
@@ -54,8 +54,10 @@ class TableMeta:
         try:
             return self._index_of[name.lower()]
         except KeyError:
-            raise ProgrammingError(
-                f"no such column: {self.name}.{name}"
+            raise SemanticError(
+                f"no such column: {self.name}.{name}",
+                code="SQL002",
+                suggestion=closest(name, self.column_names),
             ) from None
 
     def has_column(self, name: str) -> bool:
@@ -100,13 +102,17 @@ class Catalog:
     def __init__(self) -> None:
         self.tables: dict[str, TableMeta] = {}
         self.indexes: dict[str, IndexMeta] = {}
+        #: Monotonic schema generation, bumped on every DDL mutation.  The
+        #: connection keys its per-statement analysis memo on this so cached
+        #: statements are re-checked after a CREATE/DROP.
+        self.version = 0
 
     # -- tables ---------------------------------------------------------------
 
     def create_table(self, stmt: ast.CreateTable) -> TableMeta:
         key = stmt.name.lower()
         if key in self.tables:
-            raise ProgrammingError(f"table {stmt.name} already exists")
+            raise SemanticError(f"table {stmt.name} already exists", code="SQL015")
         columns: list[ColumnMeta] = []
         pk = list(stmt.primary_key)
         for cd in stmt.columns:
@@ -114,7 +120,7 @@ class Catalog:
             has_default = False
             if cd.default is not None:
                 if not isinstance(cd.default, ast.Literal):
-                    raise ProgrammingError("DEFAULT must be a literal value")
+                    raise SemanticError("DEFAULT must be a literal value", code="SQL016")
                 default_val = cd.default.value
                 has_default = True
             references = None
@@ -136,7 +142,7 @@ class Catalog:
             )
             if cd.primary_key:
                 if pk and cd.name not in pk:
-                    raise ProgrammingError("multiple PRIMARY KEY definitions")
+                    raise SemanticError("multiple PRIMARY KEY definitions", code="SQL014")
                 if cd.name not in pk:
                     pk.append(cd.name)
         meta = TableMeta(stmt.name, columns, primary_key=pk)
@@ -160,6 +166,7 @@ class Catalog:
                     ForeignKeyMeta([col.name], col.references[0], [col.references[1]] if col.references[1] else [])
                 )
         self.tables[key] = meta
+        self.version += 1
         return meta
 
     def drop_table(self, name: str) -> TableMeta:
@@ -167,16 +174,25 @@ class Catalog:
         try:
             meta = self.tables.pop(key)
         except KeyError:
-            raise ProgrammingError(f"no such table: {name}") from None
+            raise SemanticError(
+                f"no such table: {name}",
+                code="SQL001",
+                suggestion=closest(name, [t.name for t in self.tables.values()]),
+            ) from None
         for iname in [i for i, im in self.indexes.items() if im.table.lower() == key]:
             del self.indexes[iname]
+        self.version += 1
         return meta
 
     def table(self, name: str) -> TableMeta:
         try:
             return self.tables[name.lower()]
         except KeyError:
-            raise ProgrammingError(f"no such table: {name}") from None
+            raise SemanticError(
+                f"no such table: {name}",
+                code="SQL001",
+                suggestion=closest(name, [t.name for t in self.tables.values()]),
+            ) from None
 
     def has_table(self, name: str) -> bool:
         return name.lower() in self.tables
@@ -186,19 +202,26 @@ class Catalog:
     def create_index(self, stmt: ast.CreateIndex) -> IndexMeta:
         key = stmt.name.lower()
         if key in self.indexes:
-            raise ProgrammingError(f"index {stmt.name} already exists")
+            raise SemanticError(f"index {stmt.name} already exists", code="SQL015")
         table = self.table(stmt.table)
         for c in stmt.columns:
             table.column_index(c)
         meta = IndexMeta(stmt.name, table.name, list(stmt.columns), unique=stmt.unique)
         self.indexes[key] = meta
+        self.version += 1
         return meta
 
     def drop_index(self, name: str) -> IndexMeta:
         try:
-            return self.indexes.pop(name.lower())
+            meta = self.indexes.pop(name.lower())
         except KeyError:
-            raise ProgrammingError(f"no such index: {name}") from None
+            raise SemanticError(
+                f"no such index: {name}",
+                code="SQL015",
+                suggestion=closest(name, [i.name for i in self.indexes.values()]),
+            ) from None
+        self.version += 1
+        return meta
 
     def has_index(self, name: str) -> bool:
         return name.lower() in self.indexes

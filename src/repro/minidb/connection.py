@@ -18,7 +18,8 @@ from collections import OrderedDict
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from . import ast_nodes as ast
-from .errors import InterfaceError
+from .analyzer import Analyzer, Diagnostic
+from .errors import InterfaceError, SemanticError, SqlSyntaxError
 from .executor import Executor, Result
 from .parser import parse
 from .storage import Database
@@ -35,6 +36,22 @@ _DML_NODES = (ast.Insert, ast.Update, ast.Delete)
 #: Parsed-statement cache capacity per connection.  Eviction is LRU so a
 #: burst of one-off statements cannot dump the hot loader statements.
 STATEMENT_CACHE_SIZE = 512
+
+
+class _CachedStatement:
+    """A parsed statement plus its memoized semantic analysis.
+
+    ``version`` is the catalog generation the statement was last analyzed
+    against; a DDL statement bumps it, forcing cached statements through
+    the analyzer once more before their next execution.
+    """
+
+    __slots__ = ("stmt", "version", "required_params")
+
+    def __init__(self, stmt) -> None:
+        self.stmt = stmt
+        self.version = -1
+        self.required_params = 0
 
 
 class Connection:
@@ -115,20 +132,72 @@ class Connection:
 
     # -- internals -----------------------------------------------------------------------
 
-    def _parse_cached(self, sql: str):
-        stmt = self._statement_cache.get(sql)
-        if stmt is None:
-            stmt = parse(sql)
+    def _parse_cached(self, sql: str) -> _CachedStatement:
+        entry = self._statement_cache.get(sql)
+        if entry is None:
+            entry = _CachedStatement(parse(sql))
             while len(self._statement_cache) >= STATEMENT_CACHE_SIZE:
                 self._statement_cache.popitem(last=False)
-            self._statement_cache[sql] = stmt
+            self._statement_cache[sql] = entry
         else:
             self._statement_cache.move_to_end(sql)
-        return stmt
+        return entry
+
+    def _ensure_analyzed(
+        self, entry: _CachedStatement, params: Optional[Sequence[Any]]
+    ) -> None:
+        """Fail fast on semantic errors before any execution side effects.
+
+        The analysis itself is memoized per cached statement and catalog
+        generation; only the (cheap) placeholder-arity check runs per call.
+        """
+        if isinstance(entry.stmt, ast.Check):
+            return  # CHECK reports diagnostics instead of failing
+        catalog = self.db.catalog
+        if entry.version != catalog.version:
+            analysis = Analyzer(catalog).analyze(entry.stmt)
+            analysis.raise_first_error()
+            entry.required_params = analysis.required_params
+            entry.version = catalog.version
+        if params is not None and entry.required_params > len(params):
+            raise SemanticError(
+                f"statement requires at least {entry.required_params} parameters, "
+                f"{len(params)} supplied",
+                code="SQL010",
+            )
+
+    def check(self, sql: str) -> "list[Diagnostic]":
+        """Statically analyze *sql* without executing it.
+
+        Returns the full list of analyzer diagnostics (errors, warnings and
+        an ``info`` entry for required parameters); an unparseable statement
+        yields a single ``SQL000`` error diagnostic.
+        """
+        self._check_open()
+        try:
+            entry = self._parse_cached(sql)
+        except SqlSyntaxError as exc:
+            return [Diagnostic("error", "SQL000", str(exc))]
+        stmt = entry.stmt
+        if isinstance(stmt, ast.Check):
+            stmt = stmt.statement
+        analysis = Analyzer(self.db.catalog).analyze(stmt)
+        diagnostics = list(analysis.diagnostics)
+        if analysis.required_params:
+            diagnostics.append(
+                Diagnostic(
+                    "info",
+                    "SQL010",
+                    f"statement requires {analysis.required_params} parameters",
+                )
+            )
+        return diagnostics
 
     def _execute(self, sql: str, params: Sequence[Any]) -> Result:
         self._check_open()
-        stmt = self._parse_cached(sql)
+        entry = self._parse_cached(sql)
+        stmt = entry.stmt
+        self._ensure_analyzed(entry, params)
         if isinstance(stmt, _DDL_NODES):
             # DDL commits the open transaction and runs in its own.
             self.db.commit()
@@ -175,9 +244,12 @@ class Cursor:
     def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
         self._check_open()
         conn = self.connection
-        stmt = conn._parse_cached(sql)
+        entry = conn._parse_cached(sql)
+        stmt = entry.stmt
         if isinstance(stmt, ast.Insert) and stmt.select is None:
             # Vectorized fast path: parse/plan once, one journal batch.
+            # Per-row parameter arity is checked by the batch builder.
+            conn._ensure_analyzed(entry, None)
             conn.db.begin()
             result = Executor(conn.db).execute_insert_batch(stmt, seq_of_params)
             self.description = None

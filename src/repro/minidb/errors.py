@@ -59,3 +59,42 @@ class SqlSyntaxError(ProgrammingError):
             col = pos - (sql.rfind("\n", 0, pos) + 1) + 1
             message = f"{message} (line {line}, column {col})"
         super().__init__(message)
+
+
+class SemanticError(ProgrammingError):
+    """A statement rejected by static semantic analysis.
+
+    Carries a machine-readable rule ``code`` (``"SQL001"``, ...), an
+    optional ``location`` (free-form, e.g. ``"WHERE clause"``) and an
+    optional did-you-mean ``suggestion`` so that callers — the CLI, the
+    GUI, a test harness — can explain the rejection instead of surfacing
+    a mid-execution KeyError.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "SQL000",
+        location: "str | None" = None,
+        suggestion: "str | None" = None,
+    ) -> None:
+        self.code = code
+        self.location = location
+        self.suggestion = suggestion
+        text = message
+        if location:
+            text = f"{text} (in {location})"
+        if suggestion:
+            text = f"{text}; did you mean {suggestion!r}?"
+        super().__init__(text)
+
+
+def closest(name: str, candidates) -> "str | None":
+    """Closest-match suggestion for an unresolved identifier, or None."""
+    from difflib import get_close_matches
+
+    pool: dict[str, str] = {}
+    for cand in candidates:
+        pool.setdefault(str(cand).lower(), str(cand))
+    matches = get_close_matches(name.lower(), list(pool), n=1, cutoff=0.6)
+    return pool[matches[0]] if matches else None

@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional, Sequence
 
 from . import ast_nodes as ast
-from .errors import ProgrammingError
+from .analyzer import Analyzer
+from .errors import ProgrammingError, SemanticError, closest
 from .expressions import (
     AggregateAccumulator,
     Evaluator,
@@ -350,6 +351,30 @@ class Executor:
 
     # -- EXPLAIN ----------------------------------------------------------------------
 
+    def _exec_Check(self, stmt: ast.Check) -> Result:
+        """``EXPLAIN [ANALYZE] CHECK <stmt>``: diagnostics, no execution."""
+        analysis = Analyzer(self.db.catalog).analyze(stmt.statement)
+        rows = [
+            (d.severity, d.code, d.message, d.suggestion)
+            for d in analysis.diagnostics
+        ]
+        if analysis.required_params:
+            rows.append(
+                (
+                    "info",
+                    "SQL010",
+                    f"statement requires {analysis.required_params} parameters",
+                    None,
+                )
+            )
+        if not rows:
+            rows = [("ok", "", "no issues found", None)]
+        description = [
+            (n, None, None, None, None, None, None)
+            for n in ("severity", "code", "message", "suggestion")
+        ]
+        return Result(description=description, rows=rows, rowcount=len(rows))
+
     def _exec_Explain(self, stmt: ast.Explain) -> Result:
         lines = self._explain(stmt.statement)
         return Result(
@@ -680,7 +705,12 @@ class Executor:
                 names.extend(columns)
         if not names:
             target = table or "*"
-            raise ProgrammingError(f"no columns for {target}")
+            bindings = [b for b, _cols in self._binding_columns(source)]
+            raise SemanticError(
+                f"no columns for {target}",
+                code="SQL018",
+                suggestion=closest(table, bindings) if table else None,
+            )
         return names
 
     def _binding_columns(self, source) -> list[tuple[str, list[str]]]:

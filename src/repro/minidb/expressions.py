@@ -13,7 +13,7 @@ import re
 from typing import Any, Callable, Optional, Sequence
 
 from . import ast_nodes as ast
-from .errors import DataError, ProgrammingError
+from .errors import DataError, ProgrammingError, SemanticError, closest
 from .sqltypes import affinity_for, coerce, compare, sort_key
 
 
@@ -44,8 +44,10 @@ class Scope:
                     try:
                         return values[cols.index(col)]
                     except ValueError:
-                        raise ProgrammingError(
-                            f"no such column: {table}.{column}"
+                        raise SemanticError(
+                            f"no such column: {table}.{column}",
+                            code="SQL002",
+                            suggestion=closest(column, cols),
                         ) from None
             else:
                 hits = []
@@ -55,10 +57,39 @@ class Scope:
                 if len(hits) == 1:
                     return hits[0]
                 if len(hits) > 1:
-                    raise ProgrammingError(f"ambiguous column name: {column}")
+                    raise SemanticError(
+                        f"ambiguous column name: {column}", code="SQL004"
+                    )
             scope = scope.parent
         qual = f"{table}." if table else ""
-        raise ProgrammingError(f"no such column: {qual}{column}")
+        if table is not None and not self.has_binding(table):
+            raise SemanticError(
+                f"no such column: {qual}{column}",
+                code="SQL003",
+                suggestion=closest(table, self._visible_bindings()),
+            )
+        raise SemanticError(
+            f"no such column: {qual}{column}",
+            code="SQL002",
+            suggestion=closest(column, self._visible_columns()),
+        )
+
+    def _visible_bindings(self) -> list[str]:
+        names: list[str] = []
+        scope: Optional[Scope] = self
+        while scope is not None:
+            names.extend(scope.bindings)
+            scope = scope.parent
+        return names
+
+    def _visible_columns(self) -> list[str]:
+        names: list[str] = []
+        scope: Optional[Scope] = self
+        while scope is not None:
+            for cols, _values in scope.bindings.values():
+                names.extend(cols)
+            scope = scope.parent
+        return names
 
     def has_binding(self, name: str) -> bool:
         scope: Optional[Scope] = self

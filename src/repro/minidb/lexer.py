@@ -28,7 +28,7 @@ EOF = "EOF"
 
 KEYWORDS = frozenset(
     """
-    ALL AND AS ASC AUTOINCREMENT BEGIN BETWEEN BY CASE CASCADE CAST CHECK COMMIT
+    ALL ANALYZE AND AS ASC AUTOINCREMENT BEGIN BETWEEN BY CASE CASCADE CAST CHECK COMMIT
     CONSTRAINT CREATE CROSS DEFAULT DELETE DESC DISTINCT DROP ELSE END ESCAPE
     EXISTS EXPLAIN FALSE FOREIGN FROM FULL GLOB GROUP HAVING IF IN INDEX INNER
     INSERT INTO IS JOIN KEY LEFT LIKE LIMIT NOT NULL OFFSET ON OR ORDER OUTER

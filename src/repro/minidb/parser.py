@@ -121,6 +121,13 @@ class Parser:
             return ast.Rollback()
         if self.at_keyword("EXPLAIN"):
             self.advance()
+            analyze = bool(self.accept(KEYWORD, "ANALYZE"))
+            if self.accept(KEYWORD, "CHECK"):
+                return ast.Check(self._statement())
+            if analyze:
+                raise SqlSyntaxError(
+                    "expected CHECK after EXPLAIN ANALYZE", self.sql, self.cur.pos
+                )
             return ast.Explain(self._statement())
         raise SqlSyntaxError(
             f"unsupported statement start {self.cur.value!r}", self.sql, self.cur.pos

@@ -21,7 +21,7 @@ BLOB = "BLOB"
 BOOLEAN = "BOOLEAN"
 NUMERIC = "NUMERIC"
 
-_AFFINITY_KEYWORDS = {
+_AFFINITY_KEYWORDS: dict[str, str] = {
     "INT": INTEGER,
     "INTEGER": INTEGER,
     "BIGINT": INTEGER,
@@ -145,7 +145,7 @@ def coerce(value: Any, affinity: str) -> Any:
 
 #: Sort-ordering rank per cross-type class.  Mirrors SQLite's ordering:
 #: NULL < numbers < text < blobs.  Booleans sort with numbers.
-def sort_key(value: Any):
+def sort_key(value: Any) -> tuple[int, Any]:
     """Total-order key usable across mixed-type columns."""
     if value is None:
         return (0, 0)

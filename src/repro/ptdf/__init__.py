@@ -21,6 +21,17 @@ from .format import (
     split_name,
     type_of_depth,
 )
+from .lint import (
+    Diagnostic as LintDiagnostic,
+    LintContext,
+    Linter,
+    PTdfLintError,
+    context_from_store,
+    has_errors,
+    lint_file,
+    lint_files,
+    lint_string,
+)
 from .parser import PTdfParseError, parse_file, parse_lines, parse_string
 from .writer import PTdfWriter, write_file, write_string
 from .basetypes import BASE_HIERARCHIES, BASE_NONHIERARCHICAL, base_type_records
@@ -43,6 +54,15 @@ __all__ = [
     "parse_lines",
     "parse_string",
     "PTdfParseError",
+    "LintDiagnostic",
+    "LintContext",
+    "Linter",
+    "PTdfLintError",
+    "context_from_store",
+    "has_errors",
+    "lint_file",
+    "lint_files",
+    "lint_string",
     "PTdfWriter",
     "write_file",
     "write_string",

@@ -8,7 +8,7 @@ or trailing, when not inside quotes).  Blank lines are ignored.
 from __future__ import annotations
 
 import os
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
 from .format import (
     ApplicationRec,
@@ -16,6 +16,7 @@ from .format import (
     PerfResultRec,
     PerfResultSeriesRec,
     Record,
+    ResourceSet,
     ResourceAttributeRec,
     ResourceConstraintRec,
     ResourceRec,
@@ -25,12 +26,48 @@ from .format import (
 
 
 class PTdfParseError(ValueError):
-    """A malformed PTdf line, with file/line context."""
+    """A malformed PTdf line, with file/line (and column/field) context.
 
-    def __init__(self, message: str, source: str = "<string>", lineno: int = 0) -> None:
-        super().__init__(f"{source}:{lineno}: {message}")
+    ``col`` is the 1-based column of the offending character, when known
+    (e.g. the opening quote of an unterminated quoted field); ``field`` is
+    the 1-based index of the offending field, counting the record kind as
+    field 1.  Both are ``None`` when the error concerns the whole line.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        source: str = "<string>",
+        lineno: int = 0,
+        col: Optional[int] = None,
+        field: Optional[int] = None,
+    ) -> None:
+        where = f"{source}:{lineno}"
+        if col is not None:
+            where = f"{where}:{col}"
+        text = f"{where}: {message}"
+        if field is not None:
+            text = f"{text} (field {field})"
+        super().__init__(text)
         self.source = source
         self.lineno = lineno
+        self.col = col
+        self.field = field
+
+
+class _FieldError(ValueError):
+    """Internal: a tokenise/record error that knows where on the line it is.
+
+    ``parse_lines`` promotes these to :class:`PTdfParseError`, preserving
+    the column/field position alongside the file/line context.
+    """
+
+    def __init__(
+        self, message: str, col: Optional[int] = None, field: Optional[int] = None
+    ) -> None:
+        super().__init__(message)
+        self.col = col
+        self.field = field
 
 
 def split_fields(line: str) -> list[str]:
@@ -39,6 +76,7 @@ def split_fields(line: str) -> list[str]:
     buf: list[str] = []
     in_quotes = False
     in_field = False
+    quote_col = 0  # 1-based column of the last opening quote
     i = 0
     n = len(line)
     while i < n:
@@ -58,6 +96,7 @@ def split_fields(line: str) -> list[str]:
         if ch == '"':
             in_quotes = True
             in_field = True
+            quote_col = i + 1
             i += 1
             continue
         if ch == "#":
@@ -73,7 +112,11 @@ def split_fields(line: str) -> list[str]:
         in_field = True
         i += 1
     if in_quotes:
-        raise ValueError("unterminated quoted field")
+        raise _FieldError(
+            f"unterminated quoted field (quote opened at column {quote_col})",
+            col=quote_col,
+            field=len(fields) + 1,
+        )
     if in_field:
         fields.append("".join(buf))
     return fields
@@ -104,20 +147,22 @@ def _parse_record(fields: list[str]) -> Record:
         return ResourceAttributeRec(args[0], args[1], args[2], attr_type)
     if kind == "PerfResult":
         _need(args, 6, kind)
-        sets = parse_resource_set_field(args[1])
+        sets = _resource_sets(args[1])
         try:
             value = float(args[4])
         except ValueError:
-            raise ValueError(f"bad PerfResult value {args[4]!r}") from None
+            raise _FieldError(
+                f"bad PerfResult value {args[4]!r}", field=6
+            ) from None
         return PerfResultRec(args[0], sets, args[2], args[3], value, args[5])
     if kind == "PerfResultSeries":
         _need(args, 8, kind)
-        sets = parse_resource_set_field(args[1])
+        sets = _resource_sets(args[1])
         try:
             start_time = float(args[5])
             bin_width = float(args[6])
         except ValueError:
-            raise ValueError("bad PerfResultSeries start/width") from None
+            raise _FieldError("bad PerfResultSeries start/width", field=7) from None
         values: list = []
         for tok in args[7].split(","):
             tok = tok.strip()
@@ -129,8 +174,8 @@ def _parse_record(fields: list[str]) -> Record:
                 try:
                     values.append(float(tok))
                 except ValueError:
-                    raise ValueError(
-                        f"bad PerfResultSeries value {tok!r}"
+                    raise _FieldError(
+                        f"bad PerfResultSeries value {tok!r}", field=9
                     ) from None
         return PerfResultSeriesRec(
             args[0], sets, args[2], args[3], args[4], start_time, bin_width,
@@ -139,7 +184,15 @@ def _parse_record(fields: list[str]) -> Record:
     if kind == "ResourceConstraint":
         _need(args, 2, kind)
         return ResourceConstraintRec(args[0], args[1])
-    raise ValueError(f"unknown PTdf record kind {kind!r}")
+    raise _FieldError(f"unknown PTdf record kind {kind!r}", field=1)
+
+
+def _resource_sets(text: str) -> tuple[ResourceSet, ...]:
+    """Parse a resourceSet field, pinning errors to field 3 of the line."""
+    try:
+        return parse_resource_set_field(text)
+    except ValueError as exc:
+        raise _FieldError(str(exc), field=3) from None
 
 
 def _need(args: list[str], count: int, kind: str) -> None:
@@ -153,13 +206,19 @@ def parse_lines(lines: Iterable[str], source: str = "<string>") -> Iterator[Reco
         try:
             fields = split_fields(raw)
         except ValueError as exc:
-            raise PTdfParseError(str(exc), source, lineno) from None
+            raise PTdfParseError(
+                str(exc), source, lineno,
+                col=getattr(exc, "col", None), field=getattr(exc, "field", None),
+            ) from None
         if not fields:
             continue
         try:
             yield _parse_record(fields)
         except ValueError as exc:
-            raise PTdfParseError(str(exc), source, lineno) from None
+            raise PTdfParseError(
+                str(exc), source, lineno,
+                col=getattr(exc, "col", None), field=getattr(exc, "field", None),
+            ) from None
 
 
 def parse_string(text: str, source: str = "<string>") -> list[Record]:

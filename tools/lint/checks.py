@@ -1,0 +1,244 @@
+"""AST checkers behind ``python -m tools.lint`` (stdlib only)."""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+#: call-attribute names whose first argument is treated as SQL text
+SQL_SINKS = frozenset(
+    {
+        "execute",
+        "executemany",
+        "executescript",
+        "query",
+        "query_one",
+        "query_all",
+        "insert",
+        "scalar",
+    }
+)
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _noqa_lines(source: str) -> dict[int, Optional[set[str]]]:
+    """Line -> suppressed codes (None = all) for ``# noqa`` comments."""
+    out: dict[int, Optional[set[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(text)
+        if not m:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return out
+
+
+def _is_constant_name(node: ast.expr) -> bool:
+    """True for UPPER_CASE names/attributes — module or class constants."""
+    if isinstance(node, ast.Name):
+        return node.id.isupper()
+    if isinstance(node, ast.Attribute):
+        return node.attr.isupper()
+    return False
+
+
+def _interpolated_sql(node: ast.expr) -> Optional[str]:
+    """Why *node* is interpolation-built SQL, or None when it is safe."""
+    if isinstance(node, ast.JoinedStr):
+        for part in node.values:
+            if isinstance(part, ast.FormattedValue) and not _is_constant_name(
+                part.value
+            ):
+                return f"f-string interpolates {ast.unparse(part.value)!r}"
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Mod)):
+        for side in (node.left, node.right):
+            reason = _interpolated_sql(side)
+            if reason is not None:
+                return reason
+        # `"..." % x` and `"..." + x` with a non-literal, non-constant side
+        for side in (node.left, node.right):
+            if not isinstance(side, (ast.Constant, ast.JoinedStr, ast.BinOp)):
+                if not _is_constant_name(side):
+                    return f"SQL concatenated with {ast.unparse(side)!r}"
+        return None
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr == "format":
+            return "SQL built with str.format()"
+    return None
+
+
+def _walk_no_nested(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/lambdas."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.violations: list[Violation] = []
+
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        self.violations.append(Violation(self.path, node.lineno, code, message))
+
+    # -- PTL001 ---------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in SQL_SINKS
+            and node.args
+        ):
+            reason = _interpolated_sql(node.args[0])
+            if reason is not None:
+                self._add(
+                    node,
+                    "PTL001",
+                    f"string-interpolated SQL passed to .{node.func.attr}(): "
+                    f"{reason}; use ? placeholders (or interpolate only "
+                    f"UPPERCASE constants)",
+                )
+        self.generic_visit(node)
+
+    # -- PTL003 ---------------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._add(
+                node,
+                "PTL003",
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                "catch a concrete exception class",
+            )
+        self.generic_visit(node)
+
+    # -- PTL002 ---------------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_cursors(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_cursors(node)
+        self.generic_visit(node)
+
+    def _check_cursors(self, func: ast.AST) -> None:
+        """Flag ``x = conn.cursor()`` never closed/returned/escaped.
+
+        Opens are collected without descending into nested defs (those get
+        their own visit, avoiding double reports); closes are collected
+        from the whole body so a closure closing the cursor counts.
+        """
+        opened: dict[str, ast.AST] = {}
+        closed: set[str] = set()
+
+        for node in _walk_no_nested(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr == "cursor"
+                ):
+                    opened[target.id] = node
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.withitem):
+                # `with conn.cursor() as cur` or `with closing(cur)`
+                if isinstance(node.context_expr, ast.Call):
+                    closed.update(
+                        n.id
+                        for n in ast.walk(node.context_expr)
+                        if isinstance(n, ast.Name)
+                    )
+                if isinstance(node.optional_vars, ast.Name):
+                    closed.add(node.optional_vars.id)
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr == "close" and isinstance(
+                    node.func.value, ast.Name
+                ):
+                    closed.add(node.func.value.id)
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if value is not None:
+                    closed.update(
+                        n.id for n in ast.walk(value) if isinstance(n, ast.Name)
+                    )
+
+        for name, site in opened.items():
+            if name not in closed:
+                self._add(
+                    site,
+                    "PTL002",
+                    f"cursor {name!r} is never closed, returned or used in a "
+                    f"'with' block; wrap it in contextlib.closing() or call "
+                    f".close()",
+                )
+
+
+def check_file(path: str) -> list[Violation]:
+    """Run every checker over one Python file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 0, "PTL000", f"syntax error: {exc.msg}")]
+    checker = _Checker(path)
+    checker.visit(tree)
+    noqa = _noqa_lines(source)
+    out = []
+    for v in checker.violations:
+        codes = noqa.get(v.line, False)
+        if codes is False:
+            out.append(v)
+        elif codes is not None and v.code not in codes:
+            out.append(v)
+    return sorted(out, key=lambda v: (v.path, v.line, v.code))
+
+
+def _python_files(paths: Iterable[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = [d for d in dirs if d not in ("__pycache__", ".git")]
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def check_paths(paths: Iterable[str]) -> list[Violation]:
+    """Run every checker over files/directories in *paths*."""
+    out: list[Violation] = []
+    for path in _python_files(paths):
+        out.extend(check_file(path))
+    return out
