@@ -13,6 +13,9 @@ loading and querying from Python; this CLI packages the same operations:
 * ``ptrack query``     evaluate a pr-filter and print/export the results
 * ``ptrack attrs``     show a resource's attributes (the GUI's viewer)
 * ``ptrack compare``   align two executions and report regressions
+* ``ptrack stats``     self-instrumentation: run a workload with the
+                       metrics registry enabled and print the snapshot
+                       (text, ``--json`` or Prometheus ``--prom``)
 
 Exit code 0 on success, 2 on usage errors, 1 on operational failures.
 """
@@ -23,6 +26,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from . import obs
 from .core import (
     AttributeClause,
     ByAttributes,
@@ -70,27 +74,56 @@ def cmd_init(args) -> int:
 def cmd_load(args) -> int:
     from .ptdf.lint import context_from_store, has_errors, lint_files
 
+    # Per-file progress (records/s from the loader counters): on by
+    # default when stderr is a terminal, forced by --progress, silenced
+    # by --quiet.
+    show_progress = args.progress or (sys.stderr.isatty() and not args.quiet)
+    was_enabled = obs.metrics.enabled
+    if show_progress:
+        obs.metrics.enable()
+    if args.trace:
+        obs.trace.enable()
     store = _open_store(args, initialize=True)
-    if not args.force:
-        diagnostics = lint_files(args.files, context_from_store(store))
-        for diag in diagnostics:
-            print(diag, file=sys.stderr)
-        if has_errors(diagnostics):
-            print(
-                "load refused: the files above have lint errors "
-                "(use --force to load anyway)",
-                file=sys.stderr,
-            )
-            store.close()
-            return 1
-    for path in args.files:
-        stats = store.load_file(path)
-        print(
-            f"{path}: {stats.results} results, {stats.resources} resources, "
-            f"{stats.executions} executions"
-        )
-    store.commit()
-    store.close()
+    try:
+        if not args.force:
+            diagnostics = lint_files(args.files, context_from_store(store))
+            for diag in diagnostics:
+                print(diag, file=sys.stderr)
+            if has_errors(diagnostics):
+                print(
+                    "load refused: the files above have lint errors "
+                    "(use --force to load anyway)",
+                    file=sys.stderr,
+                )
+                store.close()
+                return 1
+        records_loaded = obs.metrics.counter("ptdf.load.records")
+        for path in args.files:
+            before = records_loaded.value
+            t0 = obs.now()
+            stats = store.load_file(path)
+            elapsed = obs.now() - t0
+            if not args.quiet:
+                print(
+                    f"{path}: {stats.results} results, {stats.resources} resources, "
+                    f"{stats.executions} executions"
+                )
+            if show_progress:
+                n = records_loaded.value - before
+                rate = n / elapsed if elapsed > 0 else 0.0
+                print(
+                    f"{path}: {n} records in {elapsed:.2f}s ({rate:,.0f} records/s)",
+                    file=sys.stderr,
+                )
+        store.commit()
+        store.close()
+    finally:
+        if args.trace:
+            spans = obs.trace.save(args.trace)
+            obs.trace.disable()
+            print(f"# wrote {spans} spans to {args.trace}", file=sys.stderr)
+        if not was_enabled:
+            obs.metrics.disable()
     return 0
 
 
@@ -206,6 +239,18 @@ def _parse_attr_clause(text: str) -> AttributeClause:
 
 
 def cmd_query(args) -> int:
+    if args.trace:
+        obs.trace.enable()
+    try:
+        return _cmd_query_inner(args)
+    finally:
+        if args.trace:
+            spans = obs.trace.save(args.trace)
+            obs.trace.disable()
+            print(f"# wrote {spans} spans to {args.trace}", file=sys.stderr)
+
+
+def _cmd_query_inner(args) -> int:
     store = _open_store(args)
     engine = QueryEngine(store)
     prf = PrFilter()
@@ -353,6 +398,60 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Run a small workload with the metrics registry on and report it.
+
+    Loads the given PTdf files (if any), exercises the query layer once,
+    then prints the registry snapshot as text, JSON (``--json``) or
+    Prometheus exposition (``--prom``).  ``--ptdf FILE`` additionally
+    renders the snapshot as PTdf performance results — PerfTrack
+    describing itself in its own data format.
+    """
+    was_enabled = obs.metrics.enabled
+    obs.metrics.enable()
+    obs.metrics.reset()
+    if args.trace:
+        obs.trace.enable()
+    try:
+        store = _open_store(args, initialize=True)
+        for path in args.files:
+            store.load_file(path)
+        store.commit()
+        # Exercise the query path so query.* instruments fire too; the
+        # per-family counts before the whole-filter evaluation mirror the
+        # GUI's live match counts (Figure 3) and re-probe the same SQL.
+        engine = QueryEngine(store)
+        engine.count_for_filter([])
+        for execution in store.executions():
+            prf = PrFilter([ByName(f"/{execution}", Expansion.DESCENDANTS)])
+            families = store.resolve_prfilter(prf)
+            for fam in families:
+                engine.count_for_family(fam)
+            engine.fetch_results(engine.result_ids(families))
+            break
+        store.close()
+        snapshot = obs.metrics.snapshot()
+        if args.json:
+            print(obs.render_json(snapshot))
+        elif args.prom:
+            print(obs.render_prometheus(snapshot), end="")
+        else:
+            print(obs.render_text(snapshot))
+        if args.ptdf:
+            text = obs.to_ptdf(args.execution, snapshot=snapshot)
+            with open(args.ptdf, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"# wrote telemetry PTdf to {args.ptdf}", file=sys.stderr)
+    finally:
+        if args.trace:
+            spans = obs.trace.save(args.trace)
+            obs.trace.disable()
+            print(f"# wrote {spans} spans to {args.trace}", file=sys.stderr)
+        if not was_enabled:
+            obs.metrics.disable()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ptrack", description="PerfTrack experiment management CLI"
@@ -371,6 +470,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="load even when the files have lint errors",
     )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-file summaries and progress"
+    )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="force per-file records/s progress lines (default when stderr is a TTY)",
+    )
+    p.add_argument("--trace", help="write a Chrome-trace JSON of the load to FILE")
     p.set_defaults(fn=cmd_load)
 
     p = sub.add_parser("lint", help="statically validate PTdf files (pt-lint)")
@@ -423,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, help="show at most N rows")
     p.add_argument("--csv", help="write the table to a CSV file")
     p.add_argument("--count-only", action="store_true", help="print counts and stop")
+    p.add_argument("--trace", help="write a Chrome-trace JSON of the query to FILE")
     p.set_defaults(fn=cmd_query)
 
     p = sub.add_parser("attrs", help="show a resource's attributes")
@@ -459,12 +568,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=1.10, help="regression ratio")
     p.set_defaults(fn=cmd_compare)
 
+    p = sub.add_parser(
+        "stats", help="self-instrumentation: run a workload and print engine metrics"
+    )
+    _add_db_options(p)
+    p.add_argument("files", nargs="*", help="PTdf files to load as the workload")
+    p.add_argument("--json", action="store_true", help="print the snapshot as JSON")
+    p.add_argument(
+        "--prom", action="store_true", help="print Prometheus exposition format"
+    )
+    p.add_argument("--ptdf", help="also write the snapshot as PTdf to FILE")
+    p.add_argument(
+        "--execution",
+        default="ptrack-telemetry",
+        help="execution name for --ptdf output (default ptrack-telemetry)",
+    )
+    p.add_argument("--trace", help="write a Chrome-trace JSON of the workload to FILE")
+    p.set_defaults(fn=cmd_stats)
+
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        help="diagnostic logging level (also $PTRACK_LOG; default warning)",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs.configure_logging(args.log_level)
     try:
         return args.fn(args)
     except BrokenPipeError:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..minidb.errors import ProgrammingError
+from ..obs.metrics import metrics as _M
 from ..ptdf.format import (
     ApplicationRec,
     ExecutionRec,
@@ -126,6 +127,11 @@ _INSERT_SQL: dict[str, str] = {
     ),
 }
 
+# Loader metrics (no-ops while the registry is disabled; the record loop
+# never touches them — per-type counts come from LoadStats after the fact).
+_BATCHES_FLUSHED = _M.counter("ptdf.load.batches_flushed")
+_ROWS_FLUSHED = _M.counter("ptdf.load.rows_flushed", unit="rows")
+
 
 class BulkLoader:
     """One bulk load: buffer rows per table, flush via ``executemany``.
@@ -216,6 +222,9 @@ class BulkLoader:
 
     def flush(self) -> None:
         """Apply all buffered rows in foreign-key dependency order."""
+        if self._buffered and _M.enabled:
+            _BATCHES_FLUSHED.inc()
+            _ROWS_FLUSHED.add(self._buffered)
         for table in _FLUSH_ORDER:
             rows = self._buffers[table]
             if rows:

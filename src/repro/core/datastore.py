@@ -24,6 +24,10 @@ from typing import Iterable, Optional, Sequence, Union
 
 from ..dbapi.backends import Backend, open_backend
 from ..minidb.errors import ProgrammingError
+from ..obs.clock import now as _now
+from ..obs.logsetup import get_logger
+from ..obs.metrics import metrics as _M
+from ..obs.tracing import trace as _trace
 from ..ptdf import basetypes
 from ..ptdf.format import (
     ApplicationRec,
@@ -69,6 +73,40 @@ class LoadStats:
         for f in self.__dataclass_fields__:
             setattr(self, f, getattr(self, f) + getattr(other, f))
         return self
+
+
+_log = get_logger("load")
+
+# Loader and query-layer metrics (no-ops while the registry is disabled).
+# The per-record-type counters are fed from LoadStats after each load, so
+# the record loop itself carries no instrumentation.
+_LOADS = _M.counter("ptdf.load.loads")
+_LOAD_RECORDS = _M.counter("ptdf.load.records", unit="records")
+_LOAD_SECONDS = _M.histogram("ptdf.load.seconds")
+_LOAD_RATE = _M.gauge("ptdf.load.records_per_s", unit="records/s")
+_LOAD_TYPE_COUNTS = {
+    field: _M.counter(f"ptdf.load.{field}")
+    for field in LoadStats.__dataclass_fields__
+}
+_FILTERS_RESOLVED = _M.counter("query.filters_resolved")
+_FILTER_MATCHES = _M.counter("query.filter_matches", unit="resources")
+_FOCUS_RESOLVE_SECONDS = _M.histogram("query.focus_resolution_seconds")
+_CLOSURE_EXPANSIONS = _M.counter("query.closure_expansions")
+
+
+class _CountingIter:
+    """Wraps a record stream to count records as the loader consumes them."""
+
+    __slots__ = ("_it", "n")
+
+    def __init__(self, it: Iterable[Record]) -> None:
+        self._it = it
+        self.n = 0
+
+    def __iter__(self):
+        for item in self._it:
+            self.n += 1
+            yield item
 
 
 class PTDataStore:
@@ -463,6 +501,31 @@ class PTDataStore:
         the bulk path is what survives Paradyn-scale inputs.
         """
         use_bulk = self.bulk_load if bulk is None else bulk
+        if not (_M.enabled or _trace.enabled):
+            return self._load_records_inner(records, use_bulk)
+        counting = _CountingIter(records)
+        mode = "bulk" if use_bulk else "per-row"
+        t0 = _now()
+        with _trace.span("load", cat="core", mode=mode):
+            stats = self._load_records_inner(counting, use_bulk)
+        elapsed = _now() - t0
+        _LOADS.inc()
+        _LOAD_RECORDS.add(counting.n)
+        _LOAD_SECONDS.observe(elapsed)
+        if elapsed > 0:
+            _LOAD_RATE.set(counting.n / elapsed)
+        for field, counter in _LOAD_TYPE_COUNTS.items():
+            counter.add(getattr(stats, field))
+        _log.info(
+            "loaded %d record(s) in %.3fs (%s path, %.0f records/s)",
+            counting.n, elapsed, mode,
+            counting.n / elapsed if elapsed > 0 else 0.0,
+        )
+        return stats
+
+    def _load_records_inner(
+        self, records: Iterable[Record], use_bulk: bool
+    ) -> LoadStats:
         if use_bulk:
             return self.load_bulk(records)
         stats = LoadStats()
@@ -538,7 +601,8 @@ class PTDataStore:
     ) -> LoadStats:
         if lint:
             self._lint_or_raise(lambda linter: linter.lint_file(path))
-        return self.load_records(parse_file(path), bulk=bulk)
+        with _trace.span("load.file", cat="core", file=path):
+            return self.load_records(parse_file(path), bulk=bulk)
 
     def _lint_or_raise(self, run) -> None:
         """Refuse a load whose input has lint errors (``lint=True`` paths)."""
@@ -633,6 +697,7 @@ class PTDataStore:
     # -- hierarchy expansion (closure tables vs parent-chain walk) ---------------
 
     def ancestors_of(self, resource_id: int) -> set[int]:
+        _CLOSURE_EXPANSIONS.inc()
         if self.use_closure_tables:
             rows = self.backend.query(
                 "SELECT ancestor_id FROM resource_has_ancestor WHERE resource_id = ?",
@@ -651,6 +716,7 @@ class PTDataStore:
             current = parent
 
     def descendants_of(self, resource_id: int) -> set[int]:
+        _CLOSURE_EXPANSIONS.inc()
         if self.use_closure_tables:
             rows = self.backend.query(
                 "SELECT descendant_id FROM resource_has_descendant WHERE resource_id = ?",
@@ -743,6 +809,17 @@ class PTDataStore:
 
     def resolve_filter(self, f: ResourceFilter) -> ResourceFamily:
         """Apply one resource filter, including A/D/B/N expansion."""
+        if not (_M.enabled or _trace.enabled):
+            return self._resolve_filter_inner(f)
+        t0 = _now()
+        with _trace.span("resolve_filter", cat="query", filter=f.describe()):
+            family = self._resolve_filter_inner(f)
+        _FOCUS_RESOLVE_SECONDS.observe(_now() - t0)
+        _FILTERS_RESOLVED.inc()
+        _FILTER_MATCHES.add(len(family.resource_ids))
+        return family
+
+    def _resolve_filter_inner(self, f: ResourceFilter) -> ResourceFamily:
         if isinstance(f, ByType):
             ids = {
                 r[0]

@@ -19,11 +19,21 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
+from ..obs.clock import now as _now
+from ..obs.metrics import metrics as _M
+from ..obs.tracing import trace as _trace
 from .datastore import PTDataStore
 from .filters import PrFilter, ResourceFamily
 from .results import Context, PerformanceResult
 
 _CHUNK = 400  # stay under sqlite's default 999-parameter limit
+
+# Query-layer metrics (no-ops while the registry is disabled).
+_PRFILTER_EVALS = _M.counter("query.prfilter_evaluations")
+_PRFILTER_SECONDS = _M.histogram("query.prfilter_seconds")
+_RESULTS_MATCHED = _M.counter("query.results_matched", unit="results")
+_RESULTS_FETCHED = _M.counter("query.results_fetched", unit="results")
+_FETCH_SECONDS = _M.histogram("query.fetch_seconds")
 
 
 def _chunks(values: Sequence, size: int = _CHUNK):
@@ -85,6 +95,21 @@ class QueryEngine:
         contexts of one kind (e.g. ``"sender"`` to find message-transit
         results by their sending side).
         """
+        if not (_M.enabled or _trace.enabled):
+            return self._result_ids_inner(families, focus_type)
+        t0 = _now()
+        with _trace.span("query.evaluate", cat="query", families=len(families)):
+            out = self._result_ids_inner(families, focus_type)
+        _PRFILTER_SECONDS.observe(_now() - t0)
+        _PRFILTER_EVALS.inc()
+        _RESULTS_MATCHED.add(len(out))
+        return out
+
+    def _result_ids_inner(
+        self,
+        families: Sequence[ResourceFamily],
+        focus_type: Optional[str] = None,
+    ) -> set[int]:
         if not families:
             if focus_type is None:
                 rows = self.store.backend.query("SELECT id FROM performance_result")
@@ -116,6 +141,18 @@ class QueryEngine:
 
     def fetch_results(self, result_ids: Iterable[int]) -> list[PerformanceResult]:
         """Materialise PerformanceResult objects (with contexts) by id."""
+        if not (_M.enabled or _trace.enabled):
+            return self._fetch_results_inner(result_ids)
+        t0 = _now()
+        with _trace.span("query.fetch", cat="query"):
+            out = self._fetch_results_inner(result_ids)
+        _FETCH_SECONDS.observe(_now() - t0)
+        _RESULTS_FETCHED.add(len(out))
+        return out
+
+    def _fetch_results_inner(
+        self, result_ids: Iterable[int]
+    ) -> list[PerformanceResult]:
         ids = sorted(set(result_ids))
         if not ids:
             return []

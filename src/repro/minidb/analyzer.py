@@ -235,6 +235,11 @@ class Analyzer:
     def _an_Explain(self, stmt: ast.Explain, env: _Env) -> None:
         self._stmt(stmt.statement, env)
 
+    def _an_ExplainAnalyze(self, stmt: ast.ExplainAnalyze, env: _Env) -> None:
+        # EXPLAIN ANALYZE executes its statement, so the inner statement
+        # gets the full strict pass (unlike CHECK below).
+        self._stmt(stmt.statement, env)
+
     def _an_Check(self, stmt: ast.Check, env: _Env) -> None:
         # CHECK never executes its statement; it cannot fail at run time,
         # so the strict pre-execution pass has nothing to reject.

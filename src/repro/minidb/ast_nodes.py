@@ -268,3 +268,11 @@ class Check:
     """``EXPLAIN [ANALYZE] CHECK <statement>``: static analysis, no execution."""
 
     statement: Any
+
+
+@dataclass
+class ExplainAnalyze:
+    """``EXPLAIN ANALYZE <statement>``: execute, then render the plan tree
+    annotated with per-operator actual row counts and elapsed time."""
+
+    statement: Any

@@ -17,6 +17,9 @@ import os
 from collections import OrderedDict
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
+from ..obs.clock import now as _now
+from ..obs.metrics import metrics as _M
+from ..obs.tracing import trace as _trace
 from . import ast_nodes as ast
 from .analyzer import Analyzer, Diagnostic
 from .errors import InterfaceError, SemanticError, SqlSyntaxError
@@ -32,6 +35,16 @@ _DDL_NODES = (
     ast.DropIndex,
 )
 _DML_NODES = (ast.Insert, ast.Update, ast.Delete)
+
+# Connection-layer metrics (see docs/observability.md); no-ops while the
+# process-wide registry is disabled.
+_STATEMENTS = _M.counter("minidb.statements")
+_STMT_SECONDS = _M.histogram("minidb.statement_seconds")
+_CACHE_HITS = _M.counter("minidb.statement_cache.hits")
+_CACHE_MISSES = _M.counter("minidb.statement_cache.misses")
+_MEMO_HITS = _M.counter("minidb.analyzer.memo_hits")
+_ANALYZE_RUNS = _M.counter("minidb.analyzer.runs")
+_BATCHES = _M.counter("minidb.executemany_batches")
 
 #: Parsed-statement cache capacity per connection.  Eviction is LRU so a
 #: burst of one-off statements cannot dump the hot loader statements.
@@ -135,11 +148,14 @@ class Connection:
     def _parse_cached(self, sql: str) -> _CachedStatement:
         entry = self._statement_cache.get(sql)
         if entry is None:
-            entry = _CachedStatement(parse(sql))
+            _CACHE_MISSES.inc()
+            with _trace.span("parse", cat="minidb"):
+                entry = _CachedStatement(parse(sql))
             while len(self._statement_cache) >= STATEMENT_CACHE_SIZE:
                 self._statement_cache.popitem(last=False)
             self._statement_cache[sql] = entry
         else:
+            _CACHE_HITS.inc()
             self._statement_cache.move_to_end(sql)
         return entry
 
@@ -155,10 +171,14 @@ class Connection:
             return  # CHECK reports diagnostics instead of failing
         catalog = self.db.catalog
         if entry.version != catalog.version:
-            analysis = Analyzer(catalog).analyze(entry.stmt)
+            _ANALYZE_RUNS.inc()
+            with _trace.span("analyze", cat="minidb"):
+                analysis = Analyzer(catalog).analyze(entry.stmt)
             analysis.raise_first_error()
             entry.required_params = analysis.required_params
             entry.version = catalog.version
+        else:
+            _MEMO_HITS.inc()
         if params is not None and entry.required_params > len(params):
             raise SemanticError(
                 f"statement requires at least {entry.required_params} parameters, "
@@ -178,6 +198,9 @@ class Connection:
             entry = self._parse_cached(sql)
         except SqlSyntaxError as exc:
             return [Diagnostic("error", "SQL000", str(exc))]
+        except SemanticError as exc:
+            # e.g. bare EXPLAIN ANALYZE, rejected at parse with a hint
+            return [Diagnostic("error", exc.code, str(exc), exc.suggestion)]
         stmt = entry.stmt
         if isinstance(stmt, ast.Check):
             stmt = stmt.statement
@@ -198,6 +221,16 @@ class Connection:
         entry = self._parse_cached(sql)
         stmt = entry.stmt
         self._ensure_analyzed(entry, params)
+        if not (_M.enabled or _trace.enabled):
+            return self._dispatch(stmt, sql, params)
+        t0 = _now()
+        with _trace.span("execute", cat="minidb", stmt=type(stmt).__name__):
+            result = self._dispatch(stmt, sql, params)
+        _STMT_SECONDS.observe(_now() - t0)
+        _STATEMENTS.inc()
+        return result
+
+    def _dispatch(self, stmt, sql: str, params: Sequence[Any]) -> Result:
         if isinstance(stmt, _DDL_NODES):
             # DDL commits the open transaction and runs in its own.
             self.db.commit()
@@ -207,7 +240,10 @@ class Connection:
                 self.db.journal.log_ddl(sql)
             self.db.commit()
             return result
-        if isinstance(stmt, _DML_NODES):
+        if isinstance(stmt, _DML_NODES) or (
+            isinstance(stmt, ast.ExplainAnalyze)
+            and isinstance(stmt.statement, _DML_NODES)
+        ):
             self.db.begin()  # no-op when already in a transaction
             return Executor(self.db, params).execute(stmt)
         return Executor(self.db, params).execute(stmt)
@@ -251,7 +287,15 @@ class Cursor:
             # Per-row parameter arity is checked by the batch builder.
             conn._ensure_analyzed(entry, None)
             conn.db.begin()
-            result = Executor(conn.db).execute_insert_batch(stmt, seq_of_params)
+            if _M.enabled or _trace.enabled:
+                t0 = _now()
+                with _trace.span("executemany", cat="minidb", table=stmt.table):
+                    result = Executor(conn.db).execute_insert_batch(stmt, seq_of_params)
+                _STMT_SECONDS.observe(_now() - t0)
+                _STATEMENTS.inc()
+                _BATCHES.inc()
+            else:
+                result = Executor(conn.db).execute_insert_batch(stmt, seq_of_params)
             self.description = None
             self.rowcount = result.rowcount
             self.lastrowid = result.lastrowid

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Optional, Sequence
 
+from ..obs.clock import now as _now
+from ..obs.metrics import metrics as _M
 from . import ast_nodes as ast
 from .analyzer import Analyzer
 from .errors import ProgrammingError, SemanticError, closest
@@ -30,6 +32,31 @@ from .planner import (
 )
 from .sqltypes import coerce, sort_key
 from .storage import Database
+
+# Engine metrics (see docs/observability.md).  Instruments no-op while the
+# registry is disabled, so these stay cheap on the default path; hot loops
+# below still aggregate into locals and flush once per operator call.
+_ROWS_SCANNED = _M.counter("minidb.rows.scanned", unit="rows")
+_ROWS_RETURNED = _M.counter("minidb.rows.returned", unit="rows")
+_ROWS_WRITTEN = _M.counter("minidb.rows.written", unit="rows")
+_PLAN_HITS = _M.counter("minidb.plan_cache.hits")
+_PLAN_MISSES = _M.counter("minidb.plan_cache.misses")
+_FULL_SCANS = _M.counter("minidb.access.full_scans")
+_INDEX_LOOKUPS = _M.counter("minidb.access.index_lookups")
+_HJ_BUILDS = _M.counter("minidb.hash_join.builds")
+_HJ_BUILD_ROWS = _M.counter("minidb.hash_join.build_rows", unit="rows")
+_HJ_PROBES = _M.counter("minidb.hash_join.probes")
+
+
+class _OpStats:
+    """Per-operator actuals collected while EXPLAIN ANALYZE runs."""
+
+    __slots__ = ("rows", "loops", "seconds")
+
+    def __init__(self) -> None:
+        self.rows = 0
+        self.loops = 0
+        self.seconds = 0.0
 
 
 class Result:
@@ -62,6 +89,9 @@ class Executor:
         # Hash-join build tables, keyed by plan identity: built on the
         # first probe, reused for every subsequent outer row.
         self._hash_cache: dict[int, dict[tuple, list[int]]] = {}
+        # Per-operator actuals, keyed by plan line; non-None only while an
+        # EXPLAIN ANALYZE statement is executing.
+        self._opstats: Optional[dict[str, _OpStats]] = None
 
     # -- dispatch --------------------------------------------------------------
 
@@ -134,6 +164,7 @@ class Executor:
             full = self.db.coerce_row(meta, full)
             lastrowid = self.db.insert_row(table, full)
             count += 1
+        _ROWS_WRITTEN.add(count)
         return Result(rowcount=count, lastrowid=lastrowid)
 
     def execute_insert_batch(self, stmt: ast.Insert, seq_of_params) -> Result:
@@ -225,6 +256,7 @@ class Executor:
             raise
         if db.journal is not None and applied:
             db.journal.log_insert_batch(meta.name, applied)
+        _ROWS_WRITTEN.add(len(applied))
         return Result(rowcount=len(applied), lastrowid=lastrowid)
 
     def _exec_Update(self, stmt: ast.Update) -> Result:
@@ -244,6 +276,7 @@ class Executor:
             new_row = self.db.coerce_row(meta, new_row)
             self.db.update_row(table, rowid, tuple(new_row))
             count += 1
+        _ROWS_WRITTEN.add(count)
         return Result(rowcount=count)
 
     def _exec_Delete(self, stmt: ast.Delete) -> Result:
@@ -251,6 +284,7 @@ class Executor:
         targets = [rowid for rowid, _row, _s in self._scan_with_where(stmt.table, stmt.where)]
         for rowid in targets:
             self.db.delete_row(table, rowid)
+        _ROWS_WRITTEN.add(len(targets))
         return Result(rowcount=len(targets))
 
     def _scan_with_where(
@@ -267,14 +301,33 @@ class Executor:
             conjuncts,
             known_binding=lambda t, c: False,
         )
-        for rowid in self._rowids_for_path(path, table, Scope()):
-            row = table.rows.get(rowid)
-            if row is None:
-                continue
-            scope = Scope()
-            scope.bind(meta.name, meta.column_names, row)
-            if where is None or self.evaluator.is_true(where, scope):
-                yield rowid, row, scope
+        if _M.enabled:
+            if isinstance(path, FullScan):
+                _FULL_SCANS.inc()
+            else:
+                _INDEX_LOOKUPS.inc()
+        matches = self._where_matches(path, table, meta, where)
+        if self._opstats is not None:
+            yield from self._timed(matches, self._op_stat(path.describe()))
+        else:
+            yield from matches
+
+    def _where_matches(
+        self, path, table, meta, where: Optional[ast.Expr]
+    ) -> Iterator[tuple[int, tuple, Scope]]:
+        scanned = 0
+        try:
+            for rowid in self._rowids_for_path(path, table, Scope()):
+                scanned += 1
+                row = table.rows.get(rowid)
+                if row is None:
+                    continue
+                scope = Scope()
+                scope.bind(meta.name, meta.column_names, row)
+                if where is None or self.evaluator.is_true(where, scope):
+                    yield rowid, row, scope
+        finally:
+            _ROWS_SCANNED.add(scanned)
 
     def _rowids_for_path(self, path, table, outer_scope: Scope) -> Iterator[int]:
         if isinstance(path, FullScan):
@@ -307,6 +360,10 @@ class Executor:
                     hkey = tuple(sort_key(v) for v in key)
                     build.setdefault(hkey, []).append(rowid)
                 self._hash_cache[id(path)] = build
+                if _M.enabled:
+                    _HJ_BUILDS.inc()
+                    _HJ_BUILD_ROWS.add(len(table.rows))
+            _HJ_PROBES.inc()
             probe = tuple(
                 self.evaluator.evaluate(e, outer_scope) for e in path.probe_exprs
             )
@@ -383,6 +440,73 @@ class Executor:
             rowcount=len(lines),
         )
 
+    def _exec_ExplainAnalyze(self, stmt: ast.ExplainAnalyze) -> Result:
+        """Execute the statement, then render the plan with actuals.
+
+        Each plan line gets ``(actual rows=R loops=L time=T ms)`` where
+        ``rows`` is the total rows the operator produced, ``loops`` how
+        often it was (re)started — the inner side of a nested-loop join
+        restarts once per outer row — and ``time`` its inclusive elapsed
+        time (children included).  A final summary line reports the
+        statement's own row count and total wall time.
+        """
+        inner = stmt.statement
+        if not isinstance(inner, (ast.Select, ast.Insert, ast.Update, ast.Delete)):
+            raise SemanticError(
+                f"EXPLAIN ANALYZE cannot execute {type(inner).__name__.upper()}",
+                code="SQL022",
+                location="EXPLAIN ANALYZE",
+                suggestion=(
+                    "EXPLAIN ANALYZE supports SELECT, INSERT, UPDATE and "
+                    "DELETE; use EXPLAIN ANALYZE CHECK <statement> for "
+                    "static analysis of anything else"
+                ),
+            )
+        self._opstats = {}
+        t0 = _now()
+        try:
+            result = self.execute(inner)
+        finally:
+            stats, self._opstats = self._opstats, None
+        total_ms = (_now() - t0) * 1000.0
+        lines = []
+        for line in self._explain(inner):
+            st = stats.get(line)
+            if st is not None:
+                lines.append(
+                    f"{line} (actual rows={st.rows} loops={st.loops} "
+                    f"time={st.seconds * 1000.0:.3f} ms)"
+                )
+            else:
+                lines.append(line)
+        verb = "returned" if isinstance(inner, ast.Select) else "affected"
+        count = len(result.rows) if isinstance(inner, ast.Select) else result.rowcount
+        lines.append(f"ACTUAL: {count} row(s) {verb} in {total_ms:.3f} ms")
+        return Result(
+            description=[("plan", None, None, None, None, None, None)],
+            rows=[(line,) for line in lines],
+            rowcount=len(lines),
+        )
+
+    def _op_stat(self, key: str) -> _OpStats:
+        """The (created-on-demand) stats bucket for one plan line."""
+        assert self._opstats is not None
+        st = self._opstats.get(key)
+        if st is None:
+            st = self._opstats[key] = _OpStats()
+        st.loops += 1
+        return st
+
+    def _timed(self, it: Iterator, st: _OpStats) -> Iterator:
+        """Meter *it*: count items and attribute inter-yield time to *st*."""
+        t0 = _now()
+        for item in it:
+            st.seconds += _now() - t0
+            st.rows += 1
+            yield item
+            t0 = _now()
+        st.seconds += _now() - t0
+
     def _explain(self, stmt) -> list[str]:
         if isinstance(stmt, ast.Select):
             lines: list[str] = []
@@ -444,6 +568,7 @@ class Executor:
 
     def _exec_Select(self, stmt: ast.Select) -> Result:
         description, rows = self._run_select(stmt, Scope())
+        _ROWS_RETURNED.add(len(rows))
         return Result(description=description, rows=rows, rowcount=len(rows))
 
     def _run_select(
@@ -459,7 +584,14 @@ class Executor:
             if op == "UNION":
                 rows = _dedup(rows)
         if stmt.order_by:
-            rows = self._apply_order(stmt, names, rows, contexts)
+            if self._opstats is not None:
+                t0 = _now()
+                rows = self._apply_order(stmt, names, rows, contexts)
+                st = self._op_stat("ORDER BY")
+                st.rows += len(rows)
+                st.seconds += _now() - t0
+            else:
+                rows = self._apply_order(stmt, names, rows, contexts)
         rows = self._apply_limit(stmt, rows, outer)
         description = [(n, None, None, None, None, None, None) for n in names]
         return description, rows
@@ -498,7 +630,14 @@ class Executor:
         names = self._output_names(stmt)
 
         if grouped:
-            rows, contexts = self._grouped_rows(stmt, scopes, outer)
+            if self._opstats is not None:
+                t0 = _now()
+                rows, contexts = self._grouped_rows(stmt, scopes, outer)
+                st = self._op_stat("AGGREGATE")
+                st.rows += len(rows)
+                st.seconds += _now() - t0
+            else:
+                rows, contexts = self._grouped_rows(stmt, scopes, outer)
         else:
             rows = []
             contexts = []
@@ -587,14 +726,36 @@ class Executor:
                 table_size=len(table.rows),
             )
             self._path_cache[cache_key] = path
+            _PLAN_MISSES.inc()
+        else:
+            _PLAN_HITS.inc()
+        if _M.enabled:
+            if isinstance(path, FullScan):
+                _FULL_SCANS.inc()
+            elif not isinstance(path, HashJoin):  # probes counted at the build
+                _INDEX_LOOKUPS.inc()
         eval_scope = parent if parent is not None else outer
-        for rowid in self._rowids_for_path(path, table, eval_scope):
-            row = table.rows.get(rowid)
-            if row is None:
-                continue
-            scope = (parent or outer).child()
-            scope.bind(ref.binding, meta.column_names, row)
-            yield scope
+        scopes = self._table_scopes(path, ref, table, meta, parent, outer, eval_scope)
+        if self._opstats is not None:
+            yield from self._timed(scopes, self._op_stat(path.describe()))
+        else:
+            yield from scopes
+
+    def _table_scopes(
+        self, path, ref, table, meta, parent, outer, eval_scope
+    ) -> Iterator[Scope]:
+        scanned = 0
+        try:
+            for rowid in self._rowids_for_path(path, table, eval_scope):
+                scanned += 1
+                row = table.rows.get(rowid)
+                if row is None:
+                    continue
+                scope = (parent or outer).child()
+                scope.bind(ref.binding, meta.column_names, row)
+                yield scope
+        finally:
+            _ROWS_SCANNED.add(scanned)
 
     def _iter_subquery(
         self, ref: ast.SubqueryRef, outer: Scope, parent: Optional[Scope]

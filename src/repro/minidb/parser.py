@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Optional
 
 from . import ast_nodes as ast
-from .errors import SqlSyntaxError
+from .errors import SemanticError, SqlSyntaxError
 from .lexer import EOF, IDENT, KEYWORD, NUMBER, OP, PARAM, STRING, BLOBLIT, Token, tokenize
 
 _AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX", "TOTAL", "GROUP_CONCAT"})
@@ -125,9 +125,18 @@ class Parser:
             if self.accept(KEYWORD, "CHECK"):
                 return ast.Check(self._statement())
             if analyze:
-                raise SqlSyntaxError(
-                    "expected CHECK after EXPLAIN ANALYZE", self.sql, self.cur.pos
-                )
+                if self.at(EOF) or self.at(OP, ";"):
+                    raise SemanticError(
+                        "EXPLAIN ANALYZE requires a statement to execute",
+                        code="SQL021",
+                        location="EXPLAIN ANALYZE",
+                        suggestion=(
+                            "EXPLAIN ANALYZE SELECT ... to execute and profile a "
+                            "statement, or EXPLAIN ANALYZE CHECK <statement> for "
+                            "static analysis without executing"
+                        ),
+                    )
+                return ast.ExplainAnalyze(self._statement())
             return ast.Explain(self._statement())
         raise SqlSyntaxError(
             f"unsupported statement start {self.cur.value!r}", self.sql, self.cur.pos

@@ -19,12 +19,23 @@ import json
 import os
 from typing import Any
 
+from ..obs.logsetup import get_logger
+from ..obs.metrics import metrics as _M
 from .catalog import ColumnMeta, ForeignKeyMeta, IndexMeta, TableMeta
 from .errors import OperationalError
 from .index import Index
 from .storage import Database, Table
 
 _FORMAT_VERSION = 1
+
+_log = get_logger("minidb.wal")
+
+# WAL metrics (no-ops while the registry is disabled).
+_WAL_RECORDS = _M.counter("minidb.wal.records")
+_WAL_BYTES = _M.counter("minidb.wal.bytes", unit="bytes")
+_WAL_FSYNCS = _M.counter("minidb.wal.fsyncs")
+_WAL_COMMITS = _M.counter("minidb.wal.commits")
+_WAL_REPLAYED = _M.counter("minidb.wal.replayed_records")
 
 
 def _encode_value(v: Any) -> Any:
@@ -215,14 +226,24 @@ class Journal:
     def commit(self) -> None:
         if not self._pending:
             return
+        nbytes = 0
         with open(self.wal_path, "a", encoding="utf-8") as fh:
             for rec in self._pending:
-                fh.write(json.dumps(rec))
+                data = json.dumps(rec)
+                fh.write(data)
                 fh.write("\n")
-            fh.write(json.dumps({"op": "commit"}))
+                nbytes += len(data) + 1
+            marker = json.dumps({"op": "commit"})
+            fh.write(marker)
             fh.write("\n")
+            nbytes += len(marker) + 1
             fh.flush()
             os.fsync(fh.fileno())
+        if _M.enabled:
+            _WAL_RECORDS.add(len(self._pending))
+            _WAL_BYTES.add(nbytes)
+            _WAL_FSYNCS.inc()
+            _WAL_COMMITS.inc()
         self._pending.clear()
 
     def rollback(self) -> None:
@@ -252,6 +273,9 @@ class Journal:
                     batch.clear()
                 else:
                     batch.append(rec)
+        if applied:
+            _WAL_REPLAYED.add(applied)
+            _log.info("replayed %d WAL record(s) from %s", applied, self.wal_path)
         return applied
 
     def _apply(self, rec: dict) -> None:

@@ -1,0 +1,43 @@
+"""Self-instrumentation for the PerfTrack reproduction.
+
+A zero-dependency observability subsystem threaded through every layer of
+the stack (minidb engine, PTdf loaders, datastore/query core, CLI):
+
+* :data:`metrics` — the process-wide :class:`MetricsRegistry` (counters,
+  gauges, log2-binned histograms; thread-safe; **disabled by default** so
+  the hot paths pay only a predicate check),
+* :data:`trace` — the process-wide :class:`Tracer` (hierarchical spans,
+  ring buffer, Chrome-trace JSON export),
+* exporters — :func:`render_text` / :func:`render_json` /
+  :func:`render_prometheus` / :func:`to_ptdf` (PerfTrack loading its own
+  telemetry as PTdf),
+* :func:`configure_logging` / :func:`get_logger` — stdlib logging under
+  the ``ptrack`` hierarchy, level via ``--log-level`` or ``$PTRACK_LOG``.
+
+See ``docs/observability.md`` for the metric catalogue and span taxonomy.
+"""
+
+from .clock import now, wall_clock
+from .export import render_json, render_prometheus, render_text, to_ptdf
+from .logsetup import configure_logging, get_logger
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
+from .tracing import Span, Tracer, trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "metrics",
+    "now",
+    "render_json",
+    "render_prometheus",
+    "render_text",
+    "to_ptdf",
+    "trace",
+    "wall_clock",
+]

@@ -1,0 +1,20 @@
+"""Clocks for the observability layer.
+
+All instrumentation in ``src/`` must go through these wrappers (enforced by
+the repo lint rule PTL004) so that durations are always measured on the
+monotonic high-resolution clock and wall-clock reads are centralised in one
+place.  ``now()`` is the duration clock; ``wall_clock()`` is the epoch clock
+used only for timestamping exported artefacts.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Monotonic high-resolution clock for measuring durations (seconds).
+now = time.perf_counter
+
+
+def wall_clock() -> float:
+    """Seconds since the epoch, for timestamping exported snapshots."""
+    return time.time()  # noqa: PTL004 — the one sanctioned wall-clock read

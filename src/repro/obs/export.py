@@ -1,0 +1,154 @@
+"""Render metrics snapshots: text, JSON, Prometheus exposition, and PTdf.
+
+The PTdf exporter is the poetic closing of the loop: PerfTrack emits its own
+telemetry in the paper's data format, so a metrics snapshot can be loaded
+back into a :class:`~repro.core.datastore.PTDataStore` and diagnosed with
+the same pr-filter machinery used on application data.  Mapping:
+
+* ``Application PerfTrack`` — the instrumented program,
+* ``Execution <name> PerfTrack`` — one snapshot export,
+* ``Resource /<name> execution <name>`` — the whole-execution focus,
+* one ``PerfResult`` per counter/gauge (metric = the metric name, units =
+  the instrument's unit), and four per histogram (``(count)``, ``(sum)``,
+  ``(mean)``, ``(max)`` facets, each with a consistent units string).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Dict, Mapping, Optional
+
+from .metrics import MetricsRegistry, metrics
+
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_prometheus",
+    "to_ptdf",
+]
+
+Snapshot = Mapping[str, Mapping[str, Any]]
+
+
+def _resolve(snapshot: Optional[Snapshot],
+             registry: Optional[MetricsRegistry]) -> Snapshot:
+    if snapshot is not None:
+        return snapshot
+    return (registry or metrics).snapshot()
+
+
+# ---------------------------------------------------------------- text
+
+
+def render_text(snapshot: Optional[Snapshot] = None, *,
+                registry: Optional[MetricsRegistry] = None) -> str:
+    """Aligned human-readable table, one metric per line."""
+    snap = _resolve(snapshot, registry)
+    if not snap:
+        return "(no metrics recorded)\n"
+    width = max(len(name) for name in snap)
+    lines = []
+    for name, data in snap.items():
+        if data["type"] == "histogram":
+            value = (
+                f"count={data['count']} sum={data['sum']:.6g} "
+                f"mean={data['mean']:.6g} max={data['max']:.6g} {data['unit']}"
+            )
+        else:
+            v = data["value"]
+            value = f"{v:.6g} {data['unit']}" if isinstance(v, float) else f"{v} {data['unit']}"
+        lines.append(f"{name:<{width}}  {value}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------- JSON
+
+
+def render_json(snapshot: Optional[Snapshot] = None, *,
+                registry: Optional[MetricsRegistry] = None) -> str:
+    """The snapshot as a stable JSON document."""
+    snap = _resolve(snapshot, registry)
+    return json.dumps(snap, indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------- Prometheus
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_BAD.sub("_", name)
+
+
+def render_prometheus(snapshot: Optional[Snapshot] = None, *,
+                      registry: Optional[MetricsRegistry] = None) -> str:
+    """Prometheus text exposition format (v0.0.4).
+
+    Histograms render cumulative ``_bucket{le=...}`` series plus ``_sum``
+    and ``_count``, counters get a ``_total`` suffix.
+    """
+    snap = _resolve(snapshot, registry)
+    lines = []
+    for name, data in snap.items():
+        pname = _prom_name(name)
+        kind = data["type"]
+        if kind == "counter":
+            lines.append(f"# TYPE {pname}_total counter")
+            lines.append(f"{pname}_total {data['value']}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {data['value']}")
+        else:
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for bound, count in data["buckets"]:
+                cumulative += count
+                le = "+Inf" if math.isinf(bound) else f"{bound:.9g}"
+                lines.append(f'{pname}_bucket{{le="{le}"}} {cumulative}')
+            if not data["buckets"] or not math.isinf(data["buckets"][-1][0]):
+                lines.append(f'{pname}_bucket{{le="+Inf"}} {data["count"]}')
+            lines.append(f"{pname}_sum {data['sum']}")
+            lines.append(f"{pname}_count {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------- PTdf
+
+
+def to_ptdf(execution: str = "ptrack-telemetry", *,
+            snapshot: Optional[Snapshot] = None,
+            registry: Optional[MetricsRegistry] = None,
+            application: str = "PerfTrack",
+            tool: str = "ptrack-obs") -> str:
+    """Render a metrics snapshot as PTdf telemetry.
+
+    The returned text passes ``pt-lint --strict`` and loads into a fresh
+    :class:`~repro.core.datastore.PTDataStore` (covered by tests), giving
+    one Execution whose PerfResults are the snapshot's metrics.
+    """
+    from ..ptdf.format import ResourceSet
+    from ..ptdf.writer import PTdfWriter
+
+    snap = _resolve(snapshot, registry)
+    writer = PTdfWriter()
+    writer.add_application(application)
+    writer.add_execution(execution, application)
+    focus_name = f"/{execution}"
+    writer.add_resource(focus_name, "execution", execution)
+    focus = ResourceSet((focus_name,), "primary")
+
+    def result(metric: str, value: float, units: str) -> None:
+        writer.add_perf_result(execution, focus, tool, metric, value, units)
+
+    for name, data in snap.items():
+        if data["type"] == "histogram":
+            result(f"{name} (count)", float(data["count"]), "count")
+            result(f"{name} (sum)", float(data["sum"]), data["unit"])
+            result(f"{name} (mean)", float(data["mean"]), data["unit"])
+            if data["max"] is not None:
+                result(f"{name} (max)", float(data["max"]), data["unit"])
+        else:
+            result(name, float(data["value"]), data["unit"])
+    return writer.render()

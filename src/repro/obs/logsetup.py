@@ -1,0 +1,47 @@
+"""Stdlib logging wiring for PerfTrack.
+
+Everything in ``src/`` logs under the ``ptrack`` logger hierarchy
+(``ptrack.minidb.wal``, ``ptrack.load``, ...).  :func:`configure_logging`
+attaches one stderr handler to the root ``ptrack`` logger; the level comes
+from (highest precedence first) the explicit argument, the ``PTRACK_LOG``
+environment variable, or ``warning``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+__all__ = ["configure_logging", "get_logger"]
+
+_ROOT = "ptrack"
+
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger in the ``ptrack`` hierarchy (``get_logger("minidb.wal")``)."""
+    return logging.getLogger(f"{_ROOT}.{name}" if name else _ROOT)
+
+
+def configure_logging(level: Optional[str] = None, stream=None) -> logging.Logger:
+    """Attach a stderr handler to the ``ptrack`` logger (idempotent).
+
+    ``level`` falls back to ``$PTRACK_LOG``, then ``warning``.  Calling
+    again reconfigures the level and reuses the existing handler.
+    """
+    name = (level or os.environ.get("PTRACK_LOG") or "warning").lower()
+    if name not in LEVELS:
+        raise ValueError(f"bad log level {name!r}; expected one of {LEVELS}")
+    logger = get_logger()
+    logger.setLevel(getattr(logging, name.upper()))
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+        logger.propagate = False
+    return logger

@@ -1,0 +1,297 @@
+"""Process-wide metrics registry: counters, gauges, log2-binned histograms.
+
+Design constraints (see docs/observability.md):
+
+* **Zero dependencies** — stdlib only.
+* **Near-zero overhead when disabled.**  Every instrument holds a reference
+  to its registry and checks ``registry.enabled`` itself, so call sites are
+  a single unconditional method call (``C.inc()``) with an early return —
+  no branching or ``if obs:`` clutter at the instrumentation points.  Hot
+  loops should still aggregate locally and call ``add(n)`` once per batch.
+* **Thread-safe.**  Mutations take a per-instrument lock; ``snapshot()``
+  returns an independent deep copy so readers never see torn state.
+* **Stable snapshot schema.**  ``snapshot()`` maps metric name to a plain
+  dict (``type``/``unit``/values) that the exporters in
+  :mod:`repro.obs.export` render as text, JSON, Prometheus exposition, or
+  PTdf telemetry.
+
+Histograms use fixed log2 bins: an observation ``v`` lands in the bin whose
+upper bound is ``2**e`` where ``2**(e-1) <= v < 2**e`` (the :func:`math.frexp`
+exponent), clamped to ``[2**MIN_EXP, 2**MAX_EXP]``.  With seconds as the
+unit this spans ~1 microsecond to ~17 minutes in 31 bins.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+]
+
+#: Smallest histogram bin upper bound is 2**MIN_EXP (~9.5e-7 s).
+MIN_EXP = -20
+#: Largest finite bin upper bound is 2**MAX_EXP (1024 s); above that, +Inf.
+MAX_EXP = 10
+_NBINS = MAX_EXP - MIN_EXP + 2  # one underflow bin + one +Inf overflow bin
+
+
+class _Instrument:
+    """Base: a named instrument bound to one registry."""
+
+    __slots__ = ("name", "unit", "description", "_registry", "_lock")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, unit: str,
+                 description: str) -> None:
+        self.name = name
+        self.unit = unit
+        self.description = description
+        self._registry = registry
+        self._lock = threading.Lock()
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (events, rows, bytes)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 unit: str = "count", description: str = "") -> None:
+        super().__init__(registry, name, unit, description)
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += n
+
+    add = inc
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0
+
+    def _snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "unit": self.unit, "value": self._value}
+
+
+class Gauge(_Instrument):
+    """Point-in-time value that can go up and down (rates, sizes)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 unit: str = "value", description: str = "") -> None:
+        super().__init__(registry, name, unit, description)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.inc(-n)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+    def _snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "unit": self.unit, "value": self._value}
+
+
+class Histogram(_Instrument):
+    """Distribution with fixed log2 bins plus count/sum/min/max."""
+
+    __slots__ = ("_count", "_sum", "_min", "_max", "_bins")
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 unit: str = "seconds", description: str = "") -> None:
+        super().__init__(registry, name, unit, description)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._bins = [0] * _NBINS
+
+    @staticmethod
+    def bin_index(value: float) -> int:
+        """Bin for ``value``: 0 is underflow (< 2**MIN_EXP), last is +Inf."""
+        if value < 2.0 ** MIN_EXP:
+            return 0
+        exp = math.frexp(value)[1]  # value = m * 2**exp with 0.5 <= m < 1
+        if exp > MAX_EXP:
+            return _NBINS - 1
+        return exp - MIN_EXP
+
+    @staticmethod
+    def bin_upper_bound(index: int) -> float:
+        """Exclusive upper bound of bin ``index`` (+Inf for the last bin)."""
+        if index >= _NBINS - 1:
+            return math.inf
+        return 2.0 ** (MIN_EXP + index)
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            self._bins[self.bin_index(value)] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Non-empty ``(upper_bound, count)`` pairs, bounds ascending."""
+        return [
+            (self.bin_upper_bound(i), n)
+            for i, n in enumerate(self._bins)
+            if n
+        ]
+
+    def _reset(self) -> None:
+        self._count = 0
+        self._sum = 0.0
+        self._min = None
+        self._max = None
+        self._bins = [0] * _NBINS
+
+    def _snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "unit": self.unit,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean,
+            "buckets": self.buckets(),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe collection of named instruments.
+
+    Instruments are created lazily and cached by name; asking twice for the
+    same name returns the same object (a type mismatch is a programming
+    error and raises).  The registry starts **disabled**: every instrument
+    mutation is a no-op until :meth:`enable` is called, so the engine's hot
+    paths pay only a predicate check by default.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every instrument (registration is kept)."""
+        with self._lock:
+            for inst in self._instruments.values():
+                with inst._lock:
+                    inst._reset()
+
+    # -- registration ------------------------------------------------------------
+
+    def _get(self, cls: type, name: str, unit: str, description: str) -> Any:
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(self, name, unit, description)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str, unit: str = "count",
+                description: str = "") -> Counter:
+        return self._get(Counter, name, unit, description)
+
+    def gauge(self, name: str, unit: str = "value",
+              description: str = "") -> Gauge:
+        return self._get(Gauge, name, unit, description)
+
+    def histogram(self, name: str, unit: str = "seconds",
+                  description: str = "") -> Histogram:
+        return self._get(Histogram, name, unit, description)
+
+    # -- read side ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        with self._lock:
+            return iter(list(self._instruments.values()))
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def snapshot(self, include_zero: bool = False) -> Dict[str, Dict[str, Any]]:
+        """Deep-copied view of every instrument, keyed by metric name.
+
+        By default instruments that never fired are omitted so exports stay
+        focused on what actually ran; pass ``include_zero=True`` for the
+        full catalogue.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        for name, inst in instruments:
+            with inst._lock:
+                snap = inst._snapshot()
+            if not include_zero:
+                if snap["type"] == "histogram" and snap["count"] == 0:
+                    continue
+                if snap["type"] != "histogram" and not snap["value"]:
+                    continue
+            out[name] = snap
+        return out
+
+
+#: The process-wide registry every subsystem instruments against.
+metrics = MetricsRegistry()

@@ -1,0 +1,158 @@
+"""Hierarchical span tracing with a ring buffer and Chrome-trace export.
+
+``trace.span("load")`` opens a span; spans started while another is open on
+the same thread become its children (depth is tracked per-thread).  Closed
+spans land in a bounded ring buffer — steady-state tracing cannot grow
+memory without bound — and can be exported in the Chrome trace-event format
+(``chrome://tracing`` / Perfetto ``"X"`` complete events).
+
+Like the metrics registry, the tracer starts disabled and then costs one
+predicate check per ``span()`` call: a shared no-op context manager is
+returned so nothing is allocated or recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from .clock import now
+
+__all__ = ["Span", "Tracer", "trace"]
+
+
+class Span:
+    """One closed span: name, category, start/duration, depth, thread."""
+
+    __slots__ = ("name", "cat", "start", "duration", "depth", "tid", "args")
+
+    def __init__(self, name: str, cat: str, start: float, duration: float,
+                 depth: int, tid: int, args: Dict[str, Any]) -> None:
+        self.name = name
+        self.cat = cat
+        self.start = start
+        self.duration = duration
+        self.depth = depth
+        self.tid = tid
+        self.args = args
+
+    def to_chrome_event(self) -> Dict[str, Any]:
+        """Chrome trace-event ``"X"`` (complete) event, microsecond units."""
+        event: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": "X",
+            "ts": round(self.start * 1e6, 3),
+            "dur": round(self.duration * 1e6, 3),
+            "pid": 1,
+            "tid": self.tid,
+        }
+        if self.args:
+            event["args"] = self.args
+        return event
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one span into the tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self) -> "_LiveSpan":
+        state = self._tracer._state
+        self._depth = getattr(state, "depth", 0)
+        state.depth = self._depth + 1
+        self._start = now()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        end = now()
+        self._tracer._state.depth = self._depth
+        self._tracer._record(
+            Span(self.name, self.cat, self._start, end - self._start,
+                 self._depth, threading.get_ident() & 0xFFFF, self.args)
+        )
+
+
+class Tracer:
+    """Span recorder with a bounded ring buffer.
+
+    ``capacity`` bounds retained spans; once full, the oldest are evicted
+    (ring-buffer semantics via :class:`collections.deque`).
+    """
+
+    def __init__(self, capacity: int = 10000) -> None:
+        self.enabled = False
+        self.capacity = capacity
+        self._buffer: deque = deque(maxlen=capacity)
+        self._state = threading.local()
+
+    # -- recording ---------------------------------------------------------------
+
+    def span(self, name: str, cat: str = "ptrack", **args: Any):
+        """Open a span; use as ``with trace.span("load"): ...``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, cat, args)
+
+    def _record(self, span: Span) -> None:
+        self._buffer.append(span)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    # -- read side ---------------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """Recorded spans, oldest first (a copy; safe to iterate)."""
+        return list(self._buffer)
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The whole buffer as a Chrome trace-event JSON object."""
+        return {
+            "traceEvents": [s.to_chrome_event() for s in self._buffer],
+            "displayTimeUnit": "ms",
+        }
+
+    def save(self, path: str) -> int:
+        """Write the Chrome trace JSON to ``path``; returns span count."""
+        doc = self.to_chrome_trace()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+        return len(doc["traceEvents"])
+
+
+#: The process-wide tracer every subsystem opens spans on.
+trace = Tracer()

@@ -1,0 +1,96 @@
+"""EXPLAIN ANALYZE: executed plans annotated with per-operator actuals."""
+
+import pytest
+
+import repro.minidb as minidb
+from repro.minidb.errors import SemanticError
+
+
+@pytest.fixture
+def conn():
+    c = minidb.connect()
+    cur = c.cursor()
+    cur.execute(
+        "CREATE TABLE dept (id INTEGER PRIMARY KEY, name TEXT)"
+    )
+    cur.execute(
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT, dept_id INTEGER, "
+        "salary REAL, FOREIGN KEY (dept_id) REFERENCES dept (id))"
+    )
+    cur.executemany("INSERT INTO dept (name) VALUES (?)", [("eng",), ("ops",)])
+    cur.executemany(
+        "INSERT INTO emp (name, dept_id, salary) VALUES (?, ?, ?)",
+        [(f"e{i}", i % 2 + 1, 100.0 + i) for i in range(10)],
+    )
+    yield c
+    c.close()
+
+
+def _lines(cur):
+    return [r[0] for r in cur.fetchall()]
+
+
+def test_select_shows_per_operator_actuals(conn):
+    cur = conn.cursor()
+    cur.execute(
+        "EXPLAIN ANALYZE SELECT d.name, COUNT(*) FROM emp e "
+        "JOIN dept d ON d.id = e.dept_id GROUP BY d.name ORDER BY d.name"
+    )
+    lines = _lines(cur)
+    scan = next(line for line in lines if "SCAN emp" in line)
+    assert "actual rows=10" in scan and "loops=1" in scan
+    search = next(line for line in lines if "SEARCH dept" in line)
+    # The inner join side restarts once per outer row.
+    assert "loops=10" in search and "actual rows=10" in search
+    agg = next(line for line in lines if line.strip().startswith("AGGREGATE"))
+    assert "actual rows=2" in agg
+    assert any("ORDER BY" in line and "actual rows=2" in line for line in lines)
+    assert lines[-1].startswith("ACTUAL: 2 row(s) returned in")
+
+
+def test_dml_executes_and_reports_affected(conn):
+    cur = conn.cursor()
+    cur.execute("EXPLAIN ANALYZE UPDATE emp SET salary = salary + 1 WHERE dept_id = 1")
+    lines = _lines(cur)
+    assert lines[-1].startswith("ACTUAL: 5 row(s) affected in")
+    # The statement really ran: the mutation is visible.
+    cur.execute("SELECT SUM(salary) FROM emp WHERE dept_id = 1")
+    base = sum(100.0 + i for i in range(10) if i % 2 == 0)
+    assert cur.fetchone()[0] == pytest.approx(base + 5)
+
+
+def test_bare_explain_analyze_is_structured_error(conn):
+    cur = conn.cursor()
+    with pytest.raises(SemanticError) as err:
+        cur.execute("EXPLAIN ANALYZE")
+    assert err.value.code == "SQL021"
+    assert "EXPLAIN ANALYZE SELECT" in (err.value.suggestion or "")
+
+
+def test_bare_explain_analyze_check_diagnostic(conn):
+    diags = conn.check("EXPLAIN ANALYZE")
+    assert [d.code for d in diags] == ["SQL021"]
+    assert diags[0].severity == "error"
+
+
+def test_non_dml_statement_rejected(conn):
+    cur = conn.cursor()
+    with pytest.raises(SemanticError) as err:
+        cur.execute("EXPLAIN ANALYZE CREATE TABLE t2 (a INTEGER)")
+    assert err.value.code == "SQL022"
+
+
+def test_explain_analyze_check_stays_static(conn):
+    cur = conn.cursor()
+    cur.execute("EXPLAIN ANALYZE CHECK SELECT nope FROM emp")
+    rows = cur.fetchall()
+    # Static analysis: diagnostics are reported, nothing executes.
+    assert ("error", "SQL002") == rows[0][:2]
+
+
+def test_plain_explain_unchanged(conn):
+    cur = conn.cursor()
+    cur.execute("EXPLAIN SELECT * FROM emp")
+    lines = _lines(cur)
+    assert any("SCAN emp" in line for line in lines)
+    assert not any("actual rows" in line for line in lines)

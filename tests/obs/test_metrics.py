@@ -1,0 +1,265 @@
+"""Metrics registry: correctness, isolation, thread safety, overhead."""
+
+import math
+import threading
+import time
+
+import pytest
+
+import repro.minidb as minidb
+from repro.obs.metrics import (
+    MAX_EXP,
+    MIN_EXP,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    metrics as global_metrics,
+)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry(enabled=True)
+
+
+# ------------------------------------------------------------------- counters
+
+
+def test_counter_inc_and_add(reg):
+    c = reg.counter("c")
+    c.inc()
+    c.inc(4)
+    c.add(10)
+    assert c.value == 15
+
+
+def test_counter_disabled_is_noop():
+    r = MetricsRegistry()  # starts disabled
+    c = r.counter("c")
+    c.inc(100)
+    assert c.value == 0
+    r.enable()
+    c.inc(1)
+    assert c.value == 1
+    r.disable()
+    c.inc(1)
+    assert c.value == 1
+
+
+def test_same_name_returns_same_instrument(reg):
+    assert reg.counter("x") is reg.counter("x")
+
+
+def test_type_mismatch_raises(reg):
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+# --------------------------------------------------------------------- gauges
+
+
+def test_gauge_set_inc_dec(reg):
+    g = reg.gauge("g")
+    g.set(10.0)
+    g.inc(2.5)
+    g.dec(0.5)
+    assert g.value == 12.0
+
+
+# ----------------------------------------------------------------- histograms
+
+
+def test_histogram_stats(reg):
+    h = reg.histogram("h")
+    for v in (0.25, 0.5, 1.0, 4.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(5.75)
+    assert h.mean == pytest.approx(5.75 / 4)
+    snap = h._snapshot()
+    assert snap["min"] == 0.25
+    assert snap["max"] == 4.0
+
+
+def test_histogram_bin_index_brackets_value():
+    """Every finite-bin value v satisfies bound/2 <= v < bound."""
+    for v in (1e-6, 0.001, 0.25, 1.0, 3.5, 100.0, 1000.0):
+        i = Histogram.bin_index(v)
+        bound = Histogram.bin_upper_bound(i)
+        assert v < bound
+        assert v >= bound / 2
+
+
+def test_histogram_underflow_and_overflow_bins():
+    assert Histogram.bin_index(0.0) == 0
+    assert Histogram.bin_index(2.0 ** (MIN_EXP - 3)) == 0
+    assert math.isinf(Histogram.bin_upper_bound(Histogram.bin_index(2.0 ** (MAX_EXP + 4))))
+
+
+def test_histogram_buckets_only_nonempty(reg):
+    h = reg.histogram("h")
+    h.observe(0.5)
+    h.observe(0.5)
+    h.observe(8.0)
+    buckets = h.buckets()
+    assert sum(n for _, n in buckets) == 3
+    assert all(n > 0 for _, n in buckets)
+    bounds = [b for b, _ in buckets]
+    assert bounds == sorted(bounds)
+
+
+# ------------------------------------------------------------------ snapshots
+
+
+def test_snapshot_omits_zero_by_default(reg):
+    reg.counter("fired").inc()
+    reg.counter("never")
+    reg.histogram("empty")
+    snap = reg.snapshot()
+    assert "fired" in snap
+    assert "never" not in snap
+    assert "empty" not in snap
+    full = reg.snapshot(include_zero=True)
+    assert "never" in full and "empty" in full
+
+
+def test_snapshot_isolated_from_reset(reg):
+    c = reg.counter("c")
+    h = reg.histogram("h")
+    c.inc(7)
+    h.observe(0.5)
+    snap = reg.snapshot()
+    reg.reset()
+    # The snapshot is a deep copy: reset must not reach into it.
+    assert snap["c"]["value"] == 7
+    assert snap["h"]["count"] == 1
+    assert c.value == 0
+    assert h.count == 0
+    # Mutating the snapshot must not reach the registry either.
+    snap["c"]["value"] = 999
+    c.inc()
+    assert c.value == 1
+
+
+# -------------------------------------------------------------- thread safety
+
+
+def test_counter_thread_safe(reg):
+    c = reg.counter("c")
+    n_threads, n_incs = 8, 5000
+
+    def work():
+        for _ in range(n_incs):
+            c.inc()
+
+    threads = [threading.Thread(target=work) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == n_threads * n_incs
+
+
+def test_histogram_thread_safe(reg):
+    h = reg.histogram("h")
+    n_threads, n_obs = 6, 2000
+
+    def work():
+        for _ in range(n_obs):
+            h.observe(0.5)
+
+    threads = [threading.Thread(target=work) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert h.count == n_threads * n_obs
+    assert h.sum == pytest.approx(0.5 * n_threads * n_obs)
+
+
+def test_concurrent_cursors_count_statements():
+    """Engine instruments stay consistent under concurrent connections."""
+    global_metrics.enable()
+    global_metrics.reset()
+    statements = global_metrics.counter("minidb.statements")
+    errors = []
+    per_thread = 40
+
+    def work():
+        try:
+            conn = minidb.connect()
+            cur = conn.cursor()
+            cur.execute("CREATE TABLE t (a INTEGER)")
+            for i in range(per_thread):
+                cur.execute("INSERT INTO t VALUES (?)", (i,))
+            cur.execute("SELECT COUNT(*) FROM t")
+            assert cur.fetchone()[0] == per_thread
+            conn.close()
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    try:
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # CREATE + inserts + select, all four threads.
+        assert statements.value == 4 * (per_thread + 2)
+    finally:
+        global_metrics.disable()
+        global_metrics.reset()
+
+
+# ------------------------------------------------------------------- overhead
+
+
+def test_instrumented_load_within_tolerance_of_disabled(tmp_path):
+    """Enabling the registry must not blow up a small load workload.
+
+    A generous 3x bound: it cannot flake on a noisy CI box but still
+    catches accidental per-row instrumentation on the hot path (the
+    scalability bench tracks the precise overhead in
+    BENCH_scalability.json).
+    """
+    from repro.core import PTDataStore
+    from repro.obs.export import to_ptdf
+
+    # A self-hosted workload: telemetry PTdf generated from a registry.
+    r = MetricsRegistry(enabled=True)
+    for i in range(300):
+        r.counter(f"m{i}").inc(i + 1)
+    path = tmp_path / "w.ptdf"
+    path.write_text(to_ptdf("obs-overhead", registry=r))
+
+    def timed_load():
+        t0 = time.perf_counter()
+        store = PTDataStore()
+        store.load_file(str(path))
+        store.close()
+        return time.perf_counter() - t0
+
+    timed_load()  # warm imports and caches
+    disabled = min(timed_load() for _ in range(3))
+    global_metrics.enable()
+    try:
+        enabled = min(timed_load() for _ in range(3))
+    finally:
+        global_metrics.disable()
+        global_metrics.reset()
+    assert enabled < disabled * 3, f"{enabled:.4f}s enabled vs {disabled:.4f}s disabled"
+
+
+def test_disabled_counter_overhead_is_bounded():
+    """A disabled inc() is one predicate check — generously < 2 us/call."""
+    r = MetricsRegistry()
+    c = r.counter("c")
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        c.inc()
+    elapsed = time.perf_counter() - t0
+    assert c.value == 0
+    assert elapsed < n * 2e-6, f"{elapsed / n * 1e9:.0f} ns per disabled inc"

@@ -1,0 +1,72 @@
+"""Exporters: text/JSON/Prometheus renders and the PTdf round trip."""
+
+import json
+
+import pytest
+
+from repro.core import PTDataStore
+from repro.obs.export import render_json, render_prometheus, render_text, to_ptdf
+from repro.obs.metrics import MetricsRegistry
+from repro.ptdf.lint import Linter
+
+
+@pytest.fixture
+def snapshot():
+    r = MetricsRegistry(enabled=True)
+    r.counter("minidb.statements").inc(42)
+    r.counter("minidb.wal.bytes", unit="bytes").add(1024)
+    r.gauge("ptdf.load.records_per_s", unit="records/s").set(80000.5)
+    h = r.histogram("minidb.statement_seconds")
+    for v in (0.001, 0.002, 0.5):
+        h.observe(v)
+    return r.snapshot()
+
+
+def test_render_text(snapshot):
+    text = render_text(snapshot)
+    assert "minidb.statements" in text
+    assert "42 count" in text
+    assert "count=3" in text  # the histogram line
+
+
+def test_render_json_round_trips(snapshot):
+    doc = json.loads(render_json(snapshot))
+    assert doc["minidb.statements"]["value"] == 42
+    assert doc["minidb.statement_seconds"]["count"] == 3
+
+
+def test_render_prometheus(snapshot):
+    text = render_prometheus(snapshot)
+    assert "minidb_statements_total 42" in text
+    assert "ptdf_load_records_per_s 80000.5" in text
+    assert 'minidb_statement_seconds_bucket{le="+Inf"} 3' in text
+    assert "minidb_statement_seconds_count 3" in text
+    # Cumulative buckets never decrease.
+    counts = [
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith("minidb_statement_seconds_bucket")
+    ]
+    assert counts == sorted(counts)
+
+
+def test_to_ptdf_lints_clean_strict(snapshot):
+    text = to_ptdf("obs-test", snapshot=snapshot)
+    diagnostics = Linter().lint_string(text)
+    assert diagnostics == [], [str(d) for d in diagnostics]
+
+
+def test_to_ptdf_loads_into_fresh_store(tmp_path, snapshot):
+    text = to_ptdf("obs-test", snapshot=snapshot)
+    path = tmp_path / "telemetry.ptdf"
+    path.write_text(text)
+    store = PTDataStore()
+    stats = store.load_file(str(path))
+    assert stats.executions == 1
+    # One result per counter/gauge, four facets per non-empty histogram.
+    assert stats.results == 3 + 4
+    assert store.executions() == ["obs-test"]
+    metric_names = set(store.metrics())
+    assert "minidb.statements" in metric_names
+    assert "minidb.statement_seconds (mean)" in metric_names
+    store.close()

@@ -1,0 +1,78 @@
+"""Span tracer: nesting, ring buffer, Chrome export, disabled no-op."""
+
+import json
+
+from repro.obs.tracing import _NULL_SPAN, Tracer
+
+
+def test_nesting_depths():
+    t = Tracer()
+    t.enable()
+    with t.span("outer"):
+        with t.span("inner"):
+            pass
+        with t.span("sibling"):
+            pass
+    spans = t.spans()
+    by_name = {s.name: s for s in spans}
+    assert by_name["outer"].depth == 0
+    assert by_name["inner"].depth == 1
+    assert by_name["sibling"].depth == 1
+    # Children close before the parent, so they are recorded first.
+    assert [s.name for s in spans] == ["inner", "sibling", "outer"]
+
+
+def test_ring_buffer_evicts_oldest():
+    t = Tracer(capacity=4)
+    t.enable()
+    for i in range(6):
+        with t.span(f"s{i}"):
+            pass
+    names = [s.name for s in t.spans()]
+    assert names == ["s2", "s3", "s4", "s5"]
+
+
+def test_chrome_event_shape():
+    t = Tracer()
+    t.enable()
+    with t.span("load", cat="core", file="x.ptdf"):
+        pass
+    doc = t.to_chrome_trace()
+    assert doc["displayTimeUnit"] == "ms"
+    (event,) = doc["traceEvents"]
+    assert event["name"] == "load"
+    assert event["cat"] == "core"
+    assert event["ph"] == "X"
+    assert event["dur"] >= 0
+    assert isinstance(event["ts"], float)
+    assert event["args"] == {"file": "x.ptdf"}
+
+
+def test_save_writes_json(tmp_path):
+    t = Tracer()
+    t.enable()
+    with t.span("a"):
+        pass
+    path = tmp_path / "trace.json"
+    assert t.save(str(path)) == 1
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == 1
+
+
+def test_disabled_records_nothing_and_shares_null_span():
+    t = Tracer()
+    s = t.span("a")
+    assert s is _NULL_SPAN
+    assert s is t.span("b", cat="x", arg=1)
+    with s:
+        pass
+    assert t.spans() == []
+
+
+def test_clear():
+    t = Tracer()
+    t.enable()
+    with t.span("a"):
+        pass
+    t.clear()
+    assert t.spans() == []

@@ -241,3 +241,79 @@ class TestPredict:
             ["predict", "--db", study, "--metric", "Wall time",
              "--application", "IRS"]
         ) == 1
+
+
+class TestStats:
+    def test_stats_json_reports_engine_counters(self, tmp_path, capsys):
+        """The acceptance check: a file-backed quickstart load reports
+        non-zero statement-cache hits, WAL records and loader rate."""
+        db = str(tmp_path / "stats.db")
+        assert main(
+            ["stats", "--json", "--db", db, "examples/data/quickstart.ptdf"]
+        ) == 0
+        import json
+
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["minidb.statement_cache.hits"]["value"] > 0
+        assert snap["minidb.wal.records"]["value"] > 0
+        assert snap["ptdf.load.records_per_s"]["value"] > 0
+        assert snap["query.prfilter_evaluations"]["value"] > 0
+
+    def test_stats_text_and_prom(self, capsys):
+        assert main(["stats", "examples/data/quickstart.ptdf"]) == 0
+        assert "minidb.statements" in capsys.readouterr().out
+        assert main(["stats", "--prom", "examples/data/quickstart.ptdf"]) == 0
+        assert "minidb_statements_total" in capsys.readouterr().out
+
+    def test_stats_ptdf_and_trace_artifacts(self, tmp_path, capsys):
+        tel = tmp_path / "telemetry.ptdf"
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["stats", "--ptdf", str(tel), "--trace", str(trace),
+             "examples/data/quickstart.ptdf"]
+        ) == 0
+        import json
+
+        assert "Execution ptrack-telemetry" in tel.read_text()
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_stats_leaves_metrics_disabled(self):
+        from repro.obs import metrics
+
+        assert main(["stats", "examples/data/quickstart.ptdf"]) == 0
+        assert not metrics.enabled
+
+
+class TestLoadProgress:
+    def test_quiet_suppresses_summaries(self, tmp_path, capsys):
+        db = str(tmp_path / "q.json")
+        assert main(["init", "--db", db]) == 0
+        capsys.readouterr()
+        assert main(
+            ["load", "--quiet", "--db", db, "examples/data/quickstart.ptdf"]
+        ) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_progress_reports_records_per_second(self, tmp_path, capsys):
+        db = str(tmp_path / "p.json")
+        assert main(["init", "--db", db]) == 0
+        capsys.readouterr()
+        assert main(
+            ["load", "--progress", "--db", db, "examples/data/quickstart.ptdf"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "records/s" in err
+        assert "quickstart.ptdf" in err
+
+    def test_load_trace_artifact(self, tmp_path, capsys):
+        import json
+
+        db = str(tmp_path / "t.json")
+        trace = tmp_path / "load-trace.json"
+        assert main(["init", "--db", db]) == 0
+        assert main(
+            ["load", "--quiet", "--trace", str(trace), "--db", db,
+             "examples/data/quickstart.ptdf"]
+        ) == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e["name"] == "load.file" for e in events)

@@ -190,3 +190,46 @@ def test_syntax_error_reported_not_crashed(tmp_path):
     path.write_text("def broken(:\n")
     violations = check_file(str(path))
     assert [v.code for v in violations] == ["PTL000"]
+
+
+# ------------------------------------------------------------------- PTL004
+
+
+def test_time_time_flagged(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        """\
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    assert [v.code for v in violations] == ["PTL004"]
+    assert "obs.clock" in violations[0].message
+
+
+def test_time_time_noqa_suppressed(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        """\
+        import time
+
+        def stamp():
+            return time.time()  # noqa: PTL004
+        """,
+    )
+    assert violations == []
+
+
+def test_perf_counter_and_other_attrs_clean(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        """\
+        import time
+
+        def tick(clock):
+            return time.perf_counter() + time.monotonic() + clock.time_ms()
+        """,
+    )
+    assert violations == []

@@ -105,7 +105,7 @@ class _Checker(ast.NodeVisitor):
     def _add(self, node: ast.AST, code: str, message: str) -> None:
         self.violations.append(Violation(self.path, node.lineno, code, message))
 
-    # -- PTL001 ---------------------------------------------------------------
+    # -- PTL001 / PTL004 ------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
         if (
@@ -122,6 +122,19 @@ class _Checker(ast.NodeVisitor):
                     f"{reason}; use ? placeholders (or interpolate only "
                     f"UPPERCASE constants)",
                 )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "time"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "time"
+        ):
+            self._add(
+                node,
+                "PTL004",
+                "direct time.time() call; use repro.obs.clock.now() for "
+                "durations or repro.obs.clock.wall_clock() for timestamps "
+                "so instrumentation stays on one clock",
+            )
         self.generic_visit(node)
 
     # -- PTL003 ---------------------------------------------------------------
