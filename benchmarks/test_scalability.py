@@ -10,12 +10,15 @@ store size for indexed family probes (query).
 
 import json
 import os
+import random
 import tempfile
 import time
 
 import pytest
 
+import repro.minidb as minidb
 from repro.core import ByName, Expansion, PTDataStore, PrFilter
+from repro.minidb import optimizer as minidb_optimizer
 from repro.core.query import QueryEngine
 from repro.obs import metrics as obs_metrics
 from repro.ptdf.parser import parse_file
@@ -238,6 +241,110 @@ class TestBulkVsPerRow:
         # The acceptance target is >= 3x; assert 2x so CI noise cannot
         # flake the suite while still catching a real regression.
         assert speedup >= 2.0, f"bulk load only {speedup:.2f}x faster"
+
+
+class TestQueryPathTopN:
+    """Engine query-path section of ``BENCH_scalability.json``.
+
+    Two artifacts of the Volcano refactor, measured over a 100k-row table:
+
+    * ``ORDER BY ... LIMIT k`` runs through a bounded TopN heap instead of
+      a full sort — the ablation times the same query with the rule off.
+    * Cursors stream: the first row of a selective scan arrives without
+      paying for the rest of the result set.
+    """
+
+    N = 100_000
+    LIMIT = 10
+    ROUNDS = 3
+
+    def _timed(self, conn, sql):
+        best, rows = None, None
+        for _ in range(self.ROUNDS):
+            t0 = time.perf_counter()
+            rows = conn.execute(sql).fetchall()
+            dt = time.perf_counter() - t0
+            if best is None or dt < best:
+                best = dt
+        return best, rows
+
+    def test_topn_and_streaming(self, benchmark, results_dir, write_report):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rng = random.Random(13)
+        conn = minidb.connect()
+        conn.execute("CREATE TABLE pts (id INTEGER PRIMARY KEY, v REAL)")
+        conn.executemany(
+            "INSERT INTO pts VALUES (?, ?)",
+            [(i, rng.random()) for i in range(self.N)],
+        )
+        sql = f"SELECT id FROM pts ORDER BY v LIMIT {self.LIMIT}"
+
+        plan = [r[0] for r in conn.execute("EXPLAIN " + sql).fetchall()]
+        assert any("TOP-N" in line for line in plan), plan
+        topn_s, topn_rows = self._timed(conn, sql)
+
+        # Ablation: same query, TopN fusion off -> full sort + limit.
+        minidb_optimizer.ENABLE_TOPN = False
+        conn._statement_cache.clear()  # drop the cached TopN plan
+        try:
+            plan = [r[0] for r in conn.execute("EXPLAIN " + sql).fetchall()]
+            assert any("ORDER BY" in line for line in plan), plan
+            assert not any("TOP-N" in line for line in plan), plan
+            sort_s, sort_rows = self._timed(conn, sql)
+        finally:
+            minidb_optimizer.ENABLE_TOPN = True
+            conn._statement_cache.clear()
+
+        # Byte-identical output is part of the operator contract.
+        assert topn_rows == sort_rows
+        speedup = sort_s / topn_s
+
+        # Streaming: first row of a selective scan vs draining it all.
+        probe = "SELECT id FROM pts WHERE v >= 0.5"
+        t0 = time.perf_counter()
+        cur = conn.execute(probe)
+        first = cur.fetchone()
+        first_row_s = time.perf_counter() - t0
+        assert first is not None
+        t0 = time.perf_counter()
+        rest = cur.fetchall()
+        drain_s = first_row_s + (time.perf_counter() - t0)
+        assert len(rest) > self.N // 4
+
+        section = {
+            "rows": self.N,
+            "limit": self.LIMIT,
+            "topn_seconds": round(topn_s, 5),
+            "full_sort_seconds": round(sort_s, 5),
+            "topn_speedup": round(speedup, 2),
+            "stream_first_row_seconds": round(first_row_s, 6),
+            "stream_full_drain_seconds": round(drain_s, 5),
+        }
+        # Merge into the report TestBulkVsPerRow wrote (both copies).
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        for path in (
+            os.path.join(results_dir, "BENCH_scalability.json"),
+            os.path.join(repo_root, "BENCH_scalability.json"),
+        ):
+            report = {"benchmark": "scalability"}
+            if os.path.exists(path):
+                with open(path, "r", encoding="utf-8") as fh:
+                    report = json.load(fh)
+            report["query_path"] = section
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+        write_report(
+            "scalability_query_path",
+            json.dumps(section, indent=2),
+        )
+        conn.close()
+
+        # The heap must actually win at this scale; assert with slack so
+        # CI noise cannot flake the suite.
+        assert speedup > 1.1, f"TopN only {speedup:.2f}x over full sort"
+        # Streaming: the first row must not pay for the full result set.
+        assert first_row_s < drain_s / 5
 
 
 class TestQueryScaling:

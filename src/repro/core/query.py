@@ -55,7 +55,7 @@ class QueryEngine:
         out: set[int] = set()
         for chunk in _chunks(ids):
             marks = ",".join("?" * len(chunk))
-            rows = self.store.backend.query(  # noqa: PTL001 — '?' marks only
+            rows = self.store.backend.stream(  # noqa: PTL001 — '?' marks only
                 f"SELECT DISTINCT focus_id FROM focus_has_resource "
                 f"WHERE resource_id IN ({marks})",
                 chunk,
@@ -79,7 +79,7 @@ class QueryEngine:
             if focus_type is not None:
                 sql += " AND focus_type = ?"
                 params.append(focus_type)
-            rows = self.store.backend.query(sql, params)
+            rows = self.store.backend.stream(sql, params)
             out.update(r[0] for r in rows)
         return out
 
@@ -112,16 +112,23 @@ class QueryEngine:
     ) -> set[int]:
         if not families:
             if focus_type is None:
-                rows = self.store.backend.query("SELECT id FROM performance_result")
+                rows = self.store.backend.stream("SELECT id FROM performance_result")
                 return {r[0] for r in rows}
-            rows = self.store.backend.query(  # noqa: PTL001 — '?' marks only
+            rows = self.store.backend.stream(  # noqa: PTL001 — '?' marks only
                 "SELECT DISTINCT performance_result_id "
                 "FROM performance_result_has_focus WHERE focus_type = ?",
                 (focus_type,),
             )
             return {r[0] for r in rows}
-        focus_sets = [self.matching_focus_ids(fam) for fam in families]
-        surviving = set.intersection(*focus_sets) if focus_sets else set()
+        # Intersect incrementally, smallest family first: the moment the
+        # surviving set goes empty no further family needs to be probed
+        # (∀-family semantics short-circuit on the first empty meet).
+        surviving: Optional[set[int]] = None
+        for fam in sorted(families, key=lambda f: len(f.resource_ids)):
+            matched = self.matching_focus_ids(fam)
+            surviving = matched if surviving is None else surviving & matched
+            if not surviving:
+                return set()
         if not surviving:
             return set()
         return self._result_ids_for_focus_ids(surviving, focus_type)
@@ -159,7 +166,7 @@ class QueryEngine:
         base: dict[int, tuple] = {}
         for chunk in _chunks(ids):
             marks = ",".join("?" * len(chunk))
-            rows = self.store.backend.query(  # noqa: PTL001 — '?' marks only
+            rows = self.store.backend.stream(  # noqa: PTL001 — '?' marks only
                 f"SELECT p.id, e.name, m.name, t.name, p.value, p.units, "
                 f"p.start_time, p.end_time, p.value_type "
                 f"FROM performance_result p "
@@ -176,7 +183,7 @@ class QueryEngine:
         focus_ids: set[int] = set()
         for chunk in _chunks(ids):
             marks = ",".join("?" * len(chunk))
-            rows = self.store.backend.query(  # noqa: PTL001 — '?' marks only
+            rows = self.store.backend.stream(  # noqa: PTL001 — '?' marks only
                 f"SELECT performance_result_id, focus_id, focus_type "
                 f"FROM performance_result_has_focus "
                 f"WHERE performance_result_id IN ({marks})",
@@ -192,7 +199,7 @@ class QueryEngine:
         }
         for chunk in _chunks(sorted(vector_ids)):
             marks = ",".join("?" * len(chunk))
-            rows = self.store.backend.query(  # noqa: PTL001 — '?' marks only
+            rows = self.store.backend.stream(  # noqa: PTL001 — '?' marks only
                 f"SELECT performance_result_id, bin_index, bin_start, bin_end, value "
                 f"FROM performance_result_vector "
                 f"WHERE performance_result_id IN ({marks})",
@@ -205,7 +212,7 @@ class QueryEngine:
         focus_resources: dict[int, set[int]] = {fid: set() for fid in focus_ids}
         for chunk in _chunks(sorted(focus_ids)):
             marks = ",".join("?" * len(chunk))
-            rows = self.store.backend.query(  # noqa: PTL001 — '?' marks only
+            rows = self.store.backend.stream(  # noqa: PTL001 — '?' marks only
                 f"SELECT focus_id, resource_id FROM focus_has_resource "
                 f"WHERE focus_id IN ({marks})",
                 chunk,

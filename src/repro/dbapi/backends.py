@@ -14,7 +14,7 @@ PerfTrack's script interface did exactly this for cx_Oracle vs pyGreSQL.
 from __future__ import annotations
 
 import sqlite3
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from .. import minidb
 from ..minidb.errors import DatabaseError, IntegrityError, OperationalError, ProgrammingError
@@ -59,9 +59,31 @@ class Backend:
     def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
         return self.execute(sql, params).fetchall()
 
+    def stream(self, sql: str, params: Sequence[Any] = ()) -> Iterator[tuple]:
+        """Iterate a query's rows without materialising the result set.
+
+        Both minidb and sqlite3 cursors stream rows on demand, so an
+        abandoned iteration (e.g. an existence probe) never pays for the
+        rows it does not consume.  The cursor is closed when iteration
+        ends or the generator is discarded.
+        """
+        cur = self.execute(sql, params)
+        try:
+            while True:
+                row = cur.fetchone()
+                if row is None:
+                    return
+                yield row
+        finally:
+            cur.close()
+
     def query_one(self, sql: str, params: Sequence[Any] = ()) -> Optional[tuple]:
-        rows = self.execute(sql, params).fetchall()
-        return rows[0] if rows else None
+        # fetchone, not fetchall: a streaming cursor stops after one row.
+        cur = self.execute(sql, params)
+        try:
+            return cur.fetchone()
+        finally:
+            cur.close()
 
     def scalar(self, sql: str, params: Sequence[Any] = ()) -> Any:
         row = self.query_one(sql, params)

@@ -21,6 +21,7 @@ from ..obs.clock import now as _now
 from ..obs.metrics import metrics as _M
 from ..obs.tracing import trace as _trace
 from . import ast_nodes as ast
+from . import optimizer
 from .analyzer import Analyzer, Diagnostic
 from .errors import InterfaceError, SemanticError, SqlSyntaxError
 from .executor import Executor, Result
@@ -45,6 +46,8 @@ _CACHE_MISSES = _M.counter("minidb.statement_cache.misses")
 _MEMO_HITS = _M.counter("minidb.analyzer.memo_hits")
 _ANALYZE_RUNS = _M.counter("minidb.analyzer.runs")
 _BATCHES = _M.counter("minidb.executemany_batches")
+_PLAN_HITS = _M.counter("minidb.plan_cache.hits")
+_PLAN_MISSES = _M.counter("minidb.plan_cache.misses")
 
 #: Parsed-statement cache capacity per connection.  Eviction is LRU so a
 #: burst of one-off statements cannot dump the hot loader statements.
@@ -52,19 +55,27 @@ STATEMENT_CACHE_SIZE = 512
 
 
 class _CachedStatement:
-    """A parsed statement plus its memoized semantic analysis.
+    """A parsed statement plus its memoized semantic analysis and plan.
 
     ``version`` is the catalog generation the statement was last analyzed
     against; a DDL statement bumps it, forcing cached statements through
-    the analyzer once more before their next execution.
+    the analyzer once more before their next execution.  SELECTs also
+    cache their lowered physical plan: ``plan_version`` is the catalog
+    generation the plan was built against (so CREATE/DROP INDEX — which
+    bumps the generation — invalidates the plan, not just the analysis),
+    and ``plan_stats`` fingerprints the size of every referenced table so
+    a table growing past an optimizer threshold re-plans too.
     """
 
-    __slots__ = ("stmt", "version", "required_params")
+    __slots__ = ("stmt", "version", "required_params", "plan", "plan_version", "plan_stats")
 
     def __init__(self, stmt) -> None:
         self.stmt = stmt
         self.version = -1
         self.required_params = 0
+        self.plan: Optional[optimizer.PhysicalPlan] = None
+        self.plan_version = -1
+        self.plan_stats: Optional[tuple] = None
 
 
 class Connection:
@@ -222,15 +233,43 @@ class Connection:
         stmt = entry.stmt
         self._ensure_analyzed(entry, params)
         if not (_M.enabled or _trace.enabled):
-            return self._dispatch(stmt, sql, params)
+            return self._dispatch(entry, sql, params)
         t0 = _now()
         with _trace.span("execute", cat="minidb", stmt=type(stmt).__name__):
-            result = self._dispatch(stmt, sql, params)
+            result = self._dispatch(entry, sql, params)
         _STMT_SECONDS.observe(_now() - t0)
         _STATEMENTS.inc()
         return result
 
-    def _dispatch(self, stmt, sql: str, params: Sequence[Any]) -> Result:
+    def _table_stats(self, tables: Sequence[str]) -> tuple:
+        """Size fingerprint for the plan cache: one bucket per table.
+
+        ``bit_length`` buckets row counts at power-of-two boundaries, so a
+        table crossing an optimizer size threshold (hash-join build
+        minimum, join-order swap) lands in a new bucket and forces a
+        re-plan, while ordinary row churn inside a bucket keeps the plan.
+        """
+        db = self.db
+        return tuple(len(db.table(t).rows).bit_length() for t in tables)
+
+    def _plan_for(self, entry: _CachedStatement) -> "optimizer.PhysicalPlan":
+        catalog = self.db.catalog
+        if entry.plan is not None and entry.plan_version == catalog.version:
+            if self._table_stats(entry.plan.tables) == entry.plan_stats:
+                _PLAN_HITS.inc()
+                return entry.plan.clone()
+        _PLAN_MISSES.inc()
+        with _trace.span("plan", cat="minidb"):
+            plan = optimizer.plan_select(self.db, entry.stmt)
+        entry.plan = plan
+        entry.plan_version = catalog.version
+        entry.plan_stats = self._table_stats(plan.tables)
+        # Clone per execution: the cached tree must stay stateless so two
+        # concurrently-draining cursors never share operator state.
+        return plan.clone()
+
+    def _dispatch(self, entry: _CachedStatement, sql: str, params: Sequence[Any]) -> Result:
+        stmt = entry.stmt
         if isinstance(stmt, _DDL_NODES):
             # DDL commits the open transaction and runs in its own.
             self.db.commit()
@@ -246,6 +285,8 @@ class Connection:
         ):
             self.db.begin()  # no-op when already in a transaction
             return Executor(self.db, params).execute(stmt)
+        if isinstance(stmt, ast.Select):
+            return Executor(self.db, params, plan=self._plan_for(entry)).execute(stmt)
         return Executor(self.db, params).execute(stmt)
 
 
@@ -262,6 +303,8 @@ class Cursor:
         self.lastrowid: Optional[int] = None
         self._rows: list[tuple] = []
         self._pos = 0
+        self._stream: Optional[Iterator[tuple]] = None
+        self._pending: list[tuple] = []
 
     # -- execution ---------------------------------------------------------------------
 
@@ -269,16 +312,29 @@ class Cursor:
         self._check_open()
         if isinstance(params, dict):
             raise InterfaceError("minidb supports positional parameters only")
+        self._close_stream()
         result = self.connection._execute(sql, tuple(params))
         self.description = result.description
         self.rowcount = result.rowcount
         self.lastrowid = result.lastrowid
         self._rows = result.rows
         self._pos = 0
+        self._pending = []
+        self._stream = result.stream
+        if self._stream is not None:
+            # Prefetch one row so first-row evaluation errors surface at
+            # execute() time (like the materializing engine did, and like
+            # sqlite3's first step); the rest of the plan stays lazy.
+            first = next(self._stream, None)
+            if first is None:
+                self._stream = None
+            else:
+                self._pending.append(first)
         return self
 
     def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
         self._check_open()
+        self._close_stream()
         conn = self.connection
         entry = conn._parse_cached(sql)
         stmt = entry.stmt
@@ -301,6 +357,7 @@ class Cursor:
             self.lastrowid = result.lastrowid
             self._rows = []
             self._pos = 0
+            self._pending = []
             return self
         total = 0
         last = None
@@ -314,29 +371,47 @@ class Cursor:
         self.lastrowid = last.lastrowid if last else None
         self._rows = []
         self._pos = 0
+        self._pending = []
         return self
 
     # -- fetch --------------------------------------------------------------------------
 
     def fetchone(self) -> Optional[tuple]:
         self._check_open()
-        if self._pos >= len(self._rows):
-            return None
-        row = self._rows[self._pos]
-        self._pos += 1
-        return row
+        if self._pos < len(self._rows):
+            row = self._rows[self._pos]
+            self._pos += 1
+            return row
+        if self._pending:
+            return self._pending.pop(0)
+        if self._stream is not None:
+            row = next(self._stream, None)
+            if row is None:
+                self._close_stream()
+            return row
+        return None
 
     def fetchmany(self, size: Optional[int] = None) -> list[tuple]:
         self._check_open()
         n = size if size is not None else self.arraysize
-        out = self._rows[self._pos : self._pos + n]
-        self._pos += len(out)
+        out: list[tuple] = []
+        while len(out) < n:
+            row = self.fetchone()
+            if row is None:
+                break
+            out.append(row)
         return out
 
     def fetchall(self) -> list[tuple]:
         self._check_open()
         out = self._rows[self._pos :]
         self._pos = len(self._rows)
+        if self._pending:
+            out.extend(self._pending)
+            self._pending = []
+        if self._stream is not None:
+            out.extend(self._stream)
+            self._close_stream()
         return out
 
     def __iter__(self) -> Iterator[tuple]:
@@ -355,8 +430,15 @@ class Cursor:
         pass
 
     def close(self) -> None:
+        self._close_stream()
         self._closed = True
         self._rows = []
+        self._pending = []
+
+    def _close_stream(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
 
     def _check_open(self) -> None:
         if self._closed:

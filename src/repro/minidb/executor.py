@@ -1,9 +1,11 @@
 """Statement execution for minidb.
 
-The executor interprets parsed statements against a
-:class:`~repro.minidb.storage.Database`.  SELECT uses a pull pipeline:
-source iteration (with planner-chosen access paths), WHERE filtering,
-grouping/aggregation, projection, DISTINCT, UNION, ORDER BY, LIMIT.
+After the Volcano refactor the executor is a thin dispatcher: SELECT is
+planned by :mod:`repro.minidb.optimizer` into a physical operator tree
+(:mod:`repro.minidb.operators`) and streamed; DDL goes to the catalog;
+DML drives a scan operator over the planner-chosen access path.  EXPLAIN
+and EXPLAIN ANALYZE render the real operator tree — with per-operator
+``actual rows/loops/time`` hanging off the operators in the ANALYZE case.
 """
 
 from __future__ import annotations
@@ -13,56 +15,32 @@ from typing import Any, Iterator, Optional, Sequence
 from ..obs.clock import now as _now
 from ..obs.metrics import metrics as _M
 from . import ast_nodes as ast
+from . import optimizer
 from .analyzer import Analyzer
-from .errors import ProgrammingError, SemanticError, closest
-from .expressions import (
-    AggregateAccumulator,
-    Evaluator,
-    Scope,
-    collect_aggregates,
-)
-from .planner import (
-    FullScan,
-    HashJoin,
-    IndexEquality,
-    IndexRange,
-    InProbe,
-    choose_access_path,
-    split_conjuncts,
-)
-from .sqltypes import coerce, sort_key
+from .errors import ProgrammingError, SemanticError
+from .expressions import Evaluator, Scope
+from .operators import ExecContext, FilterOp, Operator, render_plan, scan_for_path
+from .planner import choose_access_path, split_conjuncts
+from .sqltypes import coerce
 from .storage import Database
 
-# Engine metrics (see docs/observability.md).  Instruments no-op while the
-# registry is disabled, so these stay cheap on the default path; hot loops
-# below still aggregate into locals and flush once per operator call.
-_ROWS_SCANNED = _M.counter("minidb.rows.scanned", unit="rows")
+# Engine metrics (see docs/observability.md).  Scan/access/hash-join
+# counters now live on the physical operators; the executor keeps the
+# statement-level row counters.
 _ROWS_RETURNED = _M.counter("minidb.rows.returned", unit="rows")
 _ROWS_WRITTEN = _M.counter("minidb.rows.written", unit="rows")
-_PLAN_HITS = _M.counter("minidb.plan_cache.hits")
-_PLAN_MISSES = _M.counter("minidb.plan_cache.misses")
-_FULL_SCANS = _M.counter("minidb.access.full_scans")
-_INDEX_LOOKUPS = _M.counter("minidb.access.index_lookups")
-_HJ_BUILDS = _M.counter("minidb.hash_join.builds")
-_HJ_BUILD_ROWS = _M.counter("minidb.hash_join.build_rows", unit="rows")
-_HJ_PROBES = _M.counter("minidb.hash_join.probes")
-
-
-class _OpStats:
-    """Per-operator actuals collected while EXPLAIN ANALYZE runs."""
-
-    __slots__ = ("rows", "loops", "seconds")
-
-    def __init__(self) -> None:
-        self.rows = 0
-        self.loops = 0
-        self.seconds = 0.0
 
 
 class Result:
-    """Outcome of one executed statement."""
+    """Outcome of one executed statement.
 
-    __slots__ = ("description", "rows", "rowcount", "lastrowid")
+    SELECT results carry a ``stream`` — a generator of rows pulled from
+    the operator tree on demand — and ``rowcount`` is -1 (PEP 249 allows
+    this for statements whose affected-row count is unknown; sqlite3 does
+    the same).  Everything else materialises ``rows`` eagerly.
+    """
+
+    __slots__ = ("description", "rows", "rowcount", "lastrowid", "stream")
 
     def __init__(
         self,
@@ -70,28 +48,53 @@ class Result:
         rows: Optional[list[tuple]] = None,
         rowcount: int = -1,
         lastrowid: Optional[int] = None,
+        stream: Optional[Iterator[tuple]] = None,
     ) -> None:
         self.description = description
         self.rows = rows or []
         self.rowcount = rowcount
         self.lastrowid = lastrowid
+        self.stream = stream
 
 
 class Executor:
-    """Executes one statement; cheap to construct per call."""
+    """Executes one statement; cheap to construct per call.
 
-    def __init__(self, db: Database, params: Sequence[Any] = ()) -> None:
+    ``plan`` is an optional pre-lowered (and already cloned)
+    :class:`~repro.minidb.optimizer.PhysicalPlan` supplied by the
+    connection's statement cache for top-level SELECTs.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        params: Sequence[Any] = (),
+        plan: Optional["optimizer.PhysicalPlan"] = None,
+    ) -> None:
         self.db = db
         self.evaluator = Evaluator(params, subquery_runner=self._run_subquery)
-        # Access paths for join probes are chosen once per (table-node,
-        # bound bindings) pair, not once per outer row.
-        self._path_cache: dict[tuple, object] = {}
-        # Hash-join build tables, keyed by plan identity: built on the
-        # first probe, reused for every subsequent outer row.
-        self._hash_cache: dict[int, dict[tuple, list[int]]] = {}
-        # Per-operator actuals, keyed by plan line; non-None only while an
-        # EXPLAIN ANALYZE statement is executing.
-        self._opstats: Optional[dict[str, _OpStats]] = None
+        self.plan = plan
+        # Per-statement-execution caches shared by the main plan and every
+        # expression subquery: hash-join builds and FROM-subquery rows.
+        self._hash_builds: dict[int, dict] = {}
+        self._subquery_rows: dict[int, list] = {}
+        # Expression subqueries are planned once per execution, keyed by
+        # the AST node identity — a correlated subquery re-run per outer
+        # row reuses its plan (and its hash builds).
+        self._subplans: dict[int, optimizer.PhysicalPlan] = {}
+        self._analyze = False
+        # Operator tree of the last DML scan, for EXPLAIN ANALYZE rendering.
+        self._dml_root: Optional[Operator] = None
+
+    def _context(self, outer: Optional[Scope] = None) -> ExecContext:
+        return ExecContext(
+            self.db,
+            self.evaluator,
+            outer=outer,
+            analyze=self._analyze,
+            hash_builds=self._hash_builds,
+            subquery_rows=self._subquery_rows,
+        )
 
     # -- dispatch --------------------------------------------------------------
 
@@ -128,6 +131,56 @@ class Executor:
         self.db.drop_index(stmt.name)
         return Result(rowcount=0)
 
+    # -- SELECT -----------------------------------------------------------------
+
+    def _plan_for_select(self, stmt: ast.Select) -> "optimizer.PhysicalPlan":
+        if self.plan is not None:
+            return self.plan
+        return optimizer.plan_select(self.db, stmt)
+
+    def _exec_Select(self, stmt: ast.Select) -> Result:
+        plan = self._plan_for_select(stmt)
+        return Result(
+            description=plan.description,
+            rowcount=-1,
+            stream=self._stream_rows(plan.root),
+        )
+
+    def _stream_rows(self, root: Operator) -> Iterator[tuple]:
+        returned = 0
+        try:
+            for row, _context in root.rows(self._context()):
+                returned += 1
+                yield row
+        finally:
+            _ROWS_RETURNED.add(returned)
+
+    def _run_subquery(
+        self, select: ast.Select, outer: Scope, limit_one: bool = False
+    ) -> list[tuple]:
+        """Expression-subquery runner handed to the :class:`Evaluator`.
+
+        ``limit_one`` (EXISTS) pulls a single row and closes the pipeline;
+        the streaming operators make that an O(first match) probe.
+        """
+        plan = self._subplans.get(id(select))
+        if plan is None:
+            plan = optimizer.plan_select(self.db, select)
+            self._subplans[id(select)] = plan
+        rows: list[tuple] = []
+        it = plan.root.rows(self._context(outer))
+        try:
+            for row, _context in it:
+                rows.append(row)
+                if limit_one:
+                    break
+        finally:
+            it.close()
+        return rows
+
+    def _select_rows(self, select: ast.Select) -> list[tuple]:
+        return self._run_subquery(select, Scope())
+
     # -- DML ----------------------------------------------------------------------
 
     def _exec_Insert(self, stmt: ast.Insert) -> Result:
@@ -139,8 +192,7 @@ class Executor:
             positions = list(range(len(meta.columns)))
         source_rows: list[list[Any]]
         if stmt.select is not None:
-            _, sel_rows = self._run_select(stmt.select, Scope())
-            source_rows = [list(r) for r in sel_rows]
+            source_rows = [list(r) for r in self._select_rows(stmt.select)]
         else:
             scope = Scope()
             source_rows = [
@@ -287,110 +339,32 @@ class Executor:
         _ROWS_WRITTEN.add(len(targets))
         return Result(rowcount=len(targets))
 
-    def _scan_with_where(
-        self, table_name: str, where: Optional[ast.Expr]
-    ) -> Iterator[tuple[int, tuple, Scope]]:
-        """Yield (rowid, row, scope) for rows of *table_name* matching *where*."""
-        table = self.db.table(table_name)
-        meta = table.meta
-        conjuncts = split_conjuncts(where)
+    def _dml_tree(self, table_name: str, where: Optional[ast.Expr]) -> Operator:
+        """The scan(+filter) operator tree driving one UPDATE/DELETE."""
+        meta = self.db.table(table_name).meta
         path = choose_access_path(
             self.db.indexes_on(meta.name),
             meta,
             meta.name,
-            conjuncts,
+            split_conjuncts(where),
             known_binding=lambda t, c: False,
         )
-        if _M.enabled:
-            if isinstance(path, FullScan):
-                _FULL_SCANS.inc()
-            else:
-                _INDEX_LOOKUPS.inc()
-        matches = self._where_matches(path, table, meta, where)
-        if self._opstats is not None:
-            yield from self._timed(matches, self._op_stat(path.describe()))
-        else:
-            yield from matches
+        root: Operator = scan_for_path(path)
+        if where is not None:
+            root = FilterOp(where, root)
+        return root
 
-    def _where_matches(
-        self, path, table, meta, where: Optional[ast.Expr]
+    def _scan_with_where(
+        self, table_name: str, where: Optional[ast.Expr]
     ) -> Iterator[tuple[int, tuple, Scope]]:
-        scanned = 0
-        try:
-            for rowid in self._rowids_for_path(path, table, Scope()):
-                scanned += 1
-                row = table.rows.get(rowid)
-                if row is None:
-                    continue
-                scope = Scope()
-                scope.bind(meta.name, meta.column_names, row)
-                if where is None or self.evaluator.is_true(where, scope):
-                    yield rowid, row, scope
-        finally:
-            _ROWS_SCANNED.add(scanned)
-
-    def _rowids_for_path(self, path, table, outer_scope: Scope) -> Iterator[int]:
-        if isinstance(path, FullScan):
-            # list() so callers may mutate during iteration of DML targets
-            yield from list(table.rows.keys())
-            return
-        if isinstance(path, IndexEquality):
-            key = tuple(
-                self.evaluator.evaluate(e, outer_scope) for e in path.key_exprs
-            )
-            yield from path.index.lookup(key)
-            return
-        if isinstance(path, InProbe):
-            seen: set[int] = set()
-            for item in path.items:
-                key = (self.evaluator.evaluate(item, outer_scope),)
-                for rowid in path.index.lookup(key):
-                    if rowid not in seen:
-                        seen.add(rowid)
-                        yield rowid
-            return
-        if isinstance(path, HashJoin):
-            build = self._hash_cache.get(id(path))
-            if build is None:
-                build = {}
-                for rowid, row in table.rows.items():
-                    key = tuple(row[p] for p in path.build_positions)
-                    if any(v is None for v in key):
-                        continue  # NULL never matches an equi-join key
-                    hkey = tuple(sort_key(v) for v in key)
-                    build.setdefault(hkey, []).append(rowid)
-                self._hash_cache[id(path)] = build
-                if _M.enabled:
-                    _HJ_BUILDS.inc()
-                    _HJ_BUILD_ROWS.add(len(table.rows))
-            _HJ_PROBES.inc()
-            probe = tuple(
-                self.evaluator.evaluate(e, outer_scope) for e in path.probe_exprs
-            )
-            if any(v is None for v in probe):
-                return
-            yield from build.get(tuple(sort_key(v) for v in probe), ())
-            return
-        if isinstance(path, IndexRange):
-            prefix = tuple(
-                self.evaluator.evaluate(e, outer_scope) for e in path.prefix_exprs
-            )
-            if prefix:
-                yield from path.index.range_scan(low=prefix, high=prefix)
-                return
-            low = high = None
-            low_inc = high_inc = True
-            if path.low is not None:
-                op, expr = path.low
-                low = (self.evaluator.evaluate(expr, outer_scope),)
-                low_inc = op == ">="
-            if path.high is not None:
-                op, expr = path.high
-                high = (self.evaluator.evaluate(expr, outer_scope),)
-                high_inc = op == "<="
-            yield from path.index.range_scan(low, high, low_inc, high_inc)
-            return
-        raise ProgrammingError(f"unknown access path {path!r}")  # pragma: no cover
+        """Yield (rowid, row, scope) for rows of *table_name* matching *where*."""
+        meta = self.db.table(table_name).meta
+        root = self._dml_tree(table_name, where)
+        self._dml_root = root
+        binding = meta.name.lower()
+        for scope in root.rows(self._context()):
+            _cols, row = scope.bindings[binding]
+            yield scope.rowid, row, scope
 
     # -- transactions ------------------------------------------------------------------
 
@@ -433,19 +407,27 @@ class Executor:
         return Result(description=description, rows=rows, rowcount=len(rows))
 
     def _exec_Explain(self, stmt: ast.Explain) -> Result:
-        lines = self._explain(stmt.statement)
+        lines = self._explain_lines(stmt.statement)
         return Result(
             description=[("plan", None, None, None, None, None, None)],
             rows=[(line,) for line in lines],
             rowcount=len(lines),
         )
 
-    def _exec_ExplainAnalyze(self, stmt: ast.ExplainAnalyze) -> Result:
-        """Execute the statement, then render the plan with actuals.
+    def _explain_lines(self, stmt) -> list[str]:
+        if isinstance(stmt, ast.Select):
+            plan = optimizer.plan_select(self.db, stmt)
+            return render_plan(plan.root)
+        if isinstance(stmt, (ast.Update, ast.Delete)):
+            return render_plan(self._dml_tree(stmt.table, stmt.where))
+        return [type(stmt).__name__.upper()]
 
-        Each plan line gets ``(actual rows=R loops=L time=T ms)`` where
+    def _exec_ExplainAnalyze(self, stmt: ast.ExplainAnalyze) -> Result:
+        """Execute the statement, then render the operator tree with actuals.
+
+        Each operator line gets ``(actual rows=R loops=L time=T ms)`` where
         ``rows`` is the total rows the operator produced, ``loops`` how
-        often it was (re)started — the inner side of a nested-loop join
+        often it was (re)opened — the inner side of a nested-loop join
         restarts once per outer row — and ``time`` its inclusive elapsed
         time (children included).  A final summary line reports the
         statement's own row count and total wall time.
@@ -462,623 +444,33 @@ class Executor:
                     "static analysis of anything else"
                 ),
             )
-        self._opstats = {}
+        self._analyze = True
+        self._dml_root = None
+        root: Optional[Operator] = None
         t0 = _now()
         try:
-            result = self.execute(inner)
-        finally:
-            stats, self._opstats = self._opstats, None
-        total_ms = (_now() - t0) * 1000.0
-        lines = []
-        for line in self._explain(inner):
-            st = stats.get(line)
-            if st is not None:
-                lines.append(
-                    f"{line} (actual rows={st.rows} loops={st.loops} "
-                    f"time={st.seconds * 1000.0:.3f} ms)"
-                )
+            if isinstance(inner, ast.Select):
+                plan = self._plan_for_select(inner)
+                count = 0
+                for _row in self._stream_rows(plan.root):
+                    count += 1
+                root = plan.root
+                verb = "returned"
             else:
-                lines.append(line)
-        verb = "returned" if isinstance(inner, ast.Select) else "affected"
-        count = len(result.rows) if isinstance(inner, ast.Select) else result.rowcount
+                result = self.execute(inner)
+                root = self._dml_root  # None for INSERT
+                count = result.rowcount
+                verb = "affected"
+        finally:
+            self._analyze = False
+        total_ms = (_now() - t0) * 1000.0
+        if root is not None:
+            lines = render_plan(root, analyze=True)
+        else:
+            lines = [type(inner).__name__.upper()]
         lines.append(f"ACTUAL: {count} row(s) {verb} in {total_ms:.3f} ms")
         return Result(
             description=[("plan", None, None, None, None, None, None)],
             rows=[(line,) for line in lines],
             rowcount=len(lines),
         )
-
-    def _op_stat(self, key: str) -> _OpStats:
-        """The (created-on-demand) stats bucket for one plan line."""
-        assert self._opstats is not None
-        st = self._opstats.get(key)
-        if st is None:
-            st = self._opstats[key] = _OpStats()
-        st.loops += 1
-        return st
-
-    def _timed(self, it: Iterator, st: _OpStats) -> Iterator:
-        """Meter *it*: count items and attribute inter-yield time to *st*."""
-        t0 = _now()
-        for item in it:
-            st.seconds += _now() - t0
-            st.rows += 1
-            yield item
-            t0 = _now()
-        st.seconds += _now() - t0
-
-    def _explain(self, stmt) -> list[str]:
-        if isinstance(stmt, ast.Select):
-            lines: list[str] = []
-            self._explain_source(stmt.source, split_conjuncts(stmt.where), lines)
-            if stmt.group_by or self._has_aggregates(stmt):
-                lines.append("AGGREGATE")
-            if stmt.order_by:
-                lines.append("ORDER BY")
-            for _op, sub in stmt.compounds:
-                lines.append("UNION")
-                self._explain_source(sub.source, split_conjuncts(sub.where), lines)
-            return lines
-        if isinstance(stmt, (ast.Update, ast.Delete)):
-            meta = self.db.catalog.table(stmt.table)
-            path = choose_access_path(
-                self.db.indexes_on(meta.name),
-                meta,
-                meta.name,
-                split_conjuncts(stmt.where),
-                known_binding=lambda t, c: False,
-            )
-            return [path.describe()]
-        return [type(stmt).__name__.upper()]
-
-    def _explain_source(self, source, where_conjuncts, lines: list[str], bound=()) -> None:
-        if source is None:
-            lines.append("CONSTANT ROW")
-            return
-        if isinstance(source, ast.TableRef):
-            meta = self.db.catalog.table(source.name)
-            path = choose_access_path(
-                self.db.indexes_on(meta.name),
-                meta,
-                source.binding,
-                where_conjuncts,
-                known_binding=self._known_binding_fn(set(bound), meta, source.binding),
-                table_size=len(self.db.table(source.name).rows),
-            )
-            lines.append(path.describe())
-            return
-        if isinstance(source, ast.SubqueryRef):
-            lines.append(f"SUBQUERY AS {source.alias}")
-            return
-        if isinstance(source, ast.Join):
-            self._explain_source(source.left, where_conjuncts, lines, bound)
-            left_bindings = tuple(bound) + tuple(self._bindings_of(source.left))
-            push = list(split_conjuncts(source.condition))
-            if source.kind == "INNER":
-                push += where_conjuncts
-            self._explain_source(source.right, push, lines, left_bindings)
-            return
-        raise ProgrammingError(f"cannot explain source {source!r}")
-
-    # -- SELECT -----------------------------------------------------------------------
-
-    def _run_subquery(self, select: ast.Select, outer: Scope, limit_one: bool = False):
-        _desc, rows = self._run_select(select, outer, limit_one=limit_one)
-        return rows
-
-    def _exec_Select(self, stmt: ast.Select) -> Result:
-        description, rows = self._run_select(stmt, Scope())
-        _ROWS_RETURNED.add(len(rows))
-        return Result(description=description, rows=rows, rowcount=len(rows))
-
-    def _run_select(
-        self, stmt: ast.Select, outer: Scope, limit_one: bool = False
-    ) -> tuple[list[tuple], list[tuple]]:
-        names, rows, contexts = self._select_core(stmt, outer, limit_one=limit_one)
-        for op, sub in stmt.compounds:
-            sub_names, sub_rows, _ = self._select_core(sub, outer)
-            if len(sub_names) != len(names):
-                raise ProgrammingError("UNION selects must have the same number of columns")
-            rows = rows + sub_rows
-            contexts = None
-            if op == "UNION":
-                rows = _dedup(rows)
-        if stmt.order_by:
-            if self._opstats is not None:
-                t0 = _now()
-                rows = self._apply_order(stmt, names, rows, contexts)
-                st = self._op_stat("ORDER BY")
-                st.rows += len(rows)
-                st.seconds += _now() - t0
-            else:
-                rows = self._apply_order(stmt, names, rows, contexts)
-        rows = self._apply_limit(stmt, rows, outer)
-        description = [(n, None, None, None, None, None, None) for n in names]
-        return description, rows
-
-    def _apply_limit(self, stmt: ast.Select, rows: list[tuple], outer: Scope) -> list[tuple]:
-        if stmt.limit is None and stmt.offset is None:
-            return rows
-        offset = 0
-        if stmt.offset is not None:
-            offset = int(self.evaluator.evaluate(stmt.offset, outer) or 0)
-        if stmt.limit is not None:
-            limit = self.evaluator.evaluate(stmt.limit, outer)
-            if limit is None or int(limit) < 0:
-                return rows[offset:]
-            return rows[offset : offset + int(limit)]
-        return rows[offset:]
-
-    def _has_aggregates(self, stmt: ast.Select) -> bool:
-        calls: list[ast.FuncCall] = []
-        for item in stmt.items:
-            if not isinstance(item.expr, ast.Star):
-                collect_aggregates(item.expr, calls)
-        collect_aggregates(stmt.having, calls)
-        for oi in stmt.order_by:
-            collect_aggregates(oi.expr, calls)
-        return bool(calls)
-
-    def _select_core(
-        self, stmt: ast.Select, outer: Scope, limit_one: bool = False
-    ) -> tuple[list[str], list[tuple], Optional[list]]:
-        """Returns (column names, rows, per-row order contexts or None)."""
-        where_conjuncts = split_conjuncts(stmt.where)
-        scopes = self._iter_source(stmt.source, outer, where_conjuncts)
-
-        grouped = bool(stmt.group_by) or self._has_aggregates(stmt)
-        names = self._output_names(stmt)
-
-        if grouped:
-            if self._opstats is not None:
-                t0 = _now()
-                rows, contexts = self._grouped_rows(stmt, scopes, outer)
-                st = self._op_stat("AGGREGATE")
-                st.rows += len(rows)
-                st.seconds += _now() - t0
-            else:
-                rows, contexts = self._grouped_rows(stmt, scopes, outer)
-        else:
-            rows = []
-            contexts = []
-            for scope in scopes:
-                if stmt.where is not None and not self.evaluator.is_true(stmt.where, scope):
-                    continue
-                rows.append(self._project(stmt, scope))
-                contexts.append((scope, None))
-                if (
-                    limit_one
-                    and not stmt.distinct
-                    and not stmt.order_by
-                    and stmt.limit is None
-                    and not stmt.compounds
-                ):
-                    break
-        if stmt.distinct:
-            rows, contexts = _dedup_with_contexts(rows, contexts)
-        return names, rows, contexts
-
-    # -- source iteration -----------------------------------------------------------
-
-    def _bindings_of(self, source) -> list[str]:
-        if source is None:
-            return []
-        if isinstance(source, (ast.TableRef, ast.SubqueryRef)):
-            return [source.binding]
-        if isinstance(source, ast.Join):
-            return self._bindings_of(source.left) + self._bindings_of(source.right)
-        raise ProgrammingError(f"unknown source {source!r}")
-
-    def _known_binding_fn(self, bound: set, meta, binding: str):
-        bound_lower = {b.lower() for b in bound}
-
-        def known(table: Optional[str], column: str) -> bool:
-            if table is not None:
-                return table.lower() != binding.lower() and table.lower() in bound_lower
-            # Unqualified: only known when it is NOT a column of the probed
-            # table (otherwise it refers to the row being scanned).
-            return not meta.has_column(column)
-
-        return known
-
-    def _iter_source(
-        self, source, outer: Scope, where_conjuncts: list[ast.Expr]
-    ) -> Iterator[Scope]:
-        if source is None:
-            scope = outer.child()
-            yield scope
-            return
-        yield from self._iter_node(source, outer, where_conjuncts, bound=[])
-
-    def _iter_node(
-        self, node, outer: Scope, where_conjuncts: list[ast.Expr], bound: list[str]
-    ) -> Iterator[Scope]:
-        if isinstance(node, ast.TableRef):
-            yield from self._iter_table(node, outer, where_conjuncts, bound, parent=None)
-            return
-        if isinstance(node, ast.SubqueryRef):
-            yield from self._iter_subquery(node, outer, parent=None)
-            return
-        if isinstance(node, ast.Join):
-            yield from self._iter_join(node, outer, where_conjuncts, bound)
-            return
-        raise ProgrammingError(f"unknown source node {node!r}")
-
-    def _iter_table(
-        self,
-        ref: ast.TableRef,
-        outer: Scope,
-        push_conjuncts: list[ast.Expr],
-        bound: list[str],
-        parent: Optional[Scope],
-    ) -> Iterator[Scope]:
-        table = self.db.table(ref.name)
-        meta = table.meta
-        cache_key = (id(ref), tuple(id(c) for c in push_conjuncts), tuple(bound))
-        path = self._path_cache.get(cache_key)
-        if path is None:
-            path = choose_access_path(
-                self.db.indexes_on(meta.name),
-                meta,
-                ref.binding,
-                push_conjuncts,
-                known_binding=self._known_binding_fn(set(bound), meta, ref.binding),
-                table_size=len(table.rows),
-            )
-            self._path_cache[cache_key] = path
-            _PLAN_MISSES.inc()
-        else:
-            _PLAN_HITS.inc()
-        if _M.enabled:
-            if isinstance(path, FullScan):
-                _FULL_SCANS.inc()
-            elif not isinstance(path, HashJoin):  # probes counted at the build
-                _INDEX_LOOKUPS.inc()
-        eval_scope = parent if parent is not None else outer
-        scopes = self._table_scopes(path, ref, table, meta, parent, outer, eval_scope)
-        if self._opstats is not None:
-            yield from self._timed(scopes, self._op_stat(path.describe()))
-        else:
-            yield from scopes
-
-    def _table_scopes(
-        self, path, ref, table, meta, parent, outer, eval_scope
-    ) -> Iterator[Scope]:
-        scanned = 0
-        try:
-            for rowid in self._rowids_for_path(path, table, eval_scope):
-                scanned += 1
-                row = table.rows.get(rowid)
-                if row is None:
-                    continue
-                scope = (parent or outer).child()
-                scope.bind(ref.binding, meta.column_names, row)
-                yield scope
-        finally:
-            _ROWS_SCANNED.add(scanned)
-
-    def _iter_subquery(
-        self, ref: ast.SubqueryRef, outer: Scope, parent: Optional[Scope]
-    ) -> Iterator[Scope]:
-        names = self._output_names(ref.select)
-        _desc, rows = self._run_select(ref.select, Scope())
-        for row in rows:
-            scope = (parent or outer).child()
-            scope.bind(ref.alias, names, row)
-            yield scope
-
-    def _iter_join(
-        self, node: ast.Join, outer: Scope, where_conjuncts: list[ast.Expr], bound: list[str]
-    ) -> Iterator[Scope]:
-        left_bindings = self._bindings_of(node.left)
-        for left_scope in self._iter_node(node.left, outer, where_conjuncts, bound):
-            matched = False
-            push = list(split_conjuncts(node.condition))
-            if node.kind == "INNER":
-                push = push + where_conjuncts
-            for right_scope in self._iter_right(
-                node.right, outer, push, bound + left_bindings, left_scope
-            ):
-                if node.condition is None or self.evaluator.is_true(
-                    node.condition, right_scope
-                ):
-                    matched = True
-                    yield right_scope
-            if node.kind == "LEFT" and not matched:
-                scope = left_scope.child()
-                for binding, columns in self._null_bindings(node.right):
-                    scope.bind(binding, columns, tuple([None] * len(columns)))
-                yield scope
-
-    def _iter_right(
-        self,
-        node,
-        outer: Scope,
-        push_conjuncts: list[ast.Expr],
-        bound: list[str],
-        parent: Scope,
-    ) -> Iterator[Scope]:
-        if isinstance(node, ast.TableRef):
-            yield from self._iter_table(node, outer, push_conjuncts, bound, parent=parent)
-            return
-        if isinstance(node, ast.SubqueryRef):
-            yield from self._iter_subquery(node, outer, parent=parent)
-            return
-        if isinstance(node, ast.Join):
-            # Nested join on the right: evaluate it with parent as context.
-            for scope in self._iter_join_with_parent(node, outer, push_conjuncts, bound, parent):
-                yield scope
-            return
-        raise ProgrammingError(f"unknown join operand {node!r}")
-
-    def _iter_join_with_parent(
-        self, node: ast.Join, outer: Scope, where_conjuncts, bound, parent: Scope
-    ) -> Iterator[Scope]:
-        left_bindings = self._bindings_of(node.left)
-        for left_scope in self._iter_right(node.left, outer, where_conjuncts, bound, parent):
-            matched = False
-            push = list(split_conjuncts(node.condition))
-            if node.kind == "INNER":
-                push = push + where_conjuncts
-            for right_scope in self._iter_right(
-                node.right, outer, push, bound + left_bindings, left_scope
-            ):
-                if node.condition is None or self.evaluator.is_true(
-                    node.condition, right_scope
-                ):
-                    matched = True
-                    yield right_scope
-            if node.kind == "LEFT" and not matched:
-                scope = left_scope.child()
-                for binding, columns in self._null_bindings(node.right):
-                    scope.bind(binding, columns, tuple([None] * len(columns)))
-                yield scope
-
-    def _null_bindings(self, node) -> list[tuple[str, list[str]]]:
-        if isinstance(node, ast.TableRef):
-            meta = self.db.catalog.table(node.name)
-            return [(node.binding, meta.column_names)]
-        if isinstance(node, ast.SubqueryRef):
-            return [(node.alias, self._output_names(node.select))]
-        if isinstance(node, ast.Join):
-            return self._null_bindings(node.left) + self._null_bindings(node.right)
-        raise ProgrammingError(f"unknown source node {node!r}")
-
-    # -- projection --------------------------------------------------------------------
-
-    def _output_names(self, stmt: ast.Select) -> list[str]:
-        names: list[str] = []
-        for item in stmt.items:
-            if isinstance(item.expr, ast.Star):
-                names.extend(self._star_names(stmt.source, item.expr.table))
-            elif item.alias:
-                names.append(item.alias)
-            elif isinstance(item.expr, ast.ColumnRef):
-                names.append(item.expr.name)
-            else:
-                names.append(_render(item.expr))
-        return names
-
-    def _star_names(self, source, table: Optional[str]) -> list[str]:
-        names: list[str] = []
-        for binding, columns in self._binding_columns(source):
-            if table is None or binding.lower() == table.lower():
-                names.extend(columns)
-        if not names:
-            target = table or "*"
-            bindings = [b for b, _cols in self._binding_columns(source)]
-            raise SemanticError(
-                f"no columns for {target}",
-                code="SQL018",
-                suggestion=closest(table, bindings) if table else None,
-            )
-        return names
-
-    def _binding_columns(self, source) -> list[tuple[str, list[str]]]:
-        if source is None:
-            return []
-        if isinstance(source, ast.TableRef):
-            meta = self.db.catalog.table(source.name)
-            return [(source.binding, meta.column_names)]
-        if isinstance(source, ast.SubqueryRef):
-            return [(source.alias, self._output_names(source.select))]
-        if isinstance(source, ast.Join):
-            return self._binding_columns(source.left) + self._binding_columns(source.right)
-        raise ProgrammingError(f"unknown source {source!r}")
-
-    def _project(self, stmt: ast.Select, scope: Scope, aggregates=None) -> tuple:
-        ev = self.evaluator
-        old_agg = ev.aggregates
-        if aggregates is not None:
-            ev.aggregates = aggregates
-        try:
-            out: list[Any] = []
-            for item in stmt.items:
-                if isinstance(item.expr, ast.Star):
-                    for binding, columns in self._binding_columns(stmt.source):
-                        if item.expr.table is None or binding.lower() == item.expr.table.lower():
-                            for col in columns:
-                                out.append(scope.resolve(binding, col))
-                else:
-                    out.append(ev.evaluate(item.expr, scope))
-            return tuple(out)
-        finally:
-            ev.aggregates = old_agg
-
-    # -- grouping ---------------------------------------------------------------------
-
-    def _grouped_rows(
-        self, stmt: ast.Select, scopes: Iterator[Scope], outer: Scope
-    ) -> tuple[list[tuple], list]:
-        calls: list[ast.FuncCall] = []
-        for item in stmt.items:
-            if not isinstance(item.expr, ast.Star):
-                collect_aggregates(item.expr, calls)
-        collect_aggregates(stmt.having, calls)
-        for oi in stmt.order_by:
-            collect_aggregates(oi.expr, calls)
-
-        groups: dict[tuple, dict] = {}
-        order: list[tuple] = []
-        for scope in scopes:
-            if stmt.where is not None and not self.evaluator.is_true(stmt.where, scope):
-                continue
-            if stmt.group_by:
-                key = tuple(
-                    sort_key(self.evaluator.evaluate(e, scope)) for e in stmt.group_by
-                )
-            else:
-                key = ()
-            g = groups.get(key)
-            if g is None:
-                g = {
-                    "scope": scope,
-                    "accs": {id(c): AggregateAccumulator(c) for c in calls},
-                }
-                groups[key] = g
-                order.append(key)
-            for call in calls:
-                acc = g["accs"][id(call)]
-                if call.star:
-                    acc.add(None)
-                else:
-                    if len(call.args) != 1:
-                        raise ProgrammingError(
-                            f"aggregate {call.name}() takes exactly one argument"
-                        )
-                    acc.add(self.evaluator.evaluate(call.args[0], scope))
-        if not groups and not stmt.group_by:
-            # Aggregate over an empty input still yields one row.
-            empty_scope = outer.child()
-            for binding, columns in self._binding_columns(stmt.source):
-                empty_scope.bind(binding, columns, tuple([None] * len(columns)))
-            groups[()] = {
-                "scope": empty_scope,
-                "accs": {id(c): AggregateAccumulator(c) for c in calls},
-            }
-            order.append(())
-        rows: list[tuple] = []
-        contexts: list = []
-        for key in order:
-            g = groups[key]
-            agg_values = {i: acc.result() for i, acc in g["accs"].items()}
-            if stmt.having is not None:
-                ev = self.evaluator
-                old = ev.aggregates
-                ev.aggregates = agg_values
-                try:
-                    ok = ev.is_true(stmt.having, g["scope"])
-                finally:
-                    ev.aggregates = old
-                if not ok:
-                    continue
-            rows.append(self._project(stmt, g["scope"], aggregates=agg_values))
-            contexts.append((g["scope"], agg_values))
-        return rows, contexts
-
-    # -- ordering -------------------------------------------------------------------------
-
-    def _apply_order(
-        self,
-        stmt: ast.Select,
-        names: list[str],
-        rows: list[tuple],
-        contexts: Optional[list],
-    ) -> list[tuple]:
-        lowered = [n.lower() for n in names]
-
-        def key_for(i: int) -> tuple:
-            row = rows[i]
-            parts = []
-            for oi in stmt.order_by:
-                value = self._order_value(oi.expr, row, lowered, contexts[i] if contexts else None)
-                k = sort_key(value)
-                parts.append(_Reversed(k) if oi.descending else k)
-            return tuple(parts)
-
-        indices = sorted(range(len(rows)), key=key_for)
-        return [rows[i] for i in indices]
-
-    def _order_value(self, expr: ast.Expr, row: tuple, names: list[str], context) -> Any:
-        if isinstance(expr, ast.Literal) and isinstance(expr.value, int) and not isinstance(
-            expr.value, bool
-        ):
-            pos = expr.value - 1
-            if pos < 0 or pos >= len(row):
-                raise ProgrammingError(f"ORDER BY position {expr.value} out of range")
-            return row[pos]
-        if isinstance(expr, ast.ColumnRef) and expr.table is None and expr.name.lower() in names:
-            return row[names.index(expr.name.lower())]
-        if context is None:
-            raise ProgrammingError(
-                "ORDER BY in compound SELECT must use output column names or positions"
-            )
-        scope, aggregates = context
-        ev = self.evaluator
-        old = ev.aggregates
-        if aggregates is not None:
-            ev.aggregates = aggregates
-        try:
-            return ev.evaluate(expr, scope)
-        finally:
-            ev.aggregates = old
-
-
-class _Reversed:
-    """Inverts comparison order for DESC sort keys."""
-
-    __slots__ = ("key",)
-
-    def __init__(self, key) -> None:
-        self.key = key
-
-    def __lt__(self, other: "_Reversed") -> bool:
-        return other.key < self.key
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Reversed) and other.key == self.key
-
-
-def _dedup(rows: list[tuple]) -> list[tuple]:
-    seen: set = set()
-    out: list[tuple] = []
-    for row in rows:
-        key = tuple(sort_key(v) for v in row)
-        if key in seen:
-            continue
-        seen.add(key)
-        out.append(row)
-    return out
-
-
-def _dedup_with_contexts(rows: list[tuple], contexts: Optional[list]):
-    seen: set = set()
-    out_rows: list[tuple] = []
-    out_ctx: Optional[list] = [] if contexts is not None else None
-    for i, row in enumerate(rows):
-        key = tuple(sort_key(v) for v in row)
-        if key in seen:
-            continue
-        seen.add(key)
-        out_rows.append(row)
-        if out_ctx is not None and contexts is not None:
-            out_ctx.append(contexts[i])
-    return out_rows, out_ctx
-
-
-def _render(expr: ast.Expr) -> str:
-    """Readable name for an unaliased select expression."""
-    if isinstance(expr, ast.Literal):
-        return repr(expr.value)
-    if isinstance(expr, ast.ColumnRef):
-        return f"{expr.table}.{expr.name}" if expr.table else expr.name
-    if isinstance(expr, ast.FuncCall):
-        inner = "*" if expr.star else ", ".join(_render(a) for a in expr.args)
-        if expr.distinct:
-            inner = f"DISTINCT {inner}"
-        return f"{expr.name}({inner})"
-    if isinstance(expr, ast.Binary):
-        return f"{_render(expr.left)} {expr.op} {_render(expr.right)}"
-    if isinstance(expr, ast.Unary):
-        return f"{expr.op} {_render(expr.operand)}"
-    return type(expr).__name__.lower()

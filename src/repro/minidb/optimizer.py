@@ -1,0 +1,446 @@
+"""Rule-based optimizer for minidb.
+
+Sits between the logical plan (:mod:`repro.minidb.planner`) and the
+physical operators (:mod:`repro.minidb.operators`):
+
+1. **Constant folding** — literal-only subtrees of WHERE and join
+   conditions are evaluated once at plan time (with the same evaluator the
+   engine uses at runtime, so NULL/division/type semantics are identical).
+   Only new nodes are built; the analyzed AST is never mutated.
+2. **Predicate pushdown** — AND-ed conjuncts are threaded down the join
+   tree to each scan so :func:`~repro.minidb.planner.choose_access_path`
+   can turn them into index probes or hash-join keys.  Pushdown is
+   *access-only*: the full WHERE / join condition is still re-evaluated by
+   FilterOp / NestedLoopJoin above, so paths may safely return supersets.
+3. **Join-input reordering** — an INNER join of two base tables swaps its
+   inputs when both orientations admit a hash join and the swap makes the
+   *smaller* table the build side (bounding hash-map memory).
+4. **TopN fusion** — ``ORDER BY ... LIMIT k`` becomes a bounded-heap TopN
+   operator instead of a full sort followed by a limit.
+
+Each rule has a module-level toggle so tests can verify that disabling any
+rule never changes result multisets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from . import ast_nodes as ast
+from .errors import ProgrammingError
+from .expressions import Evaluator, Scope
+from .operators import (
+    ConstantRow,
+    DistinctOp,
+    FilterOp,
+    HashAggregate,
+    LimitOp,
+    NestedLoopJoin,
+    Operator,
+    ProjectOp,
+    SortOp,
+    SubqueryScan,
+    TopN,
+    UnionOp,
+    scan_for_path,
+)
+from .planner import (
+    BranchPlan,
+    HashJoin as HashJoinPath,
+    JoinNode,
+    ScanNode,
+    SelectPlan,
+    SubqueryNode,
+    aggregate_calls,
+    binding_columns,
+    build_logical_plan,
+    choose_access_path,
+    split_conjuncts,
+    star_names,
+)
+
+# Rule toggles — flipped by tests to prove rules are behavior-preserving.
+ENABLE_CONSTANT_FOLDING = True
+ENABLE_PUSHDOWN = True
+ENABLE_JOIN_REORDER = True
+ENABLE_TOPN = True
+
+
+@dataclass
+class PhysicalPlan:
+    """A lowered operator tree plus its statement-level output shape."""
+
+    root: Operator
+    names: list[str]
+    description: list[tuple]
+    #: tables whose row counts the access-path choices depended on — the
+    #: statement cache keys plan reuse on their size buckets.
+    tables: tuple[str, ...]
+
+    def clone(self) -> "PhysicalPlan":
+        """A fresh, stateless operator tree for one execution.
+
+        Cached plans must be cloned per execution: two cursors may stream
+        the same statement concurrently, and operator instances hold
+        open-generator state.
+        """
+        return PhysicalPlan(self.root.clone(), self.names, self.description, self.tables)
+
+
+def plan_select(db, stmt: ast.Select) -> PhysicalPlan:
+    """Logical plan → optimizer rules → physical operator tree."""
+    logical = build_logical_plan(db, stmt)
+    if ENABLE_CONSTANT_FOLDING:
+        _fold_plan(logical)
+    _reorder_plan(db, logical)
+    root = lower_select_plan(db, logical)
+    description = [(n, None, None, None, None, None, None) for n in logical.names]
+    return PhysicalPlan(
+        root=root,
+        names=logical.names,
+        description=description,
+        tables=tuple(sorted(_plan_tables(logical))),
+    )
+
+
+def _plan_tables(sp: SelectPlan, out: Optional[set] = None) -> set:
+    if out is None:
+        out = set()
+    for branch in sp.branches:
+        _source_tables(branch.source, out)
+    return out
+
+
+def _source_tables(node, out: set) -> None:
+    if node is None:
+        return
+    if isinstance(node, ScanNode):
+        out.add(node.ref.name.lower())
+        return
+    if isinstance(node, SubqueryNode):
+        _plan_tables(node.plan, out)
+        return
+    if isinstance(node, JoinNode):
+        _source_tables(node.left, out)
+        _source_tables(node.right, out)
+        return
+    raise ProgrammingError(f"unknown logical node {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# Rule: constant folding.
+
+_FOLD_EVALUATOR = Evaluator((), None)
+_EMPTY_SCOPE = Scope()
+
+
+def _is_literal_only(expr: ast.Expr) -> bool:
+    """True when *expr* depends on nothing per-row or per-execution.
+
+    Parameters are excluded — plans are cached across executions with
+    different bindings — as are column references and subqueries.
+    """
+    if isinstance(expr, ast.Literal):
+        return True
+    if isinstance(expr, ast.Unary):
+        return _is_literal_only(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _is_literal_only(expr.left) and _is_literal_only(expr.right)
+    if isinstance(expr, ast.Cast):
+        return _is_literal_only(expr.operand)
+    if isinstance(expr, ast.IsNull):
+        return _is_literal_only(expr.operand)
+    if isinstance(expr, ast.Like):
+        parts = [expr.operand, expr.pattern]
+        if expr.escape is not None:
+            parts.append(expr.escape)
+        return all(_is_literal_only(p) for p in parts)
+    if isinstance(expr, ast.Between):
+        return all(_is_literal_only(p) for p in (expr.operand, expr.low, expr.high))
+    if isinstance(expr, ast.InList):
+        return _is_literal_only(expr.operand) and all(
+            _is_literal_only(i) for i in expr.items
+        )
+    if isinstance(expr, ast.FuncCall):
+        return (
+            not expr.star
+            and not expr.distinct
+            and all(_is_literal_only(a) for a in expr.args)
+        )
+    if isinstance(expr, ast.Case):
+        parts = [expr.operand] if expr.operand is not None else []
+        for c, r in expr.whens:
+            parts.extend([c, r])
+        if expr.default is not None:
+            parts.append(expr.default)
+        return all(_is_literal_only(p) for p in parts)
+    return False
+
+
+def fold_condition(expr: Optional[ast.Expr]) -> Optional[ast.Expr]:
+    """Fold literal-only subtrees of a WHERE/ON tree into Literal nodes.
+
+    Evaluation goes through the runtime :class:`Evaluator`, so folded
+    semantics (NULL propagation, division by zero → NULL, type coercions)
+    match row-at-a-time evaluation exactly.  Anything that raises is left
+    unfolded so the error still surfaces at execution time.  The input
+    tree is never mutated — rewritten spines are new nodes.
+    """
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Literal):
+        return expr
+    if _is_literal_only(expr):
+        try:
+            value = _FOLD_EVALUATOR.evaluate(expr, _EMPTY_SCOPE)
+        except Exception:
+            return expr
+        return ast.Literal(value)
+    if isinstance(expr, ast.Binary):
+        left = fold_condition(expr.left)
+        right = fold_condition(expr.right)
+        if left is expr.left and right is expr.right:
+            return expr
+        return ast.Binary(expr.op, left, right)
+    if isinstance(expr, ast.Unary):
+        operand = fold_condition(expr.operand)
+        if operand is expr.operand:
+            return expr
+        return ast.Unary(expr.op, operand)
+    return expr
+
+
+def _fold_plan(sp: SelectPlan) -> None:
+    for branch in sp.branches:
+        branch.where = fold_condition(branch.where)
+        _fold_source(branch.source)
+
+
+def _fold_source(node) -> None:
+    if isinstance(node, JoinNode):
+        node.condition = fold_condition(node.condition)
+        _fold_source(node.left)
+        _fold_source(node.right)
+    elif isinstance(node, SubqueryNode):
+        _fold_plan(node.plan)
+
+
+def _is_const_true(expr: Optional[ast.Expr]) -> bool:
+    return (
+        isinstance(expr, ast.Literal)
+        and expr.value is not None
+        and bool(expr.value)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rule: join-input reordering (build the smaller side of a hash join).
+
+
+def _known_binding_fn(bound: set, meta, binding: str):
+    bound_lower = {b.lower() for b in bound}
+
+    def known(table: Optional[str], column: str) -> bool:
+        if table is not None:
+            return table.lower() != binding.lower() and table.lower() in bound_lower
+        # Unqualified: only known when it is NOT a column of the probed
+        # table (otherwise it refers to the row being scanned).
+        return not meta.has_column(column)
+
+    return known
+
+
+def _reorder_plan(db, sp: SelectPlan) -> None:
+    for branch in sp.branches:
+        _reorder_source(db, branch.source, split_conjuncts(branch.where))
+
+
+def _reorder_source(db, node, push: list) -> None:
+    if isinstance(node, SubqueryNode):
+        _reorder_plan(db, node.plan)
+        return
+    if not isinstance(node, JoinNode):
+        return
+    _reorder_source(db, node.left, push)
+    right_push = list(split_conjuncts(node.condition))
+    if node.kind == "INNER":
+        right_push = right_push + push
+    _reorder_source(db, node.right, right_push)
+    if (
+        ENABLE_JOIN_REORDER
+        and node.kind == "INNER"
+        and node.condition is not None
+        and isinstance(node.left, ScanNode)
+        and isinstance(node.right, ScanNode)
+    ):
+        _maybe_swap_inputs(db, node, right_push)
+
+
+def _maybe_swap_inputs(db, node: JoinNode, conjuncts: list) -> None:
+    """Swap an INNER join's inputs when that shrinks the hash-build side.
+
+    Both orientations must independently choose a hash join — if the
+    current one uses an index, or the swapped probe side is too small to
+    amortise a build, the original order stands (and with it the original
+    row order for index/scan plans).
+    """
+    left, right = node.left, node.right
+    lsize = len(db.table(left.ref.name).rows)
+    rsize = len(db.table(right.ref.name).rows)
+    if lsize >= rsize:
+        return  # the build side is already the smaller input
+    rmeta = db.table(right.ref.name).meta
+    orig = choose_access_path(
+        db.indexes_on(rmeta.name),
+        rmeta,
+        right.ref.binding,
+        conjuncts,
+        known_binding=_known_binding_fn({left.ref.binding}, rmeta, right.ref.binding),
+        table_size=rsize,
+    )
+    if not isinstance(orig, HashJoinPath):
+        return
+    lmeta = db.table(left.ref.name).meta
+    swapped = choose_access_path(
+        db.indexes_on(lmeta.name),
+        lmeta,
+        left.ref.binding,
+        conjuncts,
+        known_binding=_known_binding_fn({right.ref.binding}, lmeta, left.ref.binding),
+        table_size=lsize,
+    )
+    if not isinstance(swapped, HashJoinPath):
+        return
+    node.left, node.right = right, left
+
+
+# ---------------------------------------------------------------------------
+# Lowering: logical nodes → physical operators.
+
+
+def _node_bindings(node) -> list[str]:
+    if node is None:
+        return []
+    if isinstance(node, ScanNode):
+        return [node.ref.binding]
+    if isinstance(node, SubqueryNode):
+        return [node.ref.alias]
+    if isinstance(node, JoinNode):
+        return _node_bindings(node.left) + _node_bindings(node.right)
+    raise ProgrammingError(f"unknown logical node {node!r}")
+
+
+def _node_schemas(db, node) -> list[tuple[str, list[str]]]:
+    """``(binding, columns)`` pairs for LEFT-join null extension."""
+    if isinstance(node, ScanNode):
+        return [(node.ref.binding, db.catalog.table(node.ref.name).column_names)]
+    if isinstance(node, SubqueryNode):
+        return [(node.ref.alias, node.plan.names)]
+    if isinstance(node, JoinNode):
+        return _node_schemas(db, node.left) + _node_schemas(db, node.right)
+    raise ProgrammingError(f"unknown logical node {node!r}")
+
+
+def _lower_source(db, node, push: list, bound: list[str]) -> Operator:
+    if node is None:
+        return ConstantRow()
+    if isinstance(node, ScanNode):
+        ref = node.ref
+        table = db.table(ref.name)
+        meta = table.meta
+        conjuncts = push if ENABLE_PUSHDOWN else []
+        path = choose_access_path(
+            db.indexes_on(meta.name),
+            meta,
+            ref.binding,
+            conjuncts,
+            known_binding=_known_binding_fn(set(bound), meta, ref.binding),
+            table_size=len(table.rows),
+        )
+        op = scan_for_path(path)
+        op.est_rows = node.est_rows
+        return op
+    if isinstance(node, SubqueryNode):
+        sub_root = lower_select_plan(db, node.plan)
+        op = SubqueryScan(sub_root, node.ref.alias, node.plan.names)
+        op.est_rows = node.est_rows
+        return op
+    if isinstance(node, JoinNode):
+        left = _lower_source(db, node.left, push, bound)
+        right_push = list(split_conjuncts(node.condition))
+        if node.kind == "INNER":
+            right_push = right_push + push
+        right = _lower_source(
+            db, node.right, right_push, list(bound) + _node_bindings(node.left)
+        )
+        op = NestedLoopJoin(
+            left, right, node.kind, node.condition, _node_schemas(db, node.right)
+        )
+        op.est_rows = node.est_rows
+        return op
+    raise ProgrammingError(f"cannot lower source {node!r}")
+
+
+def _projection_cols(catalog, stmt: ast.Select) -> list[tuple]:
+    cols: list[tuple] = []
+    for item in stmt.items:
+        if isinstance(item.expr, ast.Star):
+            star_names(catalog, stmt.source, item.expr.table)  # SQL018 check
+            for binding, columns in binding_columns(catalog, stmt.source):
+                if (
+                    item.expr.table is None
+                    or binding.lower() == item.expr.table.lower()
+                ):
+                    cols.append(("star", binding, columns))
+        else:
+            cols.append(("expr", item.expr))
+    return cols
+
+
+def _lower_branch(db, branch: BranchPlan) -> Operator:
+    stmt = branch.select
+    push = split_conjuncts(branch.where)
+    child = _lower_source(db, branch.source, push, [])
+    if branch.where is not None and not _is_const_true(branch.where):
+        flt = FilterOp(branch.where, child)
+        flt.est_rows = branch.est_rows if not branch.aggregate else None
+        child = flt
+    cols = _projection_cols(db.catalog, stmt)
+    if branch.aggregate:
+        op: Operator = HashAggregate(
+            stmt,
+            aggregate_calls(stmt),
+            cols,
+            binding_columns(db.catalog, stmt.source),
+            child,
+        )
+    else:
+        op = ProjectOp(cols, child)
+    op.est_rows = branch.est_rows
+    if branch.distinct:
+        op = DistinctOp(op)
+        op.est_rows = branch.est_rows
+    return op
+
+
+def lower_select_plan(db, sp: SelectPlan) -> Operator:
+    branch_ops = [_lower_branch(db, b) for b in sp.branches]
+    root = branch_ops[0]
+    if len(branch_ops) > 1:
+        root = UnionOp(branch_ops, sp.dedup_until)
+        root.est_rows = sp.est_rows
+    if sp.order_by:
+        if sp.limit is not None and ENABLE_TOPN:
+            root = TopN(sp.order_by, sp.names, sp.limit, sp.offset, root)
+            root.est_rows = sp.est_rows
+        else:
+            root = SortOp(sp.order_by, sp.names, root)
+            root.est_rows = sp.est_rows
+            if sp.limit is not None or sp.offset is not None:
+                root = LimitOp(sp.limit, sp.offset, root)
+                root.est_rows = sp.est_rows
+    elif sp.limit is not None or sp.offset is not None:
+        root = LimitOp(sp.limit, sp.offset, root)
+        root.est_rows = sp.est_rows
+    return root

@@ -15,10 +15,12 @@ O(n·m) nested loops; everything else falls back to a full scan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from . import ast_nodes as ast
 from .catalog import TableMeta
+from .errors import ProgrammingError, SemanticError, closest
+from .expressions import collect_aggregates
 from .index import Index
 
 
@@ -341,4 +343,251 @@ def _maybe_hash_join(
         build_positions=[meta.column_index(c) for c in cols],
         probe_exprs=[eq_by_col[c].value for c in cols],
         consumed=[eq_by_col[c].conjunct for c in cols],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Output shape helpers — shared by the logical planner, the optimizer's
+# physical lowering, and the executor's DML paths.
+
+
+def render_expr(expr: ast.Expr) -> str:
+    """Readable name for an unaliased select expression."""
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, ast.FuncCall):
+        inner = "*" if expr.star else ", ".join(render_expr(a) for a in expr.args)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.name}({inner})"
+    if isinstance(expr, ast.Binary):
+        return f"{render_expr(expr.left)} {expr.op} {render_expr(expr.right)}"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op} {render_expr(expr.operand)}"
+    return type(expr).__name__.lower()
+
+
+def binding_columns(catalog, source) -> list[tuple[str, list[str]]]:
+    """``(binding, column names)`` for every table the source binds."""
+    if source is None:
+        return []
+    if isinstance(source, ast.TableRef):
+        meta = catalog.table(source.name)
+        return [(source.binding, meta.column_names)]
+    if isinstance(source, ast.SubqueryRef):
+        return [(source.alias, output_names(catalog, source.select))]
+    if isinstance(source, ast.Join):
+        return binding_columns(catalog, source.left) + binding_columns(
+            catalog, source.right
+        )
+    raise ProgrammingError(f"unknown source {source!r}")
+
+
+def star_names(catalog, source, table: Optional[str]) -> list[str]:
+    names: list[str] = []
+    for binding, columns in binding_columns(catalog, source):
+        if table is None or binding.lower() == table.lower():
+            names.extend(columns)
+    if not names:
+        target = table or "*"
+        bindings = [b for b, _cols in binding_columns(catalog, source)]
+        raise SemanticError(
+            f"no columns for {target}",
+            code="SQL018",
+            suggestion=closest(table, bindings) if table else None,
+        )
+    return names
+
+
+def output_names(catalog, stmt: ast.Select) -> list[str]:
+    names: list[str] = []
+    for item in stmt.items:
+        if isinstance(item.expr, ast.Star):
+            names.extend(star_names(catalog, stmt.source, item.expr.table))
+        elif item.alias:
+            names.append(item.alias)
+        elif isinstance(item.expr, ast.ColumnRef):
+            names.append(item.expr.name)
+        else:
+            names.append(render_expr(item.expr))
+    return names
+
+
+def aggregate_calls(stmt: ast.Select) -> list[ast.FuncCall]:
+    """Aggregate FuncCall nodes of one SELECT, in evaluation order.
+
+    Collected from the select list, HAVING and ORDER BY — identity-keyed
+    (``id(node)``) so the same node shares one accumulator everywhere.
+    """
+    calls: list[ast.FuncCall] = []
+    for item in stmt.items:
+        if not isinstance(item.expr, ast.Star):
+            collect_aggregates(item.expr, calls)
+    collect_aggregates(stmt.having, calls)
+    for oi in stmt.order_by:
+        collect_aggregates(oi.expr, calls)
+    return calls
+
+
+def select_has_aggregates(stmt: ast.Select) -> bool:
+    return bool(aggregate_calls(stmt))
+
+
+def source_bindings(source) -> list[str]:
+    if source is None:
+        return []
+    if isinstance(source, (ast.TableRef, ast.SubqueryRef)):
+        return [source.binding]
+    if isinstance(source, ast.Join):
+        return source_bindings(source.left) + source_bindings(source.right)
+    raise ProgrammingError(f"unknown source {source!r}")
+
+
+# ---------------------------------------------------------------------------
+# Logical plan — the relational-algebra shape of one SELECT, annotated with
+# estimated cardinalities.  Built here from the analyzed AST; the optimizer
+# (:mod:`repro.minidb.optimizer`) rewrites it and lowers it to physical
+# operators.  Logical nodes never own execution state and never mutate the
+# AST they reference.
+
+
+@dataclass
+class ScanNode:
+    """One base-table access (access path chosen later, at lowering)."""
+
+    ref: ast.TableRef
+    est_rows: int = 0
+
+
+@dataclass
+class SubqueryNode:
+    """A FROM-clause subquery with its own logical select plan."""
+
+    ref: ast.SubqueryRef
+    plan: "SelectPlan"
+    est_rows: int = 0
+
+
+@dataclass
+class JoinNode:
+    kind: str  # 'INNER', 'LEFT', 'CROSS'
+    left: Any  # ScanNode | SubqueryNode | JoinNode
+    right: Any
+    condition: Optional[ast.Expr]
+    est_rows: int = 0
+
+
+@dataclass
+class BranchPlan:
+    """One SELECT core: source tree + filter + aggregate/project + distinct."""
+
+    select: ast.Select
+    source: Any  # ScanNode | SubqueryNode | JoinNode | None
+    where: Optional[ast.Expr]
+    aggregate: bool
+    distinct: bool
+    est_rows: int = 0
+
+
+@dataclass
+class SelectPlan:
+    """Logical plan for one (possibly compound) SELECT statement."""
+
+    select: ast.Select
+    branches: list[BranchPlan]
+    #: branch index up to which UNION dedup applies (-1: pure UNION ALL)
+    dedup_until: int
+    order_by: list[ast.OrderItem]
+    limit: Optional[ast.Expr]
+    offset: Optional[ast.Expr]
+    names: list[str]
+    est_rows: int = 0
+
+
+def _estimate_source(db, node) -> int:
+    if node is None:
+        return 1
+    if isinstance(node, ScanNode):
+        return node.est_rows
+    if isinstance(node, SubqueryNode):
+        return node.est_rows
+    if isinstance(node, JoinNode):
+        return node.est_rows
+    raise ProgrammingError(f"unknown logical node {node!r}")
+
+
+def _build_source(db, source) -> Any:
+    if source is None:
+        return None
+    if isinstance(source, ast.TableRef):
+        return ScanNode(source, est_rows=len(db.table(source.name).rows))
+    if isinstance(source, ast.SubqueryRef):
+        plan = build_logical_plan(db, source.select)
+        return SubqueryNode(source, plan, est_rows=plan.est_rows)
+    if isinstance(source, ast.Join):
+        left = _build_source(db, source.left)
+        right = _build_source(db, source.right)
+        l_est = _estimate_source(db, left)
+        r_est = _estimate_source(db, right)
+        if source.kind == "CROSS" or source.condition is None:
+            est = l_est * r_est
+        else:
+            # Equi-join heuristic: roughly one match per outer row.
+            est = max(l_est, r_est)
+        if source.kind == "LEFT":
+            est = max(est, l_est)
+        return JoinNode(source.kind, left, right, source.condition, est_rows=est)
+    raise ProgrammingError(f"cannot plan source {source!r}")
+
+
+def _build_branch(db, select: ast.Select) -> BranchPlan:
+    source = _build_source(db, select.source)
+    est = _estimate_source(db, source)
+    if select.where is not None:
+        est = max(1, est // 3)
+    aggregate = bool(select.group_by) or select_has_aggregates(select)
+    if aggregate:
+        est = max(1, est // 10) if select.group_by else 1
+    return BranchPlan(
+        select=select,
+        source=source,
+        where=select.where,
+        aggregate=aggregate,
+        distinct=select.distinct,
+        est_rows=est,
+    )
+
+
+def build_logical_plan(db, stmt: ast.Select) -> SelectPlan:
+    """Shape one SELECT (and its UNION chain) into a logical plan tree."""
+    branches = [_build_branch(db, stmt)]
+    dedup_until = -1
+    for i, (op, sub) in enumerate(stmt.compounds):
+        branches.append(_build_branch(db, sub))
+        if op == "UNION":
+            # Cumulative dedup: a UNION at position i dedups every branch
+            # up to and including i+1.
+            dedup_until = i + 1
+    names = output_names(db.catalog, stmt)
+    for branch in branches[1:]:
+        if len(output_names(db.catalog, branch.select)) != len(names):
+            raise ProgrammingError(
+                "UNION selects must have the same number of columns"
+            )
+    est = sum(b.est_rows for b in branches)
+    if stmt.limit is not None and isinstance(stmt.limit, ast.Literal) and isinstance(
+        stmt.limit.value, int
+    ):
+        est = min(est, max(0, stmt.limit.value))
+    return SelectPlan(
+        select=stmt,
+        branches=branches,
+        dedup_until=dedup_until,
+        order_by=stmt.order_by,
+        limit=stmt.limit,
+        offset=stmt.offset,
+        names=names,
+        est_rows=est,
     )

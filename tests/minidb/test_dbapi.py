@@ -70,8 +70,11 @@ class TestCursor:
         assert [d[0] for d in cur.description] == ["a", "b"]
 
     def test_rowcount_on_select(self, cur):
+        # Streaming SELECT: the row count is unknown until the cursor is
+        # drained, so rowcount is -1 exactly as sqlite3 reports it.
         cur.execute("SELECT * FROM t")
-        assert cur.rowcount == 10
+        assert cur.rowcount == -1
+        assert len(cur.fetchall()) == 10
 
     def test_rowcount_on_dml(self, cur):
         cur.execute("DELETE FROM t WHERE a < 3")

@@ -120,7 +120,7 @@ def test_explain_shows_hash_join_without_index():
             "EXPLAIN SELECT o.oid FROM orders o JOIN custs c ON c.cid = o.cust"
         ).fetchall()
     ]
-    assert any(line.startswith("HashJoin custs") for line in plan), plan
+    assert any("HashJoin custs" in line for line in plan), plan
     conn.close()
 
 

@@ -1,0 +1,58 @@
+"""Tests for the benchmark regression guard (tools/bench_guard)."""
+
+import json
+
+from tools.bench_guard import compare, main
+
+
+def _write(path, data):
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+BASE = {"load": {"bulk_rows_per_s": 1000.0}, "query_path": {"topn_speedup": 2.0}}
+
+
+def test_within_threshold_passes():
+    cand = {"load": {"bulk_rows_per_s": 950.0}}
+    assert compare(BASE, cand) == []
+
+
+def test_drop_beyond_threshold_fails():
+    cand = {"load": {"bulk_rows_per_s": 850.0}}
+    problems = compare(BASE, cand)
+    assert len(problems) == 1
+    assert "bulk_rows_per_s" in problems[0]
+
+
+def test_improvement_passes():
+    cand = {"load": {"bulk_rows_per_s": 2000.0}}
+    assert compare(BASE, cand) == []
+
+
+def test_missing_candidate_key_fails():
+    assert compare(BASE, {"load": {}}) != []
+
+
+def test_missing_baseline_key_skipped():
+    # A metric new in this PR has no baseline yet: skip, don't fail.
+    cand = {"load": {"bulk_rows_per_s": 1000.0}}
+    assert compare({}, cand) == []
+
+
+def test_custom_keys_and_threshold():
+    cand = {"load": {"bulk_rows_per_s": 1000.0}, "query_path": {"topn_speedup": 1.5}}
+    problems = compare(
+        BASE, cand, keys=("query_path.topn_speedup",), threshold=0.05
+    )
+    assert len(problems) == 1
+
+
+def test_main_exit_codes(tmp_path):
+    base = _write(tmp_path / "base.json", BASE)
+    ok = _write(tmp_path / "ok.json", {"load": {"bulk_rows_per_s": 990.0}})
+    bad = _write(tmp_path / "bad.json", {"load": {"bulk_rows_per_s": 100.0}})
+    assert main([base, ok]) == 0
+    assert main([base, bad]) == 1
+    assert main([base, bad, "--threshold", "0.95"]) == 0
+    assert main([base, ok, "--key", "missing.metric"]) == 0  # no baseline -> skip

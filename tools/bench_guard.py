@@ -1,0 +1,97 @@
+"""Benchmark regression guard: compare a fresh bench report to a baseline.
+
+``python -m tools.bench_guard baseline.json candidate.json`` exits 1 when
+a guarded throughput metric in the candidate drops more than the allowed
+fraction below the committed baseline.  CI copies the committed
+``BENCH_scalability.json`` aside, re-runs the scalability benchmark, then
+runs this guard so a PR cannot silently regress the bulk-load path.
+
+Guarded keys are dotted paths into the report; higher is better.  A key
+missing from the *baseline* is skipped (new metrics need one PR to seed a
+baseline); a key missing from the *candidate* fails (the bench stopped
+reporting something it should).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional
+
+#: dotted report paths guarded by default (all are rates: higher = better)
+DEFAULT_KEYS = ("load.bulk_rows_per_s",)
+
+DEFAULT_THRESHOLD = 0.10
+
+
+def _lookup(report: dict, dotted: str) -> Optional[Any]:
+    node: Any = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def compare(
+    baseline: dict,
+    candidate: dict,
+    keys: tuple[str, ...] = DEFAULT_KEYS,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[str]:
+    """Problems found comparing *candidate* to *baseline* (empty = pass)."""
+    problems = []
+    for key in keys:
+        base = _lookup(baseline, key)
+        cand = _lookup(candidate, key)
+        if base is None:
+            print(f"bench_guard: {key}: no baseline value, skipping")
+            continue
+        if cand is None:
+            problems.append(f"{key}: missing from candidate report")
+            continue
+        floor = base * (1.0 - threshold)
+        verdict = "OK" if cand >= floor else "REGRESSION"
+        print(
+            f"bench_guard: {key}: baseline={base:.1f} candidate={cand:.1f} "
+            f"floor={floor:.1f} [{verdict}]"
+        )
+        if cand < floor:
+            problems.append(
+                f"{key}: {cand:.1f} is more than {threshold:.0%} below "
+                f"baseline {base:.1f}"
+            )
+    return problems
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m tools.bench_guard")
+    parser.add_argument("baseline", help="committed baseline report (JSON)")
+    parser.add_argument("candidate", help="freshly generated report (JSON)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional drop before failing (default: 0.10)",
+    )
+    parser.add_argument(
+        "--key",
+        action="append",
+        dest="keys",
+        help=f"dotted metric path to guard (default: {', '.join(DEFAULT_KEYS)})",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(args.candidate, "r", encoding="utf-8") as fh:
+        candidate = json.load(fh)
+    keys = tuple(args.keys) if args.keys else DEFAULT_KEYS
+    problems = compare(baseline, candidate, keys, args.threshold)
+    for problem in problems:
+        print(f"bench_guard: FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -149,6 +149,40 @@ class _Checker(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    # -- PTL005 ---------------------------------------------------------------
+
+    def _check_fetchall_iter(self, iter_node: ast.expr) -> None:
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Attribute)
+            and iter_node.func.attr == "fetchall"
+        ):
+            self._add(
+                iter_node,
+                "PTL005",
+                "iterating directly over .fetchall() materializes the whole "
+                "result set; engine cursors stream — iterate the cursor "
+                "itself or use Backend.stream()",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_fetchall_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_fetchall_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for gen in node.generators:
+            self._check_fetchall_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
     # -- PTL002 ---------------------------------------------------------------
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -216,6 +250,15 @@ class _Checker(ast.NodeVisitor):
                 )
 
 
+def _is_test_path(path: str) -> bool:
+    """Paths allowlisted for PTL005 — tests routinely materialize results."""
+    parts = os.path.normpath(path).split(os.sep)
+    if any(p in ("tests", "test") for p in parts[:-1]):
+        return True
+    base = parts[-1]
+    return base.startswith("test_") or base == "conftest.py"
+
+
 def check_file(path: str) -> list[Violation]:
     """Run every checker over one Python file."""
     with open(path, "r", encoding="utf-8") as fh:
@@ -227,8 +270,11 @@ def check_file(path: str) -> list[Violation]:
     checker = _Checker(path)
     checker.visit(tree)
     noqa = _noqa_lines(source)
+    allow_fetchall = _is_test_path(path)
     out = []
     for v in checker.violations:
+        if v.code == "PTL005" and allow_fetchall:
+            continue
         codes = noqa.get(v.line, False)
         if codes is False:
             out.append(v)
