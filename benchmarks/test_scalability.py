@@ -19,6 +19,7 @@ import pytest
 import repro.minidb as minidb
 from repro.core import ByName, Expansion, PTDataStore, PrFilter
 from repro.minidb import optimizer as minidb_optimizer
+from repro.minidb import vector as minidb_vector
 from repro.core.query import QueryEngine
 from repro.obs import metrics as obs_metrics
 from repro.ptdf.parser import parse_file
@@ -28,6 +29,29 @@ from repro.synth.machines import MCR
 from repro.tools import ALL_CONVERTERS
 
 SIZES = (1, 2, 4, 8)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def merge_baseline(results_dir: str, updates: dict) -> None:
+    """The single writer for ``BENCH_scalability.json``.
+
+    Merges *updates* (top-level sections) into both copies — the harness
+    results directory and the committed repo-root baseline — so the two
+    can never drift apart.
+    """
+    for path in (
+        os.path.join(results_dir, "BENCH_scalability.json"),
+        os.path.join(_REPO_ROOT, "BENCH_scalability.json"),
+    ):
+        report = {"benchmark": "scalability"}
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                report = json.load(fh)
+        report.update(updates)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
 
 
 @pytest.fixture(scope="module")
@@ -164,16 +188,22 @@ class TestBulkVsPerRow:
         ]
         assert any("HashJoin" in line for line in join_plan)
 
-        # Observability numbers: one more bulk load with the metrics
-        # registry on, harvesting loader throughput and engine counters
-        # straight from the registry, plus the enabled-vs-disabled load
-        # time so the instrumentation overhead is tracked across PRs.
+        # Observability numbers: bulk loads with the metrics registry on,
+        # harvesting loader throughput and engine counters straight from
+        # the registry, plus the enabled-vs-disabled load time so the
+        # instrumentation overhead is tracked across PRs.  Best-of-ROUNDS
+        # like the uninstrumented timing, so the overhead figure compares
+        # like with like instead of one cold run against three warm ones.
         obs_metrics.enable()
-        obs_metrics.reset()
         try:
-            t0 = time.perf_counter()
-            obs_store, _ = _load_n(ptdf_records, n)
-            instrumented_s = time.perf_counter() - t0
+            instrumented_s = None
+            for _ in range(self.ROUNDS):
+                obs_metrics.reset()
+                t0 = time.perf_counter()
+                obs_store, _ = _load_n(ptdf_records, n)
+                dt = time.perf_counter() - t0
+                if instrumented_s is None or dt < instrumented_s:
+                    instrumented_s = dt
             obs_engine = QueryEngine(obs_store)
             obs_families = obs_store.resolve_prfilter(
                 PrFilter([ByName("/IRS/src/matsolve", Expansion.NONE)])
@@ -226,16 +256,7 @@ class TestBulkVsPerRow:
             },
             "observability": observability,
         }
-        # Written twice: benchmarks/results/ for the harness, repo root as
-        # the committed machine-readable baseline tracked across PRs.
-        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        for path in (
-            os.path.join(results_dir, "BENCH_scalability.json"),
-            os.path.join(repo_root, "BENCH_scalability.json"),
-        ):
-            with open(path, "w", encoding="utf-8") as fh:
-                json.dump(report, fh, indent=2)
-                fh.write("\n")
+        merge_baseline(results_dir, report)
         print(f"\n--- BENCH_scalability ---\n{json.dumps(report, indent=2)}")
 
         # The acceptance target is >= 3x; assert 2x so CI noise cannot
@@ -300,16 +321,24 @@ class TestQueryPathTopN:
         speedup = sort_s / topn_s
 
         # Streaming: first row of a selective scan vs draining it all.
+        # Both figures are bench-guard keys, so take the best of ROUNDS to
+        # keep single-run scheduler noise out of the committed baseline.
         probe = "SELECT id FROM pts WHERE v >= 0.5"
-        t0 = time.perf_counter()
-        cur = conn.execute(probe)
-        first = cur.fetchone()
-        first_row_s = time.perf_counter() - t0
-        assert first is not None
-        t0 = time.perf_counter()
-        rest = cur.fetchall()
-        drain_s = first_row_s + (time.perf_counter() - t0)
-        assert len(rest) > self.N // 4
+        first_row_s = drain_s = None
+        for _ in range(self.ROUNDS):
+            t0 = time.perf_counter()
+            cur = conn.execute(probe)
+            first = cur.fetchone()
+            dt_first = time.perf_counter() - t0
+            assert first is not None
+            t0 = time.perf_counter()
+            rest = cur.fetchall()
+            dt_drain = dt_first + (time.perf_counter() - t0)
+            assert len(rest) > self.N // 4
+            if first_row_s is None or dt_first < first_row_s:
+                first_row_s = dt_first
+            if drain_s is None or dt_drain < drain_s:
+                drain_s = dt_drain
 
         section = {
             "rows": self.N,
@@ -320,20 +349,7 @@ class TestQueryPathTopN:
             "stream_first_row_seconds": round(first_row_s, 6),
             "stream_full_drain_seconds": round(drain_s, 5),
         }
-        # Merge into the report TestBulkVsPerRow wrote (both copies).
-        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        for path in (
-            os.path.join(results_dir, "BENCH_scalability.json"),
-            os.path.join(repo_root, "BENCH_scalability.json"),
-        ):
-            report = {"benchmark": "scalability"}
-            if os.path.exists(path):
-                with open(path, "r", encoding="utf-8") as fh:
-                    report = json.load(fh)
-            report["query_path"] = section
-            with open(path, "w", encoding="utf-8") as fh:
-                json.dump(report, fh, indent=2)
-                fh.write("\n")
+        merge_baseline(results_dir, {"query_path": section})
         write_report(
             "scalability_query_path",
             json.dumps(section, indent=2),
@@ -345,6 +361,109 @@ class TestQueryPathTopN:
         assert speedup > 1.1, f"TopN only {speedup:.2f}x over full sort"
         # Streaming: the first row must not pay for the full result set.
         assert first_row_s < drain_s / 5
+
+
+class TestVectorizedExecution:
+    """``vectorized`` section of ``BENCH_scalability.json``.
+
+    The batch engine must drain a selective 100k-row scan several times
+    faster than the row-at-a-time ablation while keeping the streaming
+    contract: the first row comes out of one prefetched batch, not after
+    the full drain.
+    """
+
+    N = 100_000
+    ROUNDS = 3
+
+    def _fresh(self):
+        rng = random.Random(13)
+        conn = minidb.connect()
+        conn.execute("CREATE TABLE pts (id INTEGER PRIMARY KEY, v REAL)")
+        conn.executemany(
+            "INSERT INTO pts VALUES (?, ?)",
+            [(i, rng.random()) for i in range(self.N)],
+        )
+        return conn
+
+    def _timed_drain(self, conn, sql):
+        best, rows = None, None
+        for _ in range(self.ROUNDS):
+            t0 = time.perf_counter()
+            rows = conn.execute(sql).fetchall()
+            dt = time.perf_counter() - t0
+            if best is None or dt < best:
+                best = dt
+        return best, rows
+
+    def test_vectorized_drain_and_first_row(
+        self, benchmark, results_dir, write_report
+    ):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        sql = "SELECT id FROM pts WHERE v >= 0.5"
+        conn = self._fresh()
+
+        plan = [r[0] for r in conn.execute("EXPLAIN " + sql).fetchall()]
+        assert any("[batched]" in line for line in plan), plan
+        vec_s, vec_rows = self._timed_drain(conn, sql)
+
+        first_row_s = None
+        for _ in range(self.ROUNDS):
+            t0 = time.perf_counter()
+            cur = conn.execute(sql)
+            first = cur.fetchone()
+            dt = time.perf_counter() - t0
+            assert first is not None
+            cur.close()
+            if first_row_s is None or dt < first_row_s:
+                first_row_s = dt
+
+        # Batch counters over one instrumented drain.
+        obs_metrics.enable()
+        obs_metrics.reset()
+        try:
+            conn.execute(sql).fetchall()
+            snap = obs_metrics.snapshot()
+        finally:
+            obs_metrics.disable()
+        batches = snap.get("minidb.vector.batches", {}).get("value", 0)
+        rows_scanned = snap.get("minidb.vector.rows", {}).get("value", 0)
+        assert batches > 0
+        assert rows_scanned == self.N
+
+        # Ablation: same query through the row-at-a-time engine.
+        minidb_optimizer.ENABLE_VECTORIZATION = False
+        try:
+            row_conn = self._fresh()
+            plan = [r[0] for r in row_conn.execute("EXPLAIN " + sql).fetchall()]
+            assert not any("[batched]" in line for line in plan), plan
+            row_s, row_rows = self._timed_drain(row_conn, sql)
+            row_conn.close()
+        finally:
+            minidb_optimizer.ENABLE_VECTORIZATION = True
+
+        # Byte-identical output is part of the operator contract.
+        assert vec_rows == row_rows
+        speedup = row_s / vec_s
+
+        section = {
+            "rows": self.N,
+            "batch_size": minidb_vector.BATCH_SIZE,
+            "drain_seconds": round(vec_s, 5),
+            "first_row_seconds": round(first_row_s, 6),
+            "row_engine_drain_seconds": round(row_s, 5),
+            "speedup_vs_row_engine": round(speedup, 2),
+            "drain_batches": batches,
+            "rows_scanned": rows_scanned,
+        }
+        merge_baseline(results_dir, {"vectorized": section})
+        write_report("scalability_vectorized", json.dumps(section, indent=2))
+        conn.close()
+
+        # Acceptance is >= 5x over the row engine at this scale; assert 3x
+        # so CI noise cannot flake while a real regression still fails.
+        assert speedup >= 3.0, f"vectorized drain only {speedup:.2f}x faster"
+        # The first row must not pay for the full drain.
+        assert first_row_s < vec_s / 2
 
 
 class TestQueryScaling:

@@ -503,23 +503,32 @@ class PTDataStore:
         use_bulk = self.bulk_load if bulk is None else bulk
         if not (_M.enabled or _trace.enabled):
             return self._load_records_inner(records, use_bulk)
-        counting = _CountingIter(records)
+        # Sized inputs (the common case: PTdf parsers return lists) are
+        # counted with len(), so the record loop itself runs uninstrumented
+        # — one add() per load, not one per record.  Only unsized streams
+        # pay for the counting wrapper.
+        try:
+            sized_n: Optional[int] = len(records)  # type: ignore[arg-type]
+        except TypeError:
+            sized_n = None
+        source = records if sized_n is not None else _CountingIter(records)
         mode = "bulk" if use_bulk else "per-row"
         t0 = _now()
         with _trace.span("load", cat="core", mode=mode):
-            stats = self._load_records_inner(counting, use_bulk)
+            stats = self._load_records_inner(source, use_bulk)
         elapsed = _now() - t0
+        n = sized_n if sized_n is not None else source.n
         _LOADS.inc()
-        _LOAD_RECORDS.add(counting.n)
+        _LOAD_RECORDS.add(n)
         _LOAD_SECONDS.observe(elapsed)
         if elapsed > 0:
-            _LOAD_RATE.set(counting.n / elapsed)
+            _LOAD_RATE.set(n / elapsed)
         for field, counter in _LOAD_TYPE_COUNTS.items():
             counter.add(getattr(stats, field))
         _log.info(
             "loaded %d record(s) in %.3fs (%s path, %.0f records/s)",
-            counting.n, elapsed, mode,
-            counting.n / elapsed if elapsed > 0 else 0.0,
+            n, elapsed, mode,
+            n / elapsed if elapsed > 0 else 0.0,
         )
         return stats
 

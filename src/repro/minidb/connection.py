@@ -305,6 +305,11 @@ class Cursor:
         self._pos = 0
         self._stream: Optional[Iterator[tuple]] = None
         self._pending: list[tuple] = []
+        # Vectorized SELECTs: an iterator of row batches plus the current
+        # batch being sliced by fetchone/fetchmany.
+        self._batches: Optional[Iterator[list[tuple]]] = None
+        self._batch: list[tuple] = []
+        self._bpos = 0
 
     # -- execution ---------------------------------------------------------------------
 
@@ -321,6 +326,9 @@ class Cursor:
         self._pos = 0
         self._pending = []
         self._stream = result.stream
+        self._batches = result.batches
+        self._batch = []
+        self._bpos = 0
         if self._stream is not None:
             # Prefetch one row so first-row evaluation errors surface at
             # execute() time (like the materializing engine did, and like
@@ -330,6 +338,14 @@ class Cursor:
                 self._stream = None
             else:
                 self._pending.append(first)
+        elif self._batches is not None:
+            # Same contract for vectorized plans: pull the first batch so
+            # evaluation errors surface here and fetchone stays a slice.
+            first_batch = next(self._batches, None)
+            if first_batch is None:
+                self._batches = None
+            else:
+                self._batch = first_batch
         return self
 
     def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
@@ -384,6 +400,18 @@ class Cursor:
             return row
         if self._pending:
             return self._pending.pop(0)
+        if self._bpos < len(self._batch):
+            row = self._batch[self._bpos]
+            self._bpos += 1
+            return row
+        if self._batches is not None:
+            batch = next(self._batches, None)
+            if batch is None:
+                self._close_stream()
+                return None
+            self._batch = batch
+            self._bpos = 1
+            return batch[0]
         if self._stream is not None:
             row = next(self._stream, None)
             if row is None:
@@ -409,6 +437,14 @@ class Cursor:
         if self._pending:
             out.extend(self._pending)
             self._pending = []
+        if self._bpos < len(self._batch) or self._batches is not None:
+            out.extend(self._batch[self._bpos :])
+            self._batch = []
+            self._bpos = 0
+            if self._batches is not None:
+                for batch in self._batches:
+                    out.extend(batch)
+                self._batches = None
         if self._stream is not None:
             out.extend(self._stream)
             self._close_stream()
@@ -439,6 +475,11 @@ class Cursor:
         if self._stream is not None:
             self._stream.close()
             self._stream = None
+        if self._batches is not None:
+            self._batches.close()
+            self._batches = None
+        self._batch = []
+        self._bpos = 0
 
     def _check_open(self) -> None:
         if self._closed:

@@ -37,10 +37,13 @@ class Result:
     SELECT results carry a ``stream`` — a generator of rows pulled from
     the operator tree on demand — and ``rowcount`` is -1 (PEP 249 allows
     this for statements whose affected-row count is unknown; sqlite3 does
-    the same).  Everything else materialises ``rows`` eagerly.
+    the same).  Vectorized SELECTs carry ``batches`` instead: a generator
+    of row *lists* that the cursor slices for ``fetchone`` so the
+    streaming contract survives batch execution.  Everything else
+    materialises ``rows`` eagerly.
     """
 
-    __slots__ = ("description", "rows", "rowcount", "lastrowid", "stream")
+    __slots__ = ("description", "rows", "rowcount", "lastrowid", "stream", "batches")
 
     def __init__(
         self,
@@ -49,12 +52,14 @@ class Result:
         rowcount: int = -1,
         lastrowid: Optional[int] = None,
         stream: Optional[Iterator[tuple]] = None,
+        batches: Optional[Iterator[list[tuple]]] = None,
     ) -> None:
         self.description = description
         self.rows = rows or []
         self.rowcount = rowcount
         self.lastrowid = lastrowid
         self.stream = stream
+        self.batches = batches
 
 
 class Executor:
@@ -140,6 +145,12 @@ class Executor:
 
     def _exec_Select(self, stmt: ast.Select) -> Result:
         plan = self._plan_for_select(stmt)
+        if plan.root.BATCHED:
+            return Result(
+                description=plan.description,
+                rowcount=-1,
+                batches=self._stream_batches(plan.root),
+            )
         return Result(
             description=plan.description,
             rowcount=-1,
@@ -152,6 +163,15 @@ class Executor:
             for row, _context in root.rows(self._context()):
                 returned += 1
                 yield row
+        finally:
+            _ROWS_RETURNED.add(returned)
+
+    def _stream_batches(self, root: Operator) -> Iterator[list[tuple]]:
+        returned = 0
+        try:
+            for batch in root.batches(self._context()):
+                returned += len(batch)
+                yield batch
         finally:
             _ROWS_RETURNED.add(returned)
 
@@ -452,8 +472,12 @@ class Executor:
             if isinstance(inner, ast.Select):
                 plan = self._plan_for_select(inner)
                 count = 0
-                for _row in self._stream_rows(plan.root):
-                    count += 1
+                if plan.root.BATCHED:
+                    for batch in self._stream_batches(plan.root):
+                        count += len(batch)
+                else:
+                    for _row in self._stream_rows(plan.root):
+                        count += 1
                 root = plan.root
                 verb = "returned"
             else:

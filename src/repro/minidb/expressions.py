@@ -108,6 +108,55 @@ def _is_true(value: Any) -> bool:
     return value is not None and bool(value)
 
 
+def cast_value(value: Any, type_name: str) -> Any:
+    """CAST semantics shared by the row evaluator and the vector kernels."""
+    try:
+        return coerce(value, affinity_for(type_name))
+    except DataError:
+        # SQL CAST is forgiving: uncastable text becomes 0 for numbers.
+        affinity = affinity_for(type_name)
+        if affinity in ("INTEGER", "REAL", "NUMERIC", "BOOLEAN"):
+            return 0 if affinity != "REAL" else 0.0
+        raise
+
+
+def arith_value(op: str, left: Any, right: Any) -> Any:
+    """Non-NULL arithmetic/concat semantics shared with the vector kernels.
+
+    Callers have already handled NULL propagation and comparison operators;
+    this is the ``||``/``+``/``-``/``*``/``/``/``%`` tail of the row
+    evaluator, kept in one place so both execution paths stay identical.
+    """
+    if op == "||":
+        return f"{left}{right}"
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None  # SQL-style: division by zero yields NULL
+            if isinstance(left, int) and isinstance(right, int):
+                q = left // right
+                # SQL integer division truncates toward zero.
+                if q < 0 and q * right != left:
+                    q += 1
+                return q
+            return left / right
+        if op == "%":
+            if right == 0:
+                return None
+            return left - right * int(left / right)
+    except TypeError:
+        raise DataError(
+            f"invalid operands for {op}: {type(left).__name__}, {type(right).__name__}"
+        ) from None
+    raise ProgrammingError(f"unknown operator {op}")
+
+
 def like_to_regex(pattern: str, escape: Optional[str] = None) -> re.Pattern:
     """Compile a SQL LIKE pattern to a case-insensitive regex."""
     out = []
@@ -310,34 +359,7 @@ class Evaluator:
             }[op]
         if left is None or right is None:
             return None
-        if op == "||":
-            return f"{left}{right}"
-        try:
-            if op == "+":
-                return left + right
-            if op == "-":
-                return left - right
-            if op == "*":
-                return left * right
-            if op == "/":
-                if right == 0:
-                    return None  # SQL-style: division by zero yields NULL
-                if isinstance(left, int) and isinstance(right, int):
-                    q = left // right
-                    # SQL integer division truncates toward zero.
-                    if q < 0 and q * right != left:
-                        q += 1
-                    return q
-                return left / right
-            if op == "%":
-                if right == 0:
-                    return None
-                return left - right * int(left / right)
-        except TypeError:
-            raise DataError(
-                f"invalid operands for {op}: {type(left).__name__}, {type(right).__name__}"
-            ) from None
-        raise ProgrammingError(f"unknown operator {op}")
+        return arith_value(op, left, right)
 
     def _eval_Like(self, expr: ast.Like, scope: Scope) -> Any:
         value = self.evaluate(expr.operand, scope)
@@ -460,14 +482,7 @@ class Evaluator:
 
     def _eval_Cast(self, expr: ast.Cast, scope: Scope) -> Any:
         value = self.evaluate(expr.operand, scope)
-        try:
-            return coerce(value, affinity_for(expr.type_name))
-        except DataError:
-            # SQL CAST is forgiving: uncastable text becomes 0 for numbers.
-            affinity = affinity_for(expr.type_name)
-            if affinity in ("INTEGER", "REAL", "NUMERIC", "BOOLEAN"):
-                return 0 if affinity != "REAL" else 0.0
-            raise
+        return cast_value(value, expr.type_name)
 
     def _eval_FuncCall(self, expr: ast.FuncCall, scope: Scope) -> Any:
         if id(expr) in self.aggregates:

@@ -27,6 +27,7 @@ from typing import Any, Iterator, Optional
 from ..obs.clock import now as _now
 from ..obs.metrics import metrics as _M
 from . import ast_nodes as ast
+from . import vector as _vector
 from .errors import ProgrammingError
 from .expressions import AggregateAccumulator, Evaluator, Scope
 from .planner import (
@@ -37,6 +38,8 @@ from .planner import (
     InProbe as InProbePath,
 )
 from .sqltypes import sort_key
+from .storage import SEGMENT_ROWS
+from .vector import ColumnBatch
 
 # Engine metrics (see docs/observability.md).  Instruments no-op while the
 # registry is disabled; hot loops aggregate into locals and flush once per
@@ -47,6 +50,8 @@ _INDEX_LOOKUPS = _M.counter("minidb.access.index_lookups")
 _HJ_BUILDS = _M.counter("minidb.hash_join.builds")
 _HJ_BUILD_ROWS = _M.counter("minidb.hash_join.build_rows", unit="rows")
 _HJ_PROBES = _M.counter("minidb.hash_join.probes")
+_VEC_BATCHES = _M.counter("minidb.vector.batches")
+_VEC_ROWS = _M.counter("minidb.vector.rows", unit="rows")
 
 
 class ExecContext:
@@ -89,14 +94,29 @@ class ExecContext:
 
 
 class Operator:
-    """Base physical operator: ``open()/next()/close()`` plus plan shape."""
+    """Base physical operator: ``open()/next()/close()`` plus plan shape.
+
+    Two pull protocols coexist.  The classic Volcano interface
+    (``open/next/close``) moves one item per call; the batch interface
+    (``open_batches/next_batch/close``) moves one *batch* per call — a
+    :class:`~repro.minidb.vector.ColumnBatch` of column vectors below the
+    projection boundary, a plain list of row tuples above it.  Operators
+    whose native implementation is batch-at-a-time set ``BATCHED`` and
+    override ``_produce_batches``; everything else inherits a generic
+    chunker so any plan can be drained batchwise.
+    """
+
+    #: True when ``_produce_batches`` is the native (vectorized) path.
+    BATCHED = False
 
     def __init__(self) -> None:
         self.actual_rows = 0
+        self.actual_batches = 0
         self.loops = 0
         self.seconds = 0.0
         self.est_rows: Optional[int] = None
         self._gen: Optional[Iterator] = None
+        self._bgen: Optional[Iterator] = None
 
     # -- plan shape ---------------------------------------------------------
 
@@ -133,6 +153,9 @@ class Operator:
         gen, self._gen = self._gen, None
         if gen is not None:
             gen.close()
+        bgen, self._bgen = self._bgen, None
+        if bgen is not None:
+            bgen.close()
 
     def rows(self, ctx: ExecContext, parent: Optional[Scope] = None) -> Iterator:
         """open/next/close as one generator — the internal pull loop."""
@@ -155,6 +178,64 @@ class Operator:
             self.seconds += _now() - t0
             self.actual_rows += 1
             yield item
+            t0 = _now()
+        self.seconds += _now() - t0
+
+    # -- batch interface ------------------------------------------------------
+
+    def open_batches(
+        self, ctx: ExecContext, parent: Optional[Scope] = None
+    ) -> "Operator":
+        self.loops += 1
+        bgen = self._produce_batches(ctx, parent)
+        if ctx.analyze:
+            bgen = self._metered_batches(bgen)
+        self._bgen = bgen
+        return self
+
+    def next_batch(self):
+        bgen = self._bgen
+        if bgen is None:
+            return None
+        return next(bgen, None)
+
+    def batches(self, ctx: ExecContext, parent: Optional[Scope] = None) -> Iterator:
+        """open_batches/next_batch/close as one generator."""
+        self.open_batches(ctx, parent)
+        try:
+            while True:
+                batch = self.next_batch()
+                if batch is None:
+                    return
+                yield batch
+        finally:
+            self.close()
+
+    def _produce_batches(self, ctx: ExecContext, parent: Optional[Scope]) -> Iterator:
+        """Generic chunker: group this operator's items into lists.
+
+        Vectorized operators override this with a native batch pipeline;
+        the fallback exists so *every* operator honours the batch
+        protocol (``vector.BATCH_SIZE`` is read per call so tests can
+        tune it).
+        """
+        size = _vector.BATCH_SIZE
+        batch: list = []
+        for item in self._produce(ctx, parent):
+            batch.append(item)
+            if len(batch) >= size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def _metered_batches(self, it: Iterator) -> Iterator:
+        t0 = _now()
+        for batch in it:
+            self.seconds += _now() - t0
+            self.actual_rows += batch.n if isinstance(batch, ColumnBatch) else len(batch)
+            self.actual_batches += 1
+            yield batch
             t0 = _now()
         self.seconds += _now() - t0
 
@@ -830,6 +911,474 @@ class LimitOp(Operator):
 
 
 # ---------------------------------------------------------------------------
+# Vectorized operators: batch-at-a-time pipeline over columnar segments.
+#
+# VecScan and VecFilter move ColumnBatch objects (column vectors); the
+# operators above the projection boundary (VecProject, VecSort, VecTopN,
+# VecDistinct, VecLimit) move lists of plain row tuples.  VecAggregate is
+# the bridge back into the row engine: it consumes ColumnBatches but
+# exposes the classic row interface so the ORDER BY/LIMIT tail and HAVING
+# logic are shared verbatim with HashAggregate.
+
+
+class VecScan(Operator):
+    """Batch scan over a table's columnar segment store.
+
+    ``slots`` maps batch slot -> table column position (assigned by the
+    :class:`~repro.minidb.vector.KernelCompiler`); only those columns are
+    decoded.  The segment snapshot is keyed to ``Table.data_version`` —
+    if the table mutates mid-scan the remaining rowids are served through
+    live row lookups, matching SeqScan's snapshot-the-keys semantics.
+    """
+
+    BATCHED = True
+
+    def __init__(self, path, slots) -> None:
+        super().__init__()
+        self.path = path
+        self.slots = slots
+
+    def clone(self) -> "Operator":
+        return self._copy_plan_attrs(VecScan(self.path, self.slots))
+
+    def describe(self) -> str:
+        return self.path.describe() + " [batched]"
+
+    def _produce(self, ctx, parent):
+        raise ProgrammingError(
+            "VecScan is batch-only; use the batch interface"
+        )  # pragma: no cover
+
+    def _produce_batches(self, ctx, parent):
+        if _M.enabled:
+            _FULL_SCANS.inc()
+        table = ctx.db.table(self.path.table)
+        store = table.column_store()
+        slots = self.slots
+        nslots = len(slots)
+        scanned = 0
+        nbatches = 0
+        row_index = 0
+        try:
+            while row_index < store.nrows:
+                size = _vector.BATCH_SIZE
+                if table.data_version == store.version:
+                    si, a = divmod(row_index, SEGMENT_ROWS)
+                    seg = store.segment(si)
+                    b = min(a + size, seg.n)
+                    cols = []
+                    kinds = []
+                    for pos in slots:
+                        vals, kind = seg.slice(pos, a, b)
+                        cols.append(vals)
+                        kinds.append(kind)
+                    n = b - a
+                    batch = ColumnBatch(n, cols, kinds, seg.rowids[a:b])
+                    row_index += n
+                else:
+                    # Mid-scan mutation: finish through live row lookups.
+                    items = store._items
+                    rows_map = table.rows
+                    picked: list = []
+                    ids: list = []
+                    while row_index < store.nrows and len(picked) < size:
+                        rid = items[row_index][0]
+                        row_index += 1
+                        row = rows_map.get(rid)
+                        if row is None:
+                            continue
+                        picked.append(row)
+                        ids.append(rid)
+                    if not picked:
+                        continue
+                    n = len(picked)
+                    cols = [[row[pos] for row in picked] for pos in slots]
+                    batch = ColumnBatch(n, cols, ["o"] * nslots, ids)
+                scanned += n
+                nbatches += 1
+                yield batch
+        finally:
+            _ROWS_SCANNED.add(scanned)
+            if _M.enabled:
+                _VEC_BATCHES.add(nbatches)
+                _VEC_ROWS.add(scanned)
+
+
+class VecFilter(Operator):
+    """Predicate over whole batches: one kernel call computes the mask."""
+
+    BATCHED = True
+
+    def __init__(self, condition, kernel, child) -> None:
+        super().__init__()
+        self.condition = condition
+        self.kernel = kernel
+        self.child = child
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def clone(self):
+        return self._copy_plan_attrs(
+            VecFilter(self.condition, self.kernel, self.child.clone())
+        )
+
+    def describe(self) -> str:
+        return "FILTER [vectorized]"
+
+    def _produce(self, ctx, parent):
+        raise ProgrammingError(
+            "VecFilter is batch-only; use the batch interface"
+        )  # pragma: no cover
+
+    def _produce_batches(self, ctx, parent):
+        ev = ctx.evaluator
+        kfn = self.kernel.fn
+        for b in self.child.batches(ctx, parent):
+            mask = kfn(b, ev)
+            sel = [i for i, v in enumerate(mask) if v is not None and v]
+            if not sel:
+                continue
+            if len(sel) == b.n:
+                yield b
+                continue
+            cols = [[col[i] for i in sel] for col in b.columns]
+            rowids = (
+                [b.rowids[i] for i in sel] if b.rowids is not None else None
+            )
+            yield ColumnBatch(len(sel), cols, b.kinds, rowids)
+
+
+class _VecRowOp(Operator):
+    """Base for vectorized operators that move lists of row tuples."""
+
+    BATCHED = True
+
+    def _produce(self, ctx, parent):
+        # Row-engine adapter: flatten batches into (row, context) items.
+        for batch in self._produce_batches(ctx, parent):
+            for row in batch:
+                yield row, None
+
+
+class VecProject(_VecRowOp):
+    """Kernel-per-output-column projection: ColumnBatch in, row batch out."""
+
+    def __init__(self, kernels, child) -> None:
+        super().__init__()
+        self.kernels = kernels
+        self.child = child
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def clone(self):
+        return self._copy_plan_attrs(VecProject(self.kernels, self.child.clone()))
+
+    def describe(self) -> str:
+        return "PROJECT [vectorized]"
+
+    def _produce_batches(self, ctx, parent):
+        ev = ctx.evaluator
+        kfns = [k.fn for k in self.kernels]
+        single = kfns[0] if len(kfns) == 1 else None
+        for b in self.child.batches(ctx, parent):
+            if single is not None:
+                yield [(v,) for v in single(b, ev)]
+            else:
+                yield list(zip(*[kf(b, ev) for kf in kfns]))
+
+
+class VecAggregate(Operator):
+    """Batchwise grouping: key/argument columns come from kernels, the
+    accumulate-and-emit machinery is shared with :class:`HashAggregate`
+    (same accumulator semantics, HAVING handling, empty-input row and
+    ``(row, (scope, agg_values))`` output contract)."""
+
+    def __init__(
+        self, select, calls, cols, schemas, child, key_kernels, arg_kernels,
+        binding, columns, row_slots,
+    ) -> None:
+        super().__init__()
+        self.select = select
+        self.calls = calls
+        self.cols = cols
+        self.schemas = schemas
+        self.child = child
+        self.key_kernels = key_kernels
+        self.arg_kernels = arg_kernels  # id(call) -> kernel for non-star calls
+        self.binding = binding
+        self.columns = columns
+        self.row_slots = row_slots  # table column position -> batch slot
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def clone(self):
+        return self._copy_plan_attrs(
+            VecAggregate(
+                self.select, self.calls, self.cols, self.schemas,
+                self.child.clone(), self.key_kernels, self.arg_kernels,
+                self.binding, self.columns, self.row_slots,
+            )
+        )
+
+    def describe(self) -> str:
+        return "AGGREGATE [vectorized]"
+
+    def _produce(self, ctx, parent):
+        ev = ctx.evaluator
+        stmt = self.select
+        base = parent if parent is not None else ctx.outer
+        binding = self.binding
+        columns = self.columns
+        row_slots = self.row_slots
+        kfns = [k.fn for k in self.key_kernels]
+        plans = [
+            (id(c), None if c.star else self.arg_kernels[id(c)].fn, c)
+            for c in self.calls
+        ]
+        groups: dict[tuple, tuple] = {}
+        order: list[tuple] = []
+        for b in self.child.batches(ctx, parent):
+            keycols = [kf(b, ev) for kf in kfns]
+            argcols = {
+                cid: (af(b, ev) if af is not None else None)
+                for cid, af, _c in plans
+            }
+            bcols = b.columns
+            rowids = b.rowids
+            for i in range(b.n):
+                key = tuple(sort_key(kc[i]) for kc in keycols) if keycols else ()
+                g = groups.get(key)
+                if g is None:
+                    scope = base.child()
+                    scope.bind(
+                        binding, columns, tuple(bcols[s][i] for s in row_slots)
+                    )
+                    if rowids is not None:
+                        scope.rowid = rowids[i]
+                    g = (
+                        scope,
+                        {cid: AggregateAccumulator(c) for cid, _af, c in plans},
+                    )
+                    groups[key] = g
+                    order.append(key)
+                accs = g[1]
+                for cid, af, c in plans:
+                    if af is None:
+                        accs[cid].add(None)  # COUNT(*): every row counts
+                    else:
+                        accs[cid].add(argcols[cid][i])
+        if not groups and not stmt.group_by:
+            # Aggregate over an empty input still yields one row.
+            empty_scope = base.child()
+            for sbinding, scolumns in self.schemas:
+                empty_scope.bind(sbinding, scolumns, tuple([None] * len(scolumns)))
+            groups[()] = (
+                empty_scope,
+                {cid: AggregateAccumulator(c) for cid, _af, c in plans},
+            )
+            order.append(())
+        for key in order:
+            scope, accs = groups[key]
+            agg_values = {i: acc.result() for i, acc in accs.items()}
+            if stmt.having is not None:
+                old = ev.aggregates
+                ev.aggregates = agg_values
+                try:
+                    ok = ev.is_true(stmt.having, scope)
+                finally:
+                    ev.aggregates = old
+                if not ok:
+                    continue
+            yield project_row(ev, self.cols, scope, agg_values), (scope, agg_values)
+
+
+def _key0(decorated: tuple) -> tuple:
+    return decorated[0]
+
+
+class _VecOrderedOp(_VecRowOp):
+    """Shared projection + sort-key machinery for VecSort and VecTopN.
+
+    ``spec`` entries are ``(kind, payload, descending)``: ``("pos", i)``
+    sorts on projected output column *i*; ``("kernel", k)`` computes a
+    separate sort column from the source batch.  Both reduce through
+    ``sort_key`` (DESC via ``_Reversed``) exactly like the row engine.
+    """
+
+    def __init__(self, proj_kernels, spec, child) -> None:
+        super().__init__()
+        self.proj_kernels = proj_kernels
+        self.spec = spec
+        self.child = child
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def _decorated(self, ctx, parent):
+        """Yields ``(key_tuple, row)`` for every source row."""
+        ev = ctx.evaluator
+        pfns = [k.fn for k in self.proj_kernels]
+        spec = self.spec
+        for b in self.child.batches(ctx, parent):
+            pcols = [pf(b, ev) for pf in pfns]
+            if len(pcols) == 1:
+                rows = [(v,) for v in pcols[0]]
+            else:
+                rows = list(zip(*pcols))
+            keyparts = []
+            for kind, payload, desc in spec:
+                vals = pcols[payload] if kind == "pos" else payload.fn(b, ev)
+                if desc:
+                    keyparts.append([_Reversed(sort_key(v)) for v in vals])
+                else:
+                    keyparts.append([sort_key(v) for v in vals])
+            for i, row in enumerate(rows):
+                yield tuple(kp[i] for kp in keyparts), row
+
+    def _emit(self, rows):
+        size = _vector.BATCH_SIZE
+        for a in range(0, len(rows), size):
+            yield rows[a : a + size]
+
+
+class VecSort(_VecOrderedOp):
+    """Full materialising sort over decorated rows (stable, like SortOp)."""
+
+    def clone(self):
+        return self._copy_plan_attrs(
+            VecSort(self.proj_kernels, self.spec, self.child.clone())
+        )
+
+    def describe(self) -> str:
+        return "ORDER BY [vectorized]"
+
+    def _produce_batches(self, ctx, parent):
+        decorated = list(self._decorated(ctx, parent))
+        decorated.sort(key=_key0)
+        yield from self._emit([row for _k, row in decorated])
+
+
+class VecTopN(_VecOrderedOp):
+    """Fused ORDER BY + LIMIT over batches, same heap bound as TopN."""
+
+    def __init__(self, proj_kernels, spec, limit, offset, child) -> None:
+        super().__init__(proj_kernels, spec, child)
+        self.limit = limit
+        self.offset = offset
+
+    def clone(self):
+        return self._copy_plan_attrs(
+            VecTopN(
+                self.proj_kernels, self.spec, self.limit, self.offset,
+                self.child.clone(),
+            )
+        )
+
+    def describe(self) -> str:
+        return "TOP-N (ORDER BY + LIMIT) [vectorized]"
+
+    def _produce_batches(self, ctx, parent):
+        ev = ctx.evaluator
+        offset = 0
+        if self.offset is not None:
+            offset = max(0, int(ev.evaluate(self.offset, ctx.outer) or 0))
+        limit = ev.evaluate(self.limit, ctx.outer)
+        if limit is None or int(limit) < 0:
+            decorated = list(self._decorated(ctx, parent))
+            decorated.sort(key=_key0)
+            yield from self._emit([row for _k, row in decorated[offset:]])
+            return
+        k = offset + int(limit)
+        if k <= 0:
+            return
+        top = heapq.nsmallest(k, self._decorated(ctx, parent), key=_key0)
+        yield from self._emit([row for _k, row in top[offset:]])
+
+
+class VecDistinct(_VecRowOp):
+    """SELECT DISTINCT over row batches (same sort_key dedup as DistinctOp)."""
+
+    def __init__(self, child) -> None:
+        super().__init__()
+        self.child = child
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def clone(self):
+        return self._copy_plan_attrs(VecDistinct(self.child.clone()))
+
+    def describe(self) -> str:
+        return "DISTINCT [vectorized]"
+
+    def _produce_batches(self, ctx, parent):
+        seen: set = set()
+        add = seen.add
+        for batch in self.child.batches(ctx, parent):
+            out = []
+            for row in batch:
+                key = tuple(sort_key(v) for v in row)
+                if key not in seen:
+                    add(key)
+                    out.append(row)
+            if out:
+                yield out
+
+
+class VecLimit(_VecRowOp):
+    """LIMIT/OFFSET over row batches; stops pulling once the quota fills."""
+
+    def __init__(self, limit, offset, child) -> None:
+        super().__init__()
+        self.limit = limit
+        self.offset = offset
+        self.child = child
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def clone(self):
+        return self._copy_plan_attrs(
+            VecLimit(self.limit, self.offset, self.child.clone())
+        )
+
+    def describe(self) -> str:
+        return "LIMIT [vectorized]"
+
+    def _produce_batches(self, ctx, parent):
+        ev = ctx.evaluator
+        offset = 0
+        if self.offset is not None:
+            offset = max(0, int(ev.evaluate(self.offset, ctx.outer) or 0))
+        n: Optional[int] = None
+        if self.limit is not None:
+            limit = ev.evaluate(self.limit, ctx.outer)
+            if limit is not None and int(limit) >= 0:
+                n = int(limit)
+        if n == 0:
+            return
+        skipped = 0
+        emitted = 0
+        for batch in self.child.batches(ctx, parent):
+            if skipped < offset:
+                take = min(len(batch), offset - skipped)
+                skipped += take
+                batch = batch[take:]
+                if not batch:
+                    continue
+            if n is not None and emitted + len(batch) > n:
+                batch = batch[: n - emitted]
+            emitted += len(batch)
+            if batch:
+                yield batch
+            if n is not None and emitted >= n:
+                return
+
+
+# ---------------------------------------------------------------------------
 # Plan rendering.
 
 
@@ -842,8 +1391,9 @@ def render_plan(root: Operator, analyze: bool = False) -> list[str]:
         if not analyze and op.est_rows is not None:
             line += f"  (~{op.est_rows} rows)"
         if analyze and op.loops:
+            batches = f" batches={op.actual_batches}" if op.actual_batches else ""
             line += (
-                f" (actual rows={op.actual_rows} loops={op.loops} "
+                f" (actual rows={op.actual_rows}{batches} loops={op.loops} "
                 f"time={op.seconds * 1000.0:.3f} ms)"
             )
         lines.append(line)

@@ -43,10 +43,19 @@ from .operators import (
     SubqueryScan,
     TopN,
     UnionOp,
+    VecAggregate,
+    VecDistinct,
+    VecFilter,
+    VecLimit,
+    VecProject,
+    VecScan,
+    VecSort,
+    VecTopN,
     scan_for_path,
 )
 from .planner import (
     BranchPlan,
+    FullScan,
     HashJoin as HashJoinPath,
     JoinNode,
     ScanNode,
@@ -59,12 +68,21 @@ from .planner import (
     split_conjuncts,
     star_names,
 )
+from .vector import KernelCompiler
 
 # Rule toggles — flipped by tests to prove rules are behavior-preserving.
 ENABLE_CONSTANT_FOLDING = True
 ENABLE_PUSHDOWN = True
 ENABLE_JOIN_REORDER = True
 ENABLE_TOPN = True
+
+# Batch-at-a-time lowering: full scans of tables at or above
+# VECTOR_MIN_ROWS rows execute over columnar segments when every needed
+# expression compiles to a vector kernel.  The threshold is a power of
+# two so crossing it lands on a plan-cache size-bucket boundary and
+# cached row plans are re-planned.
+ENABLE_VECTORIZATION = True
+VECTOR_MIN_ROWS = 2048
 
 
 @dataclass
@@ -94,7 +112,9 @@ def plan_select(db, stmt: ast.Select) -> PhysicalPlan:
     if ENABLE_CONSTANT_FOLDING:
         _fold_plan(logical)
     _reorder_plan(db, logical)
-    root = lower_select_plan(db, logical)
+    root = _lower_vectorized(db, logical) if ENABLE_VECTORIZATION else None
+    if root is None:
+        root = lower_select_plan(db, logical)
     description = [(n, None, None, None, None, None, None) for n in logical.names]
     return PhysicalPlan(
         root=root,
@@ -424,12 +444,8 @@ def _lower_branch(db, branch: BranchPlan) -> Operator:
     return op
 
 
-def lower_select_plan(db, sp: SelectPlan) -> Operator:
-    branch_ops = [_lower_branch(db, b) for b in sp.branches]
-    root = branch_ops[0]
-    if len(branch_ops) > 1:
-        root = UnionOp(branch_ops, sp.dedup_until)
-        root.est_rows = sp.est_rows
+def _attach_order_limit(root: Operator, sp: SelectPlan) -> Operator:
+    """Row-engine ORDER BY / LIMIT tail shared by both lowering paths."""
     if sp.order_by:
         if sp.limit is not None and ENABLE_TOPN:
             root = TopN(sp.order_by, sp.names, sp.limit, sp.offset, root)
@@ -442,5 +458,188 @@ def lower_select_plan(db, sp: SelectPlan) -> Operator:
                 root.est_rows = sp.est_rows
     elif sp.limit is not None or sp.offset is not None:
         root = LimitOp(sp.limit, sp.offset, root)
+        root.est_rows = sp.est_rows
+    return root
+
+
+def lower_select_plan(db, sp: SelectPlan) -> Operator:
+    branch_ops = [_lower_branch(db, b) for b in sp.branches]
+    root = branch_ops[0]
+    if len(branch_ops) > 1:
+        root = UnionOp(branch_ops, sp.dedup_until)
+        root.est_rows = sp.est_rows
+    return _attach_order_limit(root, sp)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized lowering: single-table full scans over columnar segments.
+
+
+def _vector_order_spec(sp: SelectPlan, comp: KernelCompiler):
+    """ORDER BY terms as ``(kind, payload, descending)`` triples.
+
+    Mirrors :func:`~repro.minidb.operators.order_value`: integer literals
+    and output-name references sort on the projected column; anything
+    else compiles to a separate sort-key kernel over the source batch.
+    Returns None (falling back to the row plan) when a term cannot be
+    resolved at plan time.
+    """
+    names = [n.lower() for n in sp.names]
+    spec = []
+    for oi in sp.order_by:
+        e = oi.expr
+        if isinstance(e, ast.Literal) and isinstance(e.value, int) and not isinstance(
+            e.value, bool
+        ):
+            pos = e.value - 1
+            if pos < 0 or pos >= len(names):
+                return None  # row path raises the proper error at run time
+            spec.append(("pos", pos, oi.descending))
+            continue
+        if (
+            isinstance(e, ast.ColumnRef)
+            and e.table is None
+            and e.name.lower() in names
+        ):
+            spec.append(("pos", names.index(e.name.lower()), oi.descending))
+            continue
+        k = comp.compile(e)
+        if k is None:
+            return None
+        spec.append(("kernel", k, oi.descending))
+    return spec
+
+
+def _lower_vectorized(db, sp: SelectPlan) -> Optional[Operator]:
+    """Batch-at-a-time operator tree, or None when the shape or an
+    expression does not vectorize (the row lowering then applies).
+
+    Requirements: a single non-compound branch over one base-table scan
+    with at least VECTOR_MIN_ROWS rows whose access path is a full scan
+    (index paths already beat a columnar sweep), and every WHERE /
+    projection / grouping / ordering expression must compile to a kernel.
+    """
+    if len(sp.branches) != 1:
+        return None
+    branch = sp.branches[0]
+    node = branch.source
+    if not isinstance(node, ScanNode):
+        return None
+    ref = node.ref
+    table = db.table(ref.name)
+    if len(table.rows) < VECTOR_MIN_ROWS:
+        return None
+    meta = table.meta
+    push = split_conjuncts(branch.where)
+    path = choose_access_path(
+        db.indexes_on(meta.name),
+        meta,
+        ref.binding,
+        push if ENABLE_PUSHDOWN else [],
+        known_binding=_known_binding_fn(set(), meta, ref.binding),
+        table_size=len(table.rows),
+    )
+    if not isinstance(path, FullScan):
+        return None
+
+    stmt = branch.select
+    comp = KernelCompiler(meta, ref.binding)
+    where_kernel = None
+    if branch.where is not None and not _is_const_true(branch.where):
+        where_kernel = comp.compile(branch.where)
+        if where_kernel is None:
+            return None
+    cols = _projection_cols(db.catalog, stmt)
+
+    def scan_and_filter() -> Operator:
+        # Built last: every kernel must be compiled first so the slot
+        # list handed to VecScan is final.
+        child: Operator = VecScan(path, comp.slots)
+        child.est_rows = node.est_rows
+        if where_kernel is not None:
+            flt = VecFilter(branch.where, where_kernel, child)
+            flt.est_rows = branch.est_rows if not branch.aggregate else None
+            child = flt
+        return child
+
+    if branch.aggregate:
+        calls = aggregate_calls(stmt)
+        key_kernels = []
+        for e in stmt.group_by:
+            k = comp.compile(e)
+            if k is None:
+                return None
+            key_kernels.append(k)
+        arg_kernels = {}
+        for c in calls:
+            if c.star:
+                continue
+            if len(c.args) != 1:
+                return None  # row engine raises the proper error
+            k = comp.compile(c.args[0])
+            if k is None:
+                return None
+            arg_kernels[id(c)] = k
+        # HAVING and the projection run through the row evaluator against
+        # a representative scope, so every table column must be decoded.
+        row_slots = [comp.slot_for(i) for i in range(len(meta.columns))]
+        op: Operator = VecAggregate(
+            stmt,
+            calls,
+            cols,
+            binding_columns(db.catalog, stmt.source),
+            scan_and_filter(),
+            key_kernels,
+            arg_kernels,
+            ref.binding,
+            meta.column_names,
+            row_slots,
+        )
+        op.est_rows = branch.est_rows
+        if branch.distinct:
+            op = DistinctOp(op)
+            op.est_rows = branch.est_rows
+        return _attach_order_limit(op, sp)
+
+    proj_kernels = []
+    for entry in cols:
+        if entry[0] == "star":
+            for cname in entry[2]:
+                k = comp.column_kernel(cname)
+                if k is None:
+                    return None
+                proj_kernels.append(k)
+        else:
+            k = comp.compile(entry[1])
+            if k is None:
+                return None
+            proj_kernels.append(k)
+
+    if sp.order_by:
+        if branch.distinct:
+            return None  # DISTINCT + ORDER BY: keep the row plan
+        spec = _vector_order_spec(sp, comp)
+        if spec is None:
+            return None
+        if sp.limit is not None and ENABLE_TOPN:
+            root: Operator = VecTopN(
+                proj_kernels, spec, sp.limit, sp.offset, scan_and_filter()
+            )
+            root.est_rows = sp.est_rows
+            return root
+        root = VecSort(proj_kernels, spec, scan_and_filter())
+        root.est_rows = sp.est_rows
+        if sp.limit is not None or sp.offset is not None:
+            root = VecLimit(sp.limit, sp.offset, root)
+            root.est_rows = sp.est_rows
+        return root
+
+    root = VecProject(proj_kernels, scan_and_filter())
+    root.est_rows = branch.est_rows
+    if branch.distinct:
+        root = VecDistinct(root)
+        root.est_rows = branch.est_rows
+    if sp.limit is not None or sp.offset is not None:
+        root = VecLimit(sp.limit, sp.offset, root)
         root.est_rows = sp.est_rows
     return root

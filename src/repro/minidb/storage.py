@@ -8,25 +8,170 @@ transactions, and (when opened on a file) the write-ahead log.
 
 from __future__ import annotations
 
+import array as _array
 from typing import Any, Iterator, Optional
 
+from ..obs.metrics import metrics as _M
 from .catalog import Catalog, IndexMeta, TableMeta
 from .errors import IntegrityError, InternalError
 from .index import Index
 from .sqltypes import coerce
 
+# Column-store metrics (no-ops while the registry is disabled).
+_CS_BUILDS = _M.counter("minidb.column_store.builds")
+_CS_SEGMENTS = _M.counter("minidb.column_store.segments")
+
+#: Rows per column segment.  Power of two so batch slicing stays aligned.
+SEGMENT_ROWS = 4096
+
+
+class ColumnSegment:
+    """One horizontal slice of a table, encoded column-at-a-time on demand.
+
+    Columns encode lazily (first touch) into the tightest representation
+    the values allow: ``array('q')`` for all-int, ``array('d')`` for
+    all-float, dictionary codes for low-cardinality strings, plain lists
+    otherwise.  ``slice`` decodes back to Python lists batch-at-a-time —
+    the typed arrays exist to keep the *segment* compact and the decode
+    loop free of per-value type dispatch.
+    """
+
+    __slots__ = ("rowids", "rows", "n", "_encoded")
+
+    def __init__(self, rowids: list, rows: list) -> None:
+        self.rowids = rowids
+        self.rows = rows
+        self.n = len(rows)
+        self._encoded: dict[int, tuple[str, Any]] = {}
+
+    def column(self, pos: int) -> tuple[str, Any]:
+        """``(kind, payload)`` for column *pos*; kinds: i/f/s/sd/o."""
+        enc = self._encoded.get(pos)
+        if enc is None:
+            enc = self._encode(pos)
+            self._encoded[pos] = enc
+        return enc
+
+    def _encode(self, pos: int) -> tuple[str, Any]:
+        vals = [row[pos] for row in self.rows]
+        if not vals:
+            return ("o", vals)
+        all_int = all_float = all_str = True
+        for v in vals:
+            t = type(v)
+            if t is not int:
+                all_int = False
+            if t is not float:
+                all_float = False
+            if t is not str:
+                all_str = False
+            if not (all_int or all_float or all_str):
+                return ("o", vals)
+        if all_int:
+            try:
+                return ("i", _array.array("q", vals))
+            except OverflowError:
+                return ("o", vals)  # beyond int64: keep Python objects
+        if all_float:
+            return ("f", _array.array("d", vals))
+        # Dictionary-encode repeated strings (resource names, hostnames);
+        # fall back to a plain list once cardinality gets too high to pay.
+        limit = max(16, self.n // 4)
+        codes = _array.array("i")
+        values: list[str] = []
+        index: dict[str, int] = {}
+        for v in vals:
+            c = index.get(v)
+            if c is None:
+                if len(values) >= limit:
+                    return ("s", vals)
+                c = len(values)
+                index[v] = c
+                values.append(v)
+            codes.append(c)
+        return ("sd", (codes, values))
+
+    def slice(self, pos: int, a: int, b: int) -> tuple[list, str]:
+        """Decoded values ``[a:b)`` of column *pos* plus their batch kind."""
+        kind, payload = self.column(pos)
+        if kind == "i" or kind == "f":
+            return payload[a:b].tolist(), kind
+        if kind == "sd":
+            codes, values = payload
+            return [values[c] for c in codes[a:b]], "s"
+        return payload[a:b], kind  # 's' plain list or 'o' objects
+
+
+class ColumnStore:
+    """Lazily-segmented columnar snapshot of one table's rows.
+
+    Built on first use past the optimizer's row-count threshold and keyed
+    to ``Table.data_version``: any committed mutation invalidates it, so
+    scans never serve stale values.  Segments materialise on first touch,
+    which keeps time-to-first-row flat — a LIMIT 10 query encodes one
+    segment, not the table.
+    """
+
+    __slots__ = ("version", "nrows", "_items", "_segments")
+
+    def __init__(self, table: "Table") -> None:
+        self.version = table.data_version
+        items = list(table.rows.items())
+        self.nrows = len(items)
+        self._items = items
+        nseg = (self.nrows + SEGMENT_ROWS - 1) // SEGMENT_ROWS
+        self._segments: list[Optional[ColumnSegment]] = [None] * nseg
+        if _M.enabled:
+            _CS_BUILDS.inc()
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def segment(self, i: int) -> ColumnSegment:
+        seg = self._segments[i]
+        if seg is None:
+            a = i * SEGMENT_ROWS
+            chunk = self._items[a : a + SEGMENT_ROWS]
+            seg = ColumnSegment(
+                [rid for rid, _row in chunk], [row for _rid, row in chunk]
+            )
+            self._segments[i] = seg
+            if _M.enabled:
+                _CS_SEGMENTS.inc()
+        return seg
+
 
 class Table:
-    """Physical storage for one table."""
+    """Physical storage for one table.
+
+    Rows (``rowid -> tuple``) stay the write path; ``column_store()``
+    derives a columnar read snapshot for vectorized scans, invalidated by
+    ``data_version`` which every mutation bumps.
+    """
 
     def __init__(self, meta: TableMeta) -> None:
         self.meta = meta
         self.rows: dict[int, tuple] = {}
         self.next_rowid = 1
         self.next_auto = 1  # next auto-assigned integer primary key
+        self.data_version = 0
+        self._column_store: Optional[ColumnStore] = None
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    def bump_version(self) -> None:
+        """Record a row mutation; drops any cached columnar snapshot."""
+        self.data_version += 1
+        self._column_store = None
+
+    def column_store(self) -> ColumnStore:
+        store = self._column_store
+        if store is None or store.version != self.data_version:
+            store = ColumnStore(self)
+            self._column_store = store
+        return store
 
     def allocate_rowid(self) -> int:
         rid = self.next_rowid
@@ -223,13 +368,16 @@ class Database:
         if entry.kind == "insert":
             self._unindex_row(table, entry.rowid, entry.row)
             table.rows.pop(entry.rowid, None)
+            table.bump_version()
         elif entry.kind == "delete":
             table.rows[entry.rowid] = entry.old_row
             self._index_row(table, entry.rowid, entry.old_row, check=False)
+            table.bump_version()
         elif entry.kind == "update":
             self._unindex_row(table, entry.rowid, entry.row)
             table.rows[entry.rowid] = entry.old_row
             self._index_row(table, entry.rowid, entry.old_row, check=False)
+            table.bump_version()
         elif entry.kind == "counters":
             table.next_rowid, table.next_auto = entry.counters
         else:  # pragma: no cover - defensive
@@ -275,6 +423,7 @@ class Database:
         self._check_foreign_keys_insert(meta, row)
         self._index_row(table, rowid, row, check=True)
         table.rows[rowid] = row
+        table.bump_version()
         if self.in_transaction:
             self._undo.append(UndoEntry("insert", meta.name, rowid, row))
         if self.journal is not None:
@@ -373,6 +522,8 @@ class Database:
             if undo is not None:
                 undo.append(UndoEntry("insert", meta.name, rowid, row))
             applied.append((rowid, row))
+        if applied:
+            table.bump_version()
         return applied, lastrowid
 
     def update_row(self, table: Table, rowid: int, new_row: tuple) -> None:
@@ -391,6 +542,7 @@ class Database:
             self._index_row(table, rowid, old_row, check=False)
             raise
         table.rows[rowid] = new_row
+        table.bump_version()
         if self.in_transaction:
             self._undo.append(UndoEntry("update", meta.name, rowid, new_row, old_row))
         if self.journal is not None:
@@ -406,6 +558,7 @@ class Database:
             table.rows[rowid] = old_row
             self._index_row(table, rowid, old_row, check=False)
             raise
+        table.bump_version()
         if self.in_transaction:
             self._undo.append(UndoEntry("delete", meta.name, rowid, old_row=old_row))
         if self.journal is not None:

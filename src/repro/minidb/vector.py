@@ -1,0 +1,508 @@
+"""Vectorized expression kernels for batch-at-a-time execution.
+
+The row engine (:mod:`repro.minidb.expressions`) dispatches one
+``_eval_*`` call per AST node per row.  For large scans that interpreter
+overhead dominates, so the optimizer compiles eligible expressions into
+**kernels**: closures evaluated once per :class:`ColumnBatch`, looping
+over whole column vectors with the per-node dispatch hoisted out of the
+loop.  Anything a kernel cannot express (subqueries, CASE, unknown
+columns) makes :meth:`KernelCompiler.compile` return ``None`` and the
+optimizer falls back to the classic row-at-a-time plan — vectorization
+is strictly an opt-in fast path, never a semantics change.
+
+Semantics contract: kernels reuse the row engine's primitives
+(``compare``/``sort_key``/``cast_value``/``arith_value``/the scalar
+function table and LIKE/IN caches), so results are byte-identical to the
+Volcano path.  One documented divergence: a batch evaluates **eagerly**
+— an erroring subexpression behind a short-circuiting ``AND``/``OR``
+may raise where the row engine would have skipped it for some rows.
+Truth values are unaffected (three-valued logic is preserved exactly).
+"""
+
+from __future__ import annotations
+
+import operator as _operator
+from typing import Any, Callable, List, Optional
+
+from . import ast_nodes as ast
+from .errors import ProgrammingError
+from .expressions import (
+    SCALAR_FUNCTIONS,
+    Evaluator,
+    Scope,
+    arith_value,
+    cast_value,
+    like_to_regex,
+)
+from .sqltypes import compare, sort_key
+
+#: Rows per batch pulled through the vectorized operators (configurable).
+BATCH_SIZE = 1024
+
+#: Empty scope scalar (row-invariant) subexpressions evaluate against.
+_SCALAR_SCOPE = Scope()
+
+
+class ColumnBatch:
+    """One batch of column vectors.
+
+    ``columns[slot]`` is a list of ``n`` Python values for the slot's
+    table column; ``kinds[slot]`` is the storage kind the values were
+    decoded from (``'i'`` int, ``'f'`` float, ``'s'`` str, ``'o'``
+    mixed/unknown) — kernels use it to pick raw-operator fast paths.
+    """
+
+    __slots__ = ("n", "columns", "kinds", "rowids")
+
+    def __init__(self, n: int, columns: List[list], kinds: List[str],
+                 rowids: Optional[list] = None) -> None:
+        self.n = n
+        self.columns = columns
+        self.kinds = kinds
+        self.rowids = rowids
+
+
+class _Kernel:
+    """A compiled expression: ``fn(batch, evaluator) -> list`` of n values."""
+
+    __slots__ = ("fn", "scalar", "slot")
+
+    def __init__(self, fn: Callable[[ColumnBatch, Evaluator], list],
+                 scalar: bool = False, slot: Optional[int] = None) -> None:
+        self.fn = fn
+        self.scalar = scalar  # row-invariant: same value for the whole batch
+        self.slot = slot      # bare column reference: reads columns[slot]
+
+
+def _scalar_safe(expr: ast.Expr) -> bool:
+    """True when *expr* is row-invariant and safe to evaluate once per batch."""
+    if isinstance(expr, (ast.Literal, ast.Parameter)):
+        return True
+    if isinstance(expr, ast.Unary):
+        return _scalar_safe(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _scalar_safe(expr.left) and _scalar_safe(expr.right)
+    if isinstance(expr, ast.Cast):
+        return _scalar_safe(expr.operand)
+    if isinstance(expr, ast.IsNull):
+        return _scalar_safe(expr.operand)
+    if isinstance(expr, ast.Between):
+        return (
+            _scalar_safe(expr.operand)
+            and _scalar_safe(expr.low)
+            and _scalar_safe(expr.high)
+        )
+    if isinstance(expr, ast.Like):
+        return (
+            _scalar_safe(expr.operand)
+            and _scalar_safe(expr.pattern)
+            and (expr.escape is None or _scalar_safe(expr.escape))
+        )
+    if isinstance(expr, ast.InList):
+        return _scalar_safe(expr.operand) and all(
+            _scalar_safe(i) for i in expr.items
+        )
+    if isinstance(expr, ast.Case):
+        kids = list(expr.whens)
+        if not all(_scalar_safe(c) and _scalar_safe(r) for c, r in kids):
+            return False
+        if expr.operand is not None and not _scalar_safe(expr.operand):
+            return False
+        return expr.default is None or _scalar_safe(expr.default)
+    if isinstance(expr, ast.FuncCall):
+        return (
+            expr.name in SCALAR_FUNCTIONS
+            and not expr.star
+            and not expr.distinct
+            and all(_scalar_safe(a) for a in expr.args)
+        )
+    return False
+
+
+#: comparison op -> raw Python predicate (used on homogeneous fast paths)
+_RAW_CMP: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+#: comparison op -> predicate over compare()'s -1/0/1
+_CMP_ON_C: dict[str, Callable[[int], bool]] = {
+    "=": lambda c: c == 0,
+    "<>": lambda c: c != 0,
+    "<": lambda c: c < 0,
+    "<=": lambda c: c <= 0,
+    ">": lambda c: c > 0,
+    ">=": lambda c: c >= 0,
+}
+
+#: mirror of a comparison when its operands are swapped
+_FLIP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class KernelCompiler:
+    """Compiles expressions over one table binding into batch kernels.
+
+    The compiler assigns a **slot** to every table column an expression
+    touches; ``slots`` (slot index -> table column position) tells the
+    scan which columns to materialise into each :class:`ColumnBatch`.
+    ``compile`` returns ``None`` for anything it cannot vectorize — the
+    caller then abandons the vectorized plan entirely.
+    """
+
+    def __init__(self, meta, binding: Optional[str] = None) -> None:
+        self.meta = meta
+        self.binding = (binding or meta.name).lower()
+        self._slot_of: dict[int, int] = {}
+        self.slots: List[int] = []
+
+    def slot_for(self, position: int) -> int:
+        """Slot carrying table column *position*, registering on demand."""
+        slot = self._slot_of.get(position)
+        if slot is None:
+            slot = len(self.slots)
+            self._slot_of[position] = slot
+            self.slots.append(position)
+        return slot
+
+    def column(self, name: str) -> Optional[int]:
+        lname = name.lower()
+        if not self.meta.has_column(lname):
+            return None
+        return self.slot_for(self.meta.column_index(lname))
+
+    def column_kernel(self, name: str) -> Optional[_Kernel]:
+        """Kernel reading one bare table column (star expansion)."""
+        slot = self.column(name)
+        if slot is None:
+            return None
+
+        def fn(b: ColumnBatch, ev: Evaluator, slot=slot) -> list:
+            return b.columns[slot]
+
+        return _Kernel(fn, slot=slot)
+
+    # -- public ------------------------------------------------------------
+
+    def compile(self, expr: ast.Expr) -> Optional[_Kernel]:
+        if _scalar_safe(expr):
+            def fn(b: ColumnBatch, ev: Evaluator, expr=expr) -> list:
+                return [ev.evaluate(expr, _SCALAR_SCOPE)] * b.n
+
+            return _Kernel(fn, scalar=True)
+        method = getattr(self, f"_c_{type(expr).__name__}", None)
+        if method is None:
+            return None
+        return method(expr)
+
+    # -- node compilers ------------------------------------------------------
+
+    def _c_ColumnRef(self, expr: ast.ColumnRef) -> Optional[_Kernel]:
+        if expr.table is not None and expr.table.lower() != self.binding:
+            return None
+        slot = self.column(expr.name)
+        if slot is None:
+            return None
+
+        def fn(b: ColumnBatch, ev: Evaluator, slot=slot) -> list:
+            return b.columns[slot]
+
+        return _Kernel(fn, slot=slot)
+
+    def _c_Unary(self, expr: ast.Unary) -> Optional[_Kernel]:
+        k = self.compile(expr.operand)
+        if k is None:
+            return None
+        op = expr.op
+        kf = k.fn
+        if op == "NOT":
+            def fn(b, ev):
+                return [None if v is None else not bool(v) for v in kf(b, ev)]
+        elif op == "-":
+            def fn(b, ev):
+                return [None if v is None else -v for v in kf(b, ev)]
+        else:
+            def fn(b, ev):
+                return [None if v is None else +v for v in kf(b, ev)]
+        return _Kernel(fn)
+
+    def _c_Binary(self, expr: ast.Binary) -> Optional[_Kernel]:
+        op = expr.op
+        lk = self.compile(expr.left)
+        if lk is None:
+            return None
+        rk = self.compile(expr.right)
+        if rk is None:
+            return None
+        if op in ("AND", "OR"):
+            return self._logic_kernel(op, lk, rk)
+        if op in _CMP_ON_C:
+            return self._compare_kernel(op, lk, rk)
+        return self._arith_kernel(op, lk, rk)
+
+    def _logic_kernel(self, op: str, lk: _Kernel, rk: _Kernel) -> _Kernel:
+        lf, rf = lk.fn, rk.fn
+        if op == "AND":
+            def fn(b, ev):
+                out = []
+                append = out.append
+                for a, c in zip(lf(b, ev), rf(b, ev)):
+                    if (a is not None and not a) or (c is not None and not c):
+                        append(False)
+                    elif a is None or c is None:
+                        append(None)
+                    else:
+                        append(True)
+                return out
+        else:
+            def fn(b, ev):
+                out = []
+                append = out.append
+                for a, c in zip(lf(b, ev), rf(b, ev)):
+                    if (a is not None and a) or (c is not None and c):
+                        append(True)
+                    elif a is None or c is None:
+                        append(None)
+                    else:
+                        append(False)
+                return out
+        return _Kernel(fn)
+
+    def _compare_kernel(self, op: str, lk: _Kernel, rk: _Kernel) -> _Kernel:
+        # Normalise "scalar OP column" to "column FLIP(OP) scalar".
+        if lk.scalar and rk.slot is not None:
+            lk, rk, op = rk, lk, _FLIP[op]
+        cmpc = _CMP_ON_C[op]
+        if rk.scalar and lk.slot is not None:
+            raw = _RAW_CMP[op]
+            slot = lk.slot
+            rf = rk.fn
+
+            def fn(b, ev):
+                col = b.columns[slot]
+                rv = rf(b, ev)[0] if b.n else None
+                if rv is None:
+                    return [None] * b.n
+                kind = b.kinds[slot]
+                # Typed segments hold no NULLs and exactly one Python
+                # type, so the raw operator matches compare() bit for bit.
+                if kind in "if" and type(rv) in (int, float):
+                    return [raw(v, rv) for v in col]
+                if kind == "s" and type(rv) is str:
+                    return [raw(v, rv) for v in col]
+                out = []
+                for v in col:
+                    c = compare(v, rv)
+                    out.append(None if c is None else cmpc(c))
+                return out
+
+            return _Kernel(fn)
+        lf, rf = lk.fn, rk.fn
+
+        def fn(b, ev):
+            out = []
+            append = out.append
+            for a, c in zip(lf(b, ev), rf(b, ev)):
+                r = compare(a, c)
+                append(None if r is None else cmpc(r))
+            return out
+
+        return _Kernel(fn)
+
+    def _arith_kernel(self, op: str, lk: _Kernel, rk: _Kernel) -> Optional[_Kernel]:
+        if op not in ("||", "+", "-", "*", "/", "%"):
+            return None
+        lf, rf = lk.fn, rk.fn
+        if op == "||":
+            def fn(b, ev):
+                return [
+                    None if a is None or c is None else f"{a}{c}"
+                    for a, c in zip(lf(b, ev), rf(b, ev))
+                ]
+
+            return _Kernel(fn)
+        if op in ("+", "-", "*") and lk.slot is not None and rk.scalar:
+            slot = lk.slot
+            fast = {"+": _operator.add, "-": _operator.sub, "*": _operator.mul}[op]
+
+            def fn(b, ev):
+                col = b.columns[slot]
+                rv = rf(b, ev)[0] if b.n else None
+                if rv is None:
+                    return [None] * b.n
+                if b.kinds[slot] in "if" and type(rv) in (int, float):
+                    return [fast(v, rv) for v in col]
+                return [
+                    None if v is None else arith_value(op, v, rv) for v in col
+                ]
+
+            return _Kernel(fn)
+
+        def fn(b, ev, op=op):
+            return [
+                None if a is None or c is None else arith_value(op, a, c)
+                for a, c in zip(lf(b, ev), rf(b, ev))
+            ]
+
+        return _Kernel(fn)
+
+    def _c_IsNull(self, expr: ast.IsNull) -> Optional[_Kernel]:
+        k = self.compile(expr.operand)
+        if k is None:
+            return None
+        kf = k.fn
+        if expr.negated:
+            def fn(b, ev):
+                return [v is not None for v in kf(b, ev)]
+        else:
+            def fn(b, ev):
+                return [v is None for v in kf(b, ev)]
+        return _Kernel(fn)
+
+    def _c_Between(self, expr: ast.Between) -> Optional[_Kernel]:
+        ok = self.compile(expr.operand)
+        lo = self.compile(expr.low)
+        hi = self.compile(expr.high)
+        if ok is None or lo is None or hi is None:
+            return None
+        of, lof, hif = ok.fn, lo.fn, hi.fn
+        neg = expr.negated
+
+        def fn(b, ev):
+            out = []
+            append = out.append
+            for v, low, high in zip(of(b, ev), lof(b, ev), hif(b, ev)):
+                c1 = compare(v, low)
+                c2 = compare(v, high)
+                if c1 is None or c2 is None:
+                    append(None)
+                else:
+                    r = c1 >= 0 and c2 <= 0
+                    append(not r if neg else r)
+            return out
+
+        return _Kernel(fn)
+
+    def _c_Like(self, expr: ast.Like) -> Optional[_Kernel]:
+        k = self.compile(expr.operand)
+        if k is None:
+            return None
+        if not _scalar_safe(expr.pattern):
+            return None
+        if expr.escape is not None and not _scalar_safe(expr.escape):
+            return None
+        kf = k.fn
+        pattern_expr = expr.pattern
+        escape_expr = expr.escape
+        neg = expr.negated
+
+        def fn(b, ev):
+            pattern = ev.evaluate(pattern_expr, _SCALAR_SCOPE)
+            if pattern is None:
+                return [None] * b.n
+            escape = None
+            if escape_expr is not None:
+                escape = ev.evaluate(escape_expr, _SCALAR_SCOPE)
+            key = (str(pattern), escape)
+            rx = ev._like_cache.get(key)
+            if rx is None:
+                rx = like_to_regex(str(pattern), escape)
+                ev._like_cache[key] = rx
+            m = rx.match
+            out = []
+            append = out.append
+            for v in kf(b, ev):
+                if v is None:
+                    append(None)
+                else:
+                    r = m(str(v)) is not None
+                    append(not r if neg else r)
+            return out
+
+        return _Kernel(fn)
+
+    def _c_InList(self, expr: ast.InList) -> Optional[_Kernel]:
+        k = self.compile(expr.operand)
+        if k is None:
+            return None
+        if not all(
+            isinstance(i, (ast.Literal, ast.Parameter)) for i in expr.items
+        ):
+            return None
+        kf = k.fn
+        items = expr.items
+        neg = expr.negated
+        cache_id = id(expr)
+
+        def fn(b, ev):
+            cached = ev._inlist_cache.get(cache_id)
+            if cached is None:
+                keys: set = set()
+                has_null = False
+                for item in items:
+                    iv = ev.evaluate(item, _SCALAR_SCOPE)
+                    if iv is None:
+                        has_null = True
+                    else:
+                        keys.add(sort_key(iv))
+                cached = (keys, has_null)
+                ev._inlist_cache[cache_id] = cached
+            keys, has_null = cached
+            out = []
+            append = out.append
+            for v in kf(b, ev):
+                if v is None:
+                    append(None)
+                elif sort_key(v) in keys:
+                    append(not neg)
+                elif has_null:
+                    append(None)
+                else:
+                    append(neg)
+            return out
+
+        return _Kernel(fn)
+
+    def _c_Cast(self, expr: ast.Cast) -> Optional[_Kernel]:
+        k = self.compile(expr.operand)
+        if k is None:
+            return None
+        kf = k.fn
+        type_name = expr.type_name
+
+        def fn(b, ev):
+            return [cast_value(v, type_name) for v in kf(b, ev)]
+
+        return _Kernel(fn)
+
+    def _c_FuncCall(self, expr: ast.FuncCall) -> Optional[_Kernel]:
+        if expr.star or expr.distinct:
+            return None
+        scalar_fn = SCALAR_FUNCTIONS.get(expr.name)
+        if scalar_fn is None:
+            return None
+        arg_kernels = []
+        for arg in expr.args:
+            ak = self.compile(arg)
+            if ak is None:
+                return None
+            arg_kernels.append(ak.fn)
+        name = expr.name
+
+        def fn(b, ev):
+            cols = [af(b, ev) for af in arg_kernels]
+            out = []
+            append = out.append
+            try:
+                for vals in zip(*cols) if cols else ((),) * b.n:
+                    append(scalar_fn(*vals))
+            except TypeError as exc:
+                raise ProgrammingError(
+                    f"bad arguments to {name}(): {exc}"
+                ) from None
+            return out
+
+        return _Kernel(fn)

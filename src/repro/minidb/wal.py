@@ -161,6 +161,7 @@ def load_snapshot(db: Database, path: str) -> None:
         table.next_rowid = tdoc["next_rowid"]
         table.next_auto = tdoc["next_auto"]
         table.rows = {int(rid): _decode_row(row) for rid, row in tdoc["rows"].items()}
+        table.bump_version()
         db.tables[meta.name.lower()] = table
         if meta.primary_key:
             db._make_internal_index(meta, meta.primary_key, unique=True, tag="pk")
@@ -301,10 +302,12 @@ class Journal:
                 self.db._unindex_row(table, rowid, old)
             row = _decode_row(rec["row"])
             table.rows[rowid] = row
+            table.bump_version()
             self.db._index_row(table, rowid, row, check=False)
         elif op == "delete":
             rowid = rec["rowid"]
             old = table.rows.pop(rowid, None)
+            table.bump_version()
             if old is not None:
                 self.db._unindex_row(table, rowid, old)
         elif op == "counters":
@@ -315,6 +318,7 @@ class Journal:
 
     def _apply_insert(self, table: Table, rowid: int, row: tuple) -> None:
         table.rows[rowid] = row
+        table.bump_version()
         self.db._index_row(table, rowid, row, check=False)
         table.next_rowid = max(table.next_rowid, rowid + 1)
         pk = table.meta.rowid_pk_column

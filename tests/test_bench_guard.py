@@ -12,6 +12,11 @@ def _write(path, data):
 
 BASE = {"load": {"bulk_rows_per_s": 1000.0}, "query_path": {"topn_speedup": 2.0}}
 
+LATENCY_BASE = {
+    "query_path": {"stream_full_drain_seconds": 0.5},
+    "vectorized": {"drain_seconds": 0.02, "first_row_seconds": 0.0003},
+}
+
 
 def test_within_threshold_passes():
     cand = {"load": {"bulk_rows_per_s": 950.0}}
@@ -38,6 +43,32 @@ def test_missing_baseline_key_skipped():
     # A metric new in this PR has no baseline yet: skip, don't fail.
     cand = {"load": {"bulk_rows_per_s": 1000.0}}
     assert compare({}, cand) == []
+
+
+def test_latency_key_improvement_passes():
+    # *_seconds keys are lower-is-better: getting faster is never a problem.
+    cand = {"query_path": {"stream_full_drain_seconds": 0.05}}
+    keys = ("query_path.stream_full_drain_seconds",)
+    assert compare(LATENCY_BASE, cand, keys=keys) == []
+
+
+def test_latency_key_regression_fails():
+    cand = {"query_path": {"stream_full_drain_seconds": 0.6}}
+    keys = ("query_path.stream_full_drain_seconds",)
+    problems = compare(LATENCY_BASE, cand, keys=keys)
+    assert len(problems) == 1
+    assert "above" in problems[0]
+
+
+def test_latency_key_within_threshold_passes():
+    cand = {"vectorized": {"drain_seconds": 0.0215, "first_row_seconds": 0.0003}}
+    keys = ("vectorized.drain_seconds", "vectorized.first_row_seconds")
+    assert compare(LATENCY_BASE, cand, keys=keys) == []
+
+
+def test_latency_key_missing_candidate_fails():
+    keys = ("vectorized.drain_seconds",)
+    assert compare(LATENCY_BASE, {"vectorized": {}}, keys=keys) != []
 
 
 def test_custom_keys_and_threshold():

@@ -309,3 +309,84 @@ def test_fetchall_allowed_in_tests(tmp_path):
         "    return [r for r in cur.fetchall()]\n"
     )
     assert check_file(str(path)) == []
+
+
+# ------------------------------------------------------------------- PTL006
+
+
+def test_per_row_loop_in_next_batch_flagged(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        """\
+        class VecThing:
+            def _produce_batches(self):
+                for batch in self.child.batches():
+                    out = []
+                    for row in batch:
+                        out.append(row)
+                    yield out
+        """,
+    )
+    assert [v.code for v in violations] == ["PTL006"]
+
+
+def test_single_batch_loop_clean(tmp_path):
+    # One loop over batches with kernel evaluation inside is the idiom.
+    violations = lint_source(
+        tmp_path,
+        """\
+        class VecThing:
+            def _produce_batches(self):
+                for batch in self.child.batches():
+                    yield self.kernel(batch)
+        """,
+    )
+    assert violations == []
+
+
+def test_allowlisted_class_exempt(tmp_path):
+    # VecScan's per-row live-lookup fallback is a documented exception.
+    violations = lint_source(
+        tmp_path,
+        """\
+        class VecScan:
+            def _produce_batches(self):
+                for chunk in self.segments():
+                    for rowid in chunk:
+                        yield self.table.rows.get(rowid)
+        """,
+    )
+    assert violations == []
+
+
+def test_loop_in_row_method_not_flagged(tmp_path):
+    # PTL006 only inspects the batch-protocol methods.
+    violations = lint_source(
+        tmp_path,
+        """\
+        class RowOp:
+            def _produce(self):
+                for row in self.child.rows():
+                    for cell in row:
+                        use(cell)
+        """,
+    )
+    assert violations == []
+
+
+def test_nested_def_inside_batch_method_not_flagged(tmp_path):
+    # A helper closure gets its own visit; its loops are not per-row work
+    # of the batch method itself.
+    violations = lint_source(
+        tmp_path,
+        """\
+        class VecThing:
+            def next_batch(self):
+                def helper(batch):
+                    for a in batch:
+                        for b in a:
+                            use(b)
+                return helper
+        """,
+    )
+    assert violations == []

@@ -1,15 +1,20 @@
 """Benchmark regression guard: compare a fresh bench report to a baseline.
 
 ``python -m tools.bench_guard baseline.json candidate.json`` exits 1 when
-a guarded throughput metric in the candidate drops more than the allowed
-fraction below the committed baseline.  CI copies the committed
+a guarded metric in the candidate regresses more than the allowed
+fraction from the committed baseline.  CI copies the committed
 ``BENCH_scalability.json`` aside, re-runs the scalability benchmark, then
-runs this guard so a PR cannot silently regress the bulk-load path.
+runs this guard so a PR cannot silently regress the bulk-load or
+query-execution paths.
 
-Guarded keys are dotted paths into the report; higher is better.  A key
-missing from the *baseline* is skipped (new metrics need one PR to seed a
-baseline); a key missing from the *candidate* fails (the bench stopped
-reporting something it should).
+Guarded keys are dotted paths into the report.  Direction is inferred
+from the key name: keys ending in ``_seconds`` are latencies (lower is
+better, the guard fails when the candidate rises above
+``base * (1 + threshold)``); everything else is a rate (higher is
+better, failing below ``base * (1 - threshold)``).  A key missing from
+the *baseline* is skipped (new metrics need one PR to seed a baseline);
+a key missing from the *candidate* fails (the bench stopped reporting
+something it should).
 """
 
 from __future__ import annotations
@@ -19,8 +24,15 @@ import json
 import sys
 from typing import Any, Optional
 
-#: dotted report paths guarded by default (all are rates: higher = better)
-DEFAULT_KEYS = ("load.bulk_rows_per_s",)
+#: dotted report paths guarded by default; ``*_seconds`` keys are
+#: latencies (lower = better), the rest are rates (higher = better)
+DEFAULT_KEYS = (
+    "load.bulk_rows_per_s",
+    "query_path.stream_full_drain_seconds",
+    "query_path.stream_first_row_seconds",
+    "vectorized.drain_seconds",
+    "vectorized.first_row_seconds",
+)
 
 DEFAULT_THRESHOLD = 0.10
 
@@ -32,6 +44,10 @@ def _lookup(report: dict, dotted: str) -> Optional[Any]:
             return None
         node = node[part]
     return node
+
+
+def _lower_is_better(key: str) -> bool:
+    return key.rsplit(".", 1)[-1].endswith("_seconds")
 
 
 def compare(
@@ -51,17 +67,32 @@ def compare(
         if cand is None:
             problems.append(f"{key}: missing from candidate report")
             continue
-        floor = base * (1.0 - threshold)
-        verdict = "OK" if cand >= floor else "REGRESSION"
-        print(
-            f"bench_guard: {key}: baseline={base:.1f} candidate={cand:.1f} "
-            f"floor={floor:.1f} [{verdict}]"
-        )
-        if cand < floor:
-            problems.append(
-                f"{key}: {cand:.1f} is more than {threshold:.0%} below "
-                f"baseline {base:.1f}"
+        if _lower_is_better(key):
+            bound = base * (1.0 + threshold)
+            ok = cand <= bound
+            verdict = "OK" if ok else "REGRESSION"
+            print(
+                f"bench_guard: {key}: baseline={base:.6g} candidate={cand:.6g} "
+                f"ceiling={bound:.6g} [{verdict}]"
             )
+            if not ok:
+                problems.append(
+                    f"{key}: {cand:.6g} is more than {threshold:.0%} above "
+                    f"baseline {base:.6g}"
+                )
+        else:
+            bound = base * (1.0 - threshold)
+            ok = cand >= bound
+            verdict = "OK" if ok else "REGRESSION"
+            print(
+                f"bench_guard: {key}: baseline={base:.6g} candidate={cand:.6g} "
+                f"floor={bound:.6g} [{verdict}]"
+            )
+            if not ok:
+                problems.append(
+                    f"{key}: {cand:.6g} is more than {threshold:.0%} below "
+                    f"baseline {base:.6g}"
+                )
     return problems
 
 
@@ -73,7 +104,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--threshold",
         type=float,
         default=DEFAULT_THRESHOLD,
-        help="allowed fractional drop before failing (default: 0.10)",
+        help="allowed fractional regression before failing (default: 0.10)",
     )
     parser.add_argument(
         "--key",

@@ -24,6 +24,15 @@ SQL_SINKS = frozenset(
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
 
+#: batch-protocol method names scanned by PTL006
+BATCH_METHODS = frozenset({"next_batch", "_produce_batches"})
+
+#: classes whose batch methods legitimately loop per row (PTL006 allowlist):
+#: VecScan falls back to per-row live lookups when the table mutates
+#: mid-scan; VecDistinct probes its dedup set one row at a time by nature.
+#: Additions must be justified in docs/static_analysis.md.
+PTL006_ALLOWED_CLASSES = frozenset({"VecScan", "VecDistinct"})
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -101,6 +110,12 @@ class _Checker(ast.NodeVisitor):
     def __init__(self, path: str) -> None:
         self.path = path
         self.violations: list[Violation] = []
+        self._class_stack: list[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
 
     def _add(self, node: ast.AST, code: str, message: str) -> None:
         self.violations.append(Violation(self.path, node.lineno, code, message))
@@ -187,6 +202,7 @@ class _Checker(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_cursors(node)
+        self._check_batch_loops(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
@@ -248,6 +264,43 @@ class _Checker(ast.NodeVisitor):
                     f"'with' block; wrap it in contextlib.closing() or call "
                     f".close()",
                 )
+
+    # -- PTL006 ---------------------------------------------------------------
+
+    def _check_batch_loops(self, func: ast.FunctionDef) -> None:
+        """Flag a loop nested inside another loop in a batch-protocol method.
+
+        ``next_batch``/``_produce_batches`` implementations should move one
+        batch per outer iteration via vectorized kernels; an inner For/While
+        is a per-row Python loop defeating the point of batching.  Classes
+        in PTL006_ALLOWED_CLASSES are exempt (justified per-row fallbacks).
+        """
+        if func.name not in BATCH_METHODS:
+            return
+        if self._class_stack and self._class_stack[-1] in PTL006_ALLOWED_CLASSES:
+            return
+
+        def scan(node: ast.AST, in_loop: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                if isinstance(child, (ast.For, ast.While)):
+                    if in_loop:
+                        self._add(
+                            child,
+                            "PTL006",
+                            f"per-row loop inside {func.name}(): evaluate the "
+                            f"batch with a vectorized kernel, or add the class "
+                            f"to the PTL006 allowlist with a justification in "
+                            f"docs/static_analysis.md",
+                        )
+                    scan(child, True)
+                else:
+                    scan(child, in_loop)
+
+        scan(func, False)
 
 
 def _is_test_path(path: str) -> bool:
