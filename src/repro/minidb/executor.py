@@ -185,7 +185,9 @@ class Executor:
         """
         plan = self._subplans.get(id(select))
         if plan is None:
-            plan = optimizer.plan_select(self.db, select)
+            # correlated=True: the subquery may reference outer bindings
+            # the static verifier cannot see at plan time.
+            plan = optimizer.plan_select(self.db, select, correlated=True)
             self._subplans[id(select)] = plan
         rows: list[tuple] = []
         it = plan.root.rows(self._context(outer))

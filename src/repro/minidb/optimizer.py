@@ -69,6 +69,8 @@ from .planner import (
     star_names,
 )
 from .vector import KernelCompiler
+from . import verifier
+from .verifier import _negative_literal_limit
 
 # Rule toggles — flipped by tests to prove rules are behavior-preserving.
 ENABLE_CONSTANT_FOLDING = True
@@ -106,22 +108,47 @@ class PhysicalPlan:
         return PhysicalPlan(self.root.clone(), self.names, self.description, self.tables)
 
 
-def plan_select(db, stmt: ast.Select) -> PhysicalPlan:
-    """Logical plan → optimizer rules → physical operator tree."""
+def plan_select(db, stmt: ast.Select, correlated: bool = False) -> PhysicalPlan:
+    """Logical plan → optimizer rules → physical operator tree.
+
+    With :data:`~repro.minidb.verifier.VERIFY_PLANS` on, the contract of
+    the plan (output width, preserved predicates, ordering, distinctness)
+    is captured before any rule fires and re-checked after each rewrite
+    and against the final physical tree — a broken rule raises
+    ``PLN007`` at plan time instead of corrupting results at run time.
+    *correlated* marks expression subqueries, whose column references may
+    legally resolve in an outer scope the verifier cannot see.
+    """
     logical = build_logical_plan(db, stmt)
+    base = verifier.logical_contract(db, logical) if verifier.should_verify() else None
     if ENABLE_CONSTANT_FOLDING:
         _fold_plan(logical)
+        if base is not None:
+            verifier.check_rule(
+                "constant_folding", base, verifier.logical_contract(db, logical)
+            )
     _reorder_plan(db, logical)
+    if base is not None:
+        verifier.check_rule(
+            "join_reorder", base, verifier.logical_contract(db, logical)
+        )
     root = _lower_vectorized(db, logical) if ENABLE_VECTORIZATION else None
+    vectorized = root is not None
     if root is None:
         root = lower_select_plan(db, logical)
     description = [(n, None, None, None, None, None, None) for n in logical.names]
-    return PhysicalPlan(
+    plan = PhysicalPlan(
         root=root,
         names=logical.names,
         description=description,
         tables=tuple(sorted(_plan_tables(logical))),
     )
+    if base is not None:
+        # Lowering subsumes predicate pushdown (access-path selection) and
+        # TopN fusion; verifying the physical tree checks those rules too.
+        physical = verifier.verify_plan(db, plan, correlated=correlated)
+        verifier.check_rule("vectorize" if vectorized else "lowering", base, physical)
+    return plan
 
 
 def _plan_tables(sp: SelectPlan, out: Optional[set] = None) -> set:
@@ -445,9 +472,19 @@ def _lower_branch(db, branch: BranchPlan) -> Operator:
 
 
 def _attach_order_limit(root: Operator, sp: SelectPlan) -> Operator:
-    """Row-engine ORDER BY / LIMIT tail shared by both lowering paths."""
+    """Row-engine ORDER BY / LIMIT tail shared by both lowering paths.
+
+    A LIMIT known negative at plan time never fuses into TopN: the heap
+    would degrade to an unbounded sort at run time (and the verifier
+    flags such plans as PLN005), so Sort+Limit — where a negative limit
+    already means "no limit" — is the honest lowering.
+    """
     if sp.order_by:
-        if sp.limit is not None and ENABLE_TOPN:
+        if (
+            sp.limit is not None
+            and ENABLE_TOPN
+            and not _negative_literal_limit(sp.limit)
+        ):
             root = TopN(sp.order_by, sp.names, sp.limit, sp.offset, root)
             root.est_rows = sp.est_rows
         else:
@@ -621,7 +658,11 @@ def _lower_vectorized(db, sp: SelectPlan) -> Optional[Operator]:
         spec = _vector_order_spec(sp, comp)
         if spec is None:
             return None
-        if sp.limit is not None and ENABLE_TOPN:
+        if (
+            sp.limit is not None
+            and ENABLE_TOPN
+            and not _negative_literal_limit(sp.limit)
+        ):
             root: Operator = VecTopN(
                 proj_kernels, spec, sp.limit, sp.offset, scan_and_filter()
             )

@@ -6,7 +6,14 @@ import pytest
 
 from repro.core import PTDataStore
 from repro.dbapi import open_backend
+from repro.minidb import verifier as _verifier
 from repro.ptdf.format import ResourceSet
+
+# Static plan verification runs for the entire suite: every minidb plan
+# any test produces must satisfy the PLN contract (repro.minidb.verifier),
+# so the differential corpus doubles as the verifier's property corpus.
+# Off by default outside tests/CI — benchmarks measure the unverified path.
+_verifier.VERIFY_PLANS = True
 
 
 @pytest.fixture(params=["minidb", "sqlite"])

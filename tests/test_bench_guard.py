@@ -87,3 +87,63 @@ def test_main_exit_codes(tmp_path):
     assert main([base, bad]) == 1
     assert main([base, bad, "--threshold", "0.95"]) == 0
     assert main([base, ok, "--key", "missing.metric"]) == 0  # no baseline -> skip
+
+
+# ------------------------------------------------- missing-section handling
+
+
+def test_missing_baseline_section_skips_with_message(capsys):
+    # The whole section is absent from the baseline (never seeded):
+    # skipped, and the note says "missing baseline section".
+    cand = {"vectorized": {"drain_seconds": 0.02}}
+    assert compare({}, cand, keys=("vectorized.drain_seconds",)) == []
+    out = capsys.readouterr().out
+    assert "missing baseline section 'vectorized'" in out
+
+
+def test_missing_baseline_leaf_skips_with_leaf_message(capsys):
+    # The section exists but lost one leaf: still a skip, different note.
+    cand = {"vectorized": {"drain_seconds": 0.02}}
+    assert compare({"vectorized": {}}, cand, keys=("vectorized.drain_seconds",)) == []
+    out = capsys.readouterr().out
+    assert "no baseline value" in out
+    assert "missing baseline section" not in out
+
+
+def test_missing_candidate_section_fails_with_message():
+    # The candidate dropped a whole section: the failure names the
+    # section instead of a bare KeyError-ish leaf message.
+    problems = compare(LATENCY_BASE, {}, keys=("vectorized.drain_seconds",))
+    assert len(problems) == 1
+    assert "missing section 'vectorized'" in problems[0]
+
+
+def test_missing_candidate_leaf_keeps_leaf_message():
+    problems = compare(
+        LATENCY_BASE, {"vectorized": {}}, keys=("vectorized.drain_seconds",)
+    )
+    assert problems == ["vectorized.drain_seconds: missing from candidate report"]
+
+
+def test_main_missing_report_file_exits_2(tmp_path, capsys):
+    base = _write(tmp_path / "base.json", BASE)
+    assert main([base, str(tmp_path / "nope.json")]) == 2
+    err = capsys.readouterr().err
+    assert "cannot read candidate report" in err
+
+
+def test_main_malformed_report_exits_2(tmp_path, capsys):
+    base = _write(tmp_path / "base.json", BASE)
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    assert main([base, str(broken)]) == 2
+    err = capsys.readouterr().err
+    assert "not valid JSON" in err
+
+
+def test_main_non_object_report_exits_2(tmp_path, capsys):
+    base = _write(tmp_path / "base.json", BASE)
+    listy = _write(tmp_path / "list.json", [1, 2, 3])
+    assert main([base, listy]) == 2
+    err = capsys.readouterr().err
+    assert "must be a JSON object" in err

@@ -1,4 +1,4 @@
-"""Tests for the repo lint harness (tools/lint): PTL001-PTL003 checkers."""
+"""Tests for the repo lint harness (tools/lint): PTL001-PTL007 checkers."""
 
 import textwrap
 
@@ -87,6 +87,94 @@ def test_plain_placeholder_sql_clean(tmp_path):
     assert violations == []
 
 
+# ------------------------------------------------- PTL001 (dataflow-aware)
+
+
+def test_sql_built_in_variable_flagged_at_sink(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def bad(cur, name):
+            sql = f"SELECT * FROM emp WHERE name = '{name}'"
+            cur.execute(sql)
+        ''',
+    )
+    assert [v.code for v in violations] == ["PTL001"]
+    # Reported at the sink (line 4 of the dedented source) so a
+    # `# noqa: PTL001` on the execute call keeps working.
+    assert violations[0].line == 4
+    assert "'sql'" in violations[0].message
+
+
+def test_sql_variable_flagged_through_copy_chain(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def bad(cur, table):
+            a = "SELECT * FROM " + table
+            b = a
+            cur.query(b)
+        ''',
+    )
+    assert [v.code for v in violations] == ["PTL001"]
+
+
+def test_sql_variable_rebound_to_literal_clean(tmp_path):
+    # Flow-sensitivity: only the definition reaching the sink matters.
+    violations = lint_source(
+        tmp_path,
+        '''
+        def ok(cur, name):
+            sql = f"SELECT {name}"
+            sql = "SELECT * FROM emp WHERE name = ?"
+            cur.execute(sql, (name,))
+        ''',
+    )
+    assert violations == []
+
+
+def test_sql_variable_tainted_in_one_branch_flagged(tmp_path):
+    # Either branch may reach the sink: the tainted one flags.
+    violations = lint_source(
+        tmp_path,
+        '''
+        def bad(cur, name, fancy):
+            if fancy:
+                sql = f"SELECT * FROM emp WHERE name = '{name}'"
+            else:
+                sql = "SELECT * FROM emp"
+            cur.execute(sql)
+        ''',
+    )
+    assert [v.code for v in violations] == ["PTL001"]
+
+
+def test_sql_variable_from_constant_interpolation_clean(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        COLS = "id, name"
+
+        def ok(cur):
+            sql = f"SELECT {COLS} FROM emp"
+            cur.execute(sql)
+        ''',
+    )
+    assert violations == []
+
+
+def test_sql_variable_noqa_at_sink_suppresses(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def audited(cur, marks):
+            sql = f"SELECT * FROM t WHERE id IN ({marks})"
+            cur.execute(sql)  # noqa: PTL001
+        ''',
+    )
+    assert violations == []
+
+
 # ------------------------------------------------------------------- PTL002
 
 
@@ -144,6 +232,76 @@ def test_closed_returned_or_with_cursor_clean(tmp_path):
         ''',
     )
     assert violations == []
+
+
+# -------------------------------------------------- PTL002 (alias-aware)
+
+
+def test_cursor_closed_via_alias_clean(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def ok(conn):
+            cur = conn.cursor()
+            c2 = cur
+            c2.close()
+        ''',
+    )
+    assert violations == []
+
+
+def test_cursor_returned_via_alias_clean(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def ok(conn):
+            cur = conn.cursor()
+            alias = cur
+            return alias
+        ''',
+    )
+    assert violations == []
+
+
+def test_cursor_stored_on_self_clean(tmp_path):
+    # Stored into an attribute: ownership moved to the object.
+    violations = lint_source(
+        tmp_path,
+        '''
+        class Holder:
+            def open(self, conn):
+                cur = conn.cursor()
+                self._cur = cur
+        ''',
+    )
+    assert violations == []
+
+
+def test_cursor_passed_to_helper_clean(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        '''
+        def ok(conn):
+            cur = conn.cursor()
+            register_for_cleanup(cur)
+        ''',
+    )
+    assert violations == []
+
+
+def test_cursor_name_in_subscript_index_still_flagged(tmp_path):
+    # The shrunk escape heuristic: a name used only as data (an index,
+    # an operand) does not transfer ownership of the cursor.
+    violations = lint_source(
+        tmp_path,
+        '''
+        def leak(conn, rows):
+            cur = conn.cursor()
+            cur.execute("SELECT 1")
+            return rows[cur.rowcount]
+        ''',
+    )
+    assert [v.code for v in violations] == ["PTL002"]
 
 
 # ------------------------------------------------------------------- PTL003
@@ -387,6 +545,112 @@ def test_nested_def_inside_batch_method_not_flagged(tmp_path):
                         for b in a:
                             use(b)
                 return helper
+        """,
+    )
+    assert violations == []
+
+
+# ------------------------------------------------------------------- PTL007
+
+
+def test_table_state_write_flagged(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        """\
+        def hack(db, row):
+            tbl = db.table("emp")
+            tbl.rows[7] = row
+            tbl.next_rowid += 1
+        """,
+    )
+    assert [v.code for v in violations] == ["PTL007", "PTL007"]
+    assert "Table.rows" in violations[0].message
+    assert "Table.next_rowid" in violations[1].message
+
+
+def test_table_mutator_call_flagged(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        """\
+        def hack(db):
+            db.table("emp").rows.clear()
+        """,
+    )
+    assert [v.code for v in violations] == ["PTL007"]
+    assert "'clear'" in violations[0].message
+
+
+def test_catalog_and_column_store_writes_flagged(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        """\
+        def hack(db, t):
+            db.catalog.tables["x"] = t
+            store = db.table("emp").column_store()
+            store.version = 0
+        """,
+    )
+    assert [v.code for v in violations] == ["PTL007", "PTL007"]
+    assert "Catalog.tables" in violations[0].message
+    assert "ColumnStore.version" in violations[1].message
+
+
+def test_tables_subscript_receiver_flagged(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        """\
+        def hack(db):
+            db.tables["emp"].data_version = 99
+        """,
+    )
+    assert [v.code for v in violations] == ["PTL007"]
+
+
+def test_owning_modules_exempt(tmp_path):
+    source = (
+        'def owner(db, row):\n'
+        '    db.table("emp").rows[7] = row\n'
+    )
+    for allowed in ("storage.py", "wal.py"):
+        path = tmp_path / allowed
+        path.write_text(source)
+        assert check_file(str(path)) == []
+    flagged = tmp_path / "elsewhere.py"
+    flagged.write_text(source)
+    assert [v.code for v in check_file(str(flagged))] == ["PTL007"]
+
+
+def test_non_table_receiver_not_flagged(tmp_path):
+    # `stmt.rows` is an AST field, not engine state: the receiver never
+    # resolves to a table, so the write is fine.
+    violations = lint_source(
+        tmp_path,
+        """\
+        def rewrite(stmt, literal):
+            stmt.rows = [literal]
+            stmt.version = 2
+        """,
+    )
+    assert violations == []
+
+
+def test_reading_engine_state_not_flagged(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        """\
+        def count(db):
+            return len(db.table("emp").rows)
+        """,
+    )
+    assert violations == []
+
+
+def test_ptl007_noqa_suppresses(tmp_path):
+    violations = lint_source(
+        tmp_path,
+        """\
+        def repair(db):
+            db.table("emp").data_version += 1  # noqa: PTL007
         """,
     )
     assert violations == []

@@ -14,7 +14,11 @@ better, the guard fails when the candidate rises above
 better, failing below ``base * (1 - threshold)``).  A key missing from
 the *baseline* is skipped (new metrics need one PR to seed a baseline);
 a key missing from the *candidate* fails (the bench stopped reporting
-something it should).
+something it should).  Whole-section absences are reported as such
+("missing baseline section ..." / "missing section ... in candidate")
+so a dropped benchmark reads differently from a renamed leaf metric.
+Unreadable or malformed report files exit 2 with a clear error instead
+of a traceback.
 """
 
 from __future__ import annotations
@@ -46,6 +50,15 @@ def _lookup(report: dict, dotted: str) -> Optional[Any]:
     return node
 
 
+def _section(dotted: str) -> str:
+    """The top-level report section a dotted key lives in."""
+    return dotted.split(".", 1)[0]
+
+
+def _has_section(report: dict, dotted: str) -> bool:
+    return isinstance(report, dict) and _section(dotted) in report
+
+
 def _lower_is_better(key: str) -> bool:
     return key.rsplit(".", 1)[-1].endswith("_seconds")
 
@@ -62,10 +75,26 @@ def compare(
         base = _lookup(baseline, key)
         cand = _lookup(candidate, key)
         if base is None:
-            print(f"bench_guard: {key}: no baseline value, skipping")
+            # Distinguish a whole section never seeded (fine: new metrics
+            # need one PR to land a baseline) from a present section that
+            # lost one leaf — both skip, but say which happened.
+            if not _has_section(baseline, key):
+                print(
+                    f"bench_guard: missing baseline section "
+                    f"{_section(key)!r} for {key}; skipping (new sections "
+                    f"need one PR to seed a baseline)"
+                )
+            else:
+                print(f"bench_guard: {key}: no baseline value, skipping")
             continue
         if cand is None:
-            problems.append(f"{key}: missing from candidate report")
+            if not _has_section(candidate, key):
+                problems.append(
+                    f"{key}: missing section {_section(key)!r} in candidate "
+                    f"report — did the benchmark that produces it fail to run?"
+                )
+            else:
+                problems.append(f"{key}: missing from candidate report")
             continue
         if _lower_is_better(key):
             bound = base * (1.0 + threshold)
@@ -96,6 +125,29 @@ def compare(
     return problems
 
 
+class _ReportError(Exception):
+    """A report file could not be read or parsed."""
+
+
+def _load_report(path: str, role: str) -> dict:
+    """Load one report, translating failures into actionable messages."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except OSError as exc:
+        raise _ReportError(f"cannot read {role} report {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise _ReportError(
+            f"{role} report {path!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(report, dict):
+        raise _ReportError(
+            f"{role} report {path!r} must be a JSON object of sections, "
+            f"got {type(report).__name__}"
+        )
+    return report
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m tools.bench_guard")
     parser.add_argument("baseline", help="committed baseline report (JSON)")
@@ -113,10 +165,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         help=f"dotted metric path to guard (default: {', '.join(DEFAULT_KEYS)})",
     )
     args = parser.parse_args(argv)
-    with open(args.baseline, "r", encoding="utf-8") as fh:
-        baseline = json.load(fh)
-    with open(args.candidate, "r", encoding="utf-8") as fh:
-        candidate = json.load(fh)
+    try:
+        baseline = _load_report(args.baseline, "baseline")
+        candidate = _load_report(args.candidate, "candidate")
+    except _ReportError as exc:
+        print(f"bench_guard: ERROR: {exc}", file=sys.stderr)
+        return 2
     keys = tuple(args.keys) if args.keys else DEFAULT_KEYS
     problems = compare(baseline, candidate, keys, args.threshold)
     for problem in problems:

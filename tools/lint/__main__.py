@@ -20,7 +20,10 @@ DEFAULT_PATHS = ("src/repro", "tools")
 MYPY_TARGETS = (
     "src/repro/minidb/sqltypes.py",
     "src/repro/minidb/analyzer.py",
+    "src/repro/minidb/verifier.py",
     "src/repro/ptdf/lint.py",
+    "tools/lint/checks.py",
+    "tools/lint/dataflow.py",
 )
 
 

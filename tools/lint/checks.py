@@ -1,4 +1,8 @@
-"""AST checkers behind ``python -m tools.lint`` (stdlib only)."""
+"""AST + dataflow checkers behind ``python -m tools.lint`` (stdlib only).
+
+PTL001/PTL002/PTL007 run on the reaching-definitions engine in
+:mod:`tools.lint.dataflow`; the remaining checks are syntactic.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +10,9 @@ import ast
 import os
 import re
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Union
+
+from .dataflow import FunctionFacts, analyze, escaping_names
 
 #: call-attribute names whose first argument is treated as SQL text
 SQL_SINKS = frozenset(
@@ -32,6 +38,37 @@ BATCH_METHODS = frozenset({"next_batch", "_produce_batches"})
 #: mid-scan; VecDistinct probes its dedup set one row at a time by nature.
 #: Additions must be justified in docs/static_analysis.md.
 PTL006_ALLOWED_CLASSES = frozenset({"VecScan", "VecDistinct"})
+
+#: PTL007 — attribute names that are shared mutable engine state, by the
+#: kind of object that owns them.  Writing them outside the owning module
+#: bypasses WAL logging, undo bookkeeping and data_version bumps.
+PTL007_TABLE_ATTRS = frozenset(
+    {"rows", "next_rowid", "next_auto", "data_version", "_column_store"}
+)
+PTL007_CATALOG_ATTRS = frozenset({"tables", "indexes", "version"})
+PTL007_STORE_ATTRS = frozenset({"version"})
+
+#: modules that own the engine state and may mutate it directly: storage.py
+#: defines Table/Catalog/ColumnStore, wal.py restores them during replay
+#: and checkpoint.  Additions must be justified in docs/static_analysis.md.
+PTL007_ALLOWED_MODULES = frozenset({"storage.py", "wal.py"})
+
+#: method names that mutate their receiver in place
+_PTL007_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -111,16 +148,50 @@ class _Checker(ast.NodeVisitor):
         self.path = path
         self.violations: list[Violation] = []
         self._class_stack: list[str] = []
+        #: dataflow facts for the innermost enclosing scope (module,
+        #: class body, or function) — consulted by the flow-aware checks
+        self._facts_stack: list[FunctionFacts] = []
+
+    @property
+    def _facts(self) -> Optional[FunctionFacts]:
+        return self._facts_stack[-1] if self._facts_stack else None
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._facts_stack.append(analyze(node))
+        self.generic_visit(node)
+        self._facts_stack.pop()
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self._class_stack.append(node.name)
+        self._facts_stack.append(analyze(node))
         self.generic_visit(node)
+        self._facts_stack.pop()
         self._class_stack.pop()
 
     def _add(self, node: ast.AST, code: str, message: str) -> None:
-        self.violations.append(Violation(self.path, node.lineno, code, message))
+        line = getattr(node, "lineno", 0)
+        self.violations.append(Violation(self.path, line, code, message))
 
-    # -- PTL001 / PTL004 ------------------------------------------------------
+    # -- PTL001 / PTL004 / PTL007 ---------------------------------------------
+
+    def _sql_taint(self, arg: ast.expr) -> Optional[str]:
+        """Why *arg* carries interpolation-built SQL, or None.
+
+        Checks the expression itself first; a bare name is then resolved
+        through its reaching definitions, so SQL built in a variable and
+        executed later is caught at the sink.
+        """
+        reason = _interpolated_sql(arg)
+        if reason is not None:
+            return reason
+        facts = self._facts
+        if isinstance(arg, ast.Name) and facts is not None:
+            for origin in facts.origins(arg):
+                reason = _interpolated_sql(origin)
+                if reason is not None:
+                    line = getattr(origin, "lineno", "?")
+                    return f"{reason} (via {arg.id!r} assigned at line {line})"
+        return None
 
     def visit_Call(self, node: ast.Call) -> None:
         if (
@@ -128,7 +199,7 @@ class _Checker(ast.NodeVisitor):
             and node.func.attr in SQL_SINKS
             and node.args
         ):
-            reason = _interpolated_sql(node.args[0])
+            reason = self._sql_taint(node.args[0])
             if reason is not None:
                 self._add(
                     node,
@@ -150,6 +221,92 @@ class _Checker(ast.NodeVisitor):
                 "durations or repro.obs.clock.wall_clock() for timestamps "
                 "so instrumentation stays on one clock",
             )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _PTL007_MUTATORS
+            and isinstance(node.func.value, ast.Attribute)
+        ):
+            # e.g. table.rows.clear(), db.catalog.indexes.pop(name)
+            self._check_state_write(node, node.func.value, node.func.attr)
+        self.generic_visit(node)
+
+    # -- PTL007 ---------------------------------------------------------------
+
+    def _receiver_kind(self, expr: ast.expr, depth: int = 4) -> Optional[str]:
+        """Classify what engine object *expr* evaluates to.
+
+        Returns ``"table"`` for ``db.table(...)`` / ``db.tables[...]``,
+        ``"catalog"`` for ``*.catalog``, ``"store"`` for
+        ``*.column_store()`` — resolving bare names through their
+        reaching definitions.
+        """
+        if depth <= 0:
+            return None
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            if expr.func.attr == "table":
+                return "table"
+            if expr.func.attr == "column_store":
+                return "store"
+        if isinstance(expr, ast.Subscript):
+            base = expr.value
+            if isinstance(base, ast.Attribute) and base.attr == "tables":
+                return "table"
+        if isinstance(expr, ast.Attribute) and expr.attr == "catalog":
+            return "catalog"
+        facts = self._facts
+        if isinstance(expr, ast.Name) and facts is not None:
+            for origin in facts.origins(expr):
+                kind = self._receiver_kind(origin, depth - 1)
+                if kind is not None:
+                    return kind
+        return None
+
+    def _check_state_write(
+        self, site: ast.AST, attr_node: ast.Attribute, how: str
+    ) -> None:
+        """Flag *site* when *attr_node* is protected engine state."""
+        kind = self._receiver_kind(attr_node.value)
+        if kind == "table" and attr_node.attr in PTL007_TABLE_ATTRS:
+            owner = "Table"
+        elif kind == "catalog" and attr_node.attr in PTL007_CATALOG_ATTRS:
+            owner = "Catalog"
+        elif kind == "store" and attr_node.attr in PTL007_STORE_ATTRS:
+            owner = "ColumnStore"
+        else:
+            return
+        self._add(
+            site,
+            "PTL007",
+            f"shared engine state {owner}.{attr_node.attr} mutated via "
+            f"{how!r} outside its owning module; route the write through "
+            f"the storage helpers so WAL logging, undo and data_version "
+            f"stay consistent",
+        )
+
+    def _check_target_write(self, site: ast.AST, target: ast.expr, how: str) -> None:
+        if isinstance(target, ast.Attribute):
+            self._check_state_write(site, target, how)
+        elif isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Attribute
+        ):
+            # e.g. table.rows[rowid] = row
+            self._check_state_write(site, target.value, how)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target_write(site, element, how)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target_write(node, target, "assignment")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target_write(node, node.target, "augmented assignment")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target_write(node, target, "del")
         self.generic_visit(node)
 
     # -- PTL003 ---------------------------------------------------------------
@@ -188,7 +345,10 @@ class _Checker(ast.NodeVisitor):
         self._check_fetchall_iter(node.iter)
         self.generic_visit(node)
 
-    def _visit_comprehension(self, node) -> None:
+    def _visit_comprehension(
+        self,
+        node: Union[ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp],
+    ) -> None:
         for gen in node.generators:
             self._check_fetchall_iter(gen.iter)
         self.generic_visit(node)
@@ -201,23 +361,37 @@ class _Checker(ast.NodeVisitor):
     # -- PTL002 ---------------------------------------------------------------
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_cursors(node)
-        self._check_batch_loops(node)
-        self.generic_visit(node)
+        self._visit_function(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_cursors(node)
-        self.generic_visit(node)
+        self._visit_function(node)
 
-    def _check_cursors(self, func: ast.AST) -> None:
-        """Flag ``x = conn.cursor()`` never closed/returned/escaped.
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        facts = analyze(node)
+        self._check_cursors(node, facts)
+        if isinstance(node, ast.FunctionDef):
+            self._check_batch_loops(node)
+        self._facts_stack.append(facts)
+        self.generic_visit(node)
+        self._facts_stack.pop()
+
+    def _check_cursors(self, func: ast.AST, facts: FunctionFacts) -> None:
+        """Flag ``x = conn.cursor()`` whose alias group never escapes.
 
         Opens are collected without descending into nested defs (those get
-        their own visit, avoiding double reports); closes are collected
-        from the whole body so a closure closing the cursor counts.
+        their own visit, avoiding double reports); escapes are collected
+        from the whole body so a closure closing the cursor counts.  A
+        name escapes when it is closed, managed by a ``with`` item, at an
+        ownership-transfer position of a return/yield (whole value,
+        container element, call argument or receiver — *not* a subscript
+        index or arithmetic operand), stored into an attribute/subscript,
+        or passed as a direct call argument.  Closing *any* alias of the
+        cursor (``c2 = cur; c2.close()``) counts for the whole group.
         """
         opened: dict[str, ast.AST] = {}
-        closed: set[str] = set()
+        escaped: set[str] = set()
 
         for node in _walk_no_nested(func):
             if isinstance(node, ast.Assign) and len(node.targets) == 1:
@@ -233,30 +407,33 @@ class _Checker(ast.NodeVisitor):
         for node in ast.walk(func):
             if isinstance(node, ast.withitem):
                 # `with conn.cursor() as cur` or `with closing(cur)`
-                if isinstance(node.context_expr, ast.Call):
-                    closed.update(
-                        n.id
-                        for n in ast.walk(node.context_expr)
-                        if isinstance(n, ast.Name)
-                    )
+                escaped.update(escaping_names(node.context_expr))
                 if isinstance(node.optional_vars, ast.Name):
-                    closed.add(node.optional_vars.id)
-            elif isinstance(node, ast.Call) and isinstance(
-                node.func, ast.Attribute
-            ):
-                if node.func.attr == "close" and isinstance(
-                    node.func.value, ast.Name
+                    escaped.add(node.optional_vars.id)
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "close"
+                    and isinstance(node.func.value, ast.Name)
                 ):
-                    closed.add(node.func.value.id)
+                    escaped.add(node.func.value.id)
+                # ownership transfer: cursor passed to a helper whole
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    if isinstance(arg, ast.Name):
+                        escaped.add(arg.id)
             elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
-                value = node.value
-                if value is not None:
-                    closed.update(
-                        n.id for n in ast.walk(value) if isinstance(n, ast.Name)
-                    )
+                escaped.update(escaping_names(node.value))
+            elif isinstance(node, ast.Assign):
+                # stored into an attribute, subscript or container: the
+                # object outlives the function
+                if any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                ):
+                    escaped.update(escaping_names(node.value))
 
         for name, site in opened.items():
-            if name not in closed:
+            if facts.alias_group(name).isdisjoint(escaped):
                 self._add(
                     site,
                     "PTL002",
@@ -304,7 +481,8 @@ class _Checker(ast.NodeVisitor):
 
 
 def _is_test_path(path: str) -> bool:
-    """Paths allowlisted for PTL005 — tests routinely materialize results."""
+    """Paths allowlisted for PTL005/PTL007 — tests materialize results and
+    poke engine internals legitimately."""
     parts = os.path.normpath(path).split(os.sep)
     if any(p in ("tests", "test") for p in parts[:-1]):
         return True
@@ -323,10 +501,13 @@ def check_file(path: str) -> list[Violation]:
     checker = _Checker(path)
     checker.visit(tree)
     noqa = _noqa_lines(source)
-    allow_fetchall = _is_test_path(path)
+    is_test = _is_test_path(path)
+    owns_engine_state = os.path.basename(path) in PTL007_ALLOWED_MODULES
     out = []
     for v in checker.violations:
-        if v.code == "PTL005" and allow_fetchall:
+        if v.code == "PTL005" and is_test:
+            continue
+        if v.code == "PTL007" and (is_test or owns_engine_state):
             continue
         codes = noqa.get(v.line, False)
         if codes is False:

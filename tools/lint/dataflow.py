@@ -1,0 +1,358 @@
+"""A small intraprocedural dataflow engine for the repo lint harness.
+
+The first generation of PTL checks was purely syntactic: PTL001 only
+saw SQL interpolated *inline* at the call site, and PTL002 treated any
+name mentioned in a ``return`` as an escaped cursor.  Both need the same
+missing ingredient — *reaching definitions*: which assignments can flow
+into a name at a given use site.
+
+:func:`analyze` interprets one function (or module) body in source
+order, tracking an abstract environment ``name -> {Definition}``.
+Branches merge by union, loop bodies run through a two-pass fixpoint
+(enough for a may-reach analysis over a lattice of sets), and nested
+function bodies are opaque (each gets its own analysis).  The result is
+a :class:`FunctionFacts`:
+
+* ``reaching(name_node)`` — the definitions reaching a ``Name`` load;
+* ``origins(expr)`` — the *value expressions* a name may hold,
+  resolved transitively through simple ``x = y`` copies (flow-sensitive:
+  a rebound name only reports the definitions live at the use site);
+* ``alias_group(name)`` — names connected by ``x = y`` copies anywhere
+  in the function (flow-insensitive union-find, deliberately
+  over-approximate so "closed via an alias" is never a false positive).
+
+Everything is stdlib ``ast``; the engine is deliberately small — it
+exists to kill specific false positives/negatives in PTL001/PTL002 and
+to power PTL007's shared-state write tracing, not to be a general
+abstract interpreter.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+__all__ = ["Definition", "FunctionFacts", "analyze"]
+
+Env = Dict[str, FrozenSet["Definition"]]
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One definition site of a name.
+
+    ``value`` is the assigned expression for simple ``name = expr``
+    bindings and None when the bound value is opaque (loop targets,
+    tuple unpacking, ``except ... as``, parameters, imports).
+    """
+
+    name: str
+    value: Optional[ast.expr]
+    node: ast.AST
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass
+class FunctionFacts:
+    """Dataflow facts for one function (or module) body."""
+
+    #: id(Name-load-node) -> definitions reaching that use
+    use_defs: Dict[int, FrozenSet[Definition]] = field(default_factory=dict)
+    #: every definition interpreted in this scope
+    definitions: List[Definition] = field(default_factory=list)
+    #: union-find parent pointers over name-to-name copies
+    _alias_parent: Dict[str, str] = field(default_factory=dict)
+
+    # -- alias union-find ------------------------------------------------------
+
+    def _find(self, name: str) -> str:
+        parent = self._alias_parent.setdefault(name, name)
+        if parent != name:
+            root = self._find(parent)
+            self._alias_parent[name] = root
+            return root
+        return name
+
+    def _union(self, a: str, b: str) -> None:
+        ra, rb = self._find(a), self._find(b)
+        if ra != rb:
+            self._alias_parent[ra] = rb
+
+    def alias_group(self, name: str) -> Set[str]:
+        """Names connected to *name* through simple copy assignments."""
+        root = self._find(name)
+        return {n for n in self._alias_parent if self._find(n) == root} | {name}
+
+    # -- reaching definitions --------------------------------------------------
+
+    def reaching(self, name_node: ast.Name) -> FrozenSet[Definition]:
+        """Definitions that may reach this ``Name`` load (empty when the
+        name is a parameter, global, closure variable, or unknown)."""
+        return self.use_defs.get(id(name_node), frozenset())
+
+    def origins(self, expr: ast.expr, _depth: int = 8) -> List[ast.expr]:
+        """The value expressions *expr* may evaluate to.
+
+        A non-``Name`` expression is its own origin.  A ``Name`` resolves
+        through its reaching definitions, following simple ``x = y``
+        copies transitively (each hop uses the environment captured when
+        the copy executed, so the resolution stays flow-sensitive).
+        Opaque definitions (``value is None``) contribute nothing — a
+        name with only opaque definitions has no known origins.
+        """
+        if not isinstance(expr, ast.Name):
+            return [expr]
+        out: List[ast.expr] = []
+        seen: Set[int] = set()
+
+        def resolve(node: ast.Name, depth: int) -> None:
+            if depth <= 0:
+                return
+            for definition in self.use_defs.get(id(node), frozenset()):
+                if id(definition) in seen:
+                    continue
+                seen.add(id(definition))
+                value = definition.value
+                if value is None:
+                    continue
+                if isinstance(value, ast.Name):
+                    resolve(value, depth - 1)
+                else:
+                    out.append(value)
+
+        resolve(expr, _depth)
+        return out
+
+
+def _merge(*envs: Env) -> Env:
+    out: Env = {}
+    for env in envs:
+        for name, defs in env.items():
+            have = out.get(name)
+            out[name] = defs if have is None else have | defs
+    return out
+
+
+class _Interpreter:
+    """In-order abstract interpretation of one scope's statements."""
+
+    def __init__(self, facts: FunctionFacts) -> None:
+        self.facts = facts
+
+    # -- expression side: record uses -----------------------------------------
+
+    def visit_expr(self, expr: Optional[ast.expr], env: Env) -> None:
+        if expr is None:
+            return
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                self.facts.use_defs[id(node)] = env.get(node.id, frozenset())
+
+    # -- binding helpers -------------------------------------------------------
+
+    def _bind(
+        self, env: Env, name: str, value: Optional[ast.expr], node: ast.AST
+    ) -> None:
+        definition = Definition(name, value, node)
+        self.facts.definitions.append(definition)
+        env[name] = frozenset({definition})
+
+    def _bind_target(
+        self, env: Env, target: ast.expr, value: Optional[ast.expr], node: ast.AST
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if isinstance(value, ast.Name):
+                self.facts._union(target.id, value.id)
+            self._bind(env, target.id, value, node)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                inner = element.value if isinstance(element, ast.Starred) else element
+                self._bind_target(env, inner, None, node)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(env, target.value, None, node)
+        else:
+            # Attribute / Subscript stores: the base object is *used*.
+            self.visit_expr(target, env)
+
+    # -- statement interpretation ----------------------------------------------
+
+    def exec_block(self, stmts: List[ast.stmt], env: Env) -> Env:
+        for stmt in stmts:
+            env = self.exec_stmt(stmt, env)
+        return env
+
+    def exec_stmt(self, stmt: ast.stmt, env: Env) -> Env:
+        if isinstance(stmt, ast.Assign):
+            self.visit_expr(stmt.value, env)
+            env = dict(env)
+            for target in stmt.targets:
+                self._bind_target(env, target, stmt.value, stmt)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            self.visit_expr(stmt.value, env)
+            env = dict(env)
+            self._bind_target(env, stmt.target, stmt.value, stmt)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            self.visit_expr(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                # x += y reads then rebinds x; the result is opaque.
+                self.facts.use_defs[id(stmt.target)] = env.get(
+                    stmt.target.id, frozenset()
+                )
+                env = dict(env)
+                self._bind(env, stmt.target.id, None, stmt)
+            else:
+                self.visit_expr(stmt.target, env)
+            return env
+        if isinstance(stmt, ast.If):
+            self.visit_expr(stmt.test, env)
+            return _merge(
+                self.exec_block(stmt.body, dict(env)),
+                self.exec_block(stmt.orelse, dict(env)),
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.visit_expr(stmt.iter, env)
+            loop_env = dict(env)
+            self._bind_target(loop_env, stmt.target, None, stmt)
+            once = self.exec_block(stmt.body, loop_env)
+            merged = _merge(env, once)
+            loop_env = dict(merged)
+            self._bind_target(loop_env, stmt.target, None, stmt)
+            twice = self.exec_block(stmt.body, loop_env)
+            merged = _merge(merged, twice)
+            return self.exec_block(stmt.orelse, merged)
+        if isinstance(stmt, ast.While):
+            self.visit_expr(stmt.test, env)
+            once = self.exec_block(stmt.body, dict(env))
+            merged = _merge(env, once)
+            twice = self.exec_block(stmt.body, dict(merged))
+            merged = _merge(merged, twice)
+            return self.exec_block(stmt.orelse, merged)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            env = dict(env)
+            for item in stmt.items:
+                self.visit_expr(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind_target(
+                        env, item.optional_vars, item.context_expr, stmt
+                    )
+            return self.exec_block(stmt.body, env)
+        if isinstance(stmt, ast.Try):
+            body_env = self.exec_block(stmt.body, dict(env))
+            # An exception can interrupt the body anywhere: handlers see
+            # the merge of entry and full-body states.
+            at_handler = _merge(env, body_env)
+            branch_envs = [self.exec_block(stmt.orelse, dict(body_env))]
+            for handler in stmt.handlers:
+                handler_env = dict(at_handler)
+                if handler.name:
+                    self._bind(handler_env, handler.name, None, handler)
+                branch_envs.append(self.exec_block(handler.body, handler_env))
+            merged = _merge(*branch_envs)
+            return self.exec_block(stmt.finalbody, merged)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Opaque: nested scopes get their own analysis.
+            env = dict(env)
+            self._bind(env, stmt.name, None, stmt)
+            return env
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            env = dict(env)
+            for alias in stmt.names:
+                bound = (alias.asname or alias.name).split(".", 1)[0]
+                self._bind(env, bound, None, stmt)
+            return env
+        if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            env = dict(env)
+            for name in stmt.names:
+                env[name] = frozenset()
+            return env
+        if isinstance(stmt, ast.Delete):
+            env = dict(env)
+            for target in stmt.targets:
+                self.visit_expr(target, env)
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+            return env
+        if isinstance(stmt, ast.Return):
+            self.visit_expr(stmt.value, env)
+            return env
+        if isinstance(stmt, ast.Expr):
+            self.visit_expr(stmt.value, env)
+            return env
+        if isinstance(stmt, ast.Assert):
+            self.visit_expr(stmt.test, env)
+            self.visit_expr(stmt.msg, env)
+            return env
+        if isinstance(stmt, ast.Raise):
+            self.visit_expr(stmt.exc, env)
+            self.visit_expr(stmt.cause, env)
+            return env
+        # Pass, Break, Continue — nothing to do.
+        return env
+
+
+def analyze(scope: ast.AST) -> FunctionFacts:
+    """Dataflow facts for a function, module, or class body.
+
+    Parameters of a function bind opaque definitions (their values are
+    unknown); nested function/class bodies are not descended into.
+    """
+    facts = FunctionFacts()
+    interp = _Interpreter(facts)
+    env: Env = {}
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        every = (
+            list(args.posonlyargs)
+            + list(args.args)
+            + ([args.vararg] if args.vararg else [])
+            + list(args.kwonlyargs)
+            + ([args.kwarg] if args.kwarg else [])
+        )
+        for arg in every:
+            interp._bind(env, arg.arg, None, arg)
+    body = getattr(scope, "body", None)
+    if isinstance(body, list):
+        interp.exec_block(body, env)
+    return facts
+
+
+def escaping_names(value: Optional[ast.expr]) -> Iterator[str]:
+    """Names in *value* at ownership-transfer positions.
+
+    Used by PTL002: a cursor whose name is returned/yielded whole, packed
+    into a container, passed to a call, or reached through an attribute
+    chain escapes the function's responsibility.  Names buried in
+    arithmetic, comparisons, or subscript *indexes* do not — ``return
+    rows[cur_count]`` hands nothing over.
+    """
+    if value is None:
+        return
+    if isinstance(value, ast.Name):
+        yield value.id
+    elif isinstance(value, ast.Attribute):
+        yield from escaping_names(value.value)
+    elif isinstance(value, ast.Call):
+        yield from escaping_names(value.func)
+        for arg in value.args:
+            yield from escaping_names(arg)
+        for keyword in value.keywords:
+            yield from escaping_names(keyword.value)
+    elif isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+        for element in value.elts:
+            yield from escaping_names(element)
+    elif isinstance(value, ast.Dict):
+        for v in value.values:
+            yield from escaping_names(v)
+    elif isinstance(value, ast.Starred):
+        yield from escaping_names(value.value)
+    elif isinstance(value, ast.IfExp):
+        yield from escaping_names(value.body)
+        yield from escaping_names(value.orelse)
+    elif isinstance(value, (ast.Await, ast.YieldFrom, ast.Yield)):
+        yield from escaping_names(getattr(value, "value", None))
