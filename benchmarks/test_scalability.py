@@ -22,6 +22,7 @@ from repro.minidb import optimizer as minidb_optimizer
 from repro.minidb import vector as minidb_vector
 from repro.core.query import QueryEngine
 from repro.obs import metrics as obs_metrics
+from repro.obs.profiler import profiler as obs_profiler
 from repro.ptdf.parser import parse_file
 from repro.ptdf.ptdfgen import IndexEntry, PTdfGen
 from repro.synth.irs_gen import IRSRunSpec, generate_irs_run
@@ -38,7 +39,9 @@ def merge_baseline(results_dir: str, updates: dict) -> None:
 
     Merges *updates* (top-level sections) into both copies — the harness
     results directory and the committed repo-root baseline — so the two
-    can never drift apart.
+    can never drift apart.  Section dicts merge one level deep, so two
+    benchmark classes can each contribute keys to the same section (e.g.
+    ``observability``) regardless of run order.
     """
     for path in (
         os.path.join(results_dir, "BENCH_scalability.json"),
@@ -48,7 +51,11 @@ def merge_baseline(results_dir: str, updates: dict) -> None:
         if os.path.exists(path):
             with open(path, "r", encoding="utf-8") as fh:
                 report = json.load(fh)
-        report.update(updates)
+        for key, value in updates.items():
+            if isinstance(value, dict) and isinstance(report.get(key), dict):
+                report[key].update(value)
+            else:
+                report[key] = value
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)
             fh.write("\n")
@@ -430,6 +437,22 @@ class TestVectorizedExecution:
         assert batches > 0
         assert rows_scanned == self.N
 
+        # Statement profiler cost over the same drain: enabled profiling
+        # arms per-operator metering (the EXPLAIN ANALYZE machinery), so
+        # this is the price of always-on statement statistics + flight
+        # recording.  Best-of-ROUNDS against the untimed vec_s above; the
+        # absolute drain time is a bench-guard key.
+        obs_profiler.enable()
+        obs_profiler.reset()
+        try:
+            prof_s, prof_rows = self._timed_drain(conn, sql)
+        finally:
+            obs_profiler.disable()
+        assert prof_rows == vec_rows
+        profile = obs_profiler.snapshot()
+        assert profile["statements"], "profiled drain must be aggregated"
+        obs_profiler.reset()
+
         # Ablation: same query through the row-at-a-time engine.
         minidb_optimizer.ENABLE_VECTORIZATION = False
         try:
@@ -456,6 +479,15 @@ class TestVectorizedExecution:
             "rows_scanned": rows_scanned,
         }
         merge_baseline(results_dir, {"vectorized": section})
+        merge_baseline(
+            results_dir,
+            {
+                "observability": {
+                    "profiler_enabled_drain_seconds": round(prof_s, 5),
+                    "profiler_overhead_vs_disabled": round(prof_s / vec_s - 1.0, 4),
+                }
+            },
+        )
         write_report("scalability_vectorized", json.dumps(section, indent=2))
         conn.close()
 

@@ -16,6 +16,9 @@ loading and querying from Python; this CLI packages the same operations:
 * ``ptrack stats``     self-instrumentation: run a workload with the
                        metrics registry enabled and print the snapshot
                        (text, ``--json`` or Prometheus ``--prom``)
+* ``ptrack profile``   statement profiler: run a workload with the
+                       profiler enabled and print per-statement stats,
+                       recorded plans (``--flight``) and planner drift
 
 Exit code 0 on success, 2 on usage errors, 1 on operational failures.
 """
@@ -452,6 +455,57 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Run a workload with the statement profiler on and report it.
+
+    Loads the given PTdf files (if any) and exercises the query layer
+    once — the same workload as ``ptrack stats`` — with the profiler
+    aggregating per-fingerprint statement statistics and flight-recording
+    plans that run for at least ``--slow-ms`` (or every ``--sample``-th
+    statement).  Prints the top statements by ``--sort``, the recorded
+    plans with per-operator estimate-vs-actual rows (``--flight``), or
+    JSON (``--json``).  ``--ptdf FILE`` additionally writes the profile
+    as PTdf so it can be loaded back into a store and compared across
+    runs.
+    """
+    was_enabled = obs.profiler.enabled
+    obs.profiler.enable(
+        slow_seconds=args.slow_ms / 1000.0, sample_every=args.sample
+    )
+    obs.profiler.reset()
+    try:
+        store = _open_store(args, initialize=True)
+        for path in args.files:
+            store.load_file(path)
+        store.commit()
+        engine = QueryEngine(store)
+        engine.count_for_filter([])
+        for execution in store.executions():
+            prf = PrFilter([ByName(f"/{execution}", Expansion.DESCENDANTS)])
+            families = store.resolve_prfilter(prf)
+            for fam in families:
+                engine.count_for_family(fam)
+            engine.fetch_results(engine.result_ids(families))
+            break
+        store.close()
+        profile = obs.profiler.snapshot()
+        if args.json:
+            print(obs.render_profile_json(profile, top=args.top, sort=args.sort))
+        elif args.flight:
+            print(obs.render_flight_text(profile))
+        else:
+            print(obs.render_profile_text(profile, top=args.top, sort=args.sort))
+        if args.ptdf:
+            text = obs.profile_to_ptdf(args.execution, profile=profile)
+            with open(args.ptdf, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"# wrote profile PTdf to {args.ptdf}", file=sys.stderr)
+    finally:
+        if not was_enabled:
+            obs.profiler.disable()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ptrack", description="PerfTrack experiment management CLI"
@@ -585,6 +639,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trace", help="write a Chrome-trace JSON of the workload to FILE")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "profile",
+        help="statement profiler: run a workload and print per-statement stats",
+    )
+    _add_db_options(p)
+    p.add_argument("files", nargs="*", help="PTdf files to load as the workload")
+    p.add_argument(
+        "--top", type=int, default=10, help="show the N hottest statements (default 10)"
+    )
+    p.add_argument(
+        "--sort",
+        default="time",
+        choices=("time", "calls", "mean", "rows"),
+        help="statement ranking (default total time)",
+    )
+    p.add_argument("--json", action="store_true", help="print the profile as JSON")
+    p.add_argument(
+        "--flight",
+        action="store_true",
+        help="print recorded plans with per-operator estimate vs actual rows",
+    )
+    p.add_argument(
+        "--slow-ms",
+        type=float,
+        default=10.0,
+        help="flight-record statements at least this slow (default 10 ms)",
+    )
+    p.add_argument(
+        "--sample",
+        type=int,
+        default=0,
+        help="also flight-record every Nth statement (default off)",
+    )
+    p.add_argument("--ptdf", help="also write the profile as PTdf to FILE")
+    p.add_argument(
+        "--execution",
+        default="ptrack-profile",
+        help="execution name for --ptdf output (default ptrack-profile)",
+    )
+    p.set_defaults(fn=cmd_profile)
 
     parser.add_argument(
         "--log-level",

@@ -19,13 +19,15 @@ from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from ..obs.clock import now as _now
 from ..obs.metrics import metrics as _M
+from ..obs.profiler import profiler as _profiler
 from ..obs.tracing import trace as _trace
 from . import ast_nodes as ast
 from . import optimizer
 from .analyzer import Analyzer, Diagnostic
 from .errors import InterfaceError, SemanticError, SqlSyntaxError
 from .executor import Executor, Result
-from .parser import parse
+from .operators import plan_snapshot
+from .parser import fingerprint as _fingerprint, parse
 from .storage import Database
 from .wal import Journal, load_snapshot
 
@@ -67,7 +69,10 @@ class _CachedStatement:
     a table growing past an optimizer threshold re-plans too.
     """
 
-    __slots__ = ("stmt", "version", "required_params", "plan", "plan_version", "plan_stats")
+    __slots__ = (
+        "stmt", "version", "required_params", "plan", "plan_version",
+        "plan_stats", "fingerprint",
+    )
 
     def __init__(self, stmt) -> None:
         self.stmt = stmt
@@ -76,6 +81,9 @@ class _CachedStatement:
         self.plan: Optional[optimizer.PhysicalPlan] = None
         self.plan_version = -1
         self.plan_stats: Optional[tuple] = None
+        # Normalized statement text for the profiler, computed on first
+        # profiled execution and cached with the parse.
+        self.fingerprint: Optional[str] = None
 
 
 class Connection:
@@ -229,17 +237,131 @@ class Connection:
 
     def _execute(self, sql: str, params: Sequence[Any]) -> Result:
         self._check_open()
+        prof = _profiler.enabled
+        cache_hit = prof and sql in self._statement_cache
         entry = self._parse_cached(sql)
         stmt = entry.stmt
         self._ensure_analyzed(entry, params)
-        if not (_M.enabled or _trace.enabled):
+        if not (prof or _M.enabled or _trace.enabled):
             return self._dispatch(entry, sql, params)
         t0 = _now()
-        with _trace.span("execute", cat="minidb", stmt=type(stmt).__name__):
-            result = self._dispatch(entry, sql, params)
-        _STMT_SECONDS.observe(_now() - t0)
+        try:
+            with _trace.span("execute", cat="minidb", stmt=type(stmt).__name__):
+                result = self._dispatch(entry, sql, params, meter=prof)
+        except Exception:
+            if prof:
+                _profiler.record(
+                    self._fingerprint_of(entry, sql), sql, _now() - t0, error=True
+                )
+            raise
+        elapsed = _now() - t0
+        _STMT_SECONDS.observe(elapsed)
         _STATEMENTS.inc()
+        if prof:
+            self._profile_result(entry, sql, result, elapsed, cache_hit)
         return result
+
+    # -- statement profiling -----------------------------------------------------------
+
+    def _fingerprint_of(self, entry: _CachedStatement, sql: str) -> str:
+        if entry.fingerprint is None:
+            entry.fingerprint = _fingerprint(sql)
+        return entry.fingerprint
+
+    def _profile_result(
+        self,
+        entry: _CachedStatement,
+        sql: str,
+        result: Result,
+        elapsed: float,
+        cache_hit: bool,
+    ) -> None:
+        """Route one execution into the statement profiler.
+
+        Materialized results finalize immediately.  Streaming results are
+        finalized by a wrapping generator once the stream drains or is
+        closed, accumulating only *active* pull time (clock stopped while
+        the caller holds the row) on top of the dispatch time.
+        """
+        fp = self._fingerprint_of(entry, sql)
+        if result.stream is not None:
+            result.stream = self._profiled_rows(fp, sql, result, elapsed, cache_hit)
+        elif result.batches is not None:
+            result.batches = self._profiled_batches(fp, sql, result, elapsed, cache_hit)
+        else:
+            returned = len(result.rows) if result.rows else max(result.rowcount, 0)
+            self._finalize_profiled(fp, sql, result, elapsed, returned, cache_hit)
+
+    def _profiled_rows(
+        self, fp: str, sql: str, result: Result, active0: float, cache_hit: bool
+    ) -> Iterator[tuple]:
+        inner = result.stream
+
+        def run() -> Iterator[tuple]:
+            active = active0
+            returned = 0
+            try:
+                while True:
+                    t = _now()
+                    try:
+                        row = next(inner)
+                    except StopIteration:
+                        active += _now() - t
+                        return
+                    active += _now() - t
+                    returned += 1
+                    yield row
+            finally:
+                inner.close()
+                self._finalize_profiled(fp, sql, result, active, returned, cache_hit)
+
+        return run()
+
+    def _profiled_batches(
+        self, fp: str, sql: str, result: Result, active0: float, cache_hit: bool
+    ) -> Iterator[list[tuple]]:
+        inner = result.batches
+
+        def run() -> Iterator[list[tuple]]:
+            active = active0
+            returned = 0
+            try:
+                while True:
+                    t = _now()
+                    try:
+                        batch = next(inner)
+                    except StopIteration:
+                        active += _now() - t
+                        return
+                    active += _now() - t
+                    returned += len(batch)
+                    yield batch
+            finally:
+                inner.close()
+                self._finalize_profiled(fp, sql, result, active, returned, cache_hit)
+
+        return run()
+
+    def _finalize_profiled(
+        self,
+        fp: str,
+        sql: str,
+        result: Result,
+        seconds: float,
+        rows_returned: int,
+        cache_hit: bool,
+    ) -> None:
+        plan = plan_snapshot(result.root) if result.root is not None else None
+        scanned = result.stats.rows_scanned if result.stats is not None else 0
+        _profiler.record(
+            fp,
+            sql,
+            seconds,
+            rows_returned=rows_returned,
+            rows_scanned=scanned,
+            plan=plan,
+            cache_hit=cache_hit,
+        )
 
     def _table_stats(self, tables: Sequence[str]) -> tuple:
         """Size fingerprint for the plan cache: one bucket per table.
@@ -268,7 +390,10 @@ class Connection:
         # concurrently-draining cursors never share operator state.
         return plan.clone()
 
-    def _dispatch(self, entry: _CachedStatement, sql: str, params: Sequence[Any]) -> Result:
+    def _dispatch(
+        self, entry: _CachedStatement, sql: str, params: Sequence[Any],
+        meter: bool = False,
+    ) -> Result:
         stmt = entry.stmt
         if isinstance(stmt, _DDL_NODES):
             # DDL commits the open transaction and runs in its own.
@@ -284,10 +409,12 @@ class Connection:
             and isinstance(stmt.statement, _DML_NODES)
         ):
             self.db.begin()  # no-op when already in a transaction
-            return Executor(self.db, params).execute(stmt)
+            return Executor(self.db, params, meter=meter).execute(stmt)
         if isinstance(stmt, ast.Select):
-            return Executor(self.db, params, plan=self._plan_for(entry)).execute(stmt)
-        return Executor(self.db, params).execute(stmt)
+            return Executor(
+                self.db, params, plan=self._plan_for(entry), meter=meter
+            ).execute(stmt)
+        return Executor(self.db, params, meter=meter).execute(stmt)
 
 
 class Cursor:
@@ -352,6 +479,8 @@ class Cursor:
         self._check_open()
         self._close_stream()
         conn = self.connection
+        prof = _profiler.enabled
+        cache_hit = prof and sql in conn._statement_cache
         entry = conn._parse_cached(sql)
         stmt = entry.stmt
         if isinstance(stmt, ast.Insert) and stmt.select is None:
@@ -359,13 +488,19 @@ class Cursor:
             # Per-row parameter arity is checked by the batch builder.
             conn._ensure_analyzed(entry, None)
             conn.db.begin()
-            if _M.enabled or _trace.enabled:
+            if prof or _M.enabled or _trace.enabled:
                 t0 = _now()
                 with _trace.span("executemany", cat="minidb", table=stmt.table):
                     result = Executor(conn.db).execute_insert_batch(stmt, seq_of_params)
-                _STMT_SECONDS.observe(_now() - t0)
+                elapsed = _now() - t0
+                _STMT_SECONDS.observe(elapsed)
                 _STATEMENTS.inc()
                 _BATCHES.inc()
+                if prof:
+                    conn._finalize_profiled(
+                        conn._fingerprint_of(entry, sql), sql, result,
+                        elapsed, max(result.rowcount, 0), cache_hit,
+                    )
             else:
                 result = Executor(conn.db).execute_insert_batch(stmt, seq_of_params)
             self.description = None

@@ -19,7 +19,14 @@ from . import optimizer
 from .analyzer import Analyzer
 from .errors import ProgrammingError, SemanticError
 from .expressions import Evaluator, Scope
-from .operators import ExecContext, FilterOp, Operator, render_plan, scan_for_path
+from .operators import (
+    ExecContext,
+    ExecStats,
+    FilterOp,
+    Operator,
+    render_plan,
+    scan_for_path,
+)
 from .planner import choose_access_path, split_conjuncts
 from .sqltypes import coerce
 from .storage import Database
@@ -41,9 +48,17 @@ class Result:
     of row *lists* that the cursor slices for ``fetchone`` so the
     streaming contract survives batch execution.  Everything else
     materialises ``rows`` eagerly.
+
+    ``root`` is the physical operator tree that produced the result (when
+    one exists: SELECT, UPDATE, DELETE) and ``stats`` the per-execution
+    :class:`~repro.minidb.operators.ExecStats`; the statement profiler
+    reads both when it finalizes a statement, after any stream drains.
     """
 
-    __slots__ = ("description", "rows", "rowcount", "lastrowid", "stream", "batches")
+    __slots__ = (
+        "description", "rows", "rowcount", "lastrowid", "stream", "batches",
+        "root", "stats",
+    )
 
     def __init__(
         self,
@@ -60,6 +75,8 @@ class Result:
         self.lastrowid = lastrowid
         self.stream = stream
         self.batches = batches
+        self.root: Optional[Operator] = None
+        self.stats: Optional[ExecStats] = None
 
 
 class Executor:
@@ -75,10 +92,12 @@ class Executor:
         db: Database,
         params: Sequence[Any] = (),
         plan: Optional["optimizer.PhysicalPlan"] = None,
+        meter: bool = False,
     ) -> None:
         self.db = db
         self.evaluator = Evaluator(params, subquery_runner=self._run_subquery)
         self.plan = plan
+        self.stats = ExecStats()
         # Per-statement-execution caches shared by the main plan and every
         # expression subquery: hash-join builds and FROM-subquery rows.
         self._hash_builds: dict[int, dict] = {}
@@ -87,7 +106,10 @@ class Executor:
         # the AST node identity — a correlated subquery re-run per outer
         # row reuses its plan (and its hash builds).
         self._subplans: dict[int, optimizer.PhysicalPlan] = {}
-        self._analyze = False
+        # ``meter`` pre-arms per-operator actuals collection (the same
+        # machinery EXPLAIN ANALYZE uses) so the flight recorder can read
+        # a fully metered tree without re-executing the statement.
+        self._analyze = meter
         # Operator tree of the last DML scan, for EXPLAIN ANALYZE rendering.
         self._dml_root: Optional[Operator] = None
 
@@ -99,6 +121,7 @@ class Executor:
             analyze=self._analyze,
             hash_builds=self._hash_builds,
             subquery_rows=self._subquery_rows,
+            stats=self.stats,
         )
 
     # -- dispatch --------------------------------------------------------------
@@ -108,7 +131,11 @@ class Executor:
         handler = getattr(self, f"_exec_{name}", None)
         if handler is None:
             raise ProgrammingError(f"cannot execute {name}")
-        return handler(stmt)
+        result = handler(stmt)
+        result.stats = self.stats
+        if result.root is None:
+            result.root = self._dml_root
+        return result
 
     # -- DDL --------------------------------------------------------------------
 
@@ -146,16 +173,19 @@ class Executor:
     def _exec_Select(self, stmt: ast.Select) -> Result:
         plan = self._plan_for_select(stmt)
         if plan.root.BATCHED:
-            return Result(
+            result = Result(
                 description=plan.description,
                 rowcount=-1,
                 batches=self._stream_batches(plan.root),
             )
-        return Result(
-            description=plan.description,
-            rowcount=-1,
-            stream=self._stream_rows(plan.root),
-        )
+        else:
+            result = Result(
+                description=plan.description,
+                rowcount=-1,
+                stream=self._stream_rows(plan.root),
+            )
+        result.root = plan.root
+        return result
 
     def _stream_rows(self, root: Operator) -> Iterator[tuple]:
         returned = 0

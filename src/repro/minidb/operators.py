@@ -54,10 +54,29 @@ _VEC_BATCHES = _M.counter("minidb.vector.batches")
 _VEC_ROWS = _M.counter("minidb.vector.rows", unit="rows")
 
 
+class ExecStats:
+    """Per-statement-execution totals the profiler reads at finalize.
+
+    One instance is shared by every :class:`ExecContext` of a statement
+    execution (subquery contexts included).  Scan operators add their
+    local counts here at the same once-per-close flush points that feed
+    the global registry counters, so the cost is per-open, not per-row,
+    and the numbers exist even while the metrics registry is disabled.
+    """
+
+    __slots__ = ("rows_scanned",)
+
+    def __init__(self) -> None:
+        self.rows_scanned = 0
+
+
 class ExecContext:
     """Per-execution state shared by every operator in one plan run."""
 
-    __slots__ = ("db", "evaluator", "outer", "analyze", "hash_builds", "subquery_rows")
+    __slots__ = (
+        "db", "evaluator", "outer", "analyze", "hash_builds", "subquery_rows",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -67,6 +86,7 @@ class ExecContext:
         analyze: bool = False,
         hash_builds: Optional[dict] = None,
         subquery_rows: Optional[dict] = None,
+        stats: Optional[ExecStats] = None,
     ) -> None:
         self.db = db
         self.evaluator = evaluator
@@ -80,6 +100,7 @@ class ExecContext:
         # subqueries are uncorrelated by construction, so one execution
         # computes them at most once even under a nested-loop reopen.
         self.subquery_rows = subquery_rows if subquery_rows is not None else {}
+        self.stats = stats if stats is not None else ExecStats()
 
     def child(self, outer: Scope) -> "ExecContext":
         """A context for a sub-plan sharing this execution's caches."""
@@ -90,6 +111,7 @@ class ExecContext:
             analyze=self.analyze,
             hash_builds=self.hash_builds,
             subquery_rows=self.subquery_rows,
+            stats=self.stats,
         )
 
 
@@ -285,6 +307,7 @@ class _ScanBase(Operator):
                 yield scope
         finally:
             _ROWS_SCANNED.add(scanned)
+            ctx.stats.rows_scanned += scanned
 
 
 class SeqScan(_ScanBase):
@@ -377,6 +400,7 @@ class HashJoin(_ScanBase):
                 yield scope
         finally:
             _ROWS_SCANNED.add(scanned)
+            ctx.stats.rows_scanned += scanned
 
     def _rowids(self, ctx, table, eval_scope):
         path = self.path
@@ -999,6 +1023,7 @@ class VecScan(Operator):
                 yield batch
         finally:
             _ROWS_SCANNED.add(scanned)
+            ctx.stats.rows_scanned += scanned
             if _M.enabled:
                 _VEC_BATCHES.add(nbatches)
                 _VEC_ROWS.add(scanned)
@@ -1402,3 +1427,34 @@ def render_plan(root: Operator, analyze: bool = False) -> list[str]:
 
     walk(root, 0)
     return lines
+
+
+def plan_snapshot(root: Operator) -> list[dict]:
+    """The operator tree as plain dicts, one node per operator (pre-order).
+
+    This is the structured sibling of :func:`render_plan`, consumed by the
+    statement profiler's plan flight recorder: each node carries the
+    planner's estimate (``est_rows``) next to the metered actuals
+    (``rows``/``batches``/``loops``/``seconds``), so estimate-vs-actual
+    drift can be computed without re-executing or re-parsing EXPLAIN text.
+    """
+    nodes: list[dict] = []
+
+    def walk(op: Operator, depth: int) -> None:
+        nodes.append(
+            {
+                "depth": depth,
+                "op": type(op).__name__,
+                "describe": op.describe(),
+                "est_rows": op.est_rows,
+                "rows": op.actual_rows,
+                "batches": op.actual_batches,
+                "loops": op.loops,
+                "seconds": op.seconds,
+            }
+        )
+        for child in op.children():
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return nodes

@@ -687,6 +687,54 @@ def parse(sql: str):
     return Parser(sql).parse()
 
 
+def fingerprint(sql: str) -> str:
+    """Normalized statement text for per-fingerprint profiling.
+
+    The statement profiler (:mod:`repro.obs.profiler`) aggregates stats by
+    fingerprint, so two executions of the "same" statement must normalize
+    to the same string — a ``pg_stat_statements``-style queryid.  Rules:
+
+    * number/string/blob literals and ``?``/``%s`` parameters all become
+      ``?`` (so ``WHERE id = 7`` and ``WHERE id = ?`` aggregate together),
+    * comma-separated runs of ``?`` inside parentheses collapse to one
+      ``?`` (``IN (1, 2, 3)`` and ``IN (?)`` fingerprint identically, so
+      loader-generated IN-lists of any width share one entry),
+    * keywords uppercase, unquoted identifiers lowercase,
+    * comments and whitespace differences disappear (tokens are re-joined
+      with single spaces).
+
+    Unparseable text falls back to whitespace-collapsed SQL so callers can
+    fingerprint defensively.
+    """
+    try:
+        tokens = tokenize(sql)
+    except SqlSyntaxError:
+        return " ".join(sql.split())
+    out: list[str] = []
+    for tok in tokens:
+        if tok.kind == EOF:
+            break
+        if tok.kind in (NUMBER, STRING, BLOBLIT, PARAM):
+            # Collapse "( ?, ?, ..." runs as they form: seeing "?" right
+            # after "?" + "," where the run started at "(" drops the pair.
+            if (
+                len(out) >= 3
+                and out[-1] == ","
+                and out[-2] == "?"
+                and (out[-3] == "(" or out[-3] == ",")
+            ):
+                out.pop()  # the "," — the new "?" merges into the run
+                continue
+            out.append("?")
+        elif tok.kind == KEYWORD:
+            out.append(tok.value.upper())
+        elif tok.kind == IDENT:
+            out.append(tok.value.lower())
+        else:
+            out.append(tok.value)
+    return " ".join(out)
+
+
 def is_aggregate_call(expr: ast.Expr) -> bool:
     return isinstance(expr, ast.FuncCall) and expr.name in _AGGREGATES
 

@@ -8,9 +8,13 @@ the stack (minidb engine, PTdf loaders, datastore/query core, CLI):
   the hot paths pay only a predicate check),
 * :data:`trace` — the process-wide :class:`Tracer` (hierarchical spans,
   ring buffer, Chrome-trace JSON export),
+* :data:`profiler` — the process-wide :class:`StatementProfiler`
+  (per-fingerprint statement statistics, plan flight recorder,
+  estimate-vs-actual drift; also disabled by default),
 * exporters — :func:`render_text` / :func:`render_json` /
   :func:`render_prometheus` / :func:`to_ptdf` (PerfTrack loading its own
-  telemetry as PTdf),
+  telemetry as PTdf), plus :func:`render_profile_text` /
+  :func:`render_flight_text` / :func:`profile_to_ptdf` for profiles,
 * :func:`configure_logging` / :func:`get_logger` — stdlib logging under
   the ``ptrack`` hierarchy, level via ``--log-level`` or ``$PTRACK_LOG``.
 
@@ -18,23 +22,41 @@ See ``docs/observability.md`` for the metric catalogue and span taxonomy.
 """
 
 from .clock import now, wall_clock
-from .export import render_json, render_prometheus, render_text, to_ptdf
+from .export import (
+    profile_to_ptdf,
+    render_flight_text,
+    render_json,
+    render_profile_json,
+    render_profile_text,
+    render_prometheus,
+    render_text,
+    to_ptdf,
+)
 from .logsetup import configure_logging, get_logger
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
+from .profiler import FlightRecord, StatementProfiler, StatementStats, profiler
 from .tracing import Span, Tracer, trace
 
 __all__ = [
     "Counter",
+    "FlightRecord",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "StatementProfiler",
+    "StatementStats",
     "Tracer",
     "configure_logging",
     "get_logger",
     "metrics",
     "now",
+    "profile_to_ptdf",
+    "profiler",
+    "render_flight_text",
     "render_json",
+    "render_profile_json",
+    "render_profile_text",
     "render_prometheus",
     "render_text",
     "to_ptdf",

@@ -27,6 +27,10 @@ __all__ = [
     "render_json",
     "render_prometheus",
     "to_ptdf",
+    "render_profile_text",
+    "render_profile_json",
+    "render_flight_text",
+    "profile_to_ptdf",
 ]
 
 Snapshot = Mapping[str, Mapping[str, Any]]
@@ -151,4 +155,180 @@ def to_ptdf(execution: str = "ptrack-telemetry", *,
                 result(f"{name} (max)", float(data["max"]), data["unit"])
         else:
             result(name, float(data["value"]), data["unit"])
+    return writer.render()
+
+
+# ---------------------------------------------------------------- profiles
+
+Profile = Mapping[str, Any]
+
+_SORT_KEYS = {
+    "time": "total_seconds",
+    "calls": "calls",
+    "mean": "mean_seconds",
+    "rows": "rows_returned",
+}
+
+
+def _resolve_profile(profile: Optional[Profile]) -> Profile:
+    if profile is not None:
+        return profile
+    from .profiler import profiler
+    return profiler.snapshot()
+
+
+def _top_statements(profile: Profile, top: Optional[int], sort: str) -> list:
+    try:
+        key = _SORT_KEYS[sort]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile sort {sort!r}; one of {sorted(_SORT_KEYS)}"
+        ) from None
+    ranked = sorted(profile["statements"], key=lambda s: s[key], reverse=True)
+    return ranked[:top] if top else ranked
+
+
+def render_profile_text(profile: Optional[Profile] = None, *,
+                        top: Optional[int] = None, sort: str = "time") -> str:
+    """The statement profile as an aligned table, hottest first.
+
+    Statement rows are followed by the per-operator-type drift table
+    (q-error of planner row estimates) when any metered plans were seen.
+    """
+    prof = _resolve_profile(profile)
+    statements = _top_statements(prof, top, sort)
+    if not statements:
+        return "(no statements profiled)\n"
+    lines = [
+        f"{'calls':>7} {'total ms':>10} {'mean ms':>9} {'p95 ms':>9} "
+        f"{'rows ret':>9} {'scanned':>9} {'hits':>6} {'err':>4} "
+        f"{'plan':<12} statement"
+    ]
+    for s in statements:
+        lines.append(
+            f"{s['calls']:>7} {s['total_seconds'] * 1e3:>10.3f} "
+            f"{s['mean_seconds'] * 1e3:>9.3f} {s['p95_seconds'] * 1e3:>9.3f} "
+            f"{s['rows_returned']:>9} {s['rows_scanned']:>9} "
+            f"{s['cache_hits']:>6} {s['errors']:>4} "
+            f"{s['plan_hash'] or '-':<12} {s['fingerprint']}"
+        )
+    lines.append("")
+    lines.append(
+        f"{prof['calls']} calls profiled, {len(prof['statements'])} "
+        f"statements tracked ({prof['evicted']} evicted), "
+        f"{len(prof['flights'])} plans in the flight recorder"
+    )
+    if prof["drift"]:
+        lines.append("")
+        lines.append(
+            f"{'operator':<16} {'nodes':>7} {'mean q':>8} {'p95 q':>8} "
+            f"{'max q':>8} {'misest':>7}"
+        )
+        for op, d in prof["drift"].items():
+            lines.append(
+                f"{op:<16} {d['count']:>7} {d['mean_q']:>8.2f} "
+                f"{d['p95_q']:>8.2f} {d['max_q']:>8.2f} {d['misestimates']:>7}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_profile_json(profile: Optional[Profile] = None, *,
+                        top: Optional[int] = None, sort: str = "time") -> str:
+    """The profile snapshot as a stable JSON document."""
+    prof = dict(_resolve_profile(profile))
+    prof["statements"] = _top_statements(prof, top, sort)
+    return json.dumps(prof, indent=2, sort_keys=True) + "\n"
+
+
+def render_flight_text(profile: Optional[Profile] = None) -> str:
+    """Recorded plans, oldest first, with per-node estimate vs actual.
+
+    Nodes whose per-loop row estimate misses by a q-error of 4 or more
+    are flagged with ``!`` — the planner drift the recorder exists to
+    surface.
+    """
+    from .profiler import MISESTIMATE_Q, qerror
+
+    prof = _resolve_profile(profile)
+    if not prof["flights"]:
+        return "(flight recorder is empty)\n"
+    lines = []
+    for flight in prof["flights"]:
+        lines.append(
+            f"[{flight['seq']}] {flight['trigger']} "
+            f"{flight['seconds'] * 1e3:.3f} ms "
+            f"rows={flight['rows_returned']} plan={flight['plan_hash']}"
+        )
+        lines.append(f"    {flight['fingerprint']}")
+        for node in flight["nodes"]:
+            indent = "  " * node["depth"]
+            actuals = ""
+            if node["rows"] is not None:
+                est = node["est_rows"]
+                loops = node["loops"] or 1
+                drift = ""
+                if est is not None and qerror(est, node["rows"] / loops) >= MISESTIMATE_Q:
+                    drift = " !"
+                ms = (node["seconds"] or 0.0) * 1e3
+                actuals = (
+                    f"  (est={est} actual={node['rows']} "
+                    f"loops={loops} time={ms:.3f} ms{drift})"
+                )
+            lines.append(f"    {indent}{node['describe']}{actuals}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def profile_to_ptdf(execution: str = "ptrack-profile", *,
+                    profile: Optional[Profile] = None,
+                    application: str = "PerfTrack",
+                    tool: str = "ptrack-profiler") -> str:
+    """Render a statement profile as PTdf.
+
+    Each profiled fingerprint becomes an ``execution/statement`` resource
+    under the execution (fingerprint and plan hash as resource
+    attributes) carrying its statistics as PerfResults; drift and
+    recorder totals land on the whole-execution focus.  The text passes
+    ``pt-lint --strict`` and loads into a fresh store, so statement
+    profiles can be compared across runs with the same pr-filter
+    machinery as application data.
+    """
+    from ..ptdf.format import ResourceSet
+    from ..ptdf.writer import PTdfWriter
+
+    prof = _resolve_profile(profile)
+    writer = PTdfWriter()
+    writer.add_application(application)
+    writer.add_execution(execution, application)
+    writer.add_resource_type("execution/statement")
+    focus_name = f"/{execution}"
+    writer.add_resource(focus_name, "execution", execution)
+    focus = ResourceSet((focus_name,), "primary")
+
+    def result(rset: ResourceSet, metric: str, value: float, units: str) -> None:
+        writer.add_perf_result(execution, rset, tool, metric, float(value), units)
+
+    result(focus, "profile.calls", prof["calls"], "count")
+    result(focus, "profile.statements", len(prof["statements"]), "count")
+    result(focus, "profile.flights", len(prof["flights"]), "count")
+    for op, d in prof["drift"].items():
+        result(focus, f"drift.{op} (mean q-error)", d["mean_q"], "ratio")
+        result(focus, f"drift.{op} (p95 q-error)", d["p95_q"], "ratio")
+        result(focus, f"drift.{op} (misestimates)", d["misestimates"], "count")
+    for i, s in enumerate(prof["statements"], 1):
+        rname = f"{focus_name}/stmt-{i:03d}"
+        writer.add_resource(rname, "execution/statement", execution)
+        writer.add_resource_attribute(rname, "fingerprint", s["fingerprint"])
+        if s["plan_hash"]:
+            writer.add_resource_attribute(rname, "plan hash", s["plan_hash"])
+        sfocus = ResourceSet((rname,), "primary")
+        result(sfocus, "calls", s["calls"], "count")
+        result(sfocus, "errors", s["errors"], "count")
+        result(sfocus, "cache hits", s["cache_hits"], "count")
+        result(sfocus, "rows scanned", s["rows_scanned"], "rows")
+        result(sfocus, "rows returned", s["rows_returned"], "rows")
+        result(sfocus, "total time", s["total_seconds"], "seconds")
+        result(sfocus, "mean time", s["mean_seconds"], "seconds")
+        result(sfocus, "p95 time", s["p95_seconds"], "seconds")
+        result(sfocus, "max time", s["max_seconds"], "seconds")
     return writer.render()

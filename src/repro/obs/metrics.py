@@ -16,9 +16,12 @@ Design constraints (see docs/observability.md):
   PTdf telemetry.
 
 Histograms use fixed log2 bins: an observation ``v`` lands in the bin whose
-upper bound is ``2**e`` where ``2**(e-1) <= v < 2**e`` (the :func:`math.frexp`
-exponent), clamped to ``[2**MIN_EXP, 2**MAX_EXP]``.  With seconds as the
-unit this spans ~1 microsecond to ~17 minutes in 31 bins.
+upper bound is ``2**e`` where ``2**(e-1) < v <= 2**e``, clamped to
+``[2**MIN_EXP, 2**MAX_EXP]``.  Bin upper bounds are **inclusive** so the
+Prometheus exposition's ``le`` (less-or-equal) bucket labels are exact: an
+observation of precisely ``1.0`` counts in ``le="1"``, not ``le="2"``.
+With seconds as the unit this spans ~1 microsecond to ~17 minutes in 31
+bins.
 """
 
 from __future__ import annotations
@@ -137,17 +140,24 @@ class Histogram(_Instrument):
 
     @staticmethod
     def bin_index(value: float) -> int:
-        """Bin for ``value``: 0 is underflow (< 2**MIN_EXP), last is +Inf."""
-        if value < 2.0 ** MIN_EXP:
+        """Bin for ``value``: 0 is underflow (<= 2**MIN_EXP), last is +Inf.
+
+        Upper bounds are inclusive (``le`` semantics): a value exactly equal
+        to ``2**e`` belongs to the bin whose bound is ``2**e``, which is what
+        Prometheus ``_bucket{le=...}`` series promise.
+        """
+        if value <= 2.0 ** MIN_EXP:
             return 0
-        exp = math.frexp(value)[1]  # value = m * 2**exp with 0.5 <= m < 1
+        m, exp = math.frexp(value)  # value = m * 2**exp with 0.5 <= m < 1
+        if m == 0.5:
+            exp -= 1  # exact power of two: its own bound's bin, not the next
         if exp > MAX_EXP:
             return _NBINS - 1
         return exp - MIN_EXP
 
     @staticmethod
     def bin_upper_bound(index: int) -> float:
-        """Exclusive upper bound of bin ``index`` (+Inf for the last bin)."""
+        """Inclusive upper bound of bin ``index`` (+Inf for the last bin)."""
         if index >= _NBINS - 1:
             return math.inf
         return 2.0 ** (MIN_EXP + index)

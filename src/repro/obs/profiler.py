@@ -1,0 +1,356 @@
+"""Statement profiler and plan flight recorder.
+
+The profiler is the engine-side analogue of ``pg_stat_statements`` plus
+``auto_explain``: while enabled it aggregates per-*fingerprint* statement
+statistics (calls, rows scanned/returned, total/mean/p95 seconds, plan
+hash, cache hits) in a bounded LRU table, and captures the full
+EXPLAIN-ANALYZE-style operator tree — per-operator actual rows, loops,
+time **and** the planner's estimated rows — into a ring buffer for
+statements that exceed a slow threshold or match a sample rate.
+
+Plans are never re-executed to get actuals: while the profiler is on,
+the connection arms the same per-operator metering EXPLAIN ANALYZE uses
+(``Executor(meter=True)``) and hands the already-metered tree snapshot
+here at finalize time.  The per-node estimate-vs-actual pairs also feed
+q-error histograms per operator type ("drift"), surfacing planner
+misestimates without anyone running EXPLAIN ANALYZE by hand.
+
+Like the metrics registry and tracer, the profiler starts **disabled**
+and the query path then pays a single predicate check per statement.
+The singleton is :data:`profiler`; ``ptrack profile`` renders it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Dict, List, Optional
+
+from .metrics import Histogram, metrics as _M
+
+__all__ = ["FlightRecord", "StatementProfiler", "StatementStats", "profiler"]
+
+#: q-error at or above which a node counts as a planner misestimate.
+MISESTIMATE_Q = 4.0
+
+# Drift counters live in the global registry too, so `ptrack stats` and
+# the Prometheus render see them when metrics are enabled alongside the
+# profiler.  (The profiler keeps its own authoritative tallies: it can be
+# on while the registry is off.)
+_DRIFT_NODES = _M.counter("minidb.drift.nodes", unit="nodes")
+_DRIFT_MISEST = _M.counter("minidb.drift.misestimates", unit="nodes")
+_FLIGHTS = _M.counter("minidb.profiler.flights")
+_EVICTIONS = _M.counter("minidb.profiler.evictions")
+
+
+def qerror(est: float, actual: float) -> float:
+    """Symmetric estimation error: ``max(e/a, a/e)`` with a floor of 1 row.
+
+    Always >= 1.0; a perfect estimate scores exactly 1.0.  The floor keeps
+    empty results from producing infinite error (the convention used by
+    the "How Good Are Query Optimizers, Really?" cardinality benchmarks).
+    """
+    e = max(float(est), 1.0)
+    a = max(float(actual), 1.0)
+    return e / a if e >= a else a / e
+
+
+def plan_hash(nodes: List[Dict[str, Any]]) -> str:
+    """Stable short hash of a plan's shape (operators + arguments).
+
+    Depends only on the ``depth``/``describe`` skeleton, not on actuals,
+    so repeated executions of the same plan — and the same statement
+    across processes — hash identically.
+    """
+    h = hashlib.blake2b(digest_size=6)
+    for node in nodes:
+        h.update(b"%d|" % node["depth"])
+        h.update(node["describe"].encode("utf-8", "replace"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+class _P95Bins:
+    """Log2-binned latency sketch: p95 in O(1) memory per fingerprint.
+
+    Reuses the registry histogram's le-inclusive bin geometry
+    (:meth:`Histogram.bin_index`) so profiler percentiles and Prometheus
+    buckets quantize identically.
+    """
+
+    __slots__ = ("bins",)
+
+    def __init__(self) -> None:
+        self.bins: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        i = Histogram.bin_index(value)
+        self.bins[i] = self.bins.get(i, 0) + 1
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bin containing the q-quantile observation."""
+        total = sum(self.bins.values())
+        if total == 0:
+            return 0.0
+        rank = max(1, int(q * total + 0.9999999))
+        seen = 0
+        for i in sorted(self.bins):
+            seen += self.bins[i]
+            if seen >= rank:
+                return Histogram.bin_upper_bound(i)
+        return Histogram.bin_upper_bound(max(self.bins))
+
+
+class StatementStats:
+    """Aggregate execution statistics for one statement fingerprint."""
+
+    __slots__ = (
+        "fingerprint", "example", "calls", "errors", "cache_hits",
+        "rows_scanned", "rows_returned", "total_seconds", "max_seconds",
+        "plan_hash", "_p95",
+    )
+
+    def __init__(self, fingerprint: str, example: str) -> None:
+        self.fingerprint = fingerprint
+        self.example = example
+        self.calls = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self.rows_scanned = 0
+        self.rows_returned = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+        self.plan_hash: Optional[str] = None
+        self._p95 = _P95Bins()
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+    @property
+    def p95_seconds(self) -> float:
+        return self._p95.quantile(0.95)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "example": self.example,
+            "calls": self.calls,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "rows_scanned": self.rows_scanned,
+            "rows_returned": self.rows_returned,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "p95_seconds": self.p95_seconds,
+            "max_seconds": self.max_seconds,
+            "plan_hash": self.plan_hash,
+        }
+
+
+class FlightRecord:
+    """One recorded plan: the metered operator tree of a single execution."""
+
+    __slots__ = ("fingerprint", "plan_hash", "seconds", "rows_returned",
+                 "trigger", "nodes", "seq")
+
+    def __init__(self, fingerprint: str, plan: str, seconds: float,
+                 rows_returned: int, trigger: str,
+                 nodes: List[Dict[str, Any]], seq: int) -> None:
+        self.fingerprint = fingerprint
+        self.plan_hash = plan
+        self.seconds = seconds
+        self.rows_returned = rows_returned
+        self.trigger = trigger  # "slow" or "sample"
+        self.nodes = nodes
+        self.seq = seq
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "fingerprint": self.fingerprint,
+            "plan_hash": self.plan_hash,
+            "seconds": self.seconds,
+            "rows_returned": self.rows_returned,
+            "trigger": self.trigger,
+            "nodes": [dict(n) for n in self.nodes],
+        }
+
+
+class _OpDrift:
+    """Per-operator-type q-error aggregate."""
+
+    __slots__ = ("count", "misestimates", "sum_q", "max_q", "_bins")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.misestimates = 0
+        self.sum_q = 0.0
+        self.max_q = 1.0
+        self._bins = _P95Bins()
+
+    def observe(self, q: float) -> None:
+        self.count += 1
+        self.sum_q += q
+        if q > self.max_q:
+            self.max_q = q
+        if q >= MISESTIMATE_Q:
+            self.misestimates += 1
+        self._bins.observe(q)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "misestimates": self.misestimates,
+            "mean_q": self.sum_q / self.count if self.count else 0.0,
+            "p95_q": self._bins.quantile(0.95),
+            "max_q": self.max_q,
+        }
+
+
+class StatementProfiler:
+    """Bounded per-fingerprint statistics + plan flight recorder.
+
+    ``max_statements`` bounds the LRU stats table (least recently
+    *executed* fingerprint is evicted; an eviction counter records the
+    loss).  ``flight_capacity`` bounds the plan ring buffer.  A plan is
+    recorded when its statement ran for at least ``slow_seconds``, or
+    unconditionally for every ``sample_every``-th profiled statement
+    (0 disables sampling).
+    """
+
+    def __init__(self, max_statements: int = 256, flight_capacity: int = 64,
+                 slow_seconds: float = 0.1, sample_every: int = 0) -> None:
+        self.enabled = False
+        self.max_statements = max_statements
+        self.slow_seconds = slow_seconds
+        self.sample_every = sample_every
+        self._stats: "OrderedDict[str, StatementStats]" = OrderedDict()
+        self._flights: deque = deque(maxlen=flight_capacity)
+        self._drift: Dict[str, _OpDrift] = {}
+        self._calls = 0
+        self._evicted = 0
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def enable(self, slow_seconds: Optional[float] = None,
+               sample_every: Optional[int] = None,
+               max_statements: Optional[int] = None,
+               flight_capacity: Optional[int] = None) -> None:
+        if slow_seconds is not None:
+            self.slow_seconds = slow_seconds
+        if sample_every is not None:
+            self.sample_every = sample_every
+        if max_statements is not None:
+            self.max_statements = max_statements
+        if flight_capacity is not None:
+            self._flights = deque(self._flights, maxlen=flight_capacity)
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats.clear()
+            self._flights.clear()
+            self._drift.clear()
+            self._calls = 0
+            self._evicted = 0
+            self._seq = 0
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(
+        self,
+        fingerprint: str,
+        sql: str,
+        seconds: float,
+        rows_returned: int = 0,
+        rows_scanned: int = 0,
+        plan: Optional[List[Dict[str, Any]]] = None,
+        cache_hit: bool = False,
+        error: bool = False,
+    ) -> None:
+        """Finalize one statement execution.
+
+        ``plan`` is a :func:`repro.minidb.operators.plan_snapshot` list for
+        metered executions (``None`` for DDL/transaction statements, which
+        have no operator tree).  Called once per execution, after any
+        result stream has drained, so ``seconds`` covers the full pull.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._calls += 1
+            stats = self._stats.get(fingerprint)
+            if stats is None:
+                stats = StatementStats(fingerprint, " ".join(sql.split())[:200])
+                self._stats[fingerprint] = stats
+                while len(self._stats) > self.max_statements:
+                    self._stats.popitem(last=False)
+                    self._evicted += 1
+                    _EVICTIONS.inc()
+            else:
+                self._stats.move_to_end(fingerprint)
+            stats.calls += 1
+            stats.total_seconds += seconds
+            if seconds > stats.max_seconds:
+                stats.max_seconds = seconds
+            stats._p95.observe(seconds)
+            stats.rows_returned += rows_returned
+            stats.rows_scanned += rows_scanned
+            stats.cache_hits += cache_hit
+            stats.errors += error
+            if plan:
+                stats.plan_hash = plan_hash(plan)
+                self._observe_drift(plan)
+                trigger = None
+                if seconds >= self.slow_seconds:
+                    trigger = "slow"
+                elif self.sample_every and self._calls % self.sample_every == 0:
+                    trigger = "sample"
+                if trigger is not None:
+                    self._seq += 1
+                    _FLIGHTS.inc()
+                    self._flights.append(FlightRecord(
+                        fingerprint, stats.plan_hash, seconds, rows_returned,
+                        trigger, plan, self._seq,
+                    ))
+
+    def _observe_drift(self, plan: List[Dict[str, Any]]) -> None:
+        for node in plan:
+            est, actual = node.get("est_rows"), node.get("rows")
+            if est is None or actual is None:
+                continue
+            loops = node.get("loops") or 1
+            # est_rows is per-open; actuals accumulate across re-opens
+            # (the inner side of a nested-loop join), so compare per-loop.
+            q = qerror(est, actual / loops)
+            _DRIFT_NODES.inc()
+            if q >= MISESTIMATE_Q:
+                _DRIFT_MISEST.inc()
+            drift = self._drift.get(node["op"])
+            if drift is None:
+                drift = self._drift[node["op"]] = _OpDrift()
+            drift.observe(q)
+
+    # -- read side ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deep-copied profile state, safe to render or serialize."""
+        with self._lock:
+            return {
+                "statements": [s.to_dict() for s in self._stats.values()],
+                "flights": [f.to_dict() for f in self._flights],
+                "drift": {op: d.to_dict() for op, d in sorted(self._drift.items())},
+                "calls": self._calls,
+                "evicted": self._evicted,
+            }
+
+
+#: The process-wide statement profiler; the minidb connection feeds it.
+profiler = StatementProfiler()

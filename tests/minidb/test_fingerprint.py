@@ -1,0 +1,62 @@
+"""Statement fingerprinting: literal normalization at the token level."""
+
+from repro.minidb.parser import fingerprint
+
+
+def test_literals_become_placeholders():
+    assert (
+        fingerprint("SELECT a FROM t WHERE a > 10")
+        == fingerprint("SELECT a FROM t WHERE a > 999")
+        == "SELECT a FROM t WHERE a > ?"
+    )
+    assert (
+        fingerprint("SELECT a FROM t WHERE b = 'x'")
+        == fingerprint("SELECT a FROM t WHERE b = 'other'")
+    )
+
+
+def test_parameters_and_literals_unify():
+    assert fingerprint("SELECT a FROM t WHERE a > ?") == fingerprint(
+        "SELECT a FROM t WHERE a > 42"
+    )
+
+
+def test_case_folding():
+    assert fingerprint("select A from T where A > 1") == fingerprint(
+        "SELECT a FROM t WHERE a > 2"
+    )
+
+
+def test_whitespace_and_comments_ignored():
+    assert fingerprint("SELECT  a\n  FROM t") == fingerprint(
+        "SELECT a FROM t -- trailing comment"
+    )
+
+
+def test_in_list_collapses():
+    short = fingerprint("SELECT a FROM t WHERE a IN (1, 2)")
+    long = fingerprint("SELECT a FROM t WHERE a IN (1, 2, 3, 4, 5, 6, 7)")
+    assert short == long == "SELECT a FROM t WHERE a IN ( ? )"
+
+
+def test_values_rows_collapse():
+    # Multi-column VALUES groups with single-column VALUES: executemany
+    # workloads aggregate under one fingerprint regardless of arity.
+    assert fingerprint("INSERT INTO t VALUES (1, 'x', 3.5)") == fingerprint(
+        "INSERT INTO t VALUES (?)"
+    )
+
+
+def test_identifiers_not_collapsed():
+    # Only literal runs collapse; a select list keeps its shape.
+    assert fingerprint("SELECT a, b FROM t") != fingerprint("SELECT a FROM t")
+
+
+def test_distinct_structure_distinct_fingerprints():
+    assert fingerprint("SELECT a FROM t WHERE a > 1") != fingerprint(
+        "SELECT a FROM t WHERE a < 1"
+    )
+
+
+def test_unparseable_sql_falls_back_to_normalized_text():
+    assert fingerprint("THIS IS @@ NOT SQL") == "THIS IS @@ NOT SQL"

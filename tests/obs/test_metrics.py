@@ -83,17 +83,30 @@ def test_histogram_stats(reg):
 
 
 def test_histogram_bin_index_brackets_value():
-    """Every finite-bin value v satisfies bound/2 <= v < bound."""
+    """Every finite-bin value v satisfies bound/2 < v <= bound.
+
+    Bounds are le-inclusive so the Prometheus ``_bucket{le=...}`` series
+    are conformant: a value exactly on a bound counts in that bucket.
+    """
     for v in (1e-6, 0.001, 0.25, 1.0, 3.5, 100.0, 1000.0):
         i = Histogram.bin_index(v)
         bound = Histogram.bin_upper_bound(i)
-        assert v < bound
-        assert v >= bound / 2
+        assert v <= bound
+        assert v > bound / 2
+
+
+def test_histogram_bin_bounds_are_le_inclusive():
+    """Regression: an exact power of two lands in its own bound's bin."""
+    for e in (-10, -1, 0, 1, 5):
+        v = 2.0 ** e
+        assert Histogram.bin_upper_bound(Histogram.bin_index(v)) == v
 
 
 def test_histogram_underflow_and_overflow_bins():
     assert Histogram.bin_index(0.0) == 0
     assert Histogram.bin_index(2.0 ** (MIN_EXP - 3)) == 0
+    # The smallest bound is itself le-inclusive.
+    assert Histogram.bin_index(2.0 ** MIN_EXP) == 0
     assert math.isinf(Histogram.bin_upper_bound(Histogram.bin_index(2.0 ** (MAX_EXP + 4))))
 
 

@@ -50,6 +50,34 @@ def test_render_prometheus(snapshot):
     assert counts == sorted(counts)
 
 
+def test_render_prometheus_le_buckets_are_conformant():
+    """Regression: ``le`` labels honour less-or-equal semantics.
+
+    An observation exactly on a bucket bound must be counted by that
+    bucket — 1.0 belongs to ``le="1"``, not only to ``le="2"`` — and the
+    per-bound cumulative counts must equal the true number of
+    observations <= bound.
+    """
+    r = MetricsRegistry(enabled=True)
+    h = r.histogram("t.seconds")
+    observations = (0.5, 1.0, 1.0, 2.0, 3.0)
+    for v in observations:
+        h.observe(v)
+    text = render_prometheus(r.snapshot())
+    buckets = {}
+    for line in text.splitlines():
+        if line.startswith("t_seconds_bucket"):
+            label, _, count = line.partition("} ")
+            le = label.split('le="', 1)[1].rstrip('"')
+            bound = float("inf") if le == "+Inf" else float(le)
+            buckets[bound] = int(count)
+    for bound, cumulative in buckets.items():
+        expected = sum(1 for v in observations if v <= bound)
+        assert cumulative == expected, (bound, cumulative, expected)
+    assert buckets[1.0] == 3  # 0.5, 1.0, 1.0 — the on-bound values count
+    assert buckets[float("inf")] == len(observations)
+
+
 def test_to_ptdf_lints_clean_strict(snapshot):
     text = to_ptdf("obs-test", snapshot=snapshot)
     diagnostics = Linter().lint_string(text)

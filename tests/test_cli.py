@@ -284,6 +284,58 @@ class TestStats:
         assert not metrics.enabled
 
 
+class TestProfile:
+    def test_profile_text_shows_statement_stats(self, capsys):
+        assert main(["profile", "examples/data/quickstart.ptdf"]) == 0
+        out = capsys.readouterr().out
+        assert "calls" in out and "statement" in out
+        assert "INSERT INTO" in out  # loader statements got fingerprinted
+        assert "statements tracked" in out
+
+    def test_profile_json_top_and_sort(self, capsys):
+        import json
+
+        assert main(
+            ["profile", "--json", "--top", "3", "--sort", "calls",
+             "examples/data/quickstart.ptdf"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["statements"]) == 3
+        calls = [s["calls"] for s in doc["statements"]]
+        assert calls == sorted(calls, reverse=True)
+        assert doc["calls"] > 0
+
+    def test_profile_flight_records_slow_plans(self, capsys):
+        # --slow-ms 0 flight-records every metered plan; the recorded
+        # nodes carry the planner estimate next to the actual row count.
+        assert main(
+            ["profile", "--flight", "--slow-ms", "0",
+             "examples/data/quickstart.ptdf"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "est=" in out and "actual=" in out
+
+    def test_profile_ptdf_artifact_lints_and_loads(self, tmp_path, capsys):
+        out_file = tmp_path / "profile.ptdf"
+        assert main(
+            ["profile", "--ptdf", str(out_file),
+             "examples/data/quickstart.ptdf"]
+        ) == 0
+        assert main(["lint", "--strict", str(out_file)]) == 0
+        db = str(tmp_path / "profiles.json")
+        assert main(["init", "--db", db]) == 0
+        assert main(["load", "--db", db, str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["ls", "--db", db, "executions"]) == 0
+        assert "ptrack-profile" in capsys.readouterr().out
+
+    def test_profile_leaves_profiler_disabled(self):
+        from repro.obs import profiler
+
+        assert main(["profile", "examples/data/quickstart.ptdf"]) == 0
+        assert not profiler.enabled
+
+
 class TestLoadProgress:
     def test_quiet_suppresses_summaries(self, tmp_path, capsys):
         db = str(tmp_path / "q.json")

@@ -36,6 +36,7 @@ DEFAULT_KEYS = (
     "query_path.stream_first_row_seconds",
     "vectorized.drain_seconds",
     "vectorized.first_row_seconds",
+    "observability.profiler_enabled_drain_seconds",
 )
 
 DEFAULT_THRESHOLD = 0.10
