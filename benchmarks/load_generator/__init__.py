@@ -1,0 +1,17 @@
+"""Concurrent load-generator harness for the minidb engine.
+
+Drives a shared :class:`repro.minidb.Engine` with a configurable mix of
+reader and writer sessions, checks snapshot-isolation invariants on
+every read, and reports latency percentiles (p50/p95/p99) plus
+throughput per mix.  ``run_matrix`` sweeps rising client counts and
+writes the headline mix into the ``concurrency`` section of
+``BENCH_scalability.json`` so ``tools/bench_guard.py`` can watch it.
+
+Run it as a module with both ``src`` and ``benchmarks`` on the path::
+
+    PYTHONPATH=src:benchmarks python -m load_generator.run_matrix --quick
+"""
+
+from .workload import Mix, Violation, run_mix
+
+__all__ = ["Mix", "Violation", "run_mix"]

@@ -1,0 +1,39 @@
+"""Latency statistics for the load generator (no numpy needed)."""
+
+from __future__ import annotations
+
+import math
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted *sorted_values*.
+
+    ``q`` is a fraction (0.95, not 95).  Matches numpy's default
+    ``linear`` interpolation so the reported numbers are comparable to
+    any offline re-analysis of the raw latency dump.
+    """
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return sorted_values[lo]
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def summarize(latencies: list[float]) -> dict:
+    """The per-mix latency summary: count, mean and the watched tails."""
+    values = sorted(latencies)
+    count = len(values)
+    return {
+        "count": count,
+        "mean_seconds": (sum(values) / count) if count else 0.0,
+        "p50_seconds": percentile(values, 0.50),
+        "p95_seconds": percentile(values, 0.95),
+        "p99_seconds": percentile(values, 0.99),
+        "max_seconds": values[-1] if values else 0.0,
+    }

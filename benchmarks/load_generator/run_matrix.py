@@ -1,0 +1,123 @@
+"""Drive the load-generator client matrix and write the JSON report.
+
+Sweeps a rising client count (1r+1w up to the headline 8r+4w mix from
+the acceptance criteria), asserts zero isolation violations at every
+point, and reports latency percentiles plus throughput per mix.  With
+``--merge-baseline`` the headline mix lands in the ``concurrency``
+section of ``BENCH_scalability.json`` (both copies), which
+``tools/bench_guard.py`` watches via ``concurrency.throughput_ops_per_s``
+and ``concurrency.p95_seconds``.
+
+Usage (repo root)::
+
+    PYTHONPATH=src:benchmarks python -m load_generator.run_matrix \
+        --out benchmarks/results/load_generator.json [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from load_generator.workload import Mix, run_mix
+
+#: Rising client counts; the last entry is the acceptance-criteria mix.
+DEFAULT_MATRIX = (
+    Mix("1r+1w", readers=1, writers=1, ops_per_client=200),
+    Mix("2r+1w", readers=2, writers=1, ops_per_client=200),
+    Mix("4r+2w", readers=4, writers=2, ops_per_client=150),
+    Mix("8r+4w", readers=8, writers=4, ops_per_client=100),
+)
+
+QUICK_MATRIX = (
+    Mix("2r+1w", readers=2, writers=1, ops_per_client=40),
+    Mix("8r+4w", readers=8, writers=4, ops_per_client=25),
+)
+
+
+def run_matrix(mixes=DEFAULT_MATRIX, verbose: bool = True) -> dict:
+    """Run every mix and return the full report dict."""
+    results = []
+    for mix in mixes:
+        report = run_mix(mix)
+        results.append(report)
+        if verbose:
+            print(
+                f"{mix.name:>7}: {report['total_ops']} ops in "
+                f"{report['elapsed_seconds']:.2f}s — "
+                f"{report['throughput_ops_per_s']:.0f} ops/s, "
+                f"p50 {report['p50_seconds'] * 1000:.2f}ms, "
+                f"p95 {report['p95_seconds'] * 1000:.2f}ms, "
+                f"p99 {report['p99_seconds'] * 1000:.2f}ms, "
+                f"{len(report['violations'])} violations"
+            )
+    headline = results[-1]
+    return {
+        "harness": "load_generator",
+        "mixes": results,
+        "headline": headline["mix"],
+        "throughput_ops_per_s": headline["throughput_ops_per_s"],
+        "p50_seconds": headline["p50_seconds"],
+        "p95_seconds": headline["p95_seconds"],
+        "p99_seconds": headline["p99_seconds"],
+        "violations": sum(len(r["violations"]) for r in results),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", help="write the full JSON report to FILE")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small matrix for CI smoke runs",
+    )
+    parser.add_argument(
+        "--merge-baseline", action="store_true",
+        help="merge the headline mix into BENCH_scalability.json",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_matrix(QUICK_MATRIX if args.quick else DEFAULT_MATRIX)
+
+    if args.out:
+        os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.merge_baseline:
+        from baseline import merge_baseline
+
+        results_dir = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "results",
+        )
+        os.makedirs(results_dir, exist_ok=True)
+        merge_baseline(
+            results_dir,
+            {
+                "concurrency": {
+                    "headline": report["headline"],
+                    "throughput_ops_per_s": report["throughput_ops_per_s"],
+                    "p50_seconds": report["p50_seconds"],
+                    "p95_seconds": report["p95_seconds"],
+                    "p99_seconds": report["p99_seconds"],
+                }
+            },
+        )
+        print("merged concurrency section into BENCH_scalability.json")
+
+    if report["violations"]:
+        print(
+            f"FAIL: {report['violations']} isolation violations",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

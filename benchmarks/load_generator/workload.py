@@ -1,0 +1,287 @@
+"""Workload mixes and isolation invariants for the load generator.
+
+One :class:`Mix` describes a population of concurrent sessions over a
+shared engine: ``readers`` sessions running invariant-checking queries
+and ``writers`` sessions running a weighted mix of transactions.  The
+writers are constructed so that *every* committed state satisfies three
+invariants a snapshot reader can check with plain SQL:
+
+* **balance checksum** — transfers move value between ``accounts`` rows
+  inside one transaction, so ``SUM(balance)`` never changes.  A reader
+  seeing any other total has observed a torn or dirty write.
+* **batch atomicity** — marker rows are inserted ``batch_size`` at a
+  time in one transaction; a reader must count each batch at exactly
+  ``batch_size`` (or not at all), never a prefix.
+* **rollback opacity** — ``ghost`` markers are always inserted and then
+  rolled back; a reader must never see one.
+
+Any breach is recorded as a :class:`Violation` with enough context to
+debug it; the matrix driver fails the run if any are found.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.minidb import Engine, LockTimeoutError
+from load_generator.metrics import summarize
+
+
+@dataclass(frozen=True)
+class Mix:
+    """One load-generator configuration (a point in the client matrix)."""
+
+    name: str
+    readers: int
+    writers: int
+    ops_per_client: int
+    accounts: int = 64
+    initial_balance: int = 100
+    batch_size: int = 8
+    seed: int = 20260808
+
+    @property
+    def clients(self) -> int:
+        return self.readers + self.writers
+
+    @property
+    def expected_total(self) -> int:
+        return self.accounts * self.initial_balance
+
+
+@dataclass
+class Violation:
+    """One observed isolation breach."""
+
+    kind: str
+    client: str
+    detail: str
+
+
+@dataclass
+class _ClientStats:
+    ops: int = 0
+    retries: int = 0
+    latencies: list = field(default_factory=list)
+
+
+def seed_schema(engine: Engine, mix: Mix) -> None:
+    session = engine.connect()
+    cur = session.cursor()
+    cur.execute(
+        "CREATE TABLE accounts ("
+        " id INTEGER PRIMARY KEY,"
+        " balance INTEGER NOT NULL)"
+    )
+    cur.execute(
+        "CREATE TABLE markers ("
+        " id INTEGER PRIMARY KEY,"
+        " batch INTEGER NOT NULL,"
+        " kind TEXT NOT NULL)"
+    )
+    cur.execute("CREATE INDEX idx_markers_batch ON markers (batch)")
+    cur.executemany(
+        "INSERT INTO accounts (id, balance) VALUES (?, ?)",
+        [(i, mix.initial_balance) for i in range(mix.accounts)],
+    )
+    session.commit()
+    cur.close()
+    session.close()
+
+
+def _writer(
+    engine: Engine,
+    mix: Mix,
+    client_id: int,
+    barrier: threading.Barrier,
+    stats: _ClientStats,
+    violations: list,
+) -> None:
+    session = engine.connect()
+    cur = session.cursor()
+    rng = random.Random(mix.seed * 1009 + client_id)
+    barrier.wait()
+    try:
+        for op_index in range(mix.ops_per_client):
+            batch_tag = client_id * 1_000_000 + op_index
+            roll = rng.random()
+            t0 = time.perf_counter()
+            try:
+                if roll < 0.60:
+                    # Balanced transfer: SUM(balance) is invariant.
+                    a = rng.randrange(mix.accounts)
+                    b = (a + 1 + rng.randrange(mix.accounts - 1)) % mix.accounts
+                    delta = rng.randrange(1, 10)
+                    cur.execute(
+                        "UPDATE accounts SET balance = balance - ? WHERE id = ?",
+                        (delta, a),
+                    )
+                    cur.execute(
+                        "UPDATE accounts SET balance = balance + ? WHERE id = ?",
+                        (delta, b),
+                    )
+                    session.commit()
+                elif roll < 0.85:
+                    # Atomic marker batch: all-or-nothing per batch tag.
+                    cur.executemany(
+                        "INSERT INTO markers (batch, kind) VALUES (?, ?)",
+                        [(batch_tag, "batch")] * mix.batch_size,
+                    )
+                    session.commit()
+                else:
+                    # Ghost: inserted then rolled back, never visible.
+                    cur.execute(
+                        "INSERT INTO markers (batch, kind) VALUES (?, ?)",
+                        (batch_tag, "ghost"),
+                    )
+                    session.rollback()
+            except LockTimeoutError:
+                session.rollback()
+                stats.retries += 1
+                continue
+            stats.latencies.append(time.perf_counter() - t0)
+            stats.ops += 1
+    finally:
+        cur.close()
+        session.close()
+
+
+def _reader(
+    engine: Engine,
+    mix: Mix,
+    client_id: int,
+    barrier: threading.Barrier,
+    stats: _ClientStats,
+    violations: list,
+) -> None:
+    session = engine.connect()
+    cur = session.cursor()
+    name = f"reader-{client_id}"
+    barrier.wait()
+    try:
+        for op_index in range(mix.ops_per_client):
+            check = op_index % 3
+            t0 = time.perf_counter()
+            if check == 0:
+                cur.execute("SELECT SUM(balance) FROM accounts")
+                total = cur.fetchone()[0]
+                if total != mix.expected_total:
+                    violations.append(
+                        Violation(
+                            "balance-checksum",
+                            name,
+                            f"SUM(balance) = {total}, "
+                            f"expected {mix.expected_total}",
+                        )
+                    )
+            elif check == 1:
+                cur.execute(
+                    "SELECT batch, COUNT(*) FROM markers"
+                    " WHERE kind = 'batch' GROUP BY batch"
+                )
+                for batch, count in cur:
+                    if count != mix.batch_size:
+                        violations.append(
+                            Violation(
+                                "batch-atomicity",
+                                name,
+                                f"batch {batch} visible with {count} rows, "
+                                f"expected {mix.batch_size}",
+                            )
+                        )
+            else:
+                cur.execute(
+                    "SELECT COUNT(*) FROM markers WHERE kind = 'ghost'"
+                )
+                ghosts = cur.fetchone()[0]
+                if ghosts:
+                    violations.append(
+                        Violation(
+                            "rollback-opacity",
+                            name,
+                            f"{ghosts} rolled-back ghost rows visible",
+                        )
+                    )
+            stats.latencies.append(time.perf_counter() - t0)
+            stats.ops += 1
+    finally:
+        cur.close()
+        session.close()
+
+
+def run_mix(mix: Mix, engine: Engine | None = None) -> dict:
+    """Run one mix to completion and return its report dict.
+
+    The report carries the bench-guard keys (``throughput_ops_per_s``,
+    ``p95_seconds``) at the top level plus per-class summaries and the
+    full violation list (empty on a correct engine).
+    """
+    own_engine = engine is None
+    if engine is None:
+        engine = Engine(":memory:")
+    seed_schema(engine, mix)
+    barrier = threading.Barrier(mix.clients + 1)
+    violations: list[Violation] = []
+    stats = {
+        f"reader-{i}": _ClientStats() for i in range(mix.readers)
+    }
+    threads = []
+    for i in range(mix.readers):
+        threads.append(
+            threading.Thread(
+                target=_reader,
+                args=(engine, mix, i, barrier, stats[f"reader-{i}"], violations),
+                name=f"lg-reader-{i}",
+            )
+        )
+    for i in range(mix.writers):
+        stats[f"writer-{i}"] = _ClientStats()
+        threads.append(
+            threading.Thread(
+                target=_writer,
+                args=(engine, mix, i, barrier, stats[f"writer-{i}"], violations),
+                name=f"lg-writer-{i}",
+            )
+        )
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if own_engine:
+        engine.close()
+
+    all_latencies = [x for s in stats.values() for x in s.latencies]
+    read_latencies = [
+        x for k, s in stats.items() if k.startswith("reader") for x in s.latencies
+    ]
+    write_latencies = [
+        x for k, s in stats.items() if k.startswith("writer") for x in s.latencies
+    ]
+    total_ops = sum(s.ops for s in stats.values())
+    summary = summarize(all_latencies)
+    return {
+        "mix": mix.name,
+        "readers": mix.readers,
+        "writers": mix.writers,
+        "ops_per_client": mix.ops_per_client,
+        "total_ops": total_ops,
+        "elapsed_seconds": elapsed,
+        "throughput_ops_per_s": (total_ops / elapsed) if elapsed > 0 else 0.0,
+        "retries": sum(s.retries for s in stats.values()),
+        "p50_seconds": summary["p50_seconds"],
+        "p95_seconds": summary["p95_seconds"],
+        "p99_seconds": summary["p99_seconds"],
+        "latency": summary,
+        "read_latency": summarize(read_latencies),
+        "write_latency": summarize(write_latencies),
+        "violations": [
+            {"kind": v.kind, "client": v.client, "detail": v.detail}
+            for v in violations
+        ],
+    }

@@ -29,36 +29,11 @@ from repro.synth.irs_gen import IRSRunSpec, generate_irs_run
 from repro.synth.machines import MCR
 from repro.tools import ALL_CONVERTERS
 
+from baseline import merge_baseline  # noqa: E402  (benchmarks/ on sys.path)
+
 SIZES = (1, 2, 4, 8)
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-
-
-def merge_baseline(results_dir: str, updates: dict) -> None:
-    """The single writer for ``BENCH_scalability.json``.
-
-    Merges *updates* (top-level sections) into both copies — the harness
-    results directory and the committed repo-root baseline — so the two
-    can never drift apart.  Section dicts merge one level deep, so two
-    benchmark classes can each contribute keys to the same section (e.g.
-    ``observability``) regardless of run order.
-    """
-    for path in (
-        os.path.join(results_dir, "BENCH_scalability.json"),
-        os.path.join(_REPO_ROOT, "BENCH_scalability.json"),
-    ):
-        report = {"benchmark": "scalability"}
-        if os.path.exists(path):
-            with open(path, "r", encoding="utf-8") as fh:
-                report = json.load(fh)
-        for key, value in updates.items():
-            if isinstance(value, dict) and isinstance(report.get(key), dict):
-                report[key].update(value)
-            else:
-                report[key] = value
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2)
-            fh.write("\n")
 
 
 @pytest.fixture(scope="module")

@@ -19,6 +19,8 @@ loading and querying from Python; this CLI packages the same operations:
 * ``ptrack profile``   statement profiler: run a workload with the
                        profiler enabled and print per-statement stats,
                        recorded plans (``--flight``) and planner drift
+* ``ptrack serve``     serve a minidb database to concurrent sessions
+                       over a JSON-lines socket protocol
 
 Exit code 0 on success, 2 on usage errors, 1 on operational failures.
 """
@@ -506,6 +508,32 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve a minidb database to concurrent sessions.
+
+    Runs the JSON-lines line-protocol server (``repro.minidb.server``)
+    over one shared engine: each client socket gets its own session with
+    snapshot-isolated reads and per-table writer locks.  ``--port 0``
+    picks an ephemeral port and prints it, which is how the load
+    generator and tests attach.
+    """
+    from .minidb.connection import Engine
+    from .minidb.server import MiniDbServer
+
+    engine = Engine(args.db)
+    server = MiniDbServer(engine, host=args.host, port=args.port)
+    print(f"minidb serving {args.db} on {server.host}:{server.port}")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        engine.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ptrack", description="PerfTrack experiment management CLI"
@@ -680,6 +708,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution name for --ptdf output (default ptrack-profile)",
     )
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "serve", help="serve a minidb database to concurrent sessions"
+    )
+    p.add_argument("--db", default=":memory:", help="database file (default in-memory)")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=7474,
+        help="TCP port (0 = pick an ephemeral port; default 7474)",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     parser.add_argument(
         "--log-level",

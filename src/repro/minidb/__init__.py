@@ -17,6 +17,8 @@ Feature set (see `repro/minidb/parser.py` for the grammar):
   ``HAVING``, aggregates, ``DISTINCT``, ``ORDER BY``, ``LIMIT``/``OFFSET``,
   ``UNION [ALL]``, ``IN``/``EXISTS``/scalar subqueries.
 * Transactions with rollback, plus write-ahead-log persistence.
+* Concurrent sessions over one database (``Engine.connect()``):
+  snapshot-isolated reads, per-table writer locks, group-commit WAL.
 
 Entry point::
 
@@ -30,7 +32,7 @@ Entry point::
 """
 
 from .analyzer import Analysis, Diagnostic, analyze
-from .connection import Connection, Cursor, connect
+from .connection import Connection, Cursor, Engine, connect
 from .errors import (
     DatabaseError,
     DataError,
@@ -38,10 +40,12 @@ from .errors import (
     IntegrityError,
     InterfaceError,
     InternalError,
+    LockTimeoutError,
     NotSupportedError,
     OperationalError,
     ProgrammingError,
     SemanticError,
+    SessionError,
     SqlSyntaxError,
     Warning,
 )
@@ -55,6 +59,9 @@ __all__ = [
     "connect",
     "Connection",
     "Cursor",
+    "Engine",
+    "SessionError",
+    "LockTimeoutError",
     "Error",
     "Warning",
     "InterfaceError",

@@ -93,8 +93,13 @@ class Executor:
         params: Sequence[Any] = (),
         plan: Optional["optimizer.PhysicalPlan"] = None,
         meter: bool = False,
+        txn=None,
     ) -> None:
         self.db = db
+        # The session transaction mutations run under.  ``None`` in the
+        # classic embedded mode (storage falls back to the database's
+        # implicit transaction); engine sessions always pass theirs.
+        self.txn = txn
         self.evaluator = Evaluator(params, subquery_runner=self._run_subquery)
         self.plan = plan
         self.stats = ExecStats()
@@ -142,25 +147,25 @@ class Executor:
     def _exec_CreateTable(self, stmt: ast.CreateTable) -> Result:
         if stmt.if_not_exists and self.db.catalog.has_table(stmt.name):
             return Result(rowcount=0)
-        self.db.create_table(stmt)
+        self.db.create_table(stmt, txn=self.txn)
         return Result(rowcount=0)
 
     def _exec_DropTable(self, stmt: ast.DropTable) -> Result:
         if stmt.if_exists and not self.db.catalog.has_table(stmt.name):
             return Result(rowcount=0)
-        self.db.drop_table(stmt.name)
+        self.db.drop_table(stmt.name, txn=self.txn)
         return Result(rowcount=0)
 
     def _exec_CreateIndex(self, stmt: ast.CreateIndex) -> Result:
         if stmt.if_not_exists and self.db.catalog.has_index(stmt.name):
             return Result(rowcount=0)
-        self.db.create_index(stmt)
+        self.db.create_index(stmt, txn=self.txn)
         return Result(rowcount=0)
 
     def _exec_DropIndex(self, stmt: ast.DropIndex) -> Result:
         if stmt.if_exists and not self.db.catalog.has_index(stmt.name):
             return Result(rowcount=0)
-        self.db.drop_index(stmt.name)
+        self.db.drop_index(stmt.name, txn=self.txn)
         return Result(rowcount=0)
 
     # -- SELECT -----------------------------------------------------------------
@@ -238,6 +243,7 @@ class Executor:
     def _exec_Insert(self, stmt: ast.Insert) -> Result:
         table = self.db.table(stmt.table)
         meta = table.meta
+        self.db.lock_for_write(self.txn, meta)
         if stmt.columns:
             positions = [meta.column_index(c) for c in stmt.columns]
         else:
@@ -266,7 +272,7 @@ class Executor:
                 else:
                     full.append(None)
             full = self.db.coerce_row(meta, full)
-            lastrowid = self.db.insert_row(table, full)
+            lastrowid = self.db.insert_row(table, full, txn=self.txn)
             count += 1
         _ROWS_WRITTEN.add(count)
         return Result(rowcount=count, lastrowid=lastrowid)
@@ -285,9 +291,12 @@ class Executor:
         if stmt.select is not None:
             raise ProgrammingError("cannot batch-execute INSERT ... SELECT")
         db = self.db
-        db.begin()  # no-op when already in a transaction
+        txn = self.txn
+        if txn is None:
+            txn = db.begin()  # joins the open implicit transaction
         table = db.table(stmt.table)
         meta = table.meta
+        db.lock_for_write(txn, meta)
         if stmt.columns:
             positions = [meta.column_index(c) for c in stmt.columns]
         else:
@@ -348,24 +357,27 @@ class Executor:
                             ],
                         )
 
-        undo_mark = len(db._undo)
+        undo_mark = len(txn.undo)
         try:
-            applied, lastrowid = db.insert_rows(table, build_rows())
+            applied, lastrowid = db.insert_rows(table, build_rows(), txn=txn)
         except BaseException:
             # Undo only this batch's mutations, leaving the enclosing
             # transaction's earlier work intact.
-            for entry in reversed(db._undo[undo_mark:]):
+            for entry in reversed(txn.undo[undo_mark:]):
                 db._apply_undo(entry)
-            del db._undo[undo_mark:]
+            del txn.undo[undo_mark:]
             raise
         if db.journal is not None and applied:
-            db.journal.log_insert_batch(meta.name, applied)
+            txn.log(("insert_batch", meta.name, applied))
         _ROWS_WRITTEN.add(len(applied))
         return Result(rowcount=len(applied), lastrowid=lastrowid)
 
     def _exec_Update(self, stmt: ast.Update) -> Result:
         table = self.db.table(stmt.table)
         meta = table.meta
+        # Lock before the target scan so the rows we collect cannot move
+        # under a concurrent writer between scan and mutation.
+        self.db.lock_for_write(self.txn, meta)
         assignments = [(meta.column_index(c), e) for c, e in stmt.assignments]
         targets: list[tuple[int, tuple]] = []
         for rowid, row, _scope in self._scan_with_where(stmt.table, stmt.where):
@@ -378,16 +390,18 @@ class Executor:
             for pos, expr in assignments:
                 new_row[pos] = self.evaluator.evaluate(expr, scope)
             new_row = self.db.coerce_row(meta, new_row)
-            self.db.update_row(table, rowid, tuple(new_row))
+            self.db.update_row(table, rowid, tuple(new_row), txn=self.txn)
             count += 1
         _ROWS_WRITTEN.add(count)
         return Result(rowcount=count)
 
     def _exec_Delete(self, stmt: ast.Delete) -> Result:
         table = self.db.table(stmt.table)
+        # children=True: the dangling-reference check scans child tables.
+        self.db.lock_for_write(self.txn, table.meta, children=True)
         targets = [rowid for rowid, _row, _s in self._scan_with_where(stmt.table, stmt.where)]
         for rowid in targets:
-            self.db.delete_row(table, rowid)
+            self.db.delete_row(table, rowid, txn=self.txn)
         _ROWS_WRITTEN.add(len(targets))
         return Result(rowcount=len(targets))
 

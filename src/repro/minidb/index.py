@@ -85,6 +85,35 @@ class Index:
         for rowid, row in rows:
             self.insert(key_of(row), rowid)
 
+    # -- copy-on-write snapshots ---------------------------------------------------
+
+    def freeze(self) -> "Index":
+        """A read-only snapshot sharing this index's current structures.
+
+        O(1): the frozen copy aliases ``_map``/``_sorted``.  Safe because
+        every writer calls :meth:`detach` (replacing those objects on the
+        live index) before its first mutation, and lazy re-sorting
+        *reassigns* ``_sorted`` rather than mutating it in place.
+        """
+        snap = Index.__new__(Index)
+        snap.name = self.name
+        snap.table = self.table
+        snap.columns = self.columns
+        snap.unique = self.unique
+        snap._map = self._map
+        snap._sorted = self._sorted
+        snap._sorted_valid = self._sorted_valid
+        return snap
+
+    def detach(self) -> None:
+        """Copy-on-write split before the first mutation in a transaction.
+
+        Copies the outer map, each rowid bucket, and the sorted key list
+        so frozen snapshots handed to readers keep the old objects.
+        """
+        self._map = {k: list(v) for k, v in self._map.items()}
+        self._sorted = list(self._sorted)
+
     # -- lookups ------------------------------------------------------------------
 
     def lookup(self, key: tuple) -> list[int]:

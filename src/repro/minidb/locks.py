@@ -1,0 +1,199 @@
+"""Per-table writer locks for the shared minidb engine.
+
+A :class:`LockManager` hands out strict (exclusive) per-table writer
+locks plus one schema lock that DDL takes together with every table
+lock.  Readers never lock anything — they read published copy-on-write
+snapshots (see ``storage.Database.snapshot_view``) — so the manager only
+has to arbitrate between writers, and between writers and DDL.
+
+Deadlock policy is avoidance-plus-timeout:
+
+* Within one statement the full lock set is known up front (target
+  table, its FK-referenced parents, and for ``DELETE`` the referencing
+  children), so :meth:`LockManager.acquire_many` sorts the names and
+  acquires in that global order — no deadlock is possible among
+  single-statement writers.
+* Across statements of a multi-statement transaction locks accumulate
+  until commit/rollback, so two transactions *can* wait on each other.
+  Every wait carries a deadline; a waiter that exceeds it raises a
+  structured :class:`~repro.minidb.errors.LockTimeoutError` naming the
+  resource, the holder, and the time waited, and the caller is expected
+  to roll back (releasing its locks) and retry.
+
+Locks are re-entrant per owner: a transaction re-touching a table it
+already locked just bumps a depth counter.  All locks of an owner are
+released together by :meth:`LockManager.release_all` at commit or
+rollback — strict two-phase locking, which is what makes the published
+snapshots consistent.
+
+Everything is observable through ``minidb.locks.*`` counters (see
+``docs/observability.md``): acquisitions, contended acquisitions,
+timeouts, and total seconds spent waiting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+from ..obs.metrics import metrics as _M
+from .errors import LockTimeoutError
+
+#: Name of the schema lock; sorts before any SQL identifier so DDL's
+#: ``acquire_many([SCHEMA_LOCK, *tables])`` respects the global order.
+SCHEMA_LOCK = "__schema__"
+
+#: Default seconds a writer waits on a contended lock before raising
+#: :class:`LockTimeoutError` (the deadlock backstop).
+DEFAULT_LOCK_TIMEOUT = 5.0
+
+# Lock metrics (no-ops while the registry is disabled).
+_ACQUIRED = _M.counter("minidb.locks.acquired")
+_CONTENDED = _M.counter("minidb.locks.contended")
+_TIMEOUTS = _M.counter("minidb.locks.timeouts")
+_WAIT_SECONDS = _M.counter("minidb.locks.wait_seconds", unit="seconds")
+
+
+class _WriterLock:
+    """One exclusive, owner-re-entrant lock with its own condition."""
+
+    __slots__ = ("name", "cond", "owner", "depth")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.cond = threading.Condition(threading.Lock())
+        self.owner: Optional[str] = None
+        self.depth = 0
+
+
+class LockManager:
+    """Strict per-table writer locks with ordered acquisition.
+
+    Owners are opaque strings (the engine uses ``"session-<n>"``).
+    Table names are normalized to lower case, matching the catalog.
+    """
+
+    def __init__(self, timeout: float = DEFAULT_LOCK_TIMEOUT) -> None:
+        self.timeout = timeout
+        self._mutex = threading.Lock()
+        self._locks: Dict[str, _WriterLock] = {}
+
+    # -- internals ----------------------------------------------------------
+
+    def _lock(self, name: str) -> _WriterLock:
+        key = name.lower()
+        with self._mutex:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = _WriterLock(key)
+            return lock
+
+    # -- acquisition --------------------------------------------------------
+
+    def acquire(
+        self, owner: str, name: str, timeout: Optional[float] = None
+    ) -> None:
+        """Acquire the writer lock on *name* for *owner* (re-entrant).
+
+        Blocks up to *timeout* seconds (manager default when ``None``)
+        then raises :class:`LockTimeoutError` naming the holder.
+        """
+        limit = self.timeout if timeout is None else timeout
+        lock = self._lock(name)
+        with lock.cond:
+            if lock.owner == owner:
+                lock.depth += 1
+                _ACQUIRED.inc()
+                return
+            if lock.owner is not None:
+                _CONTENDED.inc()
+                deadline = time.monotonic() + limit
+                waited_from = time.monotonic()
+                while lock.owner is not None and lock.owner != owner:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not lock.cond.wait(remaining):
+                        waited = time.monotonic() - waited_from
+                        if lock.owner is None or lock.owner == owner:
+                            break
+                        _TIMEOUTS.inc()
+                        _WAIT_SECONDS.inc(waited)
+                        raise LockTimeoutError(
+                            lock.name,
+                            owner=owner,
+                            holder=lock.owner,
+                            waited=waited,
+                        )
+                _WAIT_SECONDS.inc(time.monotonic() - waited_from)
+            lock.owner = owner
+            lock.depth = 1
+            _ACQUIRED.inc()
+
+    def acquire_many(
+        self, owner: str, names: Iterable[str], timeout: Optional[float] = None
+    ) -> None:
+        """Acquire several locks in the global (sorted) order.
+
+        On timeout, locks taken *by this call* are released before the
+        :class:`LockTimeoutError` propagates, so a failed statement does
+        not leak locks it only needed for that statement — locks the
+        owner already held (from earlier statements) are kept.
+        """
+        ordered = sorted({n.lower() for n in names})
+        taken: List[str] = []
+        try:
+            for name in ordered:
+                already = self.held(owner, name)
+                self.acquire(owner, name, timeout=timeout)
+                if not already:
+                    taken.append(name)
+        except LockTimeoutError:
+            for name in taken:
+                self.release(owner, name)
+            raise
+
+    def release(self, owner: str, name: str) -> None:
+        """Release one level of *owner*'s hold on *name*."""
+        lock = self._lock(name)
+        with lock.cond:
+            if lock.owner != owner:
+                return
+            lock.depth -= 1
+            if lock.depth <= 0:
+                lock.owner = None
+                lock.depth = 0
+                lock.cond.notify_all()
+
+    def release_all(self, owner: str) -> None:
+        """Drop every lock held by *owner* (end of transaction)."""
+        with self._mutex:
+            locks = list(self._locks.values())
+        for lock in locks:
+            with lock.cond:
+                if lock.owner == owner:
+                    lock.owner = None
+                    lock.depth = 0
+                    lock.cond.notify_all()
+
+    # -- introspection ------------------------------------------------------
+
+    def held(self, owner: str, name: str) -> bool:
+        lock = self._lock(name)
+        with lock.cond:
+            return lock.owner == owner
+
+    def holder(self, name: str) -> Optional[str]:
+        lock = self._lock(name)
+        with lock.cond:
+            return lock.owner
+
+    def held_by(self, owner: str) -> List[str]:
+        """Names currently locked by *owner* (sorted)."""
+        with self._mutex:
+            locks = list(self._locks.values())
+        out = []
+        for lock in locks:
+            with lock.cond:
+                if lock.owner == owner:
+                    out.append(lock.name)
+        return sorted(out)

@@ -328,7 +328,9 @@ class IndexLookup(_ScanBase):
     def _rowids(self, ctx, table, eval_scope):
         ev = ctx.evaluator
         key = tuple(ev.evaluate(e, eval_scope) for e in self.path.key_exprs)
-        return iter(self.path.index.lookup(key))
+        # Plans cache live Index objects; snapshot reads resolve them to
+        # the pinned version's frozen copy (identity on a live database).
+        return iter(ctx.db.index_state(self.path.index).lookup(key))
 
 
 class IndexRange(_ScanBase):
@@ -339,9 +341,10 @@ class IndexRange(_ScanBase):
     def _rowids(self, ctx, table, eval_scope):
         ev = ctx.evaluator
         path = self.path
+        index = ctx.db.index_state(path.index)
         prefix = tuple(ev.evaluate(e, eval_scope) for e in path.prefix_exprs)
         if prefix:
-            return path.index.range_scan(low=prefix, high=prefix)
+            return index.range_scan(low=prefix, high=prefix)
         low = high = None
         low_inc = high_inc = True
         if path.low is not None:
@@ -352,7 +355,7 @@ class IndexRange(_ScanBase):
             op, expr = path.high
             high = (ev.evaluate(expr, eval_scope),)
             high_inc = op == "<="
-        return path.index.range_scan(low, high, low_inc, high_inc)
+        return index.range_scan(low, high, low_inc, high_inc)
 
 
 class InProbe(_ScanBase):
@@ -363,10 +366,11 @@ class InProbe(_ScanBase):
     def _rowids(self, ctx, table, eval_scope):
         ev = ctx.evaluator
         path = self.path
+        index = ctx.db.index_state(path.index)
         seen: set[int] = set()
         for item in path.items:
             key = (ev.evaluate(item, eval_scope),)
-            for rowid in path.index.lookup(key):
+            for rowid in index.lookup(key):
                 if rowid not in seen:
                     seen.add(rowid)
                     yield rowid

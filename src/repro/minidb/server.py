@@ -1,0 +1,278 @@
+"""Line-protocol socket server exposing a shared minidb engine.
+
+PerfTrack's deployments talked to a database *server* (Oracle/PostgreSQL);
+minidb is embedded, so this module provides the thin serving layer that
+closes the gap: one :class:`~repro.minidb.connection.Engine` shared by
+many client sockets, each socket bound to its own session (snapshot
+reads, per-table writer locks — see ``docs/minidb.md``).
+
+The wire protocol is JSON lines (UTF-8, one object per ``\n``-terminated
+line), chosen so a client fits in a few dozen lines of any language:
+
+Request::
+
+    {"op": "execute", "sql": "SELECT ...", "params": [1, "x"]}
+    {"op": "executemany", "sql": "INSERT ...", "params": [[1], [2]]}
+    {"op": "close"}
+
+Response::
+
+    {"ok": true, "rows": [[...], ...], "columns": ["a", "b"],
+     "rowcount": 2, "lastrowid": null}
+    {"ok": false, "error": "IntegrityError", "code": "SQL030",
+     "message": "..."}
+
+Errors are mapped by exception class name plus the structured ``code``
+carried by minidb's error types, so clients can branch without parsing
+messages.  A failed statement does not close the session: like a normal
+DB-API connection, the client decides whether to roll back.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any, Optional
+
+from ..obs.metrics import metrics as _M
+from .connection import Engine
+from .errors import Error
+
+_SESSIONS = _M.counter("minidb.server.sessions")
+_REQUESTS = _M.counter("minidb.server.requests")
+_ERRORS = _M.counter("minidb.server.errors")
+
+
+def _error_payload(exc: BaseException) -> dict:
+    return {
+        "ok": False,
+        "error": type(exc).__name__,
+        "code": getattr(exc, "code", None),
+        "message": str(exc),
+    }
+
+
+class MiniDbServer:
+    """A threaded JSON-lines server over one shared engine.
+
+    ``port=0`` binds an ephemeral port (read it back from ``self.port``
+    after construction), which is what the tests and the load generator
+    use.  ``start()`` serves in a daemon thread; ``stop()`` closes the
+    listener and every client socket.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.engine = engine
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._shutdown = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._clients: set[socket.socket] = set()
+        self._clients_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "MiniDbServer":
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever, name="minidb-server", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            with self._clients_lock:
+                self._clients.add(client)
+            threading.Thread(
+                target=self._serve_client, args=(client,), daemon=True
+            ).start()
+
+    def stop(self) -> None:
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._clients_lock:
+            clients = list(self._clients)
+        for client in clients:
+            try:
+                client.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                client.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None and self._accept_thread.is_alive():
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "MiniDbServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- per-client session ------------------------------------------------------
+
+    def _serve_client(self, sock: socket.socket) -> None:
+        _SESSIONS.inc()
+        session = self.engine.connect()
+        try:
+            reader = sock.makefile("rb")
+            writer = sock.makefile("wb")
+            for raw in reader:
+                line = raw.strip()
+                if not line:
+                    continue
+                _REQUESTS.inc()
+                try:
+                    request = json.loads(line)
+                except ValueError:
+                    response = {
+                        "ok": False,
+                        "error": "ProtocolError",
+                        "code": "NET001",
+                        "message": "request is not valid JSON",
+                    }
+                else:
+                    if request.get("op") == "close":
+                        break
+                    response = self._handle(session, request)
+                if not response.get("ok"):
+                    _ERRORS.inc()
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                writer.flush()
+        except (OSError, ValueError):
+            pass  # client went away mid-request
+        finally:
+            try:
+                session.close()
+            except Error:
+                pass
+            with self._clients_lock:
+                self._clients.discard(sock)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _handle(self, session, request: dict) -> dict:
+        op = request.get("op")
+        sql = request.get("sql")
+        params = request.get("params") or []
+        if op not in ("execute", "executemany") or not isinstance(sql, str):
+            return {
+                "ok": False,
+                "error": "ProtocolError",
+                "code": "NET002",
+                "message": f"unsupported request {op!r}; "
+                "use execute/executemany/close with a 'sql' string",
+            }
+        try:
+            cur = session.cursor()
+            if op == "execute":
+                cur.execute(sql, tuple(params))
+            else:
+                cur.executemany(sql, [tuple(p) for p in params])
+            rows = cur.fetchall() if cur.description is not None else []
+            columns = (
+                [d[0] for d in cur.description]
+                if cur.description is not None
+                else None
+            )
+            return {
+                "ok": True,
+                "rows": [list(r) for r in rows],
+                "columns": columns,
+                "rowcount": cur.rowcount,
+                "lastrowid": cur.lastrowid,
+            }
+        except Error as exc:
+            return _error_payload(exc)
+
+
+class MiniDbClient:
+    """A minimal blocking client for :class:`MiniDbServer`.
+
+    Raises the error class named by the server when a statement fails,
+    resolved from ``repro.minidb.errors`` (falling back to
+    :class:`~repro.minidb.errors.OperationalError`).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._writer = self._sock.makefile("wb")
+
+    def _roundtrip(self, request: dict) -> dict:
+        self._writer.write(json.dumps(request).encode("utf-8") + b"\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            from . import errors as _errors
+
+            name = response.get("error") or ""
+            message = response.get("message") or "server error"
+            cls = getattr(_errors, name, None)
+            if not (isinstance(cls, type) and issubclass(cls, Error)) or cls in (
+                _errors.SessionError,
+                _errors.LockTimeoutError,
+            ):
+                # Unknown names and classes with structured constructors
+                # travel as OperationalError, keeping the name in the text.
+                if name and name != "OperationalError":
+                    message = f"{name}: {message}"
+                cls = _errors.OperationalError
+            raise cls(message)
+        return response
+
+    def execute(self, sql: str, params: Any = ()) -> dict:
+        return self._roundtrip(
+            {"op": "execute", "sql": sql, "params": list(params)}
+        )
+
+    def executemany(self, sql: str, seq_of_params: Any) -> dict:
+        return self._roundtrip(
+            {
+                "op": "executemany",
+                "sql": sql,
+                "params": [list(p) for p in seq_of_params],
+            }
+        )
+
+    def close(self) -> None:
+        try:
+            self._writer.write(b'{"op": "close"}\n')
+            self._writer.flush()
+        except (OSError, ValueError):
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def serve(
+    database: str = ":memory:",
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> MiniDbServer:
+    """Start a server over *database* and return it (non-blocking)."""
+    return MiniDbServer(Engine(database), host=host, port=port).start()

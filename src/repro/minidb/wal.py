@@ -8,8 +8,13 @@ A file-backed database ``<path>`` consists of:
   snapshot.  On open the snapshot is loaded and the WAL replayed, so a
   crash between checkpoints loses nothing that was committed.
 
-The journal buffers mutation records per transaction and appends them to
-the WAL file only at commit, so rollback leaves no trace on disk.
+Mutation records accumulate on the :class:`~repro.minidb.storage.Transaction`
+(as plain tuples) and reach the WAL file only at commit, so rollback
+leaves no trace on disk.  Commits from concurrent sessions serialize
+through a single append point — each commit's records plus its commit
+marker are written contiguously under the append lock — and the fsync is
+*group committed*: a committer whose bytes were already covered by a
+neighbour's fsync skips its own (``minidb.wal.piggybacked_fsyncs``).
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from __future__ import annotations
 import base64
 import json
 import os
+import threading
 from typing import Any
 
 from ..obs.logsetup import get_logger
@@ -36,6 +42,8 @@ _WAL_BYTES = _M.counter("minidb.wal.bytes", unit="bytes")
 _WAL_FSYNCS = _M.counter("minidb.wal.fsyncs")
 _WAL_COMMITS = _M.counter("minidb.wal.commits")
 _WAL_REPLAYED = _M.counter("minidb.wal.replayed_records")
+_WAL_GROUP_COMMITS = _M.counter("minidb.wal.group_commits")
+_WAL_PIGGYBACKED = _M.counter("minidb.wal.piggybacked_fsyncs")
 
 
 def _encode_value(v: Any) -> Any:
@@ -181,74 +189,95 @@ def load_snapshot(db: Database, path: str) -> None:
 
 
 class Journal:
-    """Per-transaction mutation buffer flushed to the WAL on commit."""
+    """Concurrent-safe WAL writer: one append point, group-commit fsync.
+
+    Transactions buffer their records as plain tuples (see
+    ``Transaction.wal_records``); :meth:`commit_records` encodes them and
+    writes records + commit marker contiguously under the append lock, so
+    interleaved commits from other sessions can never split a batch.
+    Durability is group-committed: after appending, a committer checks
+    whether a neighbour's fsync already covered its sequence number and
+    skips the syscall when it did.
+    """
 
     def __init__(self, db: Database, path: str) -> None:
         self.db = db
         self.path = path
         self.wal_path = path + ".wal"
-        self._pending: list[dict] = []
+        self._fh = None
+        self._append_lock = threading.Lock()
+        self._fsync_lock = threading.Lock()
+        self._written_seq = 0  # commits fully appended (buffered)
+        self._durable_seq = 0  # commits covered by an fsync
 
-    # -- hooks called by Database ------------------------------------------------
+    # -- transaction boundary -------------------------------------------------------
 
-    def log_insert(self, table: str, rowid: int, row: tuple) -> None:
-        self._pending.append(
-            {"op": "insert", "table": table, "rowid": rowid, "row": _encode_row(row)}
-        )
-
-    def log_insert_batch(self, table: str, rows: list[tuple[int, tuple]]) -> None:
-        """One record for a whole vectorized ``executemany`` batch."""
-        self._pending.append(
-            {
+    def _encode_record(self, rec: tuple) -> dict:
+        op = rec[0]
+        if op == "insert":
+            _, table, rowid, row = rec
+            return {"op": "insert", "table": table, "rowid": rowid, "row": _encode_row(row)}
+        if op == "insert_batch":
+            _, table, rows = rec
+            return {
                 "op": "insert_batch",
                 "table": table,
                 "rows": [[rowid, _encode_row(row)] for rowid, row in rows],
             }
-        )
+        if op == "update":
+            _, table, rowid, row = rec
+            return {"op": "update", "table": table, "rowid": rowid, "row": _encode_row(row)}
+        if op == "delete":
+            _, table, rowid = rec
+            return {"op": "delete", "table": table, "rowid": rowid}
+        if op == "ddl":
+            return {"op": "ddl", "sql": rec[1]}
+        raise OperationalError(f"unknown journal record {op!r}")
 
-    def log_update(self, table: str, rowid: int, row: tuple) -> None:
-        self._pending.append(
-            {"op": "update", "table": table, "rowid": rowid, "row": _encode_row(row)}
-        )
+    def _handle(self):
+        if self._fh is None or self._fh.closed:
+            self._fh = open(self.wal_path, "a", encoding="utf-8")
+        return self._fh
 
-    def log_delete(self, table: str, rowid: int) -> None:
-        self._pending.append({"op": "delete", "table": table, "rowid": rowid})
+    def _do_fsync(self, fileno: int) -> None:
+        """Seam for crash tests (override to observe/kill between flushes)."""
+        os.fsync(fileno)
 
-    def log_ddl(self, sql: str) -> None:
-        self._pending.append({"op": "ddl", "sql": sql})
+    def commit_records(self, records: "list[tuple]") -> None:
+        """Append one transaction's records + commit marker, durably.
 
-    def log_counters(self, table: str, next_rowid: int, next_auto: int) -> None:
-        self._pending.append(
-            {"op": "counters", "table": table, "next_rowid": next_rowid, "next_auto": next_auto}
-        )
-
-    # -- transaction boundary -------------------------------------------------------
-
-    def commit(self) -> None:
-        if not self._pending:
+        Returns only once the commit marker is covered by an fsync —
+        ours, or a concurrent committer's that flushed past us (group
+        commit).  Encoding happens outside the locks.
+        """
+        if not records:
             return
-        nbytes = 0
-        with open(self.wal_path, "a", encoding="utf-8") as fh:
-            for rec in self._pending:
-                data = json.dumps(rec)
-                fh.write(data)
-                fh.write("\n")
-                nbytes += len(data) + 1
-            marker = json.dumps({"op": "commit"})
-            fh.write(marker)
-            fh.write("\n")
-            nbytes += len(marker) + 1
+        lines = [json.dumps(self._encode_record(rec)) for rec in records]
+        lines.append(json.dumps({"op": "commit"}))
+        data = "\n".join(lines) + "\n"
+        with self._append_lock:
+            fh = self._handle()
+            fh.write(data)
             fh.flush()
-            os.fsync(fh.fileno())
+            self._written_seq += 1
+            my_seq = self._written_seq
+        with self._fsync_lock:
+            if self._durable_seq < my_seq:
+                # Any commit fully appended before this point rides along:
+                # its bytes are on the file, our fsync makes them durable.
+                covered = self._written_seq
+                self._do_fsync(fh.fileno())
+                if covered > self._durable_seq:
+                    self._durable_seq = covered
+                if _M.enabled:
+                    _WAL_FSYNCS.inc()
+            elif _M.enabled:
+                _WAL_PIGGYBACKED.inc()
         if _M.enabled:
-            _WAL_RECORDS.add(len(self._pending))
-            _WAL_BYTES.add(nbytes)
-            _WAL_FSYNCS.inc()
+            _WAL_RECORDS.add(len(records))
+            _WAL_BYTES.add(len(data))
             _WAL_COMMITS.inc()
-        self._pending.clear()
-
-    def rollback(self) -> None:
-        self._pending.clear()
+            _WAL_GROUP_COMMITS.inc()
 
     # -- recovery / checkpoint ----------------------------------------------------------
 
@@ -326,9 +355,19 @@ class Journal:
             table.next_auto = max(table.next_auto, row[pk] + 1)
 
     def checkpoint(self) -> None:
-        """Fold the WAL into a fresh snapshot and truncate it."""
-        write_snapshot(self.db, self.path)
-        try:
-            os.remove(self.wal_path)
-        except FileNotFoundError:
-            pass
+        """Fold the WAL into a fresh snapshot and truncate it.
+
+        Taken under both commit locks so an in-flight commit can never
+        append to a WAL that is about to be removed.
+        """
+        with self._append_lock, self._fsync_lock:
+            if self._fh is not None and not self._fh.closed:
+                self._fh.close()
+            self._fh = None
+            write_snapshot(self.db, self.path)
+            try:
+                os.remove(self.wal_path)
+            except FileNotFoundError:
+                pass
+            self._written_seq = 0
+            self._durable_seq = 0

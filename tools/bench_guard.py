@@ -37,6 +37,8 @@ DEFAULT_KEYS = (
     "vectorized.drain_seconds",
     "vectorized.first_row_seconds",
     "observability.profiler_enabled_drain_seconds",
+    "concurrency.throughput_ops_per_s",
+    "concurrency.p95_seconds",
 )
 
 DEFAULT_THRESHOLD = 0.10
