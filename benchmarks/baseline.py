@@ -21,6 +21,11 @@ def merge_baseline(results_dir: str, updates: dict) -> None:
     Section dicts merge one level deep, so two benchmark classes can each
     contribute keys to the same section (e.g. ``observability``)
     regardless of run order.
+
+    Each copy is written to a temp file in the same directory and moved
+    into place with :func:`os.replace`, so a crash (or two racing bench
+    processes) can never leave a torn half-written JSON file behind —
+    readers always see either the old complete report or the new one.
     """
     for path in (
         os.path.join(results_dir, "BENCH_scalability.json"),
@@ -35,6 +40,12 @@ def merge_baseline(results_dir: str, updates: dict) -> None:
                 report[key].update(value)
             else:
                 report[key] = value
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2)
-            fh.write("\n")
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):  # only on a failed write
+                os.unlink(tmp)

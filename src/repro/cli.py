@@ -77,7 +77,16 @@ def cmd_init(args) -> int:
 
 
 def cmd_load(args) -> int:
+    from .core.pload import resolve_workers
     from .ptdf.lint import context_from_store, has_errors, lint_files
+
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.shards or workers >= 2:
+        return _cmd_load_parallel(args, workers)
 
     # Per-file progress (records/s from the loader counters): on by
     # default when stderr is a terminal, forced by --progress, silenced
@@ -129,6 +138,64 @@ def cmd_load(args) -> int:
             print(f"# wrote {spans} spans to {args.trace}", file=sys.stderr)
         if not was_enabled:
             obs.metrics.disable()
+    return 0
+
+
+def _cmd_load_parallel(args, workers: int) -> int:
+    """``ptrack load --workers N [--shards N]``: the pload/shards path.
+
+    ``--shards`` makes the target a :class:`ShardedPTDataStore` (``--db``
+    names its directory; in-memory shards otherwise — useful only with
+    ``--trace``/benchmarks since they vanish on exit).  Lint gating,
+    per-file summaries and tracing match the serial path; the only
+    difference is that lint *warnings* print only alongside errors.
+    """
+    from .core.pload import ParallelLoadError, load_files
+    from .core.shards import ShardedPTDataStore
+    from .ptdf.lint import PTdfLintError
+
+    if args.trace:
+        obs.trace.enable()
+    if args.shards:
+        store = ShardedPTDataStore(
+            n_shards=args.shards,
+            backend_kind=args.backend,
+            directory=None if args.db == ":memory:" else args.db,
+        )
+    else:
+        store = _open_store(args, initialize=True)
+    try:
+        def on_file(path, stats):
+            if not args.quiet:
+                print(
+                    f"{path}: {stats.results} results, {stats.resources} "
+                    f"resources, {stats.executions} executions"
+                )
+
+        try:
+            load_files(
+                store, args.files, workers=workers,
+                lint=not args.force, on_file=on_file,
+            )
+        except PTdfLintError as exc:
+            for diag in exc.diagnostics:
+                print(diag, file=sys.stderr)
+            print(
+                "load refused: the files above have lint errors "
+                "(use --force to load anyway)",
+                file=sys.stderr,
+            )
+            return 1
+        except ParallelLoadError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        store.commit()
+    finally:
+        store.close()
+        if args.trace:
+            spans = obs.trace.save(args.trace)
+            obs.trace.disable()
+            print(f"# wrote {spans} spans to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -561,6 +628,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="force per-file records/s progress lines (default when stderr is a TTY)",
     )
     p.add_argument("--trace", help="write a Chrome-trace JSON of the load to FILE")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parse and lint files in N worker processes "
+        "(default $PTRACK_WORKERS, else serial)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="load into a sharded store with N fact shards "
+        "(--db names its directory; default unsharded)",
+    )
     p.set_defaults(fn=cmd_load)
 
     p = sub.add_parser("lint", help="statically validate PTdf files (pt-lint)")

@@ -4,6 +4,11 @@ Public surface:
 
 * :class:`~repro.core.datastore.PTDataStore` — the database-backed store
   with the Figure-6 load API and lookup/query methods.
+* :class:`~repro.core.shards.ShardedPTDataStore` — the catalog + N fact
+  shards deployment for BG/L-scale corpora, with
+  :func:`~repro.core.pload.load_files` as its parallel PTdf loader and
+  :class:`~repro.core.query.ShardedQueryEngine` for scatter-gather
+  pr-filter evaluation.
 * :mod:`~repro.core.filters` — resource filters, resource families and
   pr-filters (Section 2.2 semantics).
 * :mod:`~repro.core.comparison` / :mod:`~repro.core.diagnosis` — the
@@ -19,17 +24,29 @@ from .filters import (
     ByName,
     ByType,
     Expansion,
+    FamilySpec,
     PrFilter,
     ResourceFamily,
 )
+from .pload import ParallelLoadError, load_files, resolve_workers
+from .query import QueryEngine, ShardedQueryEngine
 from .results import PerformanceResult
 from .resources import Resource, ResourceType
+from .shards import ShardedPTDataStore, ShardRouter
 
 __all__ = [
     "PTDataStore",
+    "ShardedPTDataStore",
+    "ShardRouter",
     "LoadStats",
+    "load_files",
+    "resolve_workers",
+    "ParallelLoadError",
+    "QueryEngine",
+    "ShardedQueryEngine",
     "PrFilter",
     "ResourceFamily",
+    "FamilySpec",
     "ByType",
     "ByName",
     "ByAttributes",

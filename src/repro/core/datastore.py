@@ -49,6 +49,7 @@ from .filters import (
     ByConstraint,
     ByName,
     ByType,
+    FamilySpec,
     PrFilter,
     ResourceFamily,
     ResourceFilter,
@@ -829,6 +830,40 @@ class PTDataStore:
         return family
 
     def _resolve_filter_inner(self, f: ResourceFilter) -> ResourceFamily:
+        ids = self._filter_base_ids(f)
+        expanded = set(ids)
+        if f.expansion.include_ancestors:
+            for rid in ids:
+                expanded |= self.ancestors_of(rid)
+        if f.expansion.include_descendants:
+            for rid in ids:
+                expanded |= self.descendants_of(rid)
+        return ResourceFamily(label=f.describe(), resource_ids=frozenset(expanded))
+
+    def resolve_filter_spec(self, f: ResourceFilter) -> FamilySpec:
+        """Resolve one filter into a shard-pushable :class:`FamilySpec`.
+
+        Base ids and ancestor expansion are applied eagerly (both are
+        small and global); descendant expansion is left as a flag for the
+        scatter-gather engine to push down against each shard's closure
+        replica.  ``base ∪ extra ∪ descendants(base)`` equals the eager
+        :meth:`resolve_filter` family exactly.
+        """
+        ids = self._filter_base_ids(f)
+        extra: set[int] = set()
+        if f.expansion.include_ancestors:
+            for rid in ids:
+                extra |= self.ancestors_of(rid)
+            extra -= ids
+        return FamilySpec(
+            label=f.describe(),
+            base_ids=frozenset(ids),
+            extra_ids=frozenset(extra),
+            include_descendants=f.expansion.include_descendants,
+        )
+
+    def _filter_base_ids(self, f: ResourceFilter) -> set[int]:
+        """The filter's direct matches, before A/D expansion."""
         if isinstance(f, ByType):
             ids = {
                 r[0]
@@ -875,14 +910,7 @@ class PTDataStore:
                 }
         else:
             raise ProgrammingError(f"unknown resource filter {type(f).__name__}")
-        expanded = set(ids)
-        if f.expansion.include_ancestors:
-            for rid in ids:
-                expanded |= self.ancestors_of(rid)
-        if f.expansion.include_descendants:
-            for rid in ids:
-                expanded |= self.descendants_of(rid)
-        return ResourceFamily(label=f.describe(), resource_ids=frozenset(expanded))
+        return ids
 
     def _resolve_attributes(self, f: ByAttributes) -> set[int]:
         result: Optional[set[int]] = None

@@ -113,6 +113,10 @@ class Backend:
     def has_table(self, name: str) -> bool:
         raise NotImplementedError
 
+    def has_index(self, name: str) -> bool:
+        """True when a named secondary index exists (deferred shard builds)."""
+        raise NotImplementedError
+
     def max_value(self, table: str, column: str) -> Any:
         """Largest non-NULL value of one column (bulk-load id seeding)."""
         return self.scalar(  # noqa: PTL001 — internal schema identifiers
@@ -131,6 +135,9 @@ class MinidbBackend(Backend):
 
     def has_table(self, name: str) -> bool:
         return self.connection.db.catalog.has_table(name)
+
+    def has_index(self, name: str) -> bool:
+        return name.lower() in self.connection.db.indexes
 
     def max_value(self, table: str, column: str) -> Any:
         # O(1) off a single-column index covering the column (the id
@@ -151,6 +158,32 @@ class MinidbBackend(Backend):
             for row in table.rows.values():
                 total += sum(len(str(v)) + 9 for v in row)
         return total
+
+
+class EngineBackend(MinidbBackend):
+    """Backend over one session of a shared :class:`repro.minidb.Engine`.
+
+    The sharded data store opens one engine per fact shard, so every
+    shard owns its database, its group-commit journal (WAL) and its
+    statement cache independently — shard commits never serialise on a
+    sibling's log.  Closing the backend closes the session *and* the
+    engine (checkpointing the journal).
+    """
+
+    name = "minidb-engine"
+
+    def __init__(self, database: str = ":memory:") -> None:
+        from ..minidb.connection import Engine
+
+        self.engine = Engine(database)
+        # Deliberately skip MinidbBackend.__init__: the connection comes
+        # from the engine, not the embedded single-session connect().
+        Backend.__init__(self, self.engine.connect())
+        self.database = database
+
+    def close(self) -> None:
+        self.connection.close()
+        self.engine.close()
 
 
 class SqliteBackend(Backend):
@@ -181,6 +214,13 @@ class SqliteBackend(Backend):
     def has_table(self, name: str) -> bool:
         row = self.query_one(
             "SELECT name FROM sqlite_master WHERE type = 'table' AND lower(name) = ?",
+            (name.lower(),),
+        )
+        return row is not None
+
+    def has_index(self, name: str) -> bool:
+        row = self.query_one(
+            "SELECT name FROM sqlite_master WHERE type = 'index' AND lower(name) = ?",
             (name.lower(),),
         )
         return row is not None

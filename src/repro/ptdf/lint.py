@@ -129,6 +129,31 @@ def context_from_store(store: Any) -> LintContext:
     )
 
 
+def fold_declarations(context: LintContext, records: Iterable[Record]) -> LintContext:
+    """Fold a document's declarations into *context* — no diagnostics.
+
+    Exactly the context mutation :meth:`Linter._check` performs after
+    linting the same records, so the parallel loader can compute each
+    file's lint context (everything declared by the files before it)
+    without linting the earlier files first: types gain every prefix of
+    each ResourceType path; applications gain Application names *and*
+    Execution application references (the loader auto-creates those);
+    executions gain Execution names; resources gain each Resource name
+    and all its ancestors.  Mutates and returns *context*.
+    """
+    for rec in records:
+        if isinstance(rec, ApplicationRec):
+            context.applications.add(rec.name)
+        elif isinstance(rec, ResourceTypeRec):
+            context.types.update(_type_prefixes(rec.name))
+        elif isinstance(rec, ExecutionRec):
+            context.executions.add(rec.name)
+            context.applications.add(rec.application)
+        elif isinstance(rec, ResourceRec):
+            context.resources.update(_ancestors(rec.name))
+    return context
+
+
 def _closest(name: str, candidates: Iterable[str]) -> Optional[str]:
     """Best did-you-mean candidate for *name*, or None."""
     pool: dict[str, str] = {}

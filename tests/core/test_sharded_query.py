@@ -1,0 +1,142 @@
+"""Scatter-gather pr-filter evaluation: parity with the serial engine."""
+
+import pytest
+
+from repro.core.datastore import PTDataStore
+from repro.core.filters import (
+    AttributeClause,
+    ByAttributes,
+    ByName,
+    ByType,
+    Expansion,
+    FamilySpec,
+    PrFilter,
+)
+from repro.core.query import QueryEngine, ShardedQueryEngine
+from repro.core.shards import ShardedPTDataStore
+from repro.ptdf.parser import parse_string
+
+from .test_sharded_load import _corpus
+
+
+@pytest.fixture(scope="module")
+def stores():
+    text = _corpus()
+    serial = PTDataStore(backend_kind="minidb")
+    serial.load_string(text)
+    sharded = ShardedPTDataStore(n_shards=3)
+    sharded.load_records(parse_string(text))
+    yield serial, sharded
+    serial.close()
+    sharded.close()
+
+
+FILTER_CASES = {
+    "empty": PrFilter(),
+    "machine-descendants": PrFilter([ByName("/LLNL/BGL", Expansion.DESCENDANTS)]),
+    "machine-exact": PrFilter([ByName("/LLNL/BGL", Expansion.NONE)]),
+    "node-ancestors": PrFilter(
+        [ByName("/LLNL/BGL/batch/n2", Expansion.ANCESTORS)]
+    ),
+    "node-both": PrFilter([ByName("/LLNL/BGL/batch/n1", Expansion.BOTH)]),
+    "conjunction": PrFilter(
+        [
+            ByName("/IRS/src/funcB", Expansion.NONE),
+            ByName("/irs-3", Expansion.DESCENDANTS),
+        ]
+    ),
+    "by-type": PrFilter([ByType("grid/machine/partition/node")]),
+    "by-attribute": PrFilter(
+        [ByAttributes((AttributeClause("memory MB", ">", "512"),))]
+    ),
+    "no-match": PrFilter(
+        [
+            ByName("/IRS/src/funcB", Expansion.NONE),
+            ByName("/LLNL", Expansion.NONE),
+        ]
+    ),
+}
+
+
+class TestScatterGatherParity:
+    @pytest.mark.parametrize("label", sorted(FILTER_CASES))
+    def test_evaluate_matches_serial(self, stores, label):
+        serial, sharded = stores
+        prf = FILTER_CASES[label]
+        assert QueryEngine(serial).evaluate(prf) == sharded.query_engine().evaluate(prf)
+
+    def test_fetch_results_identical(self, stores):
+        serial, sharded = stores
+        prf = FILTER_CASES["machine-descendants"]
+        ids = QueryEngine(serial).evaluate(prf)
+        got = sharded.query_engine().fetch_results(ids)
+        want = QueryEngine(serial).fetch_results(ids)
+        assert got == want  # full objects: contexts, series, ordering
+
+    def test_fetch_includes_vector_series(self, stores):
+        serial, sharded = stores
+        engine = sharded.query_engine()
+        results = engine.fetch_results(engine.evaluate(PrFilter()))
+        vectors = [r for r in results if r.value_type == "vector"]
+        assert vectors and all(r.series for r in vectors)
+
+    def test_count_for_family_matches(self, stores):
+        serial, sharded = stores
+        f = ByName("/LLNL/BGL", Expansion.DESCENDANTS)
+        assert ShardedQueryEngine(sharded).count_for_family(
+            serial.resolve_filter_spec(f)
+        ) == QueryEngine(serial).count_for_family(serial.resolve_filter(f))
+
+    def test_matching_focus_ids_union(self, stores):
+        serial, sharded = stores
+        f = ByName("/irs-1", Expansion.DESCENDANTS)
+        assert ShardedQueryEngine(sharded).matching_focus_ids(
+            serial.resolve_filter_spec(f)
+        ) == QueryEngine(serial).matching_focus_ids(serial.resolve_filter(f))
+
+    def test_accepts_eager_resource_family(self, stores):
+        # ResourceFamily (fully expanded) and FamilySpec (pushdown) agree
+        serial, sharded = stores
+        f = ByName("/LLNL/BGL", Expansion.DESCENDANTS)
+        engine = sharded.query_engine()
+        eager = engine.result_ids([serial.resolve_filter(f)])
+        pushed = engine.result_ids([serial.resolve_filter_spec(f)])
+        assert eager == pushed
+
+
+class TestFamilySpec:
+    def test_resolve_filter_spec_descendants_stay_lazy(self, stores):
+        serial, _ = stores
+        spec = serial.resolve_filter_spec(
+            ByName("/LLNL/BGL", Expansion.DESCENDANTS)
+        )
+        assert isinstance(spec, FamilySpec)
+        assert spec.include_descendants
+        assert spec.base_ids == frozenset({serial.resource_id("/LLNL/BGL")})
+        assert spec.extra_ids == frozenset()
+
+    def test_resolve_filter_spec_ancestors_eager(self, stores):
+        serial, _ = stores
+        spec = serial.resolve_filter_spec(
+            ByName("/LLNL/BGL/batch/n2", Expansion.ANCESTORS)
+        )
+        assert not spec.include_descendants
+        assert serial.resource_id("/LLNL") in spec.extra_ids
+        assert serial.resource_id("/LLNL/BGL/batch/n2") in spec.base_ids
+
+    def test_spec_membership_equals_eager_family(self, stores):
+        serial, sharded = stores
+        for f in (
+            ByName("/LLNL/BGL", Expansion.BOTH),
+            ByType("execution/process", Expansion.ANCESTORS),
+        ):
+            eager = serial.resolve_filter(f).resource_ids
+            spec = serial.resolve_filter_spec(f)
+            engine = ShardedQueryEngine(sharded)
+            union = set(spec.base_ids) | set(spec.extra_ids)
+            for i in range(sharded.n_shards):
+                union |= engine._family_ids_on(sharded.shard_eval_index(i), spec)
+            # per-shard expansion can only surface descendants that have
+            # results; those are exactly the ones that can ever match
+            assert union <= eager
+            assert set(spec.base_ids) <= eager

@@ -45,6 +45,51 @@ class TestGenLoad:
                      "--out", str(tmp_path / "o")]) == 1
 
 
+class TestParallelShardedLoad:
+    @pytest.fixture()
+    def ptdfs(self, tmp_path):
+        from tests.core.test_sharded_load import _corpus_writer
+
+        paths = []
+        for i, execs in enumerate((range(0, 2), range(2, 4))):
+            w = _corpus_writer(execs) if i == 0 else _corpus_writer(execs)
+            path = str(tmp_path / f"part{i}.ptdf")
+            w.write(path)
+            paths.append(path)
+        return paths
+
+    def test_load_with_workers(self, ptdfs, tmp_path, capsys):
+        db = str(tmp_path / "store.json")
+        assert main(["init", "--db", db]) == 0
+        assert main(["load", "--db", db, "--workers", "2",
+                     "--quiet", *ptdfs]) == 0
+        assert main(["ls", "--db", db, "executions"]) == 0
+        assert "irs-3" in capsys.readouterr().out
+
+    def test_load_into_sharded_directory(self, ptdfs, tmp_path, capsys):
+        directory = str(tmp_path / "sharded")
+        assert main(["load", "--db", directory, "--shards", "2",
+                     "--workers", "2", *ptdfs]) == 0
+        assert os.path.exists(os.path.join(directory, "shards.json"))
+        assert os.path.exists(os.path.join(directory, "shard-0001.db"))
+        out = capsys.readouterr().out
+        assert "results" in out
+
+    def test_workers_env_var(self, ptdfs, tmp_path, monkeypatch):
+        monkeypatch.setenv("PTRACK_WORKERS", "2")
+        db = str(tmp_path / "store.json")
+        assert main(["init", "--db", db]) == 0
+        assert main(["load", "--db", db, "--quiet", *ptdfs]) == 0
+        monkeypatch.setenv("PTRACK_WORKERS", "banana")
+        assert main(["load", "--db", db, "--quiet", *ptdfs]) == 2
+
+    def test_parallel_lint_gate(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ptdf"
+        bad.write_text('Resource "/x" "nope"\n')
+        assert main(["load", "--workers", "2", "--quiet", str(bad)]) == 1
+        assert "lint errors" in capsys.readouterr().err
+
+
 class TestLs:
     @pytest.mark.parametrize("what", ["applications", "metrics", "tools", "types"])
     def test_listings(self, study, capsys, what):

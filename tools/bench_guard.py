@@ -39,6 +39,8 @@ DEFAULT_KEYS = (
     "observability.profiler_enabled_drain_seconds",
     "concurrency.throughput_ops_per_s",
     "concurrency.p95_seconds",
+    "sharded.parallel_rows_per_s",
+    "sharded.prfilter_p95_seconds",
 )
 
 DEFAULT_THRESHOLD = 0.10
